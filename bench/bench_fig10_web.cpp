@@ -1,0 +1,117 @@
+// Figure 10: Web browsing —
+//  (a) jquery(.min).js download time via five CDNs per SNO,
+//  (b) Akamai demo page load time, HTTP/1.1 vs HTTP/2,
+//  (c) DNS lookup time CDFs.
+#include <map>
+
+#include "bench/bench_common.hpp"
+#include "prolific/addon.hpp"
+#include "stats/summary.hpp"
+#include "prolific/census.hpp"
+#include "stats/cdf.hpp"
+
+namespace {
+
+using namespace satnet;
+
+const std::vector<prolific::AddonRunReport>& reports() {
+  static const auto r = [] {
+    prolific::TesterPool pool;
+    prolific::StudyConfig cfg;
+    cfg.runs_per_tester = 6;  // more runs for tighter CDN medians
+    return prolific::run_addon_study(bench::world(), pool, cfg);
+  }();
+  return r;
+}
+
+void print_fig10() {
+  bench::header("Figure 10a", "jquery.min.js download time per CDN (median ms)");
+  std::map<std::string, std::map<std::string, std::vector<double>>> cdn_ms;
+  std::map<std::string, std::map<std::string, std::vector<double>>> cdn_reg_ms;
+  for (const auto& r : reports()) {
+    for (const auto& c : r.cdn) {
+      cdn_ms[r.sno][c.cdn].push_back(c.minified_ms);
+      cdn_reg_ms[r.sno][c.cdn].push_back(c.regular_ms);
+    }
+  }
+  std::printf("  %-10s", "SNO");
+  for (const auto& p : http::cdn_providers()) {
+    std::printf(" %11s", std::string(p.name).c_str());
+  }
+  std::printf("\n");
+  for (const auto& [sno, cdns] : cdn_ms) {
+    std::printf("  %-10s", sno.c_str());
+    for (const auto& p : http::cdn_providers()) {
+      std::printf(" %11.0f", stats::median(cdns.at(std::string(p.name))));
+    }
+    std::printf("\n");
+  }
+  bench::note("paper (min.js, Fastly): 127 ms Starlink / 950 HughesNet / 1036 Viasat;"
+              " jsDelivr adds ~700 ms on HughesNet");
+  std::printf("  regular jquery.js via fastly (median ms): ");
+  for (const auto& [sno, cdns] : cdn_reg_ms) {
+    std::printf(" %s=%.0f", sno.c_str(), stats::median(cdns.at("fastly")));
+  }
+  std::printf("\n  [paper: 190 Starlink / 1450 Viasat / 1620 HughesNet]\n");
+
+  bench::header("Figure 10b", "Akamai demo page load time: H1 vs H2 (median s)");
+  std::map<std::string, std::vector<double>> h1, h2;
+  std::size_t timeouts = 0;
+  for (const auto& r : reports()) {
+    if (r.akamai.h1_plt_ms <= 0) continue;
+    h1[r.sno].push_back(r.akamai.h1_plt_ms / 1e3);
+    h2[r.sno].push_back(r.akamai.h2_plt_ms / 1e3);
+    if (r.akamai.h1_timed_out) ++timeouts;
+  }
+  for (const auto& [sno, values] : h1) {
+    std::printf("  %-10s H1=%6.1f s  H2=%6.1f s\n", sno.c_str(),
+                stats::median(values), stats::median(h2[sno]));
+  }
+  std::printf("  H1 watchdog timeouts: %zu (paper: one HughesNet run at 62.6 s)\n",
+              timeouts);
+  bench::note("paper: H2 on GEO becomes comparable to H1 on Starlink");
+
+  bench::header("Figure 10c", "DNS lookup time CDFs (uncached)");
+  std::map<std::string, std::vector<double>> dns;
+  for (const auto& r : reports()) {
+    dns[r.sno].insert(dns[r.sno].end(), r.dns_lookup_ms.begin(), r.dns_lookup_ms.end());
+  }
+  for (const auto& [sno, values] : dns) {
+    const stats::Cdf cdf(values);
+    std::printf("  %-10s median=%6.0f ms  %s\n", sno.c_str(), cdf.quantile(0.5),
+                stats::describe_cdf(cdf).c_str());
+  }
+  bench::note("paper medians: 130 Starlink / 755 HughesNet / 985 Viasat");
+}
+
+void BM_h1_page_load_geo(benchmark::State& state) {
+  transport::PathProfile p;
+  p.base_rtt_ms = 620;
+  p.bottleneck_mbps = 20;
+  p.pep = true;
+  const http::WebPage page = http::akamai_demo_page();
+  stats::Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        http::load_page(page, http::HttpVersion::h1, p, rng).plt_ms);
+  }
+}
+BENCHMARK(BM_h1_page_load_geo)->Unit(benchmark::kMillisecond);
+
+void BM_h2_page_load_geo(benchmark::State& state) {
+  transport::PathProfile p;
+  p.base_rtt_ms = 620;
+  p.bottleneck_mbps = 20;
+  p.pep = true;
+  const http::WebPage page = http::akamai_demo_page();
+  stats::Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        http::load_page(page, http::HttpVersion::h2, p, rng).plt_ms);
+  }
+}
+BENCHMARK(BM_h2_page_load_geo)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+SATNET_BENCH_MAIN(print_fig10)

@@ -1,0 +1,57 @@
+// Figure 13: historical evolution of SNO peering, 2021/1 -> 2023/1:
+// Starlink's explosive growth, HughesNet's stagnation, Viasat's
+// US-to-global expansion, and Marlink's tier-1 swap.
+#include "bench/bench_common.hpp"
+#include "bgp/routeviews.hpp"
+#include "bgp/sno_world.hpp"
+
+namespace {
+
+using namespace satnet;
+
+void print_fig13() {
+  bench::header("Figure 13", "BGP peering evolution 2021 -> 2023");
+  const struct {
+    bgp::Asn asn;
+    const char* name;
+    const char* paper_note;
+  } snos[] = {
+      {bgp::kStarlink, "starlink", "explosive growth across the globe"},
+      {bgp::kHughes, "hughesnet", "peering remained the same"},
+      {bgp::kViasat, "viasat", "expanded from the US to non-US regions"},
+      {bgp::kMarlink, "marlink", "US tier-1 changed Level3(3549) -> Cogent(174)"},
+  };
+
+  for (const auto& sno : snos) {
+    std::printf("  %-10s", sno.name);
+    for (const int year : {2021, 2022, 2023}) {
+      const auto g = bgp::sno_world_graph(year);
+      const auto countries = g.neighbor_countries(sno.asn);
+      std::printf("  %d: degree=%-2zu countries=%-2zu", year, g.degree(sno.asn),
+                  countries.size());
+    }
+    std::printf("\n             [paper: %s]\n", sno.paper_note);
+  }
+
+  // The Marlink swap, explicitly.
+  for (const int year : {2021, 2022}) {
+    const auto g = bgp::sno_world_graph(year);
+    std::printf("  marlink %d neighbors:", year);
+    for (const auto n : g.neighbors(bgp::kMarlink)) {
+      std::printf(" AS%u(%s)", n, g.info(n).name.c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+void BM_snapshot_build(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto g = bgp::sno_world_graph(2023);
+    benchmark::DoNotOptimize(g.edge_count());
+  }
+}
+BENCHMARK(BM_snapshot_build);
+
+}  // namespace
+
+SATNET_BENCH_MAIN(print_fig13)

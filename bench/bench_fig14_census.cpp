@@ -1,0 +1,67 @@
+// Figure 14 + §3.3: the Prolific census — prescreening funnel, open
+// census with IP-based access control, and subscriber satisfaction.
+#include "bench/bench_common.hpp"
+#include "prolific/census.hpp"
+
+namespace {
+
+using namespace satnet;
+
+void print_fig14() {
+  bench::header("§3.3", "Prolific census funnel");
+  prolific::TesterPool pool;
+  stats::Rng rng(1);
+  const auto out = pool.run_census(rng);
+  std::printf("  prescreened as SNO subscribers: %zu   (paper: 160)\n",
+              out.prescreen_claimed);
+  std::printf("  survey respondents:             %zu   (paper: 30)\n",
+              out.prescreen_responded);
+  std::printf("  verified by source IP:          %zu   (paper: 20)\n",
+              out.prescreen_verified);
+  std::printf("  open-census participants:       %zu (paper: 14,371)\n",
+              out.open_participants);
+  std::printf("  actually connected via an SNO:  %zu   (paper: 57)\n",
+              out.open_verified);
+  for (const auto& [sno, n] : out.verified_by_sno) {
+    std::printf("    %-10s %zu\n", sno.c_str(), n);
+  }
+
+  bench::header("Figure 14", "Satisfaction of verified SNO subscribers (1-5)");
+  const char* labels[5] = {"very poor", "poor", "ok", "good", "very good"};
+  for (const auto& [sno, hist] : pool.satisfaction_histogram()) {
+    std::size_t total = 0;
+    for (const auto v : hist) total += v;
+    std::printf("  %-10s", sno.c_str());
+    for (int s = 0; s < 5; ++s) {
+      std::printf("  %s=%4.0f%%", labels[s],
+                  total ? 100.0 * static_cast<double>(hist[static_cast<std::size_t>(s)]) /
+                              static_cast<double>(total)
+                        : 0.0);
+    }
+    std::printf("\n");
+  }
+  bench::note("paper: Starlink mostly good/very good (1 poor of 20); "
+              "HughesNet peaks at 'ok' (55%); Viasat spread low");
+}
+
+void BM_census(benchmark::State& state) {
+  prolific::TesterPool pool;
+  stats::Rng rng(2);
+  for (auto _ : state) {
+    const auto out = pool.run_census(rng);
+    benchmark::DoNotOptimize(out.open_verified);
+  }
+}
+BENCHMARK(BM_census)->Unit(benchmark::kMillisecond);
+
+void BM_pool_construction(benchmark::State& state) {
+  for (auto _ : state) {
+    prolific::TesterPool pool;
+    benchmark::DoNotOptimize(pool.testers().size());
+  }
+}
+BENCHMARK(BM_pool_construction)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+SATNET_BENCH_MAIN(print_fig14)

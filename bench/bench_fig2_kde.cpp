@@ -1,0 +1,89 @@
+// Figure 2: KDE curves of access latency per SNO/ASN — the validation
+// view that exposes AS27277 (Starlink corporate, terrestrial), the hybrid
+// SES ASN, and TelAlaska's intra-ASN wireline/satellite mix.
+#include "bench/bench_common.hpp"
+#include "snoid/validation.hpp"
+#include "stats/kde.hpp"
+
+namespace {
+
+using namespace satnet;
+
+void print_fig2() {
+  bench::header("Figure 2", "Per-ASN latency KDE curves and verdicts");
+  const auto& ds = bench::mlab_dataset();
+  const auto by_asn = ds.by_asn();
+
+  // The ASNs the paper's figure shows, with their expected character.
+  struct Entry {
+    bgp::Asn asn;
+    const char* label;
+    const char* paper_note;
+  };
+  const Entry entries[] = {
+      {14593, "starlink AS14593", "LEO, median ~56 ms"},
+      {27277, "starlink AS27277", "corporate wireline outlier"},
+      {800, "oneweb AS800", "LEO, median ~154 ms"},
+      {60725, "o3b AS60725", "MEO, ~280 ms"},
+      {201554, "ses AS201554", "hybrid MEO+GEO (+ terrestrial anomaly)"},
+      {12684, "ses AS12684", "GEO, ~700 ms"},
+      {10538, "telalaska AS10538", "GEO with terrestrial low-latency peak"},
+  };
+
+  for (const auto& e : entries) {
+    const auto it = by_asn.find(e.asn);
+    if (it == by_asn.end()) {
+      std::printf("  %-20s (no data)\n", e.label);
+      continue;
+    }
+    const auto lat = ds.field(it->second, &mlab::NdtRecord::latency_p5_ms);
+    const stats::Kde kde(lat);
+    std::printf("  %-20s n=%-6zu peaks:", e.label, lat.size());
+    for (const auto& p : kde.peaks()) {
+      if (p.mass < 0.03) continue;
+      std::printf(" %.0fms(mass %.2f)", p.location, p.mass);
+    }
+    std::printf("   [paper: %s]\n", e.paper_note);
+  }
+
+  bench::note("sparkline of the Starlink vs TelAlaska KDE (density vs latency):");
+  for (const bgp::Asn asn : {bgp::Asn{14593}, bgp::Asn{10538}}) {
+    const auto lat = ds.field(by_asn.at(asn), &mlab::NdtRecord::latency_p5_ms);
+    const auto curve = stats::Kde(lat).curve(64);
+    double y_max = 0;
+    for (const double y : curve.y) y_max = std::max(y_max, y);
+    std::printf("  AS%-6u |", asn);
+    const char* shades = " .:-=+*#";
+    for (const double y : curve.y) {
+      std::printf("%c", shades[static_cast<int>(7.99 * y / (y_max + 1e-12))]);
+    }
+    std::printf("| %.0f..%.0f ms\n", curve.x.front(), curve.x.back());
+  }
+}
+
+void BM_kde_fit(benchmark::State& state) {
+  const auto& ds = bench::mlab_dataset();
+  const auto by_asn = ds.by_asn();
+  const auto lat = ds.field(by_asn.at(14593), &mlab::NdtRecord::latency_p5_ms);
+  for (auto _ : state) {
+    const stats::Kde kde(lat);
+    benchmark::DoNotOptimize(kde.peaks().size());
+  }
+  state.counters["samples"] = static_cast<double>(lat.size());
+}
+BENCHMARK(BM_kde_fit)->Unit(benchmark::kMillisecond);
+
+void BM_asn_classification(benchmark::State& state) {
+  const auto& ds = bench::mlab_dataset();
+  const auto by_asn = ds.by_asn();
+  const auto lat = ds.field(by_asn.at(14593), &mlab::NdtRecord::latency_p5_ms);
+  const snoid::TechWindow leo{35.0, 320.0, 0, 0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(snoid::classify_asn(14593, lat, leo).cls);
+  }
+}
+BENCHMARK(BM_asn_classification)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+SATNET_BENCH_MAIN(print_fig2)

@@ -1,0 +1,49 @@
+// Figure 6: Starlink through RIPE Atlas, rest of the world —
+//  (a) probe -> PoP (CGNAT) RTT per country,
+//  (b) RTT to the 13 DNS roots per country,
+//  (c) hop counts to the roots.
+#include "bench/bench_common.hpp"
+#include "snoid/pop_analysis.hpp"
+
+namespace {
+
+using namespace satnet;
+
+void print_fig6() {
+  const auto& ds = bench::atlas_dataset();
+
+  bench::header("Figure 6a", "RTT between non-US probes and their Starlink PoP");
+  for (const auto& r : snoid::pop_rtt_by_country(ds, /*us_only=*/false)) {
+    std::printf("  %-4s %s\n", r.key.c_str(), stats::to_string(r.rtt).c_str());
+  }
+  bench::note("paper: NZ/CL ~33 ms; Europe 35-40; CA/AU ~45; PH 80 (Tokyo PoP)");
+
+  bench::header("Figure 6b", "RTT between non-US probes and the DNS roots");
+  for (const auto& r : snoid::root_rtt_by_country(ds)) {
+    std::printf("  %-4s %s\n", r.key.c_str(), stats::to_string(r.rtt).c_str());
+  }
+  bench::note("paper: Europe 40-49 (ES 58); CL +10-20 over its PoP RTT; "
+              "NZ/AU 100-150 for most; PH ~200");
+
+  bench::header("Figure 6c", "Traceroute hop counts to the roots");
+  for (const auto& [country, hops] : snoid::root_hops_by_country(ds)) {
+    std::printf("  %-4s hops: min=%.0f p25=%.0f median=%.0f p75=%.0f max=%.0f\n",
+                country.c_str(), hops.min, hops.p25, hops.p50, hops.p75, hops.max);
+  }
+  bench::note("paper: 5 hops to local instances (CL to L-root) up to 20+ "
+              "(no regional instance)");
+}
+
+void BM_pop_rtt_analysis(benchmark::State& state) {
+  const auto& ds = bench::atlas_dataset();
+  for (auto _ : state) {
+    const auto rows = snoid::pop_rtt_by_country(ds, false);
+    benchmark::DoNotOptimize(rows.size());
+  }
+  state.counters["traceroutes"] = static_cast<double>(ds.traceroutes.size());
+}
+BENCHMARK(BM_pop_rtt_analysis)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+SATNET_BENCH_MAIN(print_fig6)

@@ -1,0 +1,61 @@
+// Figure 7: probe <-> PoP geography. For each validated probe, the PoPs
+// it used over the year: the currently-active association ("green line")
+// and the superseded ones ("red dotted lines"), with rDNS names.
+#include <map>
+
+#include "bench/bench_common.hpp"
+#include "snoid/pop_analysis.hpp"
+
+namespace {
+
+using namespace satnet;
+
+void print_fig7() {
+  bench::header("Figure 7", "Probe-PoP associations (active and historical)");
+  const auto& ds = bench::atlas_dataset();
+  const auto assoc = snoid::pop_association_history(ds);
+
+  // Group by probe; the latest association is the active one.
+  std::map<int, std::vector<const snoid::PopAssociation*>> by_probe;
+  for (const auto& a : assoc) by_probe[a.probe_id].push_back(&a);
+
+  std::size_t multi_pop_probes = 0;
+  for (const auto& [probe_id, list] : by_probe) {
+    if (list.size() < 2) continue;  // print only the interesting ones
+    ++multi_pop_probes;
+    std::printf("  probe %d (%s):\n", probe_id, list.front()->country.c_str());
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      const bool active = i + 1 == list.size();
+      std::printf("    %s customer.%s.pop.starlinkisp.net  days %.0f-%.0f (%zu traces)\n",
+                  active ? "ACTIVE " : "retired", list[i]->pop_name.c_str(),
+                  list[i]->first_day, list[i]->last_day, list[i]->n_traceroutes);
+    }
+  }
+  std::printf("  probes with PoP changes: %zu\n", multi_pop_probes);
+  bench::note("paper: NZ Sydney->Auckland; NL Frankfurt->London; "
+              "NV LA->Denver->LA; AK fixed to Seattle; PH fixed to Tokyo");
+
+  // Verify the fixed anomalies explicitly.
+  std::map<std::string, std::map<std::string, std::size_t>> country_pops;
+  std::map<int, std::string> country_of;
+  for (const auto& p : ds.probes) country_of[p.id] = p.country;
+  for (const auto& a : assoc) country_pops[a.country][a.pop_name] += a.n_traceroutes;
+  for (const char* cc : {"PH", "NZ", "CL"}) {
+    std::printf("  %s PoPs:", cc);
+    for (const auto& [pop, n] : country_pops[cc]) std::printf(" %s(%zu)", pop.c_str(), n);
+    std::printf("\n");
+  }
+}
+
+void BM_association_history(benchmark::State& state) {
+  const auto& ds = bench::atlas_dataset();
+  for (auto _ : state) {
+    const auto assoc = snoid::pop_association_history(ds);
+    benchmark::DoNotOptimize(assoc.size());
+  }
+}
+BENCHMARK(BM_association_history)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+SATNET_BENCH_MAIN(print_fig7)

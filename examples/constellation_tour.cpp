@@ -1,0 +1,59 @@
+// Constellation tour: watch the orbital mechanics that drive everything —
+// serving-satellite selection, 15-second reconfigurations, handoffs, and
+// the latency breakdown of a bent-pipe path, for a terminal in Seattle.
+#include <cstdio>
+#include <memory>
+
+#include "orbit/access.hpp"
+
+int main() {
+  using namespace satnet;
+
+  std::printf("== Starlink constellation tour ==\n\n");
+  const auto constellation =
+      std::make_shared<orbit::Constellation>(orbit::starlink_shells());
+  std::printf("constellation: %zu satellites in %zu shells\n",
+              constellation->total_sats(), constellation->shells().size());
+  for (const auto& shell : constellation->shells()) {
+    std::printf("  %-16s %4.0f km, %5.1f deg, %zux%zu, period %.1f min\n",
+                shell.name.c_str(), shell.altitude_km, shell.inclination_deg,
+                shell.planes, shell.sats_per_plane, shell.period_sec() / 60.0);
+  }
+
+  const geo::GeoPoint seattle{47.61, -122.33, 0};
+  std::printf("\nvisible satellites from Seattle at t=0 (elevation >= 25 deg): %zu\n",
+              constellation->visible(seattle, 0.0, 25.0).size());
+
+  const auto net = orbit::make_starlink_access(constellation);
+  std::printf("\nfive minutes of 15-second reconfiguration epochs:\n");
+  std::printf("  %6s %22s %6s %8s %8s %8s %8s %s\n", "t(s)", "serving sat", "elev",
+              "up ms", "down ms", "bkhl ms", "1-way", "");
+  for (double t = 0; t <= 300; t += 15) {
+    const auto s = net.sample_with_handoff(seattle, t);
+    if (!s.reachable) {
+      std::printf("  %6.0f (outage)\n", t);
+      continue;
+    }
+    const auto pos = constellation->position(*s.serving_sat, t);
+    char sat_name[32];
+    std::snprintf(sat_name, sizeof(sat_name), "shell%zu p%02zu i%02zu",
+                  s.serving_sat->shell, s.serving_sat->plane, s.serving_sat->index);
+    std::printf("  %6.0f %22s %5.1f° %8.2f %8.2f %8.2f %8.2f %s\n", t, sat_name,
+                geo::elevation_deg(seattle, pos), s.up_ms, s.down_ms, s.backhaul_ms,
+                s.one_way_ms, s.handoff ? "<- handoff" : "");
+  }
+
+  const auto hs = orbit::measure_handoffs(net, seattle, 0.0, 2 * 3600.0);
+  std::printf("\ntwo hours of epochs: %zu handoffs over %zu epochs, mean dwell %.0f s "
+              "(max %.0f s), outage fraction %.3f\n",
+              hs.handoffs, hs.epochs, hs.mean_dwell_sec, hs.max_dwell_sec,
+              hs.outage_fraction);
+
+  std::printf("\nGEO comparison (Viasat-style bent pipe from Denver teleport):\n");
+  const auto geo_net = orbit::make_geo_access("denver", -101.0, 45.0);
+  const auto s = geo_net.sample({39.0, -98.0, 0}, 0.0);
+  std::printf("  up %.1f ms + down %.1f ms + scheduling %.1f ms = one-way %.1f ms "
+              "(RTT %.0f ms)\n",
+              s.up_ms, s.down_ms, s.scheduling_ms, s.one_way_ms, 2 * s.one_way_ms);
+  return 0;
+}

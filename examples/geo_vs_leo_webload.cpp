@@ -1,0 +1,71 @@
+// GEO vs LEO for web applications: the paper's §6 message, condensed.
+// For one Starlink user and one Viasat user, compare CDN choices,
+// HTTP/1.1 vs HTTP/2 page loads, DNS deployments, and a video session.
+#include <cstdio>
+
+#include "dns/resolver.hpp"
+#include "geo/places.hpp"
+#include "http/cdn.hpp"
+#include "http/loader.hpp"
+#include "synth/world.hpp"
+#include "video/abr_player.hpp"
+
+int main() {
+  using namespace satnet;
+
+  std::printf("== GEO vs LEO web performance ==\n\n");
+  const synth::World world;
+  stats::Rng rng(7);
+
+  const struct {
+    const char* sno;
+    const char* city;
+    const char* country;
+  } users[] = {{"starlink", "denver", "US"}, {"viasat", "denver", "US"}};
+
+  for (const auto& u : users) {
+    const auto sub =
+        world.make_subscriber(u.sno, geo::city_point(u.city), u.country, rng);
+    const auto path = world.sample_path(sub, 3600.0, rng);
+    if (!path.ok) continue;
+    std::printf("[%s subscriber in %s]  access RTT %.0f ms, plan %.0f Mbps\n",
+                u.sno, u.city, path.download.base_rtt_ms, sub.plan_down_mbps);
+
+    // CDN shootout for jquery.min.js.
+    std::printf("  CDN fetch of jquery.min.js:");
+    for (const auto& cdn : http::cdn_providers()) {
+      double total = 0;
+      for (int i = 0; i < 7; ++i) {
+        total += http::cdn_fetch_ms(cdn, http::JqueryVariant::minified,
+                                    path.download, rng);
+      }
+      std::printf(" %s=%.0fms", std::string(cdn.name).c_str(), total / 7);
+    }
+    std::printf("\n");
+
+    // H1 vs H2 on the Akamai demo page.
+    const auto page = http::akamai_demo_page();
+    const auto h1 = http::load_page(page, http::HttpVersion::h1, path.download, rng);
+    const auto h2 = http::load_page(page, http::HttpVersion::h2, path.download, rng);
+    std::printf("  Akamai demo page: HTTP/1.1 %.1f s vs HTTP/2 %.1f s%s\n",
+                h1.plt_ms / 1e3, h2.plt_ms / 1e3, h1.timed_out ? " (H1 timed out)" : "");
+
+    // DNS: ISP-provided resolver placement.
+    const bool at_pop = std::string(u.sno) == "starlink";
+    dns::Resolver resolver({at_pop, at_pop ? 60.0 : 330.0, 0.3, 300.0},
+                           rng.fork(u.sno));
+    const auto lookup = resolver.lookup("news.example", 0.0, path.download.base_rtt_ms);
+    std::printf("  uncached DNS lookup via ISP resolver: %.0f ms\n", lookup.time_ms);
+
+    // A minute of YouTube.
+    const auto yt = video::play_session(path.download, rng);
+    std::printf("  YouTube 60 s: median %s, buffer %.0f s, %.1f%% frames dropped, "
+                "%d stalls\n\n",
+                std::string(yt.median_rendition).c_str(), yt.mean_buffer_sec,
+                yt.dropped_frame_frac * 100, yt.n_stalls);
+  }
+
+  std::printf("takeaway (paper §6): pick a PoP-peered CDN, use HTTP/2, and on GEO\n"
+              "prefer a cloud resolver — each recovers a large share of the gap.\n");
+  return 0;
+}

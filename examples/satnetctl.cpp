@@ -1,0 +1,148 @@
+// satnetctl: command-line driver for the library — run campaigns, the
+// identification pipeline, the RIPE campaign, or the census, and export
+// datasets as CSV for external plotting.
+//
+// Usage:
+//   satnetctl campaign [--scale S] [--out FILE]   M-Lab NDT campaign -> CSV
+//   satnetctl pipeline [--scale S]                identification summary
+//   satnetctl atlas [--days D] [--out FILE]       RIPE campaign -> CSV
+//   satnetctl census                              Prolific census funnel
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "io/csv.hpp"
+#include "io/report.hpp"
+#include "mlab/campaign.hpp"
+#include "prolific/census.hpp"
+#include "ripe/atlas.hpp"
+#include "snoid/pipeline.hpp"
+#include "synth/world.hpp"
+
+namespace {
+
+using namespace satnet;
+
+const char* flag_value(int argc, char** argv, const char* name, const char* fallback) {
+  for (int i = 2; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+int cmd_campaign(int argc, char** argv) {
+  const double scale = std::stod(flag_value(argc, argv, "--scale", "0.0005"));
+  const std::string out_path = flag_value(argc, argv, "--out", "ndt.csv");
+  synth::World world;
+  mlab::CampaignConfig cfg;
+  cfg.volume_scale = scale;
+  const auto dataset = mlab::run_campaign(world, cfg);
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  const std::size_t rows = io::export_ndt(dataset, out);
+  std::printf("wrote %zu NDT records to %s\n", rows, out_path.c_str());
+  return 0;
+}
+
+int cmd_pipeline(int argc, char** argv) {
+  const double scale = std::stod(flag_value(argc, argv, "--scale", "0.0005"));
+  const std::string out_path = flag_value(argc, argv, "--out", "");
+  synth::World world;
+  mlab::CampaignConfig cfg;
+  cfg.volume_scale = scale;
+  const auto dataset = mlab::run_campaign(world, cfg);
+  const auto result = snoid::run_pipeline(dataset);
+  std::printf("%s", snoid::describe(result).c_str());
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    io::export_pipeline(result, out);
+    std::printf("wrote per-operator results to %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_atlas(int argc, char** argv) {
+  const double days = std::stod(flag_value(argc, argv, "--days", "90"));
+  const std::string out_path = flag_value(argc, argv, "--out", "traceroutes.csv");
+  ripe::AtlasConfig cfg;
+  cfg.duration_days = days;
+  cfg.round_interval_hours = 24.0;
+  const auto dataset = ripe::run_atlas_campaign(cfg);
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  const std::size_t rows = io::export_traceroutes(dataset, out);
+  std::printf("validated probes: %zu; wrote %zu traceroutes to %s\n",
+              ripe::validated_probe_ids(dataset).size(), rows, out_path.c_str());
+  return 0;
+}
+
+int cmd_report(int argc, char** argv) {
+  const double scale = std::stod(flag_value(argc, argv, "--scale", "0.0005"));
+  const std::string out_path = flag_value(argc, argv, "--out", "report.md");
+  synth::World world;
+  mlab::CampaignConfig mc;
+  mc.volume_scale = scale;
+  const auto dataset = mlab::run_campaign(world, mc);
+  const auto result = snoid::run_pipeline(dataset);
+  ripe::AtlasConfig ac;
+  ac.duration_days = 366.0;
+  ac.round_interval_hours = 24.0;
+  const auto atlas = ripe::run_atlas_campaign(ac);
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  out << io::study_report(dataset, result, atlas);
+  std::printf("wrote study report to %s\n", out_path.c_str());
+  return 0;
+}
+
+int cmd_census(int, char**) {
+  prolific::TesterPool pool;
+  stats::Rng rng(1);
+  const auto out = pool.run_census(rng);
+  std::printf("prescreened %zu -> responded %zu -> verified %zu\n",
+              out.prescreen_claimed, out.prescreen_responded, out.prescreen_verified);
+  std::printf("open census %zu participants -> %zu on SNOs\n", out.open_participants,
+              out.open_verified);
+  for (const auto& [sno, n] : out.verified_by_sno) {
+    std::printf("  %-10s %zu\n", sno.c_str(), n);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: satnetctl <campaign|pipeline|atlas|census|report> [flags]\n"
+                 "  campaign [--scale S] [--out FILE]\n"
+                 "  pipeline [--scale S] [--out FILE]\n"
+                 "  atlas    [--days D]  [--out FILE]\n"
+                 "  census\n"
+                 "  report   [--scale S] [--out FILE]\n");
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "campaign") return cmd_campaign(argc, argv);
+  if (cmd == "pipeline") return cmd_pipeline(argc, argv);
+  if (cmd == "atlas") return cmd_atlas(argc, argv);
+  if (cmd == "census") return cmd_census(argc, argv);
+  if (cmd == "report") return cmd_report(argc, argv);
+  std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+  return 2;
+}

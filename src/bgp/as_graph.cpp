@@ -1,0 +1,71 @@
+#include "bgp/as_graph.hpp"
+
+#include <stdexcept>
+
+namespace satnet::bgp {
+
+void AsGraph::add_as(AsInfo info) {
+  const Asn asn = info.asn;
+  nodes_[asn] = std::move(info);
+  adjacency_.try_emplace(asn);
+}
+
+void AsGraph::add_edge(Asn a, Asn b, Relationship rel) {
+  if (!contains(a) || !contains(b)) {
+    throw std::invalid_argument("AsGraph::add_edge: unknown AS " +
+                                std::to_string(contains(a) ? b : a));
+  }
+  const std::size_t idx = edges_.size();
+  edges_.push_back({a, b, rel});
+  adjacency_[a].push_back(idx);
+  adjacency_[b].push_back(idx);
+}
+
+const AsInfo& AsGraph::info(Asn asn) const {
+  const auto it = nodes_.find(asn);
+  if (it == nodes_.end()) throw std::out_of_range("unknown AS " + std::to_string(asn));
+  return it->second;
+}
+
+std::vector<Asn> AsGraph::neighbors(Asn asn) const {
+  std::vector<Asn> out;
+  const auto it = adjacency_.find(asn);
+  if (it == adjacency_.end()) return out;
+  out.reserve(it->second.size());
+  for (const std::size_t idx : it->second) {
+    const Edge& e = edges_[idx];
+    out.push_back(e.a == asn ? e.b : e.a);
+  }
+  return out;
+}
+
+std::size_t AsGraph::degree(Asn asn) const {
+  const auto it = adjacency_.find(asn);
+  return it == adjacency_.end() ? 0 : it->second.size();
+}
+
+std::vector<Asn> AsGraph::providers(Asn asn) const {
+  std::vector<Asn> out;
+  const auto it = adjacency_.find(asn);
+  if (it == adjacency_.end()) return out;
+  for (const std::size_t idx : it->second) {
+    const Edge& e = edges_[idx];
+    if (e.rel == Relationship::customer_provider && e.a == asn) out.push_back(e.b);
+  }
+  return out;
+}
+
+std::set<std::string> AsGraph::neighbor_countries(Asn asn) const {
+  std::set<std::string> out;
+  for (const Asn n : neighbors(asn)) out.insert(info(n).country);
+  return out;
+}
+
+std::vector<AsInfo> AsGraph::all_as() const {
+  std::vector<AsInfo> out;
+  out.reserve(nodes_.size());
+  for (const auto& [asn, info] : nodes_) out.push_back(info);
+  return out;
+}
+
+}  // namespace satnet::bgp

@@ -1,0 +1,76 @@
+// AS-level topology: autonomous systems, business relationships, degrees.
+//
+// The paper infers SNO ground-infrastructure footprints from BGP peering
+// data (route-views) because no public PoP maps exist for most SNOs. The
+// reproduction keeps a ground-truth AS graph per snapshot year and an
+// "observed" graph sampled from it the way route-views sees the world.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace satnet::bgp {
+
+using Asn = std::uint32_t;
+
+/// Static information about one AS, as the RIR registries expose it.
+/// `country` is the single registration jurisdiction — the paper's method
+/// inherits exactly this limitation (multi-country networks register one
+/// code).
+struct AsInfo {
+  Asn asn = 0;
+  std::string name;
+  std::string country;  ///< ISO code from RIR registration
+  int tier = 3;         ///< 1 = global transit, 2 = regional, 3 = edge
+};
+
+/// Relationship on an edge, Gao-Rexford style.
+enum class Relationship {
+  customer_provider,  ///< first AS is the customer of the second
+  peer_peer,
+};
+
+struct Edge {
+  Asn a = 0;
+  Asn b = 0;
+  Relationship rel = Relationship::peer_peer;
+};
+
+/// An AS-level graph (either ground truth or an observed snapshot).
+class AsGraph {
+ public:
+  void add_as(AsInfo info);
+  /// Adds an edge; both endpoints must already exist.
+  void add_edge(Asn a, Asn b, Relationship rel);
+
+  bool contains(Asn asn) const { return nodes_.count(asn) > 0; }
+  const AsInfo& info(Asn asn) const;
+  std::size_t as_count() const { return nodes_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Neighbor ASNs of `asn` (any relationship).
+  std::vector<Asn> neighbors(Asn asn) const;
+  /// Node degree — the paper's proxy for AS "size" in Figure 5.
+  std::size_t degree(Asn asn) const;
+  /// Providers of `asn` (neighbors it is a customer of).
+  std::vector<Asn> providers(Asn asn) const;
+
+  /// Distinct registration countries across `asn`'s neighbors — the raw
+  /// material of the coverage inference.
+  std::set<std::string> neighbor_countries(Asn asn) const;
+
+  /// All ASes, ordered by ASN.
+  std::vector<AsInfo> all_as() const;
+
+ private:
+  std::map<Asn, AsInfo> nodes_;
+  std::map<Asn, std::vector<std::size_t>> adjacency_;  ///< edge indices
+  std::vector<Edge> edges_;
+};
+
+}  // namespace satnet::bgp

@@ -1,0 +1,19 @@
+#include "bgp/coverage.hpp"
+
+namespace satnet::bgp {
+
+CoverageReport infer_coverage(const AsGraph& snapshot, Asn sno, const Footprint& truth) {
+  CoverageReport r;
+  r.peer_countries = snapshot.neighbor_countries(sno);
+  r.truth_countries = truth.size();
+  for (const auto& [country, cities] : truth) {
+    r.total_cities += cities;
+    if (r.peer_countries.count(country) > 0) {
+      r.discovered.insert(country);
+      r.covered_cities += cities;
+    }
+  }
+  return r;
+}
+
+}  // namespace satnet::bgp

@@ -1,0 +1,46 @@
+// Geographic-coverage inference from BGP peering (paper §4).
+//
+// Intuition: an SNO is not a tier-1, so wherever it has ground
+// infrastructure it must buy/peer with upstream networks; the country
+// jurisdictions of its BGP neighbors therefore approximate its PoP
+// countries. The method under-estimates (continent-wide peers register a
+// single country) — the reproduction measures that bias against the
+// simulated ground truth exactly as the paper did against public PoP maps.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "bgp/as_graph.hpp"
+
+namespace satnet::bgp {
+
+/// Ground-truth footprint of one SNO: PoP city counts per country code.
+using Footprint = std::map<std::string, int>;
+
+struct CoverageReport {
+  std::set<std::string> peer_countries;   ///< all inferred countries
+  std::set<std::string> discovered;       ///< inferred ∩ ground truth
+  std::size_t truth_countries = 0;
+  int covered_cities = 0;
+  int total_cities = 0;
+
+  double country_recall() const {
+    return truth_countries == 0
+               ? 0.0
+               : static_cast<double>(discovered.size()) /
+                     static_cast<double>(truth_countries);
+  }
+  double city_coverage() const {
+    return total_cities == 0 ? 0.0
+                             : static_cast<double>(covered_cities) /
+                                   static_cast<double>(total_cities);
+  }
+};
+
+/// Runs the inference for `sno` on an observed snapshot and scores it
+/// against the ground-truth footprint.
+CoverageReport infer_coverage(const AsGraph& snapshot, Asn sno, const Footprint& truth);
+
+}  // namespace satnet::bgp

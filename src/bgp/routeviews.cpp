@@ -1,0 +1,51 @@
+#include "bgp/routeviews.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace satnet::bgp {
+
+AsGraph observe_routeviews(const AsGraph& truth, stats::Rng& rng,
+                           double peer_edge_visibility) {
+  AsGraph observed;
+  for (const auto& info : truth.all_as()) observed.add_as(info);
+  for (const auto& e : truth.edges()) {
+    const bool visible = e.rel == Relationship::customer_provider
+                             ? true
+                             : rng.chance(peer_edge_visibility);
+    if (visible) observed.add_edge(e.a, e.b, e.rel);
+  }
+  return observed;
+}
+
+std::string describe_peering(const AsGraph& graph, Asn sno) {
+  struct Peer {
+    AsInfo info;
+    std::size_t degree;
+  };
+  std::vector<Peer> peers;
+  for (const Asn n : graph.neighbors(sno)) {
+    peers.push_back({graph.info(n), graph.degree(n)});
+  }
+  std::sort(peers.begin(), peers.end(), [](const Peer& a, const Peer& b) {
+    return a.degree > b.degree;
+  });
+
+  const std::size_t own_degree = graph.degree(sno);
+  std::string out = graph.info(sno).name + " (AS" + std::to_string(sno) +
+                    ", degree " + std::to_string(own_degree) + "):\n";
+  for (const auto& p : peers) {
+    char line[160];
+    // The paper speculates on upstream-vs-customer from relative size.
+    const char* role = p.degree > own_degree      ? "likely upstream"
+                       : p.degree * 2 < own_degree ? "likely customer"
+                                                   : "peer";
+    std::snprintf(line, sizeof(line), "  AS%-7u %-24s %-3s degree=%-4zu %s\n",
+                  p.info.asn, p.info.name.c_str(), p.info.country.c_str(), p.degree,
+                  role);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace satnet::bgp

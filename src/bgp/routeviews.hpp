@@ -1,0 +1,27 @@
+// Route-views-style observation of the ground-truth AS graph.
+//
+// Route collectors see customer-provider edges on almost every path but
+// miss a fraction of peer-peer edges (they only propagate to customers).
+// observe_routeviews() samples the truth graph accordingly, which is what
+// makes the coverage inference an *under*-estimate, as the paper reports.
+#pragma once
+
+#include <string>
+
+#include "bgp/as_graph.hpp"
+#include "stats/rng.hpp"
+
+namespace satnet::bgp {
+
+/// Samples an observed snapshot from the ground-truth graph.
+/// Customer-provider edges are always observed; peer-peer edges with
+/// probability `peer_edge_visibility`.
+AsGraph observe_routeviews(const AsGraph& truth, stats::Rng& rng,
+                           double peer_edge_visibility = 0.8);
+
+/// Text rendering of one SNO's peering neighborhood (the content of the
+/// paper's Figure 5/12 bubbles): peers sorted by degree, with country and
+/// a provider/customer guess from relative degree.
+std::string describe_peering(const AsGraph& graph, Asn sno);
+
+}  // namespace satnet::bgp

@@ -1,0 +1,221 @@
+#include "bgp/sno_world.hpp"
+
+#include <stdexcept>
+
+namespace satnet::bgp {
+
+namespace {
+
+// Transit and regional providers present in every snapshot.
+const std::vector<AsInfo>& backbone_ases() {
+  static const std::vector<AsInfo> kBackbone = {
+      // Tier 1 (global transit).
+      {3356, "Lumen/Level3", "US", 1},
+      {1299, "Arelion", "SE", 1},
+      {174, "Cogent", "US", 1},
+      {6762, "Telecom Italia Sparkle", "IT", 1},
+      {2914, "NTT America", "US", 1},
+      {3257, "GTT", "DE", 1},
+      {6453, "Tata Communications", "US", 1},
+      {7018, "AT&T", "US", 1},
+      {3320, "Deutsche Telekom", "DE", 1},
+      {5511, "Orange International", "FR", 1},
+      {3549, "Level3 (legacy)", "US", 1},
+      {6939, "Hurricane Electric", "US", 1},
+      // Tier 2 (regional transit).
+      {7195, "EdgeUno", "CO", 2},
+      {1221, "Telstra", "AU", 2},
+      {4826, "Vocus", "AU", 2},
+      {4771, "Spark NZ", "NZ", 2},
+      {2497, "IIJ", "JP", 2},
+      {9299, "PLDT", "PH", 2},
+      {27651, "Entel Chile", "CL", 2},
+      {12956, "Telefonica International", "ES", 2},
+      {1273, "Vodafone", "GB", 2},
+      {5400, "BT Global", "GB", 2},
+      {33891, "Core-Backbone", "DE", 2},
+      {6830, "Liberty Global", "LU", 2},
+      {52320, "GlobeNet", "BR", 2},
+      {6799, "OTE", "GR", 2},
+      {6866, "CYTA", "CY", 2},
+      {4651, "NT Thailand", "TH", 2},
+      // Tier 3 stubs (regional ISPs reselling satellite capacity).
+      {135600, "Pacific Regional ISP", "FJ", 3},
+      {139901, "Island Broadband", "PH", 3},
+      {139902, "Oceania Connect", "FJ", 3},
+      {139903, "Alaska Rural Net", "US", 3},
+  };
+  return kBackbone;
+}
+
+// SNO ASes (registration countries per Table 3's operators).
+const std::vector<AsInfo>& sno_ases() {
+  static const std::vector<AsInfo> kSnos = {
+      {kStarlink, "Starlink (SpaceX)", "US", 3},
+      {kStarlinkCorporate, "SpaceX corporate", "US", 3},
+      {kOneWeb, "OneWeb", "GB", 3},
+      {kO3b, "O3b Networks", "LU", 3},
+      {kSes, "SES", "LU", 3},
+      {kViasat, "Viasat", "US", 3},
+      {kHughes, "HughesNet", "US", 3},
+      {kTelAlaska, "TelAlaska", "US", 3},
+      {kKvh, "KVH Industries", "US", 3},
+      {kSsi, "SSI", "US", 3},
+      {kEutelsat, "Eutelsat", "FR", 3},
+      {kAvanti, "Avanti", "GB", 3},
+      {kMarlink, "Marlink", "NO", 3},
+      {kIntelsat, "Intelsat", "US", 3},
+      {kHellasSat, "Hellas-Sat", "GR", 3},
+      {kUltiSat, "UltiSat", "US", 3},
+      {kIsotropic, "Isotropic", "US", 3},
+      {kKacific, "Kacific", "FJ", 3},
+      {kGlobalSat, "GlobalSat", "BR", 3},
+      {kTelesat, "Telesat", "CA", 3},
+      {kThaicom, "Thaicom", "TH", 3},
+      {kSpeedcast, "Speedcast", "AU", 3},
+  };
+  return kSnos;
+}
+
+struct YearlyPeering {
+  Asn sno;
+  int from_year;            ///< edge exists in snapshots >= this year
+  int until_year = 9999;    ///< and < this year
+  Asn neighbor;
+  Relationship rel = Relationship::customer_provider;
+};
+
+// The longitudinal peering facts behind Figures 5, 12 and 13.
+const std::vector<YearlyPeering>& peering_history() {
+  using enum Relationship;
+  static const std::vector<YearlyPeering> kHistory = {
+      // --- Starlink: explosive growth 2021 -> 2023 (Fig 13a). ---
+      {kStarlink, 2021, 9999, 3356}, {kStarlink, 2021, 9999, 1299},
+      {kStarlink, 2021, 9999, 6939, peer_peer}, {kStarlink, 2021, 9999, 7018},
+      {kStarlink, 2022, 9999, 174}, {kStarlink, 2022, 9999, 2914},
+      {kStarlink, 2022, 9999, 6762}, {kStarlink, 2022, 9999, 1221, peer_peer},
+      {kStarlink, 2022, 9999, 4771, peer_peer}, {kStarlink, 2022, 9999, 3320},
+      {kStarlink, 2022, 9999, 5511},
+      {kStarlink, 2023, 9999, 3257}, {kStarlink, 2023, 9999, 6453},
+      {kStarlink, 2023, 9999, 7195, peer_peer}, {kStarlink, 2023, 9999, 2497, peer_peer},
+      {kStarlink, 2023, 9999, 9299, peer_peer}, {kStarlink, 2023, 9999, 27651, peer_peer},
+      {kStarlink, 2023, 9999, 1273, peer_peer}, {kStarlink, 2023, 9999, 5400, peer_peer},
+      {kStarlink, 2023, 9999, 4826, peer_peer}, {kStarlink, 2023, 9999, 6830, peer_peer},
+      // Starlink corporate network buys ordinary terrestrial transit.
+      {kStarlinkCorporate, 2021, 9999, 3356}, {kStarlinkCorporate, 2021, 9999, 174},
+      // --- OneWeb: exactly two US-based upstreams (Fig 5b). ---
+      {kOneWeb, 2021, 9999, 6939}, {kOneWeb, 2022, 9999, 3356},
+      // --- HughesNet: stagnant 2021-2023 (Fig 13b). ---
+      {kHughes, 2021, 9999, 3356}, {kHughes, 2021, 9999, 174},
+      {kHughes, 2021, 9999, 7018},
+      // --- Viasat: US-only in 2021, global by 2023 (Fig 13c). ---
+      {kViasat, 2021, 9999, 3356}, {kViasat, 2021, 9999, 174},
+      {kViasat, 2021, 9999, 7018}, {kViasat, 2023, 9999, 6762},
+      {kViasat, 2023, 9999, 1299}, {kViasat, 2023, 9999, 5511},
+      {kViasat, 2023, 9999, 52320, peer_peer}, {kViasat, 2023, 9999, 1221, peer_peer},
+      // --- Marlink: its one US tier-1 changed Level3 -> Cogent (Fig 13d). ---
+      {kMarlink, 2021, 2022, 3549}, {kMarlink, 2022, 9999, 174},
+      {kMarlink, 2021, 9999, 1299},
+      // --- SES / O3b: aggressively peered MEO operator. ---
+      {kSes, 2021, 9999, 3356}, {kSes, 2021, 9999, 1299},
+      {kSes, 2021, 9999, 174}, {kSes, 2021, 9999, 6453},
+      {kSes, 2021, 9999, 3320}, {kSes, 2022, 9999, 52320, peer_peer},
+      {kSes, 2022, 9999, 12956, peer_peer},
+      {kO3b, 2021, 9999, 3356}, {kO3b, 2021, 9999, 1299},
+      {kO3b, 2021, 9999, 6453}, {kO3b, 2022, 9999, 52320, peer_peer},
+      {kO3b, 2022, 9999, 4826, peer_peer},
+      // --- Remaining GEO operators. ---
+      {kTelAlaska, 2021, 9999, 3356}, {kTelAlaska, 2021, 9999, 7018},
+      {kTelAlaska, 2021, 9999, 139903, peer_peer},
+      {kKvh, 2021, 9999, 174},
+      {kSsi, 2021, 9999, 3356},
+      {kEutelsat, 2021, 9999, 5511}, {kEutelsat, 2021, 9999, 3356},
+      {kAvanti, 2021, 9999, 5400}, {kAvanti, 2021, 9999, 1273},
+      {kIntelsat, 2021, 9999, 3356}, {kIntelsat, 2021, 9999, 174},
+      {kIntelsat, 2021, 9999, 3320},
+      // Hellas-Sat: no tier-1 at all, only local incumbents.
+      {kHellasSat, 2021, 9999, 6799}, {kHellasSat, 2021, 9999, 6866},
+      {kUltiSat, 2021, 9999, 139903},
+      {kIsotropic, 2021, 9999, 3356},
+      // Kacific: tier-1 connected, and *sells* to tiny island ISPs.
+      {kKacific, 2021, 9999, 3356}, {kKacific, 2021, 9999, 174},
+      {kKacific, 2021, 9999, 1299},
+      {kKacific, 2021, 9999, 135600, peer_peer},
+      {kKacific, 2021, 9999, 139901, peer_peer},
+      {kKacific, 2021, 9999, 139902, peer_peer},
+      {kGlobalSat, 2021, 9999, 52320},
+      {kTelesat, 2021, 9999, 3356}, {kTelesat, 2021, 9999, 6939},
+      {kTelesat, 2022, 9999, 1299},
+      {kThaicom, 2021, 9999, 6453}, {kThaicom, 2021, 9999, 4651},
+      {kSpeedcast, 2021, 9999, 1221}, {kSpeedcast, 2021, 9999, 6939},
+  };
+  return kHistory;
+}
+
+void add_backbone_mesh(AsGraph& g) {
+  // Tier-1s form a full peer mesh; tier-2s buy from two tier-1s and the
+  // stubs buy from a regional. Deterministic assignment keeps snapshots
+  // comparable across years.
+  const auto& bb = backbone_ases();
+  std::vector<Asn> tier1, tier2, tier3;
+  for (const auto& a : bb) {
+    if (a.tier == 1) tier1.push_back(a.asn);
+    else if (a.tier == 2) tier2.push_back(a.asn);
+    else tier3.push_back(a.asn);
+  }
+  for (std::size_t i = 0; i < tier1.size(); ++i) {
+    for (std::size_t j = i + 1; j < tier1.size(); ++j) {
+      g.add_edge(tier1[i], tier1[j], Relationship::peer_peer);
+    }
+  }
+  for (std::size_t i = 0; i < tier2.size(); ++i) {
+    g.add_edge(tier2[i], tier1[i % tier1.size()], Relationship::customer_provider);
+    g.add_edge(tier2[i], tier1[(i + 3) % tier1.size()], Relationship::customer_provider);
+  }
+  for (std::size_t i = 0; i < tier3.size(); ++i) {
+    g.add_edge(tier3[i], tier2[i % tier2.size()], Relationship::customer_provider);
+  }
+}
+
+}  // namespace
+
+AsGraph sno_world_graph(int year) {
+  if (year < 2021 || year > 2023) {
+    throw std::invalid_argument("sno_world_graph: snapshots exist for 2021-2023");
+  }
+  AsGraph g;
+  for (const auto& a : backbone_ases()) g.add_as(a);
+  for (const auto& a : sno_ases()) g.add_as(a);
+  add_backbone_mesh(g);
+  for (const auto& p : peering_history()) {
+    if (year >= p.from_year && year < p.until_year) {
+      g.add_edge(p.sno, p.neighbor, p.rel);
+    }
+  }
+  return g;
+}
+
+std::vector<KnownFootprint> known_footprints() {
+  return {
+      // Starlink: 30 countries of PoPs; city counts concentrated in the
+      // US and Europe (the public "unofficial gateways & PoPs" map).
+      {kStarlink,
+       "Starlink",
+       {{"US", 9}, {"CA", 2}, {"MX", 1}, {"DO", 1}, {"BR", 1}, {"CL", 1},
+        {"PE", 1}, {"CO", 1}, {"AR", 1}, {"GB", 1}, {"DE", 1}, {"FR", 1},
+        {"ES", 1}, {"PT", 1}, {"IT", 1}, {"PL", 1}, {"CZ", 1}, {"AT", 1},
+        {"NL", 1}, {"NO", 1}, {"SE", 1}, {"CH", 1}, {"IE", 1}, {"JP", 1},
+        {"PH", 1}, {"SG", 1}, {"AU", 2}, {"NZ", 1}, {"FJ", 1}, {"TR", 1}}},
+      // SES: 22 teleport countries.
+      {kSes,
+       "SES",
+       {{"US", 3}, {"LU", 2}, {"DE", 1}, {"FR", 1}, {"GB", 1}, {"ES", 1},
+        {"IT", 1}, {"SE", 1}, {"GR", 1}, {"BR", 2}, {"PE", 1}, {"CL", 1},
+        {"AU", 1}, {"NZ", 1}, {"SG", 1}, {"JP", 1}, {"TH", 1}, {"AE", 1},
+        {"ZA", 1}, {"NG", 1}, {"KE", 1}, {"EG", 1}}},
+      // Hellas-Sat: teleports in Greece and Cyprus only.
+      {kHellasSat, "Hellas-Sat", {{"GR", 1}, {"CY", 1}}},
+  };
+}
+
+}  // namespace satnet::bgp

@@ -1,0 +1,53 @@
+// Ground-truth BGP world per snapshot year (2021, 2022, 2023).
+//
+// Encodes the peering facts the paper reads off route-views: Starlink's
+// explosive peering growth, HughesNet's stagnation, Viasat's US->global
+// expansion, Marlink's tier-1 swap (Level3 -> Cogent), OneWeb's two
+// US-only upstreams, Kacific's tiny regional customers — plus the
+// ground-truth PoP footprints used to score the coverage inference.
+#pragma once
+
+#include <vector>
+
+#include "bgp/as_graph.hpp"
+#include "bgp/coverage.hpp"
+
+namespace satnet::bgp {
+
+/// Well-known ASNs used across the reproduction.
+inline constexpr Asn kStarlink = 14593;
+inline constexpr Asn kStarlinkCorporate = 27277;
+inline constexpr Asn kOneWeb = 800;
+inline constexpr Asn kO3b = 60725;
+inline constexpr Asn kSes = 201554;
+inline constexpr Asn kViasat = 13955;
+inline constexpr Asn kHughes = 28613;
+inline constexpr Asn kTelAlaska = 10538;
+inline constexpr Asn kKvh = 25687;
+inline constexpr Asn kSsi = 22684;
+inline constexpr Asn kEutelsat = 15829;
+inline constexpr Asn kAvanti = 39356;
+inline constexpr Asn kMarlink = 5377;
+inline constexpr Asn kIntelsat = 26243;
+inline constexpr Asn kHellasSat = 41697;
+inline constexpr Asn kUltiSat = 393439;
+inline constexpr Asn kIsotropic = 36426;
+inline constexpr Asn kKacific = 135409;
+inline constexpr Asn kGlobalSat = 28503;
+inline constexpr Asn kTelesat = 19036;
+inline constexpr Asn kThaicom = 63951;
+inline constexpr Asn kSpeedcast = 38456;
+
+/// Ground-truth AS graph as of January 1 of `year` (2021, 2022 or 2023).
+AsGraph sno_world_graph(int year);
+
+/// The SNOs whose ground-truth PoP footprints are known (the paper had
+/// public maps for Starlink, SES and Hellas-Sat).
+struct KnownFootprint {
+  Asn asn;
+  const char* name;
+  Footprint footprint;  ///< country -> PoP city count
+};
+std::vector<KnownFootprint> known_footprints();
+
+}  // namespace satnet::bgp

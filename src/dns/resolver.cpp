@@ -1,0 +1,18 @@
+#include "dns/resolver.hpp"
+
+namespace satnet::dns {
+
+Resolver::LookupResult Resolver::lookup(const std::string& domain, double t_sec,
+                                        double access_rtt_ms) {
+  const auto it = cache_expiry_.find(domain);
+  if (it != cache_expiry_.end() && it->second > t_sec) {
+    // Served from the local stub cache: sub-millisecond.
+    return {rng_.uniform(0.1, 1.0), true};
+  }
+  cache_expiry_[domain] = t_sec + config_.ttl_sec;
+  const double recursion =
+      rng_.lognormal_median(config_.recursion_median_ms, config_.recursion_sigma);
+  return {access_rtt_ms + recursion, false};
+}
+
+}  // namespace satnet::dns

@@ -1,0 +1,55 @@
+// DNS lookup-time model (paper Figure 10c).
+//
+// What dominates a satellite subscriber's lookup time is *where the
+// recursive resolver sits*: Starlink hands customers Cloudflare colocated
+// at the PoP (lookup ≈ one access RTT + recursion), while HughesNet and
+// Viasat run their own resolvers beyond the satellite hop (lookup ≈ one
+// full satellite RTT + their recursion time). Caching is modelled so the
+// pipeline can filter cached lookups the way the paper filters lookups
+// faster than the minimum RTT.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "stats/rng.hpp"
+
+namespace satnet::dns {
+
+/// Operator resolver deployment.
+struct ResolverConfig {
+  /// True when the resolver is on the Internet side of the access link
+  /// (Starlink/Cloudflare); false when operator-hosted beyond it.
+  bool at_pop = true;
+  /// Recursion time to authoritative servers: lognormal median/sigma, ms.
+  double recursion_median_ms = 60.0;
+  double recursion_sigma = 0.35;
+  /// Cache TTL applied to repeated lookups, seconds.
+  double ttl_sec = 300.0;
+};
+
+/// A caching stub resolver + upstream recursive pair for one subscriber.
+class Resolver {
+ public:
+  Resolver(ResolverConfig config, stats::Rng rng)
+      : config_(config), rng_(std::move(rng)) {}
+
+  struct LookupResult {
+    double time_ms = 0;
+    bool cache_hit = false;
+  };
+
+  /// Resolves `domain` at simulation time `t_sec`. `access_rtt_ms` is the
+  /// round trip between the subscriber and the resolver (one access RTT
+  /// for at_pop resolvers, the full satellite RTT for operator-hosted).
+  LookupResult lookup(const std::string& domain, double t_sec, double access_rtt_ms);
+
+  const ResolverConfig& config() const { return config_; }
+
+ private:
+  ResolverConfig config_;
+  stats::Rng rng_;
+  std::unordered_map<std::string, double> cache_expiry_;
+};
+
+}  // namespace satnet::dns

@@ -1,0 +1,66 @@
+#include "dns/roots.hpp"
+
+#include <array>
+#include <limits>
+
+#include "geo/places.hpp"
+
+namespace satnet::dns {
+
+namespace {
+
+// Curated placement. Invariants relied on by the paper's analyses:
+//  * every root has US and (almost always) European instances;
+//  * Santiago hosts exactly 7 roots (B C E F I J L);
+//  * Auckland hosts only F; Sydney hosts F I L;
+//  * Tokyo hosts F I J M; the M root has no South American instance.
+const std::vector<RootServer>& table() {
+  static const std::vector<RootServer> kRoots = {
+      {'A', "Verisign", {"ashburn", "los angeles", "frankfurt", "london"}},
+      {'B', "USC-ISI", {"los angeles", "miami", "santiago"}},
+      {'C', "Cogent", {"ashburn", "chicago", "frankfurt", "paris", "santiago"}},
+      {'D', "UMD", {"ashburn", "london", "amsterdam"}},
+      {'E', "NASA", {"san francisco", "santiago", "frankfurt"}},
+      {'F', "ISC",
+       {"san francisco", "auckland", "sydney", "santiago", "tokyo", "london",
+        "warsaw"}},
+      {'G', "US DoD", {"ashburn", "chicago"}},
+      {'H', "US Army", {"ashburn"}},
+      {'I', "Netnod", {"stockholm", "london", "sydney", "santiago", "tokyo", "chicago"}},
+      {'J', "Verisign", {"ashburn", "new york", "london", "tokyo", "santiago", "frankfurt"}},
+      {'K', "RIPE NCC", {"amsterdam", "london", "frankfurt", "milan", "miami"}},
+      {'L', "ICANN", {"los angeles", "santiago", "sydney", "london", "frankfurt"}},
+      {'M', "WIDE", {"tokyo", "paris", "san francisco"}},
+  };
+  return kRoots;
+}
+
+}  // namespace
+
+std::span<const RootServer> root_servers() { return table(); }
+
+InstanceChoice nearest_instance(const RootServer& root, const geo::GeoPoint& from) {
+  InstanceChoice best;
+  best.surface_km = std::numeric_limits<double>::max();
+  for (const auto city : root.instance_cities) {
+    const geo::GeoPoint p = geo::city_point(city);
+    const double km = geo::surface_distance_km(from, p);
+    if (km < best.surface_km) best = {city, p, km};
+  }
+  return best;
+}
+
+std::size_t roots_present_in(std::string_view city) {
+  std::size_t n = 0;
+  for (const auto& r : table()) {
+    for (const auto c : r.instance_cities) {
+      if (c == city) {
+        ++n;
+        break;
+      }
+    }
+  }
+  return n;
+}
+
+}  // namespace satnet::dns

@@ -1,0 +1,43 @@
+// The 13 DNS root services and their anycast instance placement.
+//
+// RIPE Atlas built-in traceroutes target the root servers; the paper's
+// Figure 6b/6c shows how a probe's RTT and hop count to the roots depend
+// on which roots have instances reachable near the probe's Starlink PoP
+// (e.g. only 7 of 13 roots are present in Chile, and the M root has no
+// South American instance). Placement below is a curated approximation
+// with exactly those properties.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geo/geodesy.hpp"
+
+namespace satnet::dns {
+
+/// One root service (letter A..M).
+struct RootServer {
+  char letter = 'A';
+  std::string_view operator_name;
+  std::vector<std::string_view> instance_cities;  ///< gazetteer city keys
+};
+
+/// All 13 roots with their instance cities.
+std::span<const RootServer> root_servers();
+
+/// The instance of `root` nearest to `from` (anycast catchment
+/// approximated by geographic distance), with its location.
+struct InstanceChoice {
+  std::string_view city;
+  geo::GeoPoint location;
+  double surface_km = 0;
+};
+InstanceChoice nearest_instance(const RootServer& root, const geo::GeoPoint& from);
+
+/// Number of distinct roots with an instance in the given city.
+std::size_t roots_present_in(std::string_view city);
+
+}  // namespace satnet::dns

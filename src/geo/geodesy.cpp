@@ -1,0 +1,64 @@
+#include "geo/geodesy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace satnet::geo {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+double deg_to_rad(double deg) { return deg * kPi / 180.0; }
+double rad_to_deg(double rad) { return rad * 180.0 / kPi; }
+
+Ecef to_ecef(const GeoPoint& p) {
+  const double r = kEarthRadiusKm + p.alt_km;
+  const double lat = deg_to_rad(p.lat_deg);
+  const double lon = deg_to_rad(p.lon_deg);
+  return {r * std::cos(lat) * std::cos(lon), r * std::cos(lat) * std::sin(lon),
+          r * std::sin(lat)};
+}
+
+double slant_range_km(const GeoPoint& a, const GeoPoint& b) {
+  const Ecef ea = to_ecef(a);
+  const Ecef eb = to_ecef(b);
+  const double dx = ea.x - eb.x;
+  const double dy = ea.y - eb.y;
+  const double dz = ea.z - eb.z;
+  return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+
+double surface_distance_km(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = deg_to_rad(a.lat_deg);
+  const double lat2 = deg_to_rad(b.lat_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = deg_to_rad(b.lon_deg - a.lon_deg);
+  const double s = std::sin(dlat / 2);
+  const double t = std::sin(dlon / 2);
+  const double h = s * s + std::cos(lat1) * std::cos(lat2) * t * t;
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double elevation_deg(const GeoPoint& ground, const GeoPoint& sat) {
+  const Ecef g = to_ecef(GeoPoint{ground.lat_deg, ground.lon_deg, 0.0});
+  const Ecef s = to_ecef(sat);
+  // Vector from ground to satellite.
+  const double vx = s.x - g.x, vy = s.y - g.y, vz = s.z - g.z;
+  const double v_norm = std::sqrt(vx * vx + vy * vy + vz * vz);
+  const double g_norm = std::sqrt(g.x * g.x + g.y * g.y + g.z * g.z);
+  if (v_norm <= 0.0 || g_norm <= 0.0) return 90.0;
+  // Elevation = angle between the local vertical (g) and v, minus 90 deg.
+  const double cos_zenith = (g.x * vx + g.y * vy + g.z * vz) / (g_norm * v_norm);
+  return 90.0 - rad_to_deg(std::acos(std::clamp(cos_zenith, -1.0, 1.0)));
+}
+
+double radio_delay_ms(double slant_km) {
+  return slant_km / kLightSpeedKmPerSec * 1000.0;
+}
+
+double fiber_delay_ms(double surface_km, double stretch) {
+  return surface_km * stretch / kFiberSpeedKmPerSec * 1000.0;
+}
+
+}  // namespace satnet::geo

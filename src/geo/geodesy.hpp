@@ -1,0 +1,57 @@
+// Spherical-Earth geodesy: great-circle distances, ECEF coordinates,
+// satellite slant ranges, and propagation delays.
+//
+// All orbital latency in the reproduction derives from these primitives:
+// user->satellite->gateway slant ranges over vacuum (c), terrestrial
+// fiber segments at ~2/3 c.
+#pragma once
+
+namespace satnet::geo {
+
+/// Mean Earth radius (spherical model), km.
+inline constexpr double kEarthRadiusKm = 6371.0;
+/// Speed of light in vacuum, km/s (satellite radio links).
+inline constexpr double kLightSpeedKmPerSec = 299792.458;
+/// Effective signal speed in optical fiber, km/s (refractive index ~1.47).
+inline constexpr double kFiberSpeedKmPerSec = kLightSpeedKmPerSec * 0.68;
+/// Geostationary orbit altitude, km.
+inline constexpr double kGeoAltitudeKm = 35786.0;
+
+double deg_to_rad(double deg);
+double rad_to_deg(double rad);
+
+/// A point on (or above) the Earth surface.
+struct GeoPoint {
+  double lat_deg = 0;
+  double lon_deg = 0;
+  double alt_km = 0;  ///< altitude above the surface
+};
+
+/// Cartesian Earth-centered Earth-fixed coordinates, km.
+struct Ecef {
+  double x = 0, y = 0, z = 0;
+};
+
+Ecef to_ecef(const GeoPoint& p);
+
+/// Straight-line (chord) distance between two points, km. For two surface
+/// points this under-estimates the surface path; use surface_distance_km
+/// for terrestrial segments.
+double slant_range_km(const GeoPoint& a, const GeoPoint& b);
+
+/// Great-circle distance between two *surface* locations (altitudes
+/// ignored), km.
+double surface_distance_km(const GeoPoint& a, const GeoPoint& b);
+
+/// Elevation angle (degrees above horizon) of `sat` as seen from surface
+/// point `ground`. Negative when the satellite is below the horizon.
+double elevation_deg(const GeoPoint& ground, const GeoPoint& sat);
+
+/// One-way radio propagation delay across a vacuum slant path, ms.
+double radio_delay_ms(double slant_km);
+
+/// One-way fiber propagation delay along a terrestrial surface path, ms.
+/// Applies a route-stretch factor (cables do not follow great circles).
+double fiber_delay_ms(double surface_km, double stretch = 1.3);
+
+}  // namespace satnet::geo

@@ -1,0 +1,218 @@
+#include "geo/places.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace satnet::geo {
+
+std::string_view to_string(Continent c) {
+  switch (c) {
+    case Continent::north_america: return "North America";
+    case Continent::south_america: return "South America";
+    case Continent::europe: return "Europe";
+    case Continent::asia: return "Asia";
+    case Continent::oceania: return "Oceania";
+    case Continent::africa: return "Africa";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr std::array kCountries = {
+    Country{"US", "United States", Continent::north_america},
+    Country{"CA", "Canada", Continent::north_america},
+    Country{"MX", "Mexico", Continent::north_america},
+    Country{"CL", "Chile", Continent::south_america},
+    Country{"BR", "Brazil", Continent::south_america},
+    Country{"PE", "Peru", Continent::south_america},
+    Country{"CO", "Colombia", Continent::south_america},
+    Country{"GB", "United Kingdom", Continent::europe},
+    Country{"DE", "Germany", Continent::europe},
+    Country{"FR", "France", Continent::europe},
+    Country{"NL", "Netherlands", Continent::europe},
+    Country{"BE", "Belgium", Continent::europe},
+    Country{"AT", "Austria", Continent::europe},
+    Country{"ES", "Spain", Continent::europe},
+    Country{"PT", "Portugal", Continent::europe},
+    Country{"IT", "Italy", Continent::europe},
+    Country{"PL", "Poland", Continent::europe},
+    Country{"CZ", "Czech Republic", Continent::europe},
+    Country{"GR", "Greece", Continent::europe},
+    Country{"CY", "Cyprus", Continent::europe},
+    Country{"NO", "Norway", Continent::europe},
+    Country{"SE", "Sweden", Continent::europe},
+    Country{"CH", "Switzerland", Continent::europe},
+    Country{"IE", "Ireland", Continent::europe},
+    Country{"LU", "Luxembourg", Continent::europe},
+    Country{"JP", "Japan", Continent::asia},
+    Country{"PH", "Philippines", Continent::asia},
+    Country{"SG", "Singapore", Continent::asia},
+    Country{"IN", "India", Continent::asia},
+    Country{"TH", "Thailand", Continent::asia},
+    Country{"AE", "United Arab Emirates", Continent::asia},
+    Country{"TR", "Turkey", Continent::asia},
+    Country{"AU", "Australia", Continent::oceania},
+    Country{"NZ", "New Zealand", Continent::oceania},
+    Country{"FJ", "Fiji", Continent::oceania},
+    Country{"ZA", "South Africa", Continent::africa},
+    Country{"NG", "Nigeria", Continent::africa},
+    Country{"KE", "Kenya", Continent::africa},
+    Country{"EG", "Egypt", Continent::africa},
+    Country{"DO", "Dominican Republic", Continent::north_america},
+    Country{"AR", "Argentina", Continent::south_america},
+};
+
+constexpr std::array kCities = {
+    // --- North America (Starlink PoPs + probe/tester locations) ---
+    City{"seattle", "US", 47.61, -122.33},
+    City{"los angeles", "US", 34.05, -118.24},
+    City{"san francisco", "US", 37.77, -122.42},
+    City{"denver", "US", 39.74, -104.99},
+    City{"dallas", "US", 32.78, -96.80},
+    City{"chicago", "US", 41.88, -87.63},
+    City{"atlanta", "US", 33.75, -84.39},
+    City{"new york", "US", 40.71, -74.01},
+    City{"ashburn", "US", 39.04, -77.49},
+    City{"miami", "US", 25.76, -80.19},
+    City{"kansas city", "US", 39.10, -94.58},
+    City{"salt lake city", "US", 40.76, -111.89},
+    City{"phoenix", "US", 33.45, -112.07},
+    City{"anchorage", "US", 61.22, -149.90},
+    City{"toronto", "CA", 43.65, -79.38},
+    City{"vancouver", "CA", 49.28, -123.12},
+    City{"montreal", "CA", 45.50, -73.57},
+    City{"mexico city", "MX", 19.43, -99.13},
+    // --- South America ---
+    City{"santiago", "CL", -33.45, -70.67},
+    City{"sao paulo", "BR", -23.55, -46.63},
+    City{"lima", "PE", -12.05, -77.04},
+    City{"bogota", "CO", 4.71, -74.07},
+    // --- Europe ---
+    City{"london", "GB", 51.51, -0.13},
+    City{"manchester", "GB", 53.48, -2.24},
+    City{"frankfurt", "DE", 50.11, 8.68},
+    City{"berlin", "DE", 52.52, 13.41},
+    City{"munich", "DE", 48.14, 11.58},
+    City{"paris", "FR", 48.86, 2.35},
+    City{"marseille", "FR", 43.30, 5.37},
+    City{"amsterdam", "NL", 52.37, 4.90},
+    City{"brussels", "BE", 50.85, 4.35},
+    City{"vienna", "AT", 48.21, 16.37},
+    City{"madrid", "ES", 40.42, -3.70},
+    City{"lisbon", "PT", 38.72, -9.14},
+    City{"milan", "IT", 45.46, 9.19},
+    City{"rome", "IT", 41.90, 12.50},
+    City{"warsaw", "PL", 52.23, 21.01},
+    City{"prague", "CZ", 50.08, 14.44},
+    City{"athens", "GR", 37.98, 23.73},
+    City{"oslo", "NO", 59.91, 10.75},
+    City{"stockholm", "SE", 59.33, 18.07},
+    City{"zurich", "CH", 47.37, 8.54},
+    City{"dublin", "IE", 53.35, -6.26},
+    City{"luxembourg", "LU", 49.61, 6.13},
+    // --- Asia ---
+    City{"tokyo", "JP", 35.68, 139.69},
+    City{"manila", "PH", 14.60, 120.98},
+    City{"singapore", "SG", 1.35, 103.82},
+    City{"mumbai", "IN", 19.08, 72.88},
+    City{"bangkok", "TH", 13.76, 100.50},
+    City{"dubai", "AE", 25.20, 55.27},
+    City{"istanbul", "TR", 41.01, 28.98},
+    // --- Oceania ---
+    City{"sydney", "AU", -33.87, 151.21},
+    City{"melbourne", "AU", -37.81, 144.96},
+    City{"perth", "AU", -31.95, 115.86},
+    City{"brisbane", "AU", -27.47, 153.03},
+    City{"auckland", "NZ", -36.85, 174.76},
+    City{"suva", "FJ", -18.12, 178.45},
+    // --- Africa ---
+    City{"johannesburg", "ZA", -26.20, 28.05},
+    City{"lagos", "NG", 6.52, 3.38},
+    City{"nairobi", "KE", -1.29, 36.82},
+    City{"cairo", "EG", 30.04, 31.24},
+    // --- Others referenced by the study ---
+    City{"santo domingo", "DO", 18.49, -69.93},
+    City{"buenos aires", "AR", -34.60, -58.38},
+};
+
+constexpr std::array kUsStates = {
+    UsState{"ME", "Maine", "Northeast", 44.69, -69.38},
+    UsState{"NH", "New Hampshire", "Northeast", 43.68, -71.58},
+    UsState{"VT", "Vermont", "Northeast", 44.07, -72.67},
+    UsState{"NY", "New York", "Northeast", 42.95, -75.53},
+    UsState{"PA", "Pennsylvania", "Northeast", 40.88, -77.80},
+    UsState{"NJ", "New Jersey", "Northeast", 40.19, -74.67},
+    UsState{"VA", "Virginia", "Southeast", 37.52, -78.85},
+    UsState{"NC", "North Carolina", "Southeast", 35.56, -79.39},
+    UsState{"GA", "Georgia", "Southeast", 32.64, -83.44},
+    UsState{"FL", "Florida", "Southeast", 28.63, -82.45},
+    UsState{"TN", "Tennessee", "Southeast", 35.86, -86.35},
+    UsState{"MO", "Missouri", "Central", 38.35, -92.46},
+    UsState{"KS", "Kansas", "Central", 38.50, -98.38},
+    UsState{"NE", "Nebraska", "Central", 41.54, -99.80},
+    UsState{"IA", "Iowa", "Central", 42.08, -93.50},
+    UsState{"MN", "Minnesota", "Central", 46.28, -94.31},
+    UsState{"OH", "Ohio", "East North Central", 40.29, -82.79},
+    UsState{"MI", "Michigan", "East North Central", 44.35, -85.41},
+    UsState{"IN", "Indiana", "East North Central", 39.89, -86.28},
+    UsState{"IL", "Illinois", "East North Central", 40.06, -89.20},
+    UsState{"WI", "Wisconsin", "East North Central", 44.62, -89.99},
+    UsState{"TX", "Texas", "South", 31.05, -97.56},
+    UsState{"OK", "Oklahoma", "South", 35.58, -97.43},
+    UsState{"AR", "Arkansas", "South", 34.89, -92.44},
+    UsState{"LA", "Louisiana", "South", 31.05, -91.99},
+    UsState{"AZ", "Arizona", "Southwest", 34.27, -111.66},
+    UsState{"NM", "New Mexico", "Southwest", 34.41, -106.11},
+    UsState{"NV", "Nevada", "Southwest", 39.33, -116.63},
+    UsState{"UT", "Utah", "Southwest", 39.32, -111.67},
+    UsState{"CA", "California", "West", 37.18, -119.47},
+    UsState{"CO", "Colorado", "West", 38.99, -105.55},
+    UsState{"WY", "Wyoming", "West", 42.99, -107.55},
+    UsState{"MT", "Montana", "Northwest", 47.03, -109.64},
+    UsState{"ID", "Idaho", "Northwest", 44.35, -114.61},
+    UsState{"OR", "Oregon", "Northwest", 43.93, -120.56},
+    UsState{"WA", "Washington", "Northwest", 47.38, -120.45},
+    UsState{"AK", "Alaska", "Alaska", 61.22, -149.90},
+};
+
+}  // namespace
+
+std::span<const City> cities() { return kCities; }
+std::span<const Country> countries() { return kCountries; }
+std::span<const UsState> us_states() { return kUsStates; }
+
+std::optional<City> find_city(std::string_view name) {
+  for (const auto& c : kCities) {
+    if (c.name == name) return c;
+  }
+  return std::nullopt;
+}
+
+std::optional<Country> find_country(std::string_view code) {
+  for (const auto& c : kCountries) {
+    if (c.code == code) return c;
+  }
+  return std::nullopt;
+}
+
+std::optional<UsState> find_us_state(std::string_view code) {
+  for (const auto& s : kUsStates) {
+    if (s.code == code) return s;
+  }
+  return std::nullopt;
+}
+
+GeoPoint city_point(std::string_view name) {
+  const auto c = find_city(name);
+  if (!c) throw std::out_of_range("unknown city: " + std::string(name));
+  return {c->lat_deg, c->lon_deg, 0.0};
+}
+
+Continent continent_of(std::string_view country_code) {
+  const auto c = find_country(country_code);
+  if (!c) throw std::out_of_range("unknown country: " + std::string(country_code));
+  return c->continent;
+}
+
+}  // namespace satnet::geo

@@ -1,0 +1,69 @@
+// World place database: the cities, countries, and US states used to
+// position PoPs, gateways, probes, testers, CDN edges, and DNS root
+// instances. A small curated gazetteer is enough — the paper's analyses
+// only reference a few dozen locations.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "geo/geodesy.hpp"
+
+namespace satnet::geo {
+
+enum class Continent {
+  north_america,
+  south_america,
+  europe,
+  asia,
+  oceania,
+  africa,
+};
+
+std::string_view to_string(Continent c);
+
+/// ISO-3166-style country entry.
+struct Country {
+  std::string_view code;  ///< two-letter code, e.g. "NZ"
+  std::string_view name;
+  Continent continent;
+};
+
+/// A named city with coordinates.
+struct City {
+  std::string_view name;          ///< lowercase key, e.g. "auckland"
+  std::string_view country_code;  ///< ISO code
+  double lat_deg = 0;
+  double lon_deg = 0;
+};
+
+/// US state entry with the paper's Figure 8a regional grouping.
+struct UsState {
+  std::string_view code;    ///< e.g. "WA"
+  std::string_view name;
+  std::string_view region;  ///< Northeast / Southeast / Central / ...
+  double lat_deg = 0;       ///< representative population-weighted point
+  double lon_deg = 0;
+};
+
+/// All known cities.
+std::span<const City> cities();
+/// All known countries.
+std::span<const Country> countries();
+/// All US states used in the study.
+std::span<const UsState> us_states();
+
+std::optional<City> find_city(std::string_view name);
+std::optional<Country> find_country(std::string_view code);
+std::optional<UsState> find_us_state(std::string_view code);
+
+/// Coordinates of a city; throws std::out_of_range for unknown names so
+/// topology-construction bugs fail loudly.
+GeoPoint city_point(std::string_view name);
+
+/// Continent of a country code; throws std::out_of_range when unknown.
+Continent continent_of(std::string_view country_code);
+
+}  // namespace satnet::geo

@@ -1,0 +1,52 @@
+#include "http/cdn.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "transport/tcp.hpp"
+
+namespace satnet::http {
+
+namespace {
+
+// Edge RTTs are from the subscriber's PoP. Body sizes follow the paper's
+// observations: Cloudflare compresses best (28 KB / 71 KB); the others
+// serve 31-33 KB / 86-89 KB.
+constexpr std::array kProviders = {
+    CdnProvider{"cloudflare", 9.0, 28 * 1024, 71 * 1024, false},
+    CdnProvider{"google", 12.0, 32 * 1024, 87 * 1024, false},
+    CdnProvider{"jsdelivr", 2.0, 31 * 1024, 86 * 1024, true},
+    CdnProvider{"stackpath", 24.0, 33 * 1024, 89 * 1024, false},
+    CdnProvider{"fastly", 2.0, 31 * 1024, 86 * 1024, false},
+};
+
+}  // namespace
+
+std::span<const CdnProvider> cdn_providers() { return kProviders; }
+
+const CdnProvider& find_cdn(std::string_view name) {
+  for (const auto& p : kProviders) {
+    if (p.name == name) return p;
+  }
+  throw std::out_of_range("unknown CDN: " + std::string(name));
+}
+
+double cdn_fetch_ms(const CdnProvider& cdn, JqueryVariant variant,
+                    const transport::PathProfile& access, stats::Rng& rng) {
+  transport::PathProfile path = access;
+  double extra = 0.0;
+  const CdnProvider* serving = &cdn;
+  if (cdn.meta) {
+    // jsDelivr probes and redirects to the best backing CDN (Fastly in
+    // the paper's data): one additional round trip on the full path.
+    extra += access.base_rtt_ms + cdn.edge_rtt_ms;
+    serving = &find_cdn("fastly");
+  }
+  path.base_rtt_ms = access.base_rtt_ms + serving->edge_rtt_ms;
+  const std::uint64_t bytes =
+      variant == JqueryVariant::minified ? serving->min_bytes : serving->regular_bytes;
+  // 1 RTT TCP + 1 RTT TLS 1.3 handshake, then the transfer.
+  return extra + transport::fetch_time_ms(path, bytes, /*handshake_rtts=*/2.0, rng);
+}
+
+}  // namespace satnet::http

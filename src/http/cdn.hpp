@@ -1,0 +1,45 @@
+// CDN edge model (paper Figure 10a).
+//
+// Five providers with different edge proximity to SNO PoPs, different
+// payload compression, and jsDelivr as a meta-CDN that redirects to the
+// best provider at the cost of one extra round trip — the mechanism that
+// makes it a win on Starlink and a loss on GEO.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "stats/rng.hpp"
+#include "transport/path.hpp"
+
+namespace satnet::http {
+
+/// Which artifact is being fetched (the addon downloads jquery twice).
+enum class JqueryVariant { minified, regular };
+
+struct CdnProvider {
+  std::string_view name;
+  /// Round trip between the subscriber's PoP and this CDN's nearest edge,
+  /// ms (Fastly peers directly at PoPs; StackPath's footprint is thinner).
+  double edge_rtt_ms = 10.0;
+  /// Payload bytes served for jquery.min.js / jquery.js (compression
+  /// varies by provider; Cloudflare serves the smallest bodies).
+  std::uint64_t min_bytes = 32 * 1024;
+  std::uint64_t regular_bytes = 87 * 1024;
+  /// Meta-CDN: resolves to the fastest provider after one extra RTT.
+  bool meta = false;
+};
+
+/// The five providers measured by the addon.
+std::span<const CdnProvider> cdn_providers();
+const CdnProvider& find_cdn(std::string_view name);
+
+/// Simulates one jquery fetch through `cdn` for a subscriber whose access
+/// path is `access` (RTT up to the PoP). Includes TCP+TLS setup and the
+/// meta-CDN redirect when applicable. Returns elapsed milliseconds.
+double cdn_fetch_ms(const CdnProvider& cdn, JqueryVariant variant,
+                    const transport::PathProfile& access, stats::Rng& rng);
+
+}  // namespace satnet::http

@@ -1,0 +1,141 @@
+#include "http/loader.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+#include <vector>
+
+namespace satnet::http {
+
+namespace {
+
+constexpr double kMss = 1460.0;
+constexpr double kMinRtoMs = 1000.0;
+
+/// Per-connection transport state carried across objects.
+struct Conn {
+  double cwnd = 10.0;
+  double free_at_ms = 0.0;  ///< when this connection can take the next object
+};
+
+double sample_rtt(const transport::PathProfile& path, stats::Rng& rng) {
+  return path.base_rtt_ms + std::abs(rng.normal(0.0, path.jitter_ms));
+}
+
+/// Time to move `bytes` over a connection whose window is `cwnd`,
+/// advancing `cwnd` (slow-start / congestion-avoidance) and applying the
+/// path's loss and handoff processes. Includes the request round trip.
+double object_time_ms(std::uint64_t bytes, double& cwnd,
+                      const transport::PathProfile& path, stats::Rng& rng) {
+  double elapsed = sample_rtt(path, rng);  // request + first response bytes
+  double remaining = static_cast<double>(bytes) / kMss - cwnd;
+  const double loss = path.pep ? path.ground_loss : path.sat_loss + path.ground_loss;
+
+  while (remaining > 0.0) {
+    const double rtt = sample_rtt(path, rng);
+    const double sent = std::min(cwnd, remaining + cwnd);  // window's worth
+    // Random loss over this round's packets.
+    if (loss > 0.0 && rng.chance(std::min(0.8, sent * loss))) {
+      elapsed += kMinRtoMs;  // small objects recover via RTO more often
+      cwnd = std::max(2.0, cwnd / 2.0);
+    }
+    // Handoff while the transfer is in flight.
+    if (path.handoff_rate_hz > 0.0 &&
+        rng.chance(std::min(1.0, path.handoff_rate_hz * rtt / 1e3))) {
+      elapsed += path.handoff_spike_ms;
+    }
+    elapsed += rtt;
+    remaining -= cwnd;
+    cwnd = std::min(cwnd * 2.0, 2048.0);  // simplified slow start w/ cap
+    // Cap effective window at the path BDP + buffer: beyond that the
+    // bottleneck serializes and adds transmission time instead.
+    const double bdp = std::max(path.bdp_packets(kMss), 2.0);
+    if (cwnd > bdp) {
+      const double excess_bytes = (cwnd - bdp) * kMss;
+      elapsed += excess_bytes * 8.0 / (path.bottleneck_mbps * 1e6) * 1e3;
+      cwnd = bdp * (1.0 + std::min(path.buffer_bdp, 1.0));
+    }
+  }
+  return elapsed;
+}
+
+double handshake_ms(const transport::PathProfile& path, double rtts, stats::Rng& rng) {
+  double total = 0.0;
+  for (int i = 0; i < static_cast<int>(rtts + 0.5); ++i) total += sample_rtt(path, rng);
+  return total;
+}
+
+}  // namespace
+
+PageLoadResult load_page(const WebPage& page, HttpVersion version,
+                         const transport::PathProfile& path, stats::Rng& rng,
+                         const LoaderOptions& options) {
+  PageLoadResult result;
+
+  // Root document on a fresh connection.
+  Conn root_conn;
+  double t = handshake_ms(path, options.handshake_rtts, rng);
+  ++result.connections_opened;
+  t += object_time_ms(page.root.bytes, root_conn.cwnd, path, rng);
+  ++result.objects_fetched;
+
+  // Group subresources by host.
+  std::map<std::string, std::vector<const WebObject*>> by_host;
+  for (const auto& o : page.subresources) by_host[o.host].push_back(&o);
+
+  double finish = t;
+  for (const auto& [host, objects] : by_host) {
+    if (version == HttpVersion::h2) {
+      // One multiplexed connection: all objects stream concurrently, so
+      // the completion time is the transfer time of the total bytes.
+      std::uint64_t total = 0;
+      for (const auto* o : objects) total += o->bytes;
+      Conn conn;
+      // Reuse the root connection for the root host.
+      double start = t;
+      if (host != page.root.host) {
+        start += handshake_ms(path, options.handshake_rtts, rng);
+        ++result.connections_opened;
+      } else {
+        conn = root_conn;
+      }
+      const double done = start + object_time_ms(total, conn.cwnd, path, rng);
+      finish = std::max(finish, done);
+      result.objects_fetched += objects.size();
+    } else {
+      // HTTP/1.1: a small pool of connections, objects serialized on each.
+      const int pool_size =
+          std::min<int>(options.h1_connections_per_host, static_cast<int>(objects.size()));
+      std::vector<Conn> pool(static_cast<std::size_t>(pool_size));
+      for (auto& c : pool) {
+        c.free_at_ms = t + handshake_ms(path, options.handshake_rtts, rng);
+        ++result.connections_opened;
+      }
+      if (host == page.root.host && !pool.empty()) {
+        pool[0] = root_conn;
+        pool[0].free_at_ms = t;  // already warm
+      }
+      for (const auto* o : objects) {
+        // Next object goes to the earliest-free connection.
+        auto* conn = &pool[0];
+        for (auto& c : pool) {
+          if (c.free_at_ms < conn->free_at_ms) conn = &c;
+        }
+        conn->free_at_ms += object_time_ms(o->bytes, conn->cwnd, path, rng);
+        ++result.objects_fetched;
+        if (conn->free_at_ms > options.timeout_ms) break;  // watchdog will fire
+      }
+      for (const auto& c : pool) finish = std::max(finish, c.free_at_ms);
+    }
+  }
+
+  result.plt_ms = finish;
+  if (result.plt_ms > options.timeout_ms) {
+    result.plt_ms = options.timeout_ms;
+    result.timed_out = true;
+  }
+  return result;
+}
+
+}  // namespace satnet::http

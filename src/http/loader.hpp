@@ -1,0 +1,40 @@
+// HTTP/1.1 and HTTP/2 page-load simulation (paper Figure 10b).
+//
+// HTTP/1.1 opens up to six parallel connections per host and serializes
+// objects on each (no pipelining): a page of N tiny objects costs about
+// N/6 round trips — catastrophic at GEO latency. HTTP/2 multiplexes every
+// object of a host onto one connection, so the cost collapses to the
+// transfer time of the total byte count. Both loaders share one TCP
+// round-evolution model so the comparison isolates protocol structure.
+#pragma once
+
+#include <cstdint>
+
+#include "http/page.hpp"
+#include "stats/rng.hpp"
+#include "transport/path.hpp"
+
+namespace satnet::http {
+
+enum class HttpVersion { h1, h2 };
+
+struct LoaderOptions {
+  int h1_connections_per_host = 6;
+  /// TCP + TLS 1.3 connection setup cost, in round trips.
+  double handshake_rtts = 2.0;
+  /// Page-load watchdog (the addon aborts at ~60 s).
+  double timeout_ms = 60000.0;
+};
+
+struct PageLoadResult {
+  double plt_ms = 0;  ///< onload time (clamped to timeout when timed out)
+  bool timed_out = false;
+  std::size_t connections_opened = 0;
+  std::size_t objects_fetched = 0;
+};
+
+PageLoadResult load_page(const WebPage& page, HttpVersion version,
+                         const transport::PathProfile& path, stats::Rng& rng,
+                         const LoaderOptions& options = LoaderOptions{});
+
+}  // namespace satnet::http

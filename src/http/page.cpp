@@ -1,0 +1,44 @@
+#include "http/page.hpp"
+
+namespace satnet::http {
+
+std::uint64_t WebPage::total_bytes() const {
+  std::uint64_t total = root.bytes;
+  for (const auto& o : subresources) total += o.bytes;
+  return total;
+}
+
+WebPage akamai_demo_page() {
+  WebPage page;
+  page.name = "akamai-demo";
+  page.root = {"demo.akamai.com", 48 * 1024};
+  page.subresources.reserve(360);
+  for (int i = 0; i < 360; ++i) {
+    // 1.7 KB image tiles, all from the same host.
+    page.subresources.push_back({"demo.akamai.com", 1700});
+  }
+  return page;
+}
+
+WebPage news_page() {
+  WebPage page;
+  page.name = "news-site";
+  page.root = {"www.example-news.com", 120 * 1024};
+  const struct {
+    const char* host;
+    std::uint64_t bytes;
+    int count;
+  } groups[] = {
+      {"www.example-news.com", 35 * 1024, 18},   // article images
+      {"static.example-news.com", 90 * 1024, 6}, // JS bundles
+      {"static.example-news.com", 40 * 1024, 4}, // CSS
+      {"cdn.adnetwork.example", 25 * 1024, 10},  // ads
+      {"fonts.example", 60 * 1024, 3},           // webfonts
+  };
+  for (const auto& g : groups) {
+    for (int i = 0; i < g.count; ++i) page.subresources.push_back({g.host, g.bytes});
+  }
+  return page;
+}
+
+}  // namespace satnet::http

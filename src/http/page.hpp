@@ -1,0 +1,34 @@
+// Web page model and the Akamai H1/H2 demo pages.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace satnet::http {
+
+/// One fetchable object on a page.
+struct WebObject {
+  std::string host;         ///< origin hostname (connection pooling key)
+  std::uint64_t bytes = 0;
+};
+
+/// A page: a root document plus its subresources.
+struct WebPage {
+  std::string name;
+  WebObject root;
+  std::vector<WebObject> subresources;
+
+  std::uint64_t total_bytes() const;
+  std::size_t object_count() const { return 1 + subresources.size(); }
+};
+
+/// The Akamai HTTP/1.1-vs-HTTP/2 demo page: a small HTML document pulling
+/// ~360 tiny image tiles from a single host — the worst case for
+/// unpipelined HTTP/1.1 and the best case for multiplexing.
+WebPage akamai_demo_page();
+
+/// A more typical news-site page: a few hosts, mixed object sizes.
+WebPage news_page();
+
+}  // namespace satnet::http

@@ -1,0 +1,96 @@
+#include "io/csv.hpp"
+
+#include <stdexcept>
+
+#include "orbit/shell.hpp"
+
+namespace satnet::io {
+
+std::string CsvWriter::escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::header(const std::vector<std::string_view>& columns) {
+  if (columns_ != 0) throw std::logic_error("CsvWriter: header written twice");
+  if (columns.empty()) throw std::invalid_argument("CsvWriter: empty header");
+  columns_ = columns.size();
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(columns[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  if (columns_ == 0) throw std::logic_error("CsvWriter: header not written");
+  if (fields.size() != columns_) {
+    throw std::invalid_argument("CsvWriter: row width mismatch");
+  }
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+namespace {
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  return buf;
+}
+}  // namespace
+
+std::size_t export_ndt(const mlab::NdtDataset& dataset, std::ostream& out) {
+  CsvWriter csv(out);
+  csv.header({"t_sec", "asn", "client_ip", "prefix", "country", "latency_p5_ms",
+              "latency_median_ms", "jitter_p95_ms", "download_mbps", "upload_mbps",
+              "retrans_frac", "n_handoffs", "truth_operator", "truth_satellite",
+              "truth_orbit"});
+  for (const auto& r : dataset.records()) {
+    csv.row({fmt(r.t_sec), std::to_string(r.asn), r.client_ip.to_string(),
+             r.prefix.to_string(), r.country, fmt(r.latency_p5_ms),
+             fmt(r.latency_median_ms), fmt(r.jitter_p95_ms), fmt(r.download_mbps),
+             fmt(r.upload_mbps), fmt(r.retrans_frac), std::to_string(r.n_handoffs),
+             r.truth_operator, r.truth_satellite ? "1" : "0",
+             std::string(orbit::to_string(r.truth_orbit))});
+  }
+  return csv.rows_written();
+}
+
+std::size_t export_traceroutes(const ripe::AtlasDataset& dataset, std::ostream& out) {
+  CsvWriter csv(out);
+  csv.header({"probe_id", "t_sec", "root", "via_cgnat", "pop", "cgnat_rtt_ms",
+              "dest_rtt_ms", "hop_count", "instance_city"});
+  for (const auto& t : dataset.traceroutes) {
+    csv.row({std::to_string(t.probe_id), fmt(t.t_sec), std::string(1, t.root),
+             t.via_cgnat ? "1" : "0", t.pop_name, fmt(t.cgnat_rtt_ms),
+             fmt(t.dest_rtt_ms), std::to_string(t.hop_count), t.instance_city});
+  }
+  return csv.rows_written();
+}
+
+std::size_t export_pipeline(const snoid::PipelineResult& result, std::ostream& out) {
+  CsvWriter csv(out);
+  csv.header({"operator", "orbit", "multi_orbit", "identified", "retained",
+              "covered_by_strict", "relax_threshold_ms", "precision", "recall"});
+  for (const auto& op : result.operators) {
+    csv.row({op.name, std::string(orbit::to_string(op.declared_orbit)),
+             op.multi_orbit ? "1" : "0", op.identified() ? "1" : "0",
+             std::to_string(op.retained.size()), op.covered_by_strict ? "1" : "0",
+             fmt(op.relax_threshold_ms), fmt(op.precision()), fmt(op.recall())});
+  }
+  return csv.rows_written();
+}
+
+}  // namespace satnet::io

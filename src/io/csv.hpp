@@ -1,0 +1,48 @@
+// CSV export for the generated datasets and analysis results, so the
+// reproduced tables/figures can be re-plotted with external tooling
+// (pandas/matplotlib/R) exactly like the paper's own BigQuery pulls.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mlab/dataset.hpp"
+#include "ripe/atlas.hpp"
+#include "snoid/pipeline.hpp"
+
+namespace satnet::io {
+
+/// Minimal RFC-4180-style CSV writer: quotes fields containing commas,
+/// quotes, or newlines; one row() call per record.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// Writes the header row; must be the first call.
+  void header(const std::vector<std::string_view>& columns);
+  /// Writes one data row; size must match the header.
+  void row(const std::vector<std::string>& fields);
+
+  std::size_t rows_written() const { return rows_; }
+
+  static std::string escape(std::string_view field);
+
+ private:
+  std::ostream& out_;
+  std::size_t columns_ = 0;
+  std::size_t rows_ = 0;
+};
+
+/// NDT record table -> CSV (one row per speed test). Ground-truth columns
+/// are included and marked with a "truth_" prefix.
+std::size_t export_ndt(const mlab::NdtDataset& dataset, std::ostream& out);
+
+/// RIPE traceroute summaries -> CSV.
+std::size_t export_traceroutes(const ripe::AtlasDataset& dataset, std::ostream& out);
+
+/// Pipeline outcome -> CSV (one row per operator).
+std::size_t export_pipeline(const snoid::PipelineResult& result, std::ostream& out);
+
+}  // namespace satnet::io

@@ -1,0 +1,28 @@
+// Markdown study-report generator: assembles the cross-orbit findings,
+// the identification outcome with ground-truth scoring, and the Starlink
+// PoP analysis into one human-readable document — the reproduction's
+// equivalent of the paper's §4-§5 narrative.
+#pragma once
+
+#include <string>
+
+#include "mlab/dataset.hpp"
+#include "ripe/atlas.hpp"
+#include "snoid/pipeline.hpp"
+
+namespace satnet::io {
+
+struct ReportOptions {
+  bool include_operator_table = true;
+  bool include_orbit_summary = true;
+  bool include_pop_analysis = true;  ///< needs a non-empty Atlas dataset
+};
+
+/// Builds the full markdown report. `atlas` may be empty (the PoP section
+/// is skipped then).
+std::string study_report(const mlab::NdtDataset& dataset,
+                         const snoid::PipelineResult& result,
+                         const ripe::AtlasDataset& atlas,
+                         const ReportOptions& options = ReportOptions{});
+
+}  // namespace satnet::io

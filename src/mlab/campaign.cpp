@@ -1,0 +1,55 @@
+#include "mlab/campaign.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace satnet::mlab {
+
+std::size_t scheduled_tests(const synth::SnoSpec& spec, const CampaignConfig& config) {
+  if (!spec.in_mlab || spec.kind != synth::EntityKind::sno) return 0;
+  const double scaled = static_cast<double>(spec.mlab_tests) * config.volume_scale;
+  const auto floor_count =
+      std::min<std::size_t>(config.min_tests_per_sno, spec.mlab_tests);
+  return std::max<std::size_t>(static_cast<std::size_t>(std::llround(scaled)),
+                               floor_count);
+}
+
+NdtDataset run_campaign(const synth::World& world, const CampaignConfig& config) {
+  NdtDataset dataset;
+  stats::Rng rng(config.seed);
+  sim::EventQueue queue;
+  const double horizon_sec = config.duration_days * 86400.0;
+
+  // Group subscribers by operator once.
+  std::map<std::size_t, std::vector<const synth::Subscriber*>> by_spec;
+  for (const auto& sub : world.subscribers()) by_spec[sub.spec_index].push_back(&sub);
+
+  for (const auto& [spec_index, subs] : by_spec) {
+    const synth::SnoSpec& spec = world.specs()[spec_index];
+    const std::size_t n_tests = scheduled_tests(spec, config);
+    if (n_tests == 0 || subs.empty()) continue;
+
+    stats::Rng spec_rng = rng.fork(spec.name);
+    dataset.reserve(dataset.size() + n_tests);
+    for (std::size_t k = 0; k < n_tests; ++k) {
+      // Users run speed tests at arbitrary times across the window; a
+      // heavy-tailed share of tests comes from a few repeat testers,
+      // which is what makes per-prefix filtering meaningful.
+      const auto* sub = subs[static_cast<std::size_t>(std::floor(
+          std::pow(spec_rng.uniform(), 1.6) * static_cast<double>(subs.size())))];
+      const double t = spec_rng.uniform(0.0, horizon_sec);
+      stats::Rng test_rng = spec_rng.fork(k);
+      queue.schedule_at(t, [&dataset, &world, sub, test_rng,
+                            &config](sim::Time now) mutable {
+        if (auto rec = run_ndt(world, *sub, now, test_rng, config.ndt)) {
+          dataset.add(std::move(*rec));
+        }
+      });
+    }
+  }
+
+  queue.run();
+  return dataset;
+}
+
+}  // namespace satnet::mlab

@@ -1,0 +1,30 @@
+// M-Lab measurement campaign: schedules NDT tests across the subscriber
+// population over the study window and accumulates the dataset.
+//
+// Test volumes per operator follow the paper's Table 1 counts, scaled by
+// `volume_scale` with a floor so the long tail of small operators stays
+// represented (Kacific contributed only 34 tests in 26 months).
+#pragma once
+
+#include "mlab/dataset.hpp"
+#include "sim/event_queue.hpp"
+#include "synth/world.hpp"
+
+namespace satnet::mlab {
+
+struct CampaignConfig {
+  double duration_days = 730.0;  ///< Jan 2021 - Mar 2023 window, scaled
+  double volume_scale = 0.002;   ///< fraction of the paper's test volume
+  std::size_t min_tests_per_sno = 30;
+  std::uint64_t seed = 7;
+  NdtOptions ndt;
+};
+
+/// Number of tests the campaign schedules for one operator.
+std::size_t scheduled_tests(const synth::SnoSpec& spec, const CampaignConfig& config);
+
+/// Runs the whole campaign on the discrete-event engine and returns the
+/// accumulated dataset. Deterministic in (world seed, campaign seed).
+NdtDataset run_campaign(const synth::World& world, const CampaignConfig& config);
+
+}  // namespace satnet::mlab

@@ -1,0 +1,43 @@
+#include "mlab/dataset.hpp"
+
+#include <numeric>
+
+namespace satnet::mlab {
+
+std::map<bgp::Asn, std::vector<std::size_t>> NdtDataset::by_asn() const {
+  std::map<bgp::Asn, std::vector<std::size_t>> out;
+  for (std::size_t i = 0; i < records_.size(); ++i) out[records_[i].asn].push_back(i);
+  return out;
+}
+
+std::map<net::Prefix24, std::vector<std::size_t>> NdtDataset::by_prefix(
+    const std::vector<std::size_t>& subset) const {
+  std::map<net::Prefix24, std::vector<std::size_t>> out;
+  for (const std::size_t i : subset) out[records_[i].prefix].push_back(i);
+  return out;
+}
+
+std::vector<double> NdtDataset::field(const std::vector<std::size_t>& subset,
+                                      double NdtRecord::* member) const {
+  std::vector<double> out;
+  out.reserve(subset.size());
+  for (const std::size_t i : subset) out.push_back(records_[i].*member);
+  return out;
+}
+
+std::vector<std::size_t> NdtDataset::all() const {
+  std::vector<std::size_t> out(records_.size());
+  std::iota(out.begin(), out.end(), std::size_t{0});
+  return out;
+}
+
+std::vector<std::size_t> NdtDataset::select(
+    const std::function<bool(const NdtRecord&)>& pred) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    if (pred(records_[i])) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace satnet::mlab

@@ -1,0 +1,49 @@
+#include "mlab/ndt.hpp"
+
+#include "transport/tcp.hpp"
+
+namespace satnet::mlab {
+
+std::optional<NdtRecord> run_ndt(const synth::World& world,
+                                 const synth::Subscriber& sub, double t_sec,
+                                 stats::Rng& rng, const NdtOptions& options) {
+  const synth::PathSample path = world.sample_path(sub, t_sec, rng);
+  if (!path.ok) return std::nullopt;
+
+  transport::TcpOptions tcp;
+  transport::TcpFlow down(path.download, tcp, rng.fork("ndt-down"));
+  const transport::FlowResult d = down.run_for(options.test_duration_ms);
+
+  NdtRecord r;
+  // Rare middlebox/VPN artifact: the client tunnels through a terrestrial
+  // exit, so the measured latency bears no relation to the access link.
+  // These outliers are why the paper's strict prefix filter discards
+  // otherwise-clean prefixes (75.105.63.0/24) and must be tolerated by
+  // the relaxation step.
+  const bool vpn_artifact = rng.chance(0.012);
+  r.t_sec = t_sec;
+  r.asn = sub.asn;
+  r.client_ip = sub.ip;
+  r.prefix = sub.prefix;
+  r.country = sub.country;
+  r.latency_p5_ms = vpn_artifact ? rng.uniform(25.0, 120.0) : d.rtt_p5_ms;
+  r.latency_median_ms = vpn_artifact ? r.latency_p5_ms * rng.uniform(1.1, 1.6)
+                                     : d.rtt_median_ms;
+  r.jitter_p95_ms = d.jitter_p95_ms;
+  r.download_mbps = d.goodput_mbps;
+  r.retrans_frac = d.retrans_fraction;
+  r.n_handoffs = d.n_handoffs;
+
+  if (options.measure_upload) {
+    transport::TcpFlow up(path.upload, tcp, rng.fork("ndt-up"));
+    r.upload_mbps = up.run_for(options.test_duration_ms).goodput_mbps;
+  }
+
+  r.truth_operator = std::string(world.specs()[sub.spec_index].name);
+  r.truth_satellite = world.truly_satellite(sub, t_sec) &&
+                      path.tech_used == synth::AccessTech::satellite;
+  r.truth_orbit = sub.orbit;
+  return r;
+}
+
+}  // namespace satnet::mlab

@@ -1,0 +1,48 @@
+#include "net/ipv4.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace satnet::net {
+
+std::optional<Ipv4> Ipv4::parse(std::string_view text) {
+  std::uint32_t value = 0;
+  std::size_t pos = 0;
+  for (int octet = 0; octet < 4; ++octet) {
+    if (pos >= text.size()) return std::nullopt;
+    unsigned v = 0;
+    const auto* begin = text.data() + pos;
+    const auto* end = text.data() + text.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, v);
+    if (ec != std::errc{} || v > 255) return std::nullopt;
+    value = (value << 8) | v;
+    pos = static_cast<std::size_t>(ptr - text.data());
+    if (octet < 3) {
+      if (pos >= text.size() || text[pos] != '.') return std::nullopt;
+      ++pos;
+    }
+  }
+  if (pos != text.size()) return std::nullopt;
+  return Ipv4{value};
+}
+
+std::string Ipv4::to_string() const {
+  return std::to_string((value_ >> 24) & 0xff) + "." + std::to_string((value_ >> 16) & 0xff) +
+         "." + std::to_string((value_ >> 8) & 0xff) + "." + std::to_string(value_ & 0xff);
+}
+
+std::string Prefix24::to_string() const { return network().to_string() + "/24"; }
+
+PrefixPool::PrefixPool(Ipv4 base, std::uint32_t count)
+    : base_(base.value()), count_(count) {
+  if (base_ & 0xff) throw std::invalid_argument("PrefixPool base must be /24-aligned");
+}
+
+Prefix24 PrefixPool::allocate() {
+  if (next_ >= count_) throw std::runtime_error("PrefixPool exhausted");
+  const Prefix24 p{Ipv4{base_ + (next_ << 8)}};
+  ++next_;
+  return p;
+}
+
+}  // namespace satnet::net

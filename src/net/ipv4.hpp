@@ -1,0 +1,80 @@
+// IPv4 addresses, /24 prefixes, and address-pool allocation.
+//
+// The identification pipeline groups M-Lab speed tests by /24 prefix
+// (the paper's step 3), so addresses and prefixes are first-class values.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace satnet::net {
+
+/// An IPv4 address as a host-order 32-bit value.
+class Ipv4 {
+ public:
+  constexpr Ipv4() = default;
+  constexpr explicit Ipv4(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | d) {}
+
+  static std::optional<Ipv4> parse(std::string_view text);
+
+  constexpr std::uint32_t value() const { return value_; }
+  std::string to_string() const;
+
+  /// True for RFC 6598 carrier-grade NAT space (100.64.0.0/10) — the
+  /// address range of Starlink's customer-side gateways.
+  constexpr bool is_cgnat() const {
+    return (value_ & 0xffc00000u) == 0x64400000u;  // 100.64.0.0/10
+  }
+
+  auto operator<=>(const Ipv4&) const = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// The Starlink CGNAT gateway address the paper keys on ("100.64.0.1").
+inline constexpr Ipv4 kCgnatGateway{100, 64, 0, 1};
+
+/// A /24 IPv4 prefix.
+class Prefix24 {
+ public:
+  constexpr Prefix24() = default;
+  constexpr explicit Prefix24(Ipv4 any_member) : base_(any_member.value() & 0xffffff00u) {}
+
+  constexpr Ipv4 network() const { return Ipv4{base_}; }
+  constexpr bool contains(Ipv4 a) const { return (a.value() & 0xffffff00u) == base_; }
+  /// The i-th host address (i in [1, 254]).
+  constexpr Ipv4 host(std::uint8_t i) const { return Ipv4{base_ | i}; }
+  std::string to_string() const;  ///< "a.b.c.0/24"
+
+  auto operator<=>(const Prefix24&) const = default;
+
+ private:
+  std::uint32_t base_ = 0;
+};
+
+/// Sequential allocator handing out /24 prefixes (and hosts within them)
+/// from a configured super-block; the synthetic world gives each SNO one
+/// or more blocks.
+class PrefixPool {
+ public:
+  /// `base` must be /24-aligned; the pool spans `count` consecutive /24s.
+  PrefixPool(Ipv4 base, std::uint32_t count);
+
+  Prefix24 allocate();          ///< next unused /24; throws when exhausted
+  std::uint32_t remaining() const { return count_ - next_; }
+  Ipv4 base() const { return Ipv4{base_}; }
+
+ private:
+  std::uint32_t base_ = 0;
+  std::uint32_t count_ = 0;
+  std::uint32_t next_ = 0;
+};
+
+}  // namespace satnet::net

@@ -1,0 +1,77 @@
+#include "net/route.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace satnet::net {
+
+double Route::destination_rtt_ms() const {
+  if (hops.empty() || !hops.back().responded) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return hops.back().rtt_ms;
+}
+
+const Hop* Route::find_ip(Ipv4 ip) const {
+  for (const auto& h : hops) {
+    if (h.ip == ip) return &h;
+  }
+  return nullptr;
+}
+
+int Backbone::expected_hops(double surface_km) const {
+  return options_.min_hops + static_cast<int>(surface_km / options_.hop_spacing_km);
+}
+
+std::vector<Hop> Backbone::build(const geo::GeoPoint& from, const geo::GeoPoint& to,
+                                 double base_rtt_ms, int first_ttl,
+                                 stats::Rng& rng) const {
+  std::vector<Hop> hops;
+  const double total_km = geo::surface_distance_km(from, to);
+  const int n = expected_hops(total_km);
+  hops.reserve(static_cast<std::size_t>(n));
+
+  double cumulative_one_way = 0.0;
+  for (int i = 1; i <= n; ++i) {
+    // Routers are spread along the path; the geometric fraction covered by
+    // hop i is i/n of the total distance.
+    const double frac = static_cast<double>(i) / static_cast<double>(n);
+    const double segment_km = total_km * frac;
+    cumulative_one_way =
+        geo::fiber_delay_ms(segment_km) + options_.router_delay_ms * i;
+
+    Hop h;
+    h.ttl = first_ttl + i - 1;
+    // Synthetic router addressing: 10.x.y.z transit space keyed by hop.
+    h.ip = Ipv4(10, static_cast<std::uint8_t>((first_ttl + i) & 0xff),
+                static_cast<std::uint8_t>(i & 0xff),
+                static_cast<std::uint8_t>(rng.uniform_int(1, 254)));
+    h.name = "transit-" + std::to_string(first_ttl + i - 1);
+    h.rtt_ms = std::max(base_rtt_ms,
+                        base_rtt_ms + 2.0 * cumulative_one_way +
+                            std::abs(rng.normal(0.0, options_.rtt_noise_ms)));
+    h.responded = !rng.chance(options_.unresponsive_prob);
+    hops.push_back(std::move(h));
+  }
+  return hops;
+}
+
+std::string to_string(const Route& route) {
+  std::string out;
+  for (const auto& h : route.hops) {
+    char line[160];
+    if (h.responded) {
+      std::snprintf(line, sizeof(line), "%2d  %-28s %-16s %7.2f ms\n", h.ttl,
+                    h.name.empty() ? "(no rdns)" : h.name.c_str(),
+                    h.ip.to_string().c_str(), h.rtt_ms);
+    } else {
+      std::snprintf(line, sizeof(line), "%2d  *\n", h.ttl);
+    }
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace satnet::net

@@ -1,0 +1,105 @@
+#include "orbit/constellation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace satnet::orbit {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kTwoPi = 2.0 * kPi;
+
+double wrap_angle(double a) {
+  a = std::fmod(a, kTwoPi);
+  if (a < 0) a += kTwoPi;
+  return a;
+}
+}  // namespace
+
+std::size_t Constellation::total_sats() const {
+  std::size_t n = 0;
+  for (const auto& s : shells_) n += s.total_sats();
+  return n;
+}
+
+geo::GeoPoint Constellation::position(const SatId& id, double t_sec) const {
+  const Shell& shell = shells_.at(id.shell);
+  const double inc = geo::deg_to_rad(shell.inclination_deg);
+  const double raan =
+      kTwoPi * static_cast<double>(id.plane) / static_cast<double>(shell.planes);
+  // Walker phasing: satellites in adjacent planes are offset by
+  // F * 2*pi / T where T is the shell's total satellite count.
+  const double phase0 =
+      kTwoPi * static_cast<double>(id.index) / static_cast<double>(shell.sats_per_plane) +
+      kTwoPi * static_cast<double>(shell.phase_factor) * static_cast<double>(id.plane) /
+          static_cast<double>(shell.total_sats());
+  const double u = wrap_angle(phase0 + shell.mean_motion_rad_per_sec() * t_sec);
+
+  // Latitude / inertial longitude of a circular inclined orbit.
+  const double sin_lat = std::sin(inc) * std::sin(u);
+  const double lat = std::asin(std::clamp(sin_lat, -1.0, 1.0));
+  const double lon_inertial = std::atan2(std::cos(inc) * std::sin(u), std::cos(u)) + raan;
+  // Earth-fixed longitude: subtract Earth's rotation since epoch.
+  const double lon = wrap_angle(lon_inertial - kEarthRotationRadPerSec * t_sec);
+
+  double lon_deg = geo::rad_to_deg(lon);
+  if (lon_deg > 180.0) lon_deg -= 360.0;
+  return {geo::rad_to_deg(lat), lon_deg, shell.altitude_km};
+}
+
+std::vector<VisibleSat> Constellation::visible(const geo::GeoPoint& ground, double t_sec,
+                                               double min_elevation_deg) const {
+  std::vector<VisibleSat> out;
+  for (std::size_t s = 0; s < shells_.size(); ++s) {
+    const Shell& shell = shells_[s];
+    for (std::size_t p = 0; p < shell.planes; ++p) {
+      for (std::size_t i = 0; i < shell.sats_per_plane; ++i) {
+        const SatId id{s, p, i};
+        const geo::GeoPoint pos = position(id, t_sec);
+        // Cheap pre-filter: a satellite more than ~40 deg of arc away can
+        // never be above the horizon for LEO/MEO altitudes we use.
+        const double elev = geo::elevation_deg(ground, pos);
+        if (elev >= min_elevation_deg) {
+          out.push_back({id, pos, elev, geo::slant_range_km(
+                                             {ground.lat_deg, ground.lon_deg, 0.0}, pos)});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<VisibleSat> Constellation::best_visible(const geo::GeoPoint& ground,
+                                                      double t_sec,
+                                                      double min_elevation_deg) const {
+  std::optional<VisibleSat> best;
+  for (auto& v : visible(ground, t_sec, min_elevation_deg)) {
+    if (!best || v.elevation_deg > best->elevation_deg) best = v;
+  }
+  return best;
+}
+
+void GeoFleet::add_slot(std::string name, double lon_deg) {
+  slots_.push_back({std::move(name), lon_deg});
+}
+
+geo::GeoPoint GeoFleet::position(std::size_t slot) const {
+  return {0.0, slots_.at(slot).lon_deg, geo::kGeoAltitudeKm};
+}
+
+std::optional<VisibleSat> GeoFleet::best_visible(const geo::GeoPoint& ground,
+                                                 double min_elevation_deg) const {
+  std::optional<VisibleSat> best;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const geo::GeoPoint pos = position(i);
+    const double elev = geo::elevation_deg(ground, pos);
+    if (elev < min_elevation_deg) continue;
+    if (!best || elev > best->elevation_deg) {
+      best = VisibleSat{SatId{0, 0, i}, pos, elev,
+                        geo::slant_range_km({ground.lat_deg, ground.lon_deg, 0.0}, pos)};
+    }
+  }
+  return best;
+}
+
+}  // namespace satnet::orbit

@@ -1,0 +1,82 @@
+// Satellite ephemeris for Walker constellations and GEO slots.
+//
+// Positions are propagated analytically (circular orbits + Earth
+// rotation), so a position query at an arbitrary simulation time is O(1)
+// per satellite and the whole constellation can be swept per query.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geo/geodesy.hpp"
+#include "orbit/shell.hpp"
+
+namespace satnet::orbit {
+
+/// Identifies one satellite within a constellation.
+struct SatId {
+  std::size_t shell = 0;
+  std::size_t plane = 0;
+  std::size_t index = 0;
+
+  bool operator==(const SatId&) const = default;
+};
+
+/// A satellite visible from a ground point.
+struct VisibleSat {
+  SatId id;
+  geo::GeoPoint position;
+  double elevation_deg = 0;
+  double slant_km = 0;
+};
+
+/// A constellation is a set of Walker shells. GEO fleets are modelled
+/// separately (GeoFleet) since their satellites are fixed in ECEF.
+class Constellation {
+ public:
+  explicit Constellation(std::vector<Shell> shells) : shells_(std::move(shells)) {}
+
+  const std::vector<Shell>& shells() const { return shells_; }
+  std::size_t total_sats() const;
+
+  /// Geodetic position of a satellite at simulation time t (seconds).
+  geo::GeoPoint position(const SatId& id, double t_sec) const;
+
+  /// All satellites above `min_elevation_deg` from `ground` at time t.
+  std::vector<VisibleSat> visible(const geo::GeoPoint& ground, double t_sec,
+                                  double min_elevation_deg) const;
+
+  /// The highest-elevation visible satellite, or nullopt when none.
+  std::optional<VisibleSat> best_visible(const geo::GeoPoint& ground, double t_sec,
+                                         double min_elevation_deg) const;
+
+ private:
+  std::vector<Shell> shells_;
+};
+
+/// A fleet of geostationary satellites parked at fixed longitudes.
+class GeoFleet {
+ public:
+  void add_slot(std::string name, double lon_deg);
+
+  struct Slot {
+    std::string name;
+    double lon_deg = 0;
+  };
+  const std::vector<Slot>& slots() const { return slots_; }
+
+  geo::GeoPoint position(std::size_t slot) const;
+
+  /// Best slot (max elevation) for a ground point; GEO satellites do not
+  /// move, so no time parameter. Returns nullopt when none is above
+  /// `min_elevation_deg`.
+  std::optional<VisibleSat> best_visible(const geo::GeoPoint& ground,
+                                         double min_elevation_deg) const;
+
+ private:
+  std::vector<Slot> slots_;
+};
+
+}  // namespace satnet::orbit

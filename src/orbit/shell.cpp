@@ -1,0 +1,47 @@
+#include "orbit/shell.hpp"
+
+#include <cmath>
+
+#include "geo/geodesy.hpp"
+
+namespace satnet::orbit {
+
+std::string to_string(OrbitClass c) {
+  switch (c) {
+    case OrbitClass::leo: return "LEO";
+    case OrbitClass::meo: return "MEO";
+    case OrbitClass::geo: return "GEO";
+  }
+  return "?";
+}
+
+double Shell::period_sec() const {
+  const double a = geo::kEarthRadiusKm + altitude_km;
+  return 2.0 * 3.14159265358979323846 * std::sqrt(a * a * a / kMuEarth);
+}
+
+double Shell::mean_motion_rad_per_sec() const {
+  return 2.0 * 3.14159265358979323846 / period_sec();
+}
+
+Shell starlink_shell1() {
+  return Shell{"starlink-shell1", 550.0, 53.0, 72, 22, 17};
+}
+
+Shell starlink_polar_shell() {
+  return Shell{"starlink-polar", 560.0, 97.6, 6, 30, 1};
+}
+
+std::vector<Shell> starlink_shells() {
+  return {starlink_shell1(), starlink_polar_shell()};
+}
+
+Shell oneweb_shell() {
+  return Shell{"oneweb", 1200.0, 87.9, 18, 36, 1};
+}
+
+Shell o3b_shell() {
+  return Shell{"o3b-meo", 8062.0, 0.1, 1, 20, 0};
+}
+
+}  // namespace satnet::orbit

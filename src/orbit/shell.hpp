@@ -1,0 +1,49 @@
+// Orbital shell descriptions and Keplerian helpers.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace satnet::orbit {
+
+/// Earth's gravitational parameter, km^3/s^2.
+inline constexpr double kMuEarth = 398600.4418;
+/// Earth's sidereal rotation rate, rad/s.
+inline constexpr double kEarthRotationRadPerSec = 7.2921159e-5;
+
+/// Orbit class of a satellite operator — the paper's primary taxonomy.
+enum class OrbitClass { leo, meo, geo };
+
+std::string to_string(OrbitClass c);
+
+/// A Walker-delta shell: `planes` orbital planes spread uniformly in RAAN,
+/// each with `sats_per_plane` satellites, all circular at `altitude_km`
+/// and inclined `inclination_deg`. `phase_factor` staggers satellites in
+/// adjacent planes (Walker notation i:T/P/F).
+struct Shell {
+  std::string name;
+  double altitude_km = 550.0;
+  double inclination_deg = 53.0;
+  std::size_t planes = 72;
+  std::size_t sats_per_plane = 22;
+  unsigned phase_factor = 17;
+
+  std::size_t total_sats() const { return planes * sats_per_plane; }
+  /// Orbital period from Kepler's third law, seconds.
+  double period_sec() const;
+  /// Mean motion, rad/s.
+  double mean_motion_rad_per_sec() const;
+};
+
+/// Well-known shells used by the reproduction.
+Shell starlink_shell1();       // 550 km, 53 deg, 72x22
+Shell starlink_polar_shell();  // 560 km, 97.6 deg, 6x30 (high-latitude coverage)
+Shell oneweb_shell();          // 1200 km, 87.9 deg, 18x36
+Shell o3b_shell();             // 8062 km equatorial MEO, 1x20
+
+/// The full Starlink constellation used across the reproduction
+/// (inclined shell + polar shell, so Alaska-like latitudes are served).
+std::vector<Shell> starlink_shells();
+
+}  // namespace satnet::orbit

@@ -1,0 +1,127 @@
+#include "prolific/addon.hpp"
+
+#include <cmath>
+
+#include "dns/resolver.hpp"
+#include "transport/tcp.hpp"
+
+namespace satnet::prolific {
+
+namespace {
+
+/// Operator resolver deployments (verified via test.nextdns.io in the
+/// paper): Starlink hands out Cloudflare at the PoP; HughesNet and Viasat
+/// run their own recursive resolvers, Viasat's being markedly slower.
+dns::ResolverConfig resolver_for(const std::string& sno) {
+  if (sno == "starlink") return {true, 60.0, 0.35, 300.0};
+  if (sno == "hughesnet") return {false, 80.0, 0.30, 300.0};
+  return {false, 330.0, 0.30, 300.0};  // viasat
+}
+
+/// fast.com discards the slow-start ramp and reports the stable rate, so
+/// the measurement is the delivery rate over the test's final quarter.
+double stable_rate_mbps(const transport::FlowResult& r) {
+  if (r.snapshots.size() < 8) return r.goodput_mbps;
+  const auto& last = r.snapshots.back();
+  const auto& anchor = r.snapshots[r.snapshots.size() * 3 / 4];
+  const double dt_ms = last.t_ms - anchor.t_ms;
+  if (dt_ms <= 0) return r.goodput_mbps;
+  return static_cast<double>(last.bytes_acked - anchor.bytes_acked) * 8.0 /
+         (dt_ms * 1e3);
+}
+
+SpeedtestResult run_speedtest(const synth::PathSample& path, stats::Rng& rng) {
+  SpeedtestResult out;
+  transport::TcpOptions tcp;
+  transport::TcpFlow down(path.download, tcp, rng.fork("fast-down"));
+  out.down_mbps = stable_rate_mbps(down.run_for(8000.0));
+  transport::TcpFlow up(path.upload, tcp, rng.fork("fast-up"));
+  out.up_mbps = stable_rate_mbps(up.run_for(8000.0));
+  // fast.com reports the idle RTT to the serving edge, which is colocated
+  // with the PoP (the paper infers this from the match with RIPE PoP
+  // RTTs) — so the extra M-Lab-style server leg does not apply here.
+  out.latency_ms = 2.0 * path.access_one_way_ms + std::abs(rng.normal(1.0, 2.0));
+  return out;
+}
+
+}  // namespace
+
+AddonRunReport run_addon_once(const synth::World& world, const Tester& tester,
+                              double t_sec, stats::Rng& rng) {
+  AddonRunReport report;
+  report.tester_id = tester.id;
+  report.sno = tester.sno;
+  report.country = tester.country;
+  report.continent = geo::continent_of(tester.country);
+
+  stats::Rng sub_rng = rng.fork(tester.id);
+  const synth::Subscriber sub =
+      world.make_subscriber(tester.sno, tester.location, tester.country, sub_rng);
+  synth::PathSample path = world.sample_path(sub, t_sec, sub_rng);
+  if (!path.ok) {
+    // Brief outage: the addon retries a minute later.
+    path = world.sample_path(sub, t_sec + 60.0, sub_rng);
+    if (!path.ok) return report;
+  }
+
+  // 1. Warm-up + speedtest (fast.com).
+  report.speedtest = run_speedtest(path, sub_rng);
+
+  // 2. CDN measurements: jquery.min.js then jquery.js through each
+  //    provider (a DNS-primer fetch is discarded, as in the addon).
+  for (const auto& provider : http::cdn_providers()) {
+    CdnResult r;
+    r.cdn = std::string(provider.name);
+    r.minified_ms =
+        http::cdn_fetch_ms(provider, http::JqueryVariant::minified, path.download, sub_rng);
+    r.regular_ms =
+        http::cdn_fetch_ms(provider, http::JqueryVariant::regular, path.download, sub_rng);
+    report.cdn.push_back(std::move(r));
+  }
+
+  // 3. Akamai demo page over HTTP/1.1 and HTTP/2.
+  const http::WebPage demo = http::akamai_demo_page();
+  const auto h1 = http::load_page(demo, http::HttpVersion::h1, path.download, sub_rng);
+  const auto h2 = http::load_page(demo, http::HttpVersion::h2, path.download, sub_rng);
+  report.akamai = {h1.plt_ms, h2.plt_ms, h1.timed_out};
+
+  // 4. DNS lookups against unpopular short-TTL domains; cached entries
+  //    are filtered like the paper filters sub-RTT lookups.
+  dns::Resolver resolver(resolver_for(tester.sno), sub_rng.fork("dns"));
+  const char* domains[] = {"demo.akamai.example",  "census.ourserver.example",
+                           "h2demo.akamai.example", "img.akamai.example",
+                           "stats.ourserver.example", "cdn.probe.example"};
+  for (const char* domain : domains) {
+    const auto r = resolver.lookup(domain, t_sec, path.download.base_rtt_ms);
+    if (!r.cache_hit) report.dns_lookup_ms.push_back(r.time_ms);
+  }
+
+  // 5. 60-second YouTube session.
+  report.youtube = video::play_session(path.download, sub_rng);
+  return report;
+}
+
+std::vector<AddonRunReport> run_addon_study(const synth::World& world,
+                                            const TesterPool& pool,
+                                            const StudyConfig& config) {
+  std::vector<AddonRunReport> reports;
+  stats::Rng rng(config.seed);
+
+  const std::pair<std::string, std::size_t> quotas[] = {
+      {"starlink", config.starlink_testers},
+      {"hughesnet", config.hughesnet_testers},
+      {"viasat", config.viasat_testers},
+  };
+  for (const auto& [sno, quota] : quotas) {
+    for (const Tester* tester : pool.recruitable(sno, quota)) {
+      for (std::size_t run = 0; run < config.runs_per_tester; ++run) {
+        // Weekly runs on random days/times across a month.
+        const double t = (static_cast<double>(run) * 7.0 + rng.uniform(0.0, 5.0)) * 86400.0;
+        reports.push_back(run_addon_once(world, *tester, t, rng));
+      }
+    }
+  }
+  return reports;
+}
+
+}  // namespace satnet::prolific

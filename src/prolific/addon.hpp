@@ -1,0 +1,68 @@
+// The Chromium-addon experiment suite run by recruited Prolific testers
+// (paper §6.1): fast.com speed test, CDN fetches of jquery(.min).js,
+// Akamai H1/H2 demo-page loads, DNS lookups, and a 60-second YouTube
+// session. One AddonRunReport corresponds to one weekly run of one
+// tester; Figures 9-11 aggregate them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geo/places.hpp"
+#include "http/cdn.hpp"
+#include "http/loader.hpp"
+#include "prolific/census.hpp"
+#include "synth/world.hpp"
+#include "video/abr_player.hpp"
+
+namespace satnet::prolific {
+
+struct SpeedtestResult {
+  double down_mbps = 0;
+  double up_mbps = 0;
+  double latency_ms = 0;  ///< fast.com's idle RTT to its nearest server
+};
+
+struct CdnResult {
+  std::string cdn;
+  double minified_ms = 0;  ///< jquery.min.js download time
+  double regular_ms = 0;   ///< jquery.js download time
+};
+
+struct AkamaiResult {
+  double h1_plt_ms = 0;
+  double h2_plt_ms = 0;
+  bool h1_timed_out = false;
+};
+
+struct AddonRunReport {
+  int tester_id = 0;
+  std::string sno;
+  std::string country;
+  geo::Continent continent = geo::Continent::north_america;
+  SpeedtestResult speedtest;
+  std::vector<CdnResult> cdn;  ///< one entry per provider
+  AkamaiResult akamai;
+  std::vector<double> dns_lookup_ms;  ///< uncached lookups only
+  video::SessionStats youtube;
+};
+
+struct StudyConfig {
+  std::size_t starlink_testers = 10;
+  std::size_t hughesnet_testers = 5;
+  std::size_t viasat_testers = 5;
+  std::size_t runs_per_tester = 4;  ///< once a week for a month
+  std::uint64_t seed = 31;
+};
+
+/// Executes one full addon run for a tester at time `t_sec`.
+AddonRunReport run_addon_once(const synth::World& world, const Tester& tester,
+                              double t_sec, stats::Rng& rng);
+
+/// Recruits testers from the pool per the paper's quotas and runs the
+/// month-long study.
+std::vector<AddonRunReport> run_addon_study(const synth::World& world,
+                                            const TesterPool& pool,
+                                            const StudyConfig& config = StudyConfig{});
+
+}  // namespace satnet::prolific

@@ -1,0 +1,135 @@
+#include "prolific/census.hpp"
+
+#include <algorithm>
+
+#include "geo/places.hpp"
+
+namespace satnet::prolific {
+
+namespace {
+
+struct SnoTesterPlan {
+  const char* sno;
+  std::size_t verified_count;   ///< how many pool members truly connect via it
+  std::size_t listed_count;     ///< of those, how many prescreening knows about
+  std::size_t willing_count;    ///< accept the addon job (paper: 10/5/5)
+  /// Satisfaction weights for scores 1..5 (Fig 14's shapes: Starlink
+  /// skews good/very good, HughesNet peaks at "ok", Viasat spreads low).
+  std::array<double, 5> satisfaction;
+  std::vector<std::pair<const char*, const char*>> homes;  ///< (city, country)
+};
+
+const std::vector<SnoTesterPlan>& plans() {
+  static const std::vector<SnoTesterPlan> kPlans = {
+      {"starlink", 22, 8, 10,
+       {0.02, 0.03, 0.15, 0.45, 0.35},
+       {{"seattle", "US"}, {"denver", "US"}, {"dallas", "US"}, {"atlanta", "US"},
+        {"auckland", "NZ"}, {"chicago", "US"}, {"milan", "IT"}, {"london", "GB"},
+        {"amsterdam", "NL"}, {"prague", "CZ"}, {"kansas city", "US"},
+        {"toronto", "CA"}}},
+      {"hughesnet", 17, 6, 5,
+       {0.15, 0.25, 0.55, 0.05, 0.00},
+       {{"atlanta", "US"}, {"dallas", "US"}, {"kansas city", "US"}}},
+      {"viasat", 18, 6, 5,
+       {0.20, 0.30, 0.18, 0.22, 0.10},
+       {{"denver", "US"}, {"dallas", "US"}, {"atlanta", "US"}}},
+  };
+  return kPlans;
+}
+
+}  // namespace
+
+TesterPool::TesterPool(PoolConfig config) {
+  stats::Rng rng(config.seed);
+  int next_id = 1;
+
+  // Genuine SNO subscribers first.
+  for (const auto& plan : plans()) {
+    for (std::size_t i = 0; i < plan.verified_count; ++i) {
+      Tester t;
+      t.id = next_id++;
+      t.sno = plan.sno;
+      const auto& home = plan.homes[i % plan.homes.size()];
+      const geo::GeoPoint anchor = geo::city_point(home.first);
+      t.location = {anchor.lat_deg + rng.uniform(-1.0, 1.0),
+                    anchor.lon_deg + rng.uniform(-1.0, 1.0), 0.0};
+      t.country = home.second;
+      t.connects_via_sno = true;
+      t.prescreen_listed = i < plan.listed_count;
+      t.accepts_jobs = i < plan.willing_count;
+      t.satisfaction = 1 + static_cast<int>(rng.weighted_index(
+                               {plan.satisfaction.begin(), plan.satisfaction.end()}));
+      testers_.push_back(std::move(t));
+    }
+  }
+
+  // Prescreening false positives: Prolific lists them as SNO subscribers
+  // but their traffic arrives from terrestrial addresses.
+  std::size_t listed_real = 0;
+  for (const auto& plan : plans()) listed_real += plan.listed_count;
+  const std::size_t false_listed = 160 - listed_real;
+  for (std::size_t i = 0; i < false_listed; ++i) {
+    Tester t;
+    t.id = next_id++;
+    t.sno = "";
+    t.country = "US";
+    t.location = geo::city_point("chicago");
+    t.prescreen_listed = true;
+    testers_.push_back(std::move(t));
+  }
+
+  // The anonymous rest of the census population.
+  while (testers_.size() < config.population) {
+    Tester t;
+    t.id = next_id++;
+    t.country = "US";
+    testers_.push_back(std::move(t));
+  }
+}
+
+CensusOutcome TesterPool::run_census(stats::Rng& rng) const {
+  CensusOutcome out;
+  out.open_participants = testers_.size();
+  for (const auto& t : testers_) {
+    if (t.prescreen_listed) {
+      ++out.prescreen_claimed;
+      // Genuine subscribers respond eagerly to an SNO survey; the
+      // false-listed respond at the platform's base rate.
+      const bool responds = t.connects_via_sno || rng.chance(0.075);
+      if (responds) {
+        ++out.prescreen_responded;
+        if (t.connects_via_sno) ++out.prescreen_verified;
+      }
+    }
+    if (t.connects_via_sno) {
+      ++out.open_verified;
+      ++out.verified_by_sno[t.sno];
+    }
+  }
+  return out;
+}
+
+std::map<std::string, std::array<std::size_t, 5>> TesterPool::satisfaction_histogram()
+    const {
+  std::map<std::string, std::array<std::size_t, 5>> out;
+  for (const auto& t : testers_) {
+    if (!t.connects_via_sno) continue;
+    auto& hist = out[t.sno];
+    ++hist[static_cast<std::size_t>(std::clamp(t.satisfaction, 1, 5) - 1)];
+  }
+  return out;
+}
+
+std::vector<const Tester*> TesterPool::recruitable(const std::string& sno,
+                                                   std::size_t max_count) const {
+  std::vector<const Tester*> out;
+  for (const auto& t : testers_) {
+    if (t.sno == sno && t.connects_via_sno && t.accepts_jobs) {
+      out.push_back(&t);
+      if (out.size() >= max_count) break;
+    }
+  }
+  return out;
+}
+
+}  // namespace satnet::prolific

@@ -1,0 +1,70 @@
+// Prolific tester pool, prescreening, and the census funnel (paper §3.3,
+// Figure 14).
+//
+// Prolific's ISP prescreening is only partially reliable: testers sign up
+// at home but answer surveys from work or a phone. The pool models that
+// gap, and the census reproduces the paper's two campaigns:
+//  (1) prescreened: 160 claimed SNO subscribers -> 30 survey respondents
+//      -> 20 verified by source IP;
+//  (2) open census with IP-based access control: 14,371 participants ->
+//      57 actually connected via Starlink / HughesNet / Viasat.
+#pragma once
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "geo/geodesy.hpp"
+#include "stats/rng.hpp"
+
+namespace satnet::prolific {
+
+struct Tester {
+  int id = 0;
+  std::string sno;       ///< "starlink" / "hughesnet" / "viasat" / "" (none)
+  std::string country;
+  geo::GeoPoint location;
+  int satisfaction = 3;  ///< 1 (very poor) .. 5 (very good)
+  bool prescreen_listed = false;  ///< Prolific's prescreening flags them
+  bool connects_via_sno = false;  ///< source IP verifies the SNO
+  bool accepts_jobs = false;      ///< willing to install the addon
+};
+
+struct PoolConfig {
+  std::size_t population = 14371;  ///< census participants (paper's volume)
+  std::uint64_t seed = 23;
+};
+
+/// Funnel counters for both recruitment strategies.
+struct CensusOutcome {
+  std::size_t prescreen_claimed = 0;    ///< 160 in the paper
+  std::size_t prescreen_responded = 0;  ///< 30
+  std::size_t prescreen_verified = 0;   ///< 20
+  std::size_t open_participants = 0;    ///< 14,371
+  std::size_t open_verified = 0;        ///< 57
+  std::map<std::string, std::size_t> verified_by_sno;
+};
+
+class TesterPool {
+ public:
+  explicit TesterPool(PoolConfig config = PoolConfig{});
+
+  const std::vector<Tester>& testers() const { return testers_; }
+
+  /// Runs both recruitment funnels.
+  CensusOutcome run_census(stats::Rng& rng) const;
+
+  /// Satisfaction histogram per SNO over verified subscribers
+  /// (Figure 14): counts indexed 0..4 for scores 1..5.
+  std::map<std::string, std::array<std::size_t, 5>> satisfaction_histogram() const;
+
+  /// Verified + willing testers of one SNO — the addon-study recruits.
+  std::vector<const Tester*> recruitable(const std::string& sno,
+                                         std::size_t max_count) const;
+
+ private:
+  std::vector<Tester> testers_;
+};
+
+}  // namespace satnet::prolific

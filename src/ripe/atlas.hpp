@@ -1,0 +1,77 @@
+// RIPE Atlas built-in measurement campaign over the Starlink access
+// network: traceroutes to the 13 DNS roots and SSLCert-style public-IP
+// harvesting, exactly the two built-ins the paper mines.
+//
+// Analyses derived from this dataset: probe->PoP RTT by country (Fig 6a),
+// RTT/hops to the roots (Fig 6b/6c), probe-PoP geography and migrations
+// (Fig 7, Fig 8b), US per-state RTT (Fig 8a), and Table 2's volumes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dns/roots.hpp"
+#include "net/route.hpp"
+#include "orbit/access.hpp"
+#include "ripe/probes.hpp"
+#include "stats/rng.hpp"
+
+namespace satnet::ripe {
+
+/// Summary of one traceroute (full hop lists are rebuilt on demand with
+/// build_traceroute; the campaign keeps summaries for memory's sake).
+struct TracerouteRecord {
+  int probe_id = 0;
+  double t_sec = 0;
+  char root = 'A';
+  bool via_cgnat = false;      ///< 100.64.0.1 present on the path
+  std::string pop_name;        ///< serving PoP (from rDNS), "" off-Starlink
+  double cgnat_rtt_ms = 0;     ///< probe -> CGNAT gateway (the PoP RTT)
+  double dest_rtt_ms = 0;
+  int hop_count = 0;
+  std::string instance_city;   ///< anycast instance that answered
+};
+
+/// One SSLCert built-in run: exposes the probe's public address.
+struct SslCertRecord {
+  int probe_id = 0;
+  double t_sec = 0;
+  net::Ipv4 src_addr;
+};
+
+struct AtlasDataset {
+  std::vector<Probe> probes;  ///< all candidates (validation filters later)
+  std::vector<TracerouteRecord> traceroutes;
+  std::vector<SslCertRecord> sslcerts;
+};
+
+struct AtlasConfig {
+  double duration_days = 365.0;
+  double round_interval_hours = 12.0;  ///< one round = 13 root traceroutes
+  std::uint64_t seed = 11;
+};
+
+/// Runs the campaign. The Starlink access network is built internally
+/// (make_starlink_access) so the scripted PoP migrations apply.
+AtlasDataset run_atlas_campaign(const AtlasConfig& config);
+
+/// Public address a probe holds while attached to PoP `pop_index`
+/// (Starlink reassigns addresses per PoP).
+net::Ipv4 probe_public_ip(const Probe& probe, std::size_t pop_index);
+
+/// Reverse DNS of a Starlink subscriber address:
+/// "customer.<pop>.pop.starlinkisp.net". Empty for non-Starlink space.
+std::string reverse_dns(net::Ipv4 ip, const orbit::AccessNetwork& starlink);
+
+/// Full hop-by-hop traceroute (for examples/tests; the campaign stores
+/// summaries). `root` is a root letter 'A'..'M'.
+net::Route build_traceroute(const orbit::AccessNetwork& starlink, const Probe& probe,
+                            double t_sec, char root, stats::Rng& rng);
+
+/// The paper's validation: a probe counts as "on Starlink" only when the
+/// CGNAT gateway appears on its routing paths. Returns ids of validated
+/// probes (filters stale-ASN decoys; keeps multihomed probes whose
+/// majority of paths cross Starlink).
+std::vector<int> validated_probe_ids(const AtlasDataset& dataset);
+
+}  // namespace satnet::ripe

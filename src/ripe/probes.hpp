@@ -1,0 +1,35 @@
+// The RIPE Atlas Starlink probe fleet (paper Table 2).
+//
+// 67 probes across 15 countries, activated at different dates within the
+// May 2022 - May 2023 window, plus a few decoys that carry a stale
+// Starlink ASN in their metadata or are multihomed with an LTE failover —
+// the data-quality traps §3.1 describes, which the CGNAT-gateway check
+// must catch.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geo/geodesy.hpp"
+
+namespace satnet::ripe {
+
+struct Probe {
+  int id = 0;
+  std::string country;   ///< ISO code
+  std::string us_state;  ///< two-letter code, US probes only
+  geo::GeoPoint location;
+  double start_day = 0;  ///< activation day, campaign epoch = 2022-05-03
+  /// Metadata quirks (ground truth; the validation step must discover
+  /// them from traceroute contents, not from these flags).
+  bool stale_asn = false;   ///< probes table still says Starlink, user moved ISP
+  bool lte_failover = false;  ///< multihomed; some traceroutes bypass Starlink
+};
+
+/// All probe candidates whose metadata says "AS14593" (67 valid + decoys).
+std::vector<Probe> starlink_probe_candidates();
+
+/// Activation-date helper: days since 2022-05-03 for a "YY/MM" label.
+double start_day_for(const std::string& yymm);
+
+}  // namespace satnet::ripe

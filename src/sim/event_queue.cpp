@@ -1,0 +1,44 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace satnet::sim {
+
+void EventQueue::schedule_at(Time t, Handler handler) {
+  if (t < now_) throw std::invalid_argument("EventQueue: scheduling in the past");
+  queue_.push(Event{t, next_seq_++, std::move(handler)});
+}
+
+void EventQueue::schedule_in(Time delay, Handler handler) {
+  if (delay < 0) throw std::invalid_argument("EventQueue: negative delay");
+  schedule_at(now_ + delay, std::move(handler));
+}
+
+std::size_t EventQueue::run_until(Time until) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().t <= until) {
+    // Copy out before pop: the handler may schedule new events.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.t;
+    ev.handler(now_);
+    ++executed;
+  }
+  if (now_ < until) now_ = until;
+  return executed;
+}
+
+std::size_t EventQueue::run() {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.t;
+    ev.handler(now_);
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace satnet::sim

@@ -1,0 +1,57 @@
+// Minimal discrete-event simulation engine.
+//
+// Campaign drivers (RIPE built-in schedules, M-Lab test arrivals,
+// longitudinal PoP-reassignment events) run on this engine so that an
+// entire year of measurements is a deterministic replay.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace satnet::sim {
+
+/// Simulation time in seconds since the campaign epoch.
+using Time = double;
+
+/// Event scheduler with a monotonic clock. Events scheduled for the same
+/// time fire in scheduling order (stable tie-break by sequence number).
+class EventQueue {
+ public:
+  using Handler = std::function<void(Time)>;
+
+  /// Schedules `handler` at absolute time `t` (must be >= now()).
+  void schedule_at(Time t, Handler handler);
+  /// Schedules `handler` `delay` seconds from now.
+  void schedule_in(Time delay, Handler handler);
+
+  /// Runs events until the queue is empty or the next event is after
+  /// `until`. Returns the number of events executed.
+  std::size_t run_until(Time until);
+  /// Runs the whole queue to exhaustion.
+  std::size_t run();
+
+  Time now() const { return now_; }
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace satnet::sim

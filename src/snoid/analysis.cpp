@@ -1,0 +1,154 @@
+#include "snoid/analysis.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace satnet::snoid {
+
+namespace {
+constexpr std::array<std::string_view, 4> kPepOperators = {"hughesnet", "viasat",
+                                                           "eutelsat", "avanti"};
+
+const OperatorResult* find_operator(const PipelineResult& result,
+                                    const std::string& name) {
+  for (const auto& op : result.operators) {
+    if (op.name == name) return &op;
+  }
+  return nullptr;
+}
+}  // namespace
+
+std::span<const std::string_view> pep_operators() { return kPepOperators; }
+
+bool is_pep_operator(std::string_view name) {
+  return std::find(kPepOperators.begin(), kPepOperators.end(), name) !=
+         kPepOperators.end();
+}
+
+std::map<orbit::OrbitClass, std::vector<std::size_t>> retained_by_orbit(
+    const PipelineResult& result) {
+  std::map<orbit::OrbitClass, std::vector<std::size_t>> out;
+  for (const auto& op : result.operators) {
+    auto& bucket = out[op.declared_orbit];
+    bucket.insert(bucket.end(), op.retained.begin(), op.retained.end());
+  }
+  return out;
+}
+
+std::vector<double> jitter_variability(const mlab::NdtDataset& dataset,
+                                       const std::vector<std::size_t>& subset) {
+  std::vector<double> out;
+  out.reserve(subset.size());
+  for (const std::size_t i : subset) {
+    const auto& r = dataset.records()[i];
+    if (r.latency_p5_ms > 0) out.push_back(r.jitter_p95_ms / r.latency_p5_ms);
+  }
+  return out;
+}
+
+RetransmissionGroups retransmission_groups(const mlab::NdtDataset& dataset,
+                                           const PipelineResult& result) {
+  RetransmissionGroups g;
+  for (const auto& op : result.operators) {
+    std::vector<double>* dst = nullptr;
+    switch (op.declared_orbit) {
+      case orbit::OrbitClass::leo: dst = &g.leo; break;
+      case orbit::OrbitClass::meo:
+        dst = op.multi_orbit ? &g.meo : &g.meo;
+        break;
+      case orbit::OrbitClass::geo:
+        dst = is_pep_operator(op.name) ? &g.geo_pep : &g.geo_others;
+        break;
+    }
+    for (const std::size_t i : op.retained) {
+      dst->push_back(dataset.records()[i].retrans_frac);
+    }
+  }
+  return g;
+}
+
+std::vector<std::pair<std::string, stats::Boxplot>> latency_boxplots(
+    const mlab::NdtDataset& dataset, const PipelineResult& result) {
+  std::vector<std::pair<std::string, stats::Boxplot>> out;
+  for (const auto& op : result.operators) {
+    if (op.retained.empty()) continue;
+    const auto lat = dataset.field(op.retained, &mlab::NdtRecord::latency_p5_ms);
+    out.emplace_back(op.name, stats::boxplot(lat));
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second.median < b.second.median;
+  });
+  return out;
+}
+
+ConfusionMatrix confusion_matrix(const mlab::NdtDataset& dataset,
+                                 const PipelineResult& result) {
+  std::vector<bool> retained(dataset.size(), false);
+  for (const auto& op : result.operators) {
+    for (const std::size_t i : op.retained) retained[i] = true;
+  }
+  ConfusionMatrix cm;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const bool truth = dataset.records()[i].truth_satellite;
+    if (retained[i] && truth) ++cm.true_positive;
+    else if (retained[i] && !truth) ++cm.false_positive;
+    else if (!retained[i] && truth) ++cm.false_negative;
+    else ++cm.true_negative;
+  }
+  return cm;
+}
+
+std::vector<std::pair<std::string, stats::Boxplot>> latency_by_country(
+    const mlab::NdtDataset& dataset, const PipelineResult& result,
+    const std::string& operator_name, std::size_t min_tests) {
+  std::vector<std::pair<std::string, stats::Boxplot>> out;
+  const OperatorResult* op = find_operator(result, operator_name);
+  if (!op) return out;
+  std::map<std::string, std::vector<double>> by_country;
+  for (const std::size_t i : op->retained) {
+    const auto& r = dataset.records()[i];
+    by_country[r.country].push_back(r.latency_p5_ms);
+  }
+  for (auto& [country, values] : by_country) {
+    if (values.size() < min_tests) continue;
+    out.emplace_back(country, stats::boxplot(values));
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second.median < b.second.median;
+  });
+  return out;
+}
+
+double country_consistency_spread(const mlab::NdtDataset& dataset,
+                                  const PipelineResult& result,
+                                  const std::string& operator_name) {
+  const auto rows = latency_by_country(dataset, result, operator_name, 3);
+  if (rows.size() < 2) return 0.0;
+  std::vector<double> medians;
+  medians.reserve(rows.size());
+  for (const auto& [country, box] : rows) medians.push_back(box.median);
+  const OperatorResult* op = find_operator(result, operator_name);
+  const auto all = dataset.field(op->retained, &mlab::NdtRecord::latency_p5_ms);
+  const double global_median = stats::median(all);
+  if (global_median <= 0) return 0.0;
+  return (stats::percentile(medians, 75) - stats::percentile(medians, 25)) /
+         global_median;
+}
+
+std::vector<stats::Bucket> daily_latency_series(const mlab::NdtDataset& dataset,
+                                                const PipelineResult& result,
+                                                const std::string& operator_name) {
+  const OperatorResult* op = find_operator(result, operator_name);
+  if (!op) return {};
+  std::vector<stats::Observation> obs;
+  obs.reserve(op->retained.size());
+  for (const std::size_t i : op->retained) {
+    const auto& r = dataset.records()[i];
+    obs.push_back({r.t_sec, r.latency_p5_ms});
+  }
+  std::sort(obs.begin(), obs.end(),
+            [](const auto& a, const auto& b) { return a.t_sec < b.t_sec; });
+  return stats::bucketize(obs, 86400.0);
+}
+
+}  // namespace satnet::snoid

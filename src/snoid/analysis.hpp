@@ -1,0 +1,96 @@
+// Cross-orbit analytics over pipeline-retained tests (paper §4):
+// latency boxplots per SNO (Fig 3c), daily latency series (Fig 4a),
+// jitter variability per orbit (Fig 4b), and retransmission groups
+// including the PEP split (Fig 4c).
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mlab/dataset.hpp"
+#include "snoid/pipeline.hpp"
+#include "stats/summary.hpp"
+#include "stats/timeseries.hpp"
+
+namespace satnet::snoid {
+
+/// Operators known (from datasheets, as in the paper's footnote 1) to
+/// deploy Performance Enhancing Proxies.
+std::span<const std::string_view> pep_operators();
+bool is_pep_operator(std::string_view name);
+
+/// Record indices retained by the pipeline, grouped by declared orbit.
+std::map<orbit::OrbitClass, std::vector<std::size_t>> retained_by_orbit(
+    const PipelineResult& result);
+
+/// The paper's jitter-variability metric per record:
+/// jitter_p95 / latency_p5.
+std::vector<double> jitter_variability(const mlab::NdtDataset& dataset,
+                                       const std::vector<std::size_t>& subset);
+
+/// Retransmission fractions split the way Figure 4c groups them.
+struct RetransmissionGroups {
+  std::vector<double> leo;
+  std::vector<double> meo;
+  std::vector<double> geo_pep;     ///< HughesNet, Viasat, Eutelsat, Avanti
+  std::vector<double> geo_others;
+};
+RetransmissionGroups retransmission_groups(const mlab::NdtDataset& dataset,
+                                           const PipelineResult& result);
+
+/// Per-operator latency boxplots over retained tests, ordered by median
+/// (Fig 3c's layout).
+std::vector<std::pair<std::string, stats::Boxplot>> latency_boxplots(
+    const mlab::NdtDataset& dataset, const PipelineResult& result);
+
+/// Daily median latency for one operator (Fig 4a's series).
+std::vector<stats::Bucket> daily_latency_series(const mlab::NdtDataset& dataset,
+                                                const PipelineResult& result,
+                                                const std::string& operator_name);
+
+/// Latency boxplots per client country for one operator's retained tests
+/// — the paper's §4 consistency observation: Starlink performs uniformly
+/// worldwide while OneWeb is skewed toward North America.
+std::vector<std::pair<std::string, stats::Boxplot>> latency_by_country(
+    const mlab::NdtDataset& dataset, const PipelineResult& result,
+    const std::string& operator_name, std::size_t min_tests = 5);
+
+/// Dataset-level confusion matrix of the pipeline viewed as a binary
+/// classifier ("this speed test crossed a satellite"): a record is
+/// predicted positive when any operator retained it. The paper could not
+/// compute this for lack of ground truth (§3.4).
+struct ConfusionMatrix {
+  std::size_t true_positive = 0;   ///< retained, truly satellite
+  std::size_t false_positive = 0;  ///< retained, actually terrestrial
+  std::size_t false_negative = 0;  ///< satellite test the pipeline dropped
+  std::size_t true_negative = 0;   ///< terrestrial test correctly dropped
+
+  double precision() const {
+    const auto d = true_positive + false_positive;
+    return d ? static_cast<double>(true_positive) / static_cast<double>(d) : 0.0;
+  }
+  double recall() const {
+    const auto d = true_positive + false_negative;
+    return d ? static_cast<double>(true_positive) / static_cast<double>(d) : 0.0;
+  }
+  double false_positive_rate() const {
+    const auto d = false_positive + true_negative;
+    return d ? static_cast<double>(false_positive) / static_cast<double>(d) : 0.0;
+  }
+};
+
+ConfusionMatrix confusion_matrix(const mlab::NdtDataset& dataset,
+                                 const PipelineResult& result);
+
+/// Cross-country consistency score: the interquartile range of the
+/// per-country medians divided by the operator's global median (robust to
+/// single-country outliers like Starlink's Philippines detour). Lower is
+/// more consistent.
+double country_consistency_spread(const mlab::NdtDataset& dataset,
+                                  const PipelineResult& result,
+                                  const std::string& operator_name);
+
+}  // namespace satnet::snoid

@@ -1,0 +1,165 @@
+#include "snoid/pop_analysis.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace satnet::snoid {
+
+namespace {
+
+/// Probe lookup and validation set, shared by all analyses.
+struct Context {
+  std::map<int, const ripe::Probe*> probes;
+  std::set<int> validated;
+
+  explicit Context(const ripe::AtlasDataset& dataset) {
+    for (const auto& p : dataset.probes) probes[p.id] = &p;
+    for (const int id : ripe::validated_probe_ids(dataset)) validated.insert(id);
+  }
+  const ripe::Probe* probe(int id) const {
+    const auto it = probes.find(id);
+    return it == probes.end() ? nullptr : it->second;
+  }
+  bool valid(int id) const { return validated.count(id) > 0; }
+};
+
+std::vector<RttSummary> summarize_groups(std::map<std::string, std::vector<double>> groups) {
+  std::vector<RttSummary> out;
+  for (auto& [key, values] : groups) {
+    if (values.empty()) continue;
+    out.push_back({key, stats::boxplot(values)});
+  }
+  std::sort(out.begin(), out.end(), [](const RttSummary& a, const RttSummary& b) {
+    return a.rtt.median < b.rtt.median;
+  });
+  return out;
+}
+
+}  // namespace
+
+std::vector<RttSummary> pop_rtt_by_country(const ripe::AtlasDataset& dataset,
+                                           bool us_only) {
+  const Context ctx(dataset);
+  std::map<std::string, std::vector<double>> groups;
+  for (const auto& t : dataset.traceroutes) {
+    if (!t.via_cgnat || !ctx.valid(t.probe_id)) continue;
+    const ripe::Probe* p = ctx.probe(t.probe_id);
+    if (!p || (p->country == "US") != us_only) continue;
+    groups[p->country].push_back(t.cgnat_rtt_ms);
+  }
+  return summarize_groups(std::move(groups));
+}
+
+std::vector<RttSummary> pop_rtt_by_us_state(const ripe::AtlasDataset& dataset) {
+  const Context ctx(dataset);
+  std::map<std::string, std::vector<double>> groups;
+  for (const auto& t : dataset.traceroutes) {
+    if (!t.via_cgnat || !ctx.valid(t.probe_id)) continue;
+    const ripe::Probe* p = ctx.probe(t.probe_id);
+    if (!p || p->country != "US" || p->us_state.empty()) continue;
+    groups[p->us_state].push_back(t.cgnat_rtt_ms);
+  }
+  return summarize_groups(std::move(groups));
+}
+
+std::vector<RttSummary> root_rtt_by_country(const ripe::AtlasDataset& dataset) {
+  const Context ctx(dataset);
+  std::map<std::string, std::vector<double>> groups;
+  for (const auto& t : dataset.traceroutes) {
+    if (!t.via_cgnat || !ctx.valid(t.probe_id)) continue;
+    const ripe::Probe* p = ctx.probe(t.probe_id);
+    if (!p || p->country == "US") continue;  // Fig 6b is rest-of-world
+    groups[p->country].push_back(t.dest_rtt_ms);
+  }
+  return summarize_groups(std::move(groups));
+}
+
+std::map<std::string, stats::Summary> root_hops_by_country(
+    const ripe::AtlasDataset& dataset) {
+  const Context ctx(dataset);
+  std::map<std::string, std::vector<double>> groups;
+  for (const auto& t : dataset.traceroutes) {
+    if (!t.via_cgnat || !ctx.valid(t.probe_id)) continue;
+    const ripe::Probe* p = ctx.probe(t.probe_id);
+    if (!p || p->country == "US") continue;
+    groups[p->country].push_back(static_cast<double>(t.hop_count));
+  }
+  std::map<std::string, stats::Summary> out;
+  for (auto& [key, values] : groups) out[key] = stats::summarize(values);
+  return out;
+}
+
+std::vector<PopAssociation> pop_association_history(const ripe::AtlasDataset& dataset) {
+  const Context ctx(dataset);
+  // (probe, pop) -> [first, last, count]
+  std::map<std::pair<int, std::string>, PopAssociation> assoc;
+  for (const auto& t : dataset.traceroutes) {
+    if (!t.via_cgnat || !ctx.valid(t.probe_id) || t.pop_name.empty()) continue;
+    const double day = t.t_sec / 86400.0;
+    auto& a = assoc[{t.probe_id, t.pop_name}];
+    if (a.n_traceroutes == 0) {
+      a.probe_id = t.probe_id;
+      const ripe::Probe* p = ctx.probe(t.probe_id);
+      a.country = p ? p->country : "?";
+      a.pop_name = t.pop_name;
+      a.first_day = day;
+      a.last_day = day;
+    }
+    a.first_day = std::min(a.first_day, day);
+    a.last_day = std::max(a.last_day, day);
+    ++a.n_traceroutes;
+  }
+  std::vector<PopAssociation> out;
+  out.reserve(assoc.size());
+  for (auto& [key, a] : assoc) out.push_back(std::move(a));
+  std::sort(out.begin(), out.end(), [](const PopAssociation& a, const PopAssociation& b) {
+    if (a.probe_id != b.probe_id) return a.probe_id < b.probe_id;
+    return a.first_day < b.first_day;
+  });
+  return out;
+}
+
+std::vector<PopMigration> detect_pop_migrations(const ripe::AtlasDataset& dataset) {
+  const Context ctx(dataset);
+  // Build per-probe PoP-RTT time series, sorted by time.
+  struct Sample {
+    double t_sec;
+    double rtt;
+    std::string pop;
+  };
+  std::map<int, std::vector<Sample>> series;
+  for (const auto& t : dataset.traceroutes) {
+    if (!t.via_cgnat || !ctx.valid(t.probe_id) || t.pop_name.empty()) continue;
+    series[t.probe_id].push_back({t.t_sec, t.cgnat_rtt_ms, t.pop_name});
+  }
+
+  std::vector<PopMigration> out;
+  for (auto& [probe_id, samples] : series) {
+    std::sort(samples.begin(), samples.end(),
+              [](const Sample& a, const Sample& b) { return a.t_sec < b.t_sec; });
+    // PoP change epochs directly from the name sequence; the RTT shift is
+    // read from windows on either side.
+    for (std::size_t i = 1; i < samples.size(); ++i) {
+      if (samples[i].pop == samples[i - 1].pop) continue;
+      constexpr std::size_t kWin = 20;
+      const std::size_t lo = i >= kWin ? i - kWin : 0;
+      const std::size_t hi = std::min(samples.size(), i + kWin);
+      std::vector<double> before, after;
+      for (std::size_t k = lo; k < i; ++k) before.push_back(samples[k].rtt);
+      for (std::size_t k = i; k < hi; ++k) after.push_back(samples[k].rtt);
+      PopMigration m;
+      m.probe_id = probe_id;
+      const ripe::Probe* p = ctx.probe(probe_id);
+      m.country = p ? p->country : "?";
+      m.day = samples[i].t_sec / 86400.0;
+      m.from_pop = samples[i - 1].pop;
+      m.to_pop = samples[i].pop;
+      m.rtt_before_ms = stats::median(before);
+      m.rtt_after_ms = stats::median(after);
+      out.push_back(std::move(m));
+    }
+  }
+  return out;
+}
+
+}  // namespace satnet::snoid

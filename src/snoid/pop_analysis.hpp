@@ -1,0 +1,60 @@
+// Starlink infrastructure analytics over the RIPE Atlas dataset
+// (paper §5): per-country PoP RTT (Fig 6a, 8a), RTT/hops to the DNS
+// roots (Fig 6b/6c), probe->PoP association history (Fig 7), and
+// PoP-migration detection from RTT time series (Fig 8b).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ripe/atlas.hpp"
+#include "stats/summary.hpp"
+#include "stats/timeseries.hpp"
+
+namespace satnet::snoid {
+
+/// Summary of one probe's (or country's/state's) RTT sample.
+struct RttSummary {
+  std::string key;  ///< country code or state code
+  stats::Boxplot rtt;
+};
+
+/// Probe->PoP (CGNAT) RTT grouped by country, validated probes only,
+/// optionally restricted to (or excluding) the US.
+std::vector<RttSummary> pop_rtt_by_country(const ripe::AtlasDataset& dataset,
+                                           bool us_only);
+
+/// US probes grouped by state (Fig 8a).
+std::vector<RttSummary> pop_rtt_by_us_state(const ripe::AtlasDataset& dataset);
+
+/// Destination RTT / hop count to the roots, by country (Fig 6b/6c).
+std::vector<RttSummary> root_rtt_by_country(const ripe::AtlasDataset& dataset);
+std::map<std::string, stats::Summary> root_hops_by_country(
+    const ripe::AtlasDataset& dataset);
+
+/// One probe's PoP association interval (Fig 7's green/red links).
+struct PopAssociation {
+  int probe_id = 0;
+  std::string country;
+  std::string pop_name;
+  double first_day = 0;
+  double last_day = 0;
+  std::size_t n_traceroutes = 0;
+};
+std::vector<PopAssociation> pop_association_history(const ripe::AtlasDataset& dataset);
+
+/// A detected PoP migration: an RTT mean shift co-occurring with a PoP
+/// name change (Fig 8b's events).
+struct PopMigration {
+  int probe_id = 0;
+  std::string country;
+  double day = 0;
+  std::string from_pop;
+  std::string to_pop;
+  double rtt_before_ms = 0;
+  double rtt_after_ms = 0;
+};
+std::vector<PopMigration> detect_pop_migrations(const ripe::AtlasDataset& dataset);
+
+}  // namespace satnet::snoid

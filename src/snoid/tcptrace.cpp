@@ -1,0 +1,121 @@
+#include "snoid/tcptrace.hpp"
+
+#include <algorithm>
+
+#include "stats/summary.hpp"
+
+namespace satnet::snoid {
+
+std::string_view to_string(RetransProfile p) {
+  switch (p) {
+    case RetransProfile::clean: return "clean";
+    case RetransProfile::loss_driven: return "loss-driven";
+    case RetransProfile::timeout_driven: return "timeout-driven";
+  }
+  return "?";
+}
+
+TraceAnalysis analyze_trace(std::span<const transport::TcpInfoSnapshot> snapshots,
+                            const TraceAnalysisOptions& opt) {
+  TraceAnalysis out;
+  if (snapshots.size() < 2) return out;
+
+  const auto& last = snapshots.back();
+  out.total_retrans_bytes = last.bytes_retrans;
+  out.retrans_fraction =
+      last.bytes_sent > 0
+          ? static_cast<double>(last.bytes_retrans) / static_cast<double>(last.bytes_sent)
+          : 0.0;
+  out.goodput_mbps =
+      last.t_ms > 0 ? static_cast<double>(last.bytes_acked) * 8.0 / (last.t_ms * 1e3)
+                    : 0.0;
+
+  // Pass 1: maximal intervals with no ack progress ("stalls"). During an
+  // RTO the sender idles, so the snapshots following the retransmission
+  // delta are flat in bytes_acked.
+  struct Stall {
+    double t_start_ms;
+    double t_end_ms;
+  };
+  std::vector<Stall> stalls;
+  {
+    double stall_start = snapshots.front().t_ms;
+    std::uint64_t last_acked = snapshots.front().bytes_acked;
+    for (std::size_t i = 1; i < snapshots.size(); ++i) {
+      if (snapshots[i].bytes_acked > last_acked) {
+        if (snapshots[i].t_ms - stall_start > 0) {
+          stalls.push_back({stall_start, snapshots[i].t_ms});
+        }
+        last_acked = snapshots[i].bytes_acked;
+        stall_start = snapshots[i].t_ms;
+      }
+    }
+    stalls.push_back({stall_start, snapshots.back().t_ms});
+    for (const auto& s : stalls) {
+      out.longest_ack_stall_ms =
+          std::max(out.longest_ack_stall_ms, s.t_end_ms - s.t_start_ms);
+    }
+  }
+
+  // Pass 2: group consecutive retransmitting snapshot intervals into
+  // episodes.
+  for (std::size_t i = 1; i < snapshots.size(); ++i) {
+    const std::uint64_t d_retrans =
+        snapshots[i].bytes_retrans - snapshots[i - 1].bytes_retrans;
+    if (d_retrans == 0) continue;
+    if (!out.episodes.empty() &&
+        out.episodes.back().t_end_ms >= snapshots[i - 1].t_ms) {
+      out.episodes.back().t_end_ms = snapshots[i].t_ms;
+      out.episodes.back().bytes += d_retrans;
+    } else {
+      out.episodes.push_back({snapshots[i - 1].t_ms, snapshots[i].t_ms, d_retrans, false});
+    }
+  }
+
+  // Pass 3: an episode is timeout-like when a long stall overlaps or
+  // immediately follows it (the sender goes quiet for the RTO around the
+  // go-back-N burst). "Long" scales with the path RTT: on a 650 ms GEO
+  // path an ordinary ack round already takes ~650 ms, so only gaps well
+  // beyond one smoothed RTT count as timeouts.
+  double srtt_med = 0;
+  {
+    std::vector<double> srtts;
+    for (const auto& s : snapshots) {
+      if (s.rtt_ms > 0) srtts.push_back(s.rtt_ms);
+    }
+    if (!srtts.empty()) srtt_med = stats::median(srtts);
+  }
+  const double stall_threshold =
+      std::max(opt.stall_threshold_ms, 1.8 * srtt_med + 200.0);
+  for (auto& e : out.episodes) {
+    for (const auto& s : stalls) {
+      const double overlap_start = std::max(e.t_start_ms, s.t_start_ms);
+      const double overlap_end =
+          std::min(e.t_end_ms + stall_threshold + 200.0, s.t_end_ms);
+      if (overlap_end > overlap_start &&
+          s.t_end_ms - s.t_start_ms >= stall_threshold) {
+        e.timeout_like = true;
+        break;
+      }
+    }
+  }
+
+  // Classification.
+  if (out.retrans_fraction < opt.clean_fraction) {
+    out.profile = RetransProfile::clean;
+    return out;
+  }
+  std::uint64_t timeout_bytes = 0, episode_bytes = 0;
+  for (const auto& e : out.episodes) {
+    episode_bytes += e.bytes;
+    if (e.timeout_like) timeout_bytes += e.bytes;
+  }
+  const double share = episode_bytes > 0 ? static_cast<double>(timeout_bytes) /
+                                               static_cast<double>(episode_bytes)
+                                         : 0.0;
+  out.profile = share >= opt.timeout_share ? RetransProfile::timeout_driven
+                                           : RetransProfile::loss_driven;
+  return out;
+}
+
+}  // namespace satnet::snoid

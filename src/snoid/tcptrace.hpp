@@ -1,0 +1,64 @@
+// In-depth TCP trace analysis (the paper's §7 future work: "a more
+// in-depth analysis of TCP traces to thoroughly examine retransmission
+// rates").
+//
+// Works on the TCP_Info snapshot sequences the M-Lab server records:
+// reconstructs retransmission episodes, distinguishes fast-recovery
+// (loss-driven) from timeout-driven behaviour via the ack-progress
+// stalls around each episode, and classifies a flow's retransmission
+// profile. Applied per orbit, this separates *why* GEO links retransmit
+// (RTO/go-back-N) from why LEO links do (handoff loss bursts).
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "transport/tcp.hpp"
+
+namespace satnet::snoid {
+
+/// One contiguous burst of retransmissions in a trace.
+struct RetransEpisode {
+  double t_start_ms = 0;
+  double t_end_ms = 0;
+  std::uint64_t bytes = 0;
+  /// True when ack progress stalled around the episode for at least an
+  /// RTO's worth of time — the signature of timeout recovery.
+  bool timeout_like = false;
+};
+
+/// Flow-level retransmission character.
+enum class RetransProfile {
+  clean,           ///< negligible retransmissions
+  loss_driven,     ///< many small fast-recovery episodes
+  timeout_driven,  ///< few large episodes with ack stalls (RTO/go-back-N)
+};
+
+std::string_view to_string(RetransProfile p);
+
+struct TraceAnalysis {
+  std::vector<RetransEpisode> episodes;
+  std::uint64_t total_retrans_bytes = 0;
+  double retrans_fraction = 0;     ///< of bytes sent over the whole trace
+  double longest_ack_stall_ms = 0; ///< longest window with no ack progress
+  double goodput_mbps = 0;
+  RetransProfile profile = RetransProfile::clean;
+};
+
+struct TraceAnalysisOptions {
+  /// Ack stalls at least this long mark an episode timeout-like.
+  double stall_threshold_ms = 900.0;
+  /// Flows below this retransmitted-byte fraction are "clean".
+  double clean_fraction = 0.005;
+  /// A profile is timeout_driven when at least this share of
+  /// retransmitted bytes sits in timeout-like episodes.
+  double timeout_share = 0.5;
+};
+
+/// Analyzes one snapshot sequence (must be time-ordered, as TcpFlow
+/// produces them).
+TraceAnalysis analyze_trace(std::span<const transport::TcpInfoSnapshot> snapshots,
+                            const TraceAnalysisOptions& options = TraceAnalysisOptions{});
+
+}  // namespace satnet::snoid

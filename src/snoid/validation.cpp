@@ -1,0 +1,72 @@
+#include "snoid/validation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/kde.hpp"
+
+namespace satnet::snoid {
+
+std::string to_string(AsnClass c) {
+  switch (c) {
+    case AsnClass::clean: return "clean";
+    case AsnClass::mixed: return "mixed";
+    case AsnClass::incompatible: return "incompatible";
+    case AsnClass::no_data: return "no-data";
+  }
+  return "?";
+}
+
+AsnVerdict classify_asn(bgp::Asn asn, std::span<const double> latencies,
+                        const TechWindow& window, std::size_t min_tests,
+                        double clean_mass, double incompatible_mass) {
+  AsnVerdict v;
+  v.asn = asn;
+  v.n_tests = latencies.size();
+  if (latencies.size() < min_tests) {
+    v.cls = AsnClass::no_data;
+    return v;
+  }
+
+  const stats::Kde kde(latencies);
+  const auto peaks = kde.peaks();
+  if (peaks.empty()) {
+    v.cls = AsnClass::no_data;
+    return v;
+  }
+  v.main_peak_ms = peaks.front().location;
+  // Multimodality check: significant peaks must be well-separated (the
+  // KDE grid can split one physical mode into adjacent bumps).
+  std::vector<double> modes;
+  for (const auto& p : peaks) {
+    if (p.mass < 0.10) continue;
+    const bool distinct = std::all_of(modes.begin(), modes.end(), [&](double m) {
+      return std::abs(p.location - m) > 0.3 * std::max(p.location, m);
+    });
+    if (distinct) modes.push_back(p.location);
+  }
+  v.multimodal = modes.size() >= 2;
+
+  // In-window probability mass, attributed per peak basin.
+  double in_mass = 0;
+  double total_mass = 0;
+  for (const auto& p : peaks) {
+    total_mass += p.mass;
+    if (window.contains(p.location)) in_mass += p.mass;
+  }
+  v.in_window_mass = total_mass > 0 ? in_mass / total_mass : 0.0;
+
+  // Peaks inside the declared window never make an ASN "mixed" — a LEO
+  // operator legitimately shows one mode per service region. Only mass
+  // *outside* the window does.
+  if (!window.contains(v.main_peak_ms) && v.in_window_mass < incompatible_mass) {
+    v.cls = AsnClass::incompatible;
+  } else if (v.in_window_mass >= clean_mass) {
+    v.cls = AsnClass::clean;
+  } else {
+    v.cls = AsnClass::mixed;
+  }
+  return v;
+}
+
+}  // namespace satnet::snoid

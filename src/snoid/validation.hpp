@@ -1,0 +1,56 @@
+// Step 3 of the pipeline: per-ASN latency-profile validation via KDE.
+//
+// An ASN claiming LEO service whose density peaks at terrestrial
+// latencies (Starlink's corporate AS27277) is incompatible; an ASN whose
+// density has significant mass both in and out of the declared window
+// (TelAlaska's urban wireline + rural satellite) is mixed and goes to
+// prefix filtering; everything else is clean.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bgp/as_graph.hpp"
+#include "orbit/shell.hpp"
+
+namespace satnet::snoid {
+
+enum class AsnClass {
+  clean,         ///< latency profile matches the declared technology
+  mixed,         ///< technology-compatible mass plus foreign mass
+  incompatible,  ///< profile contradicts the declared technology
+  no_data,       ///< too few tests to judge
+};
+
+std::string to_string(AsnClass c);
+
+struct AsnVerdict {
+  bgp::Asn asn = 0;
+  AsnClass cls = AsnClass::no_data;
+  std::size_t n_tests = 0;
+  double main_peak_ms = 0;      ///< tallest KDE peak location
+  double in_window_mass = 0;    ///< probability mass inside the tech window
+  bool multimodal = false;
+};
+
+/// Classifies one ASN's latency sample against a declared technology.
+/// Window semantics: [min_peak, window_max) for LEO; [meo_min, meo_max)
+/// for MEO; [geo_min, inf) for GEO; for multi-orbit operators the union
+/// of the MEO and GEO windows.
+struct TechWindow {
+  double lo_ms = 0;
+  double hi_ms = 1e9;
+  double lo2_ms = 0;  ///< second window (multi-orbit); 0 width disables
+  double hi2_ms = 0;
+
+  bool contains(double v) const {
+    return (v >= lo_ms && v < hi_ms) || (hi2_ms > lo2_ms && v >= lo2_ms && v < hi2_ms);
+  }
+};
+
+AsnVerdict classify_asn(bgp::Asn asn, std::span<const double> latencies,
+                        const TechWindow& window, std::size_t min_tests = 10,
+                        double clean_mass = 0.9, double incompatible_mass = 0.5);
+
+}  // namespace satnet::snoid

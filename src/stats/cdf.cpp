@@ -1,0 +1,50 @@
+#include "stats/cdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace satnet::stats {
+
+Cdf::Cdf(std::span<const double> sample) : sorted_(sample.begin(), sample.end()) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Cdf::at(double x) const {
+  if (sorted_.empty()) return std::numeric_limits<double>::quiet_NaN();
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double Cdf::quantile(double q) const {
+  if (sorted_.empty()) return std::numeric_limits<double>::quiet_NaN();
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  const auto idx = static_cast<std::size_t>(
+      std::ceil(clamped * static_cast<double>(sorted_.size())) );
+  if (idx == 0) return sorted_.front();
+  return sorted_[std::min(idx - 1, sorted_.size() - 1)];
+}
+
+std::vector<Cdf::Point> Cdf::grid(std::size_t points) const {
+  std::vector<Point> out;
+  if (sorted_.empty() || points == 0) return out;
+  out.reserve(points);
+  for (std::size_t i = 1; i <= points; ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(points);
+    out.push_back({quantile(q), q});
+  }
+  return out;
+}
+
+std::string describe_cdf(const Cdf& cdf) {
+  if (cdf.empty()) return "(empty)";
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "p10=%.2f p25=%.2f p50=%.2f p75=%.2f p90=%.2f (n=%zu)",
+                cdf.quantile(0.10), cdf.quantile(0.25), cdf.quantile(0.50),
+                cdf.quantile(0.75), cdf.quantile(0.90), cdf.size());
+  return buf;
+}
+
+}  // namespace satnet::stats

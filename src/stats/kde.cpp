@@ -1,0 +1,118 @@
+#include "stats/kde.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/summary.hpp"
+
+namespace satnet::stats {
+
+namespace {
+constexpr double kInvSqrt2Pi = 0.3989422804014327;
+}
+
+Kde::Kde(std::span<const double> sample, double bandwidth)
+    : sample_(sample.begin(), sample.end()) {
+  std::sort(sample_.begin(), sample_.end());
+  if (bandwidth > 0.0) {
+    bandwidth_ = bandwidth;
+    return;
+  }
+  // Silverman's rule of thumb with the robust IQR-based spread estimate.
+  const double n = static_cast<double>(std::max<std::size_t>(sample_.size(), 1));
+  const double sd = stddev(sample_);
+  const double iqr = percentile_sorted(sample_, 75) - percentile_sorted(sample_, 25);
+  double spread = sd;
+  if (iqr > 0.0) spread = std::min(sd, iqr / 1.34);
+  if (spread <= 0.0) spread = std::max(std::abs(sample_.empty() ? 1.0 : sample_[0]) * 0.01, 1e-6);
+  bandwidth_ = 0.9 * spread * std::pow(n, -0.2);
+  bandwidth_ = std::max(bandwidth_, 1e-9);
+}
+
+double Kde::density(double x) const {
+  if (sample_.empty()) return 0.0;
+  double acc = 0.0;
+  const double inv_h = 1.0 / bandwidth_;
+  for (const double s : sample_) {
+    const double u = (x - s) * inv_h;
+    acc += std::exp(-0.5 * u * u);
+  }
+  return acc * kInvSqrt2Pi * inv_h / static_cast<double>(sample_.size());
+}
+
+Kde::Curve Kde::curve(std::size_t points) const {
+  Curve c;
+  if (sample_.empty() || points < 2) return c;
+  const double lo = sample_.front() - 3.0 * bandwidth_;
+  const double hi = sample_.back() + 3.0 * bandwidth_;
+  const double step = (hi - lo) / static_cast<double>(points - 1);
+  c.x.reserve(points);
+  c.y.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x = lo + step * static_cast<double>(i);
+    c.x.push_back(x);
+    c.y.push_back(density(x));
+  }
+  return c;
+}
+
+std::vector<DensityPeak> Kde::peaks(std::size_t points, double min_relative) const {
+  std::vector<DensityPeak> out;
+  const Curve c = curve(points);
+  if (c.y.size() < 3) return out;
+  const double y_max = *std::max_element(c.y.begin(), c.y.end());
+  if (y_max <= 0.0) return out;
+
+  // Find local maxima, then attribute mass by walking to the basin edges
+  // (the minima separating adjacent peaks).
+  std::vector<std::size_t> maxima;
+  for (std::size_t i = 1; i + 1 < c.y.size(); ++i) {
+    if (c.y[i] >= c.y[i - 1] && c.y[i] > c.y[i + 1] &&
+        c.y[i] >= min_relative * y_max) {
+      maxima.push_back(i);
+    }
+  }
+  if (maxima.empty()) return out;
+
+  // Basin boundaries: the argmin between consecutive maxima.
+  std::vector<std::size_t> bounds{0};
+  for (std::size_t k = 0; k + 1 < maxima.size(); ++k) {
+    const auto begin = c.y.begin() + static_cast<std::ptrdiff_t>(maxima[k]);
+    const auto end = c.y.begin() + static_cast<std::ptrdiff_t>(maxima[k + 1]);
+    bounds.push_back(static_cast<std::size_t>(std::min_element(begin, end) - c.y.begin()));
+  }
+  bounds.push_back(c.y.size() - 1);
+
+  const double step = c.x[1] - c.x[0];
+  double total = 0.0;
+  for (const double y : c.y) total += y * step;
+  if (total <= 0.0) total = 1.0;
+
+  for (std::size_t k = 0; k < maxima.size(); ++k) {
+    DensityPeak p;
+    p.location = c.x[maxima[k]];
+    p.density = c.y[maxima[k]];
+    double mass = 0.0;
+    // Half-open basins so shared boundary points are not double-counted.
+    const std::size_t end = k + 1 == maxima.size() ? bounds[k + 1] + 1 : bounds[k + 1];
+    for (std::size_t i = bounds[k]; i < end; ++i) mass += c.y[i] * step;
+    p.mass = mass / total;
+    out.push_back(p);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const DensityPeak& a, const DensityPeak& b) { return a.density > b.density; });
+  return out;
+}
+
+bool is_multimodal(std::span<const double> sample, double min_mass) {
+  if (sample.size() < 10) return false;
+  const Kde kde(sample);
+  const auto peaks = kde.peaks();
+  std::size_t significant = 0;
+  for (const auto& p : peaks) {
+    if (p.mass >= min_mass) ++significant;
+  }
+  return significant >= 2;
+}
+
+}  // namespace satnet::stats

@@ -1,0 +1,57 @@
+// Gaussian Kernel Density Estimation.
+//
+// The paper validates ASN-to-SNO mappings by inspecting the KDE of access
+// latencies per ASN (its Figure 2): a LEO operator must show a low-latency
+// unimodal curve, a GEO operator a ~600-700 ms curve, and hybrid operators
+// a bimodal mixture. This module provides the estimator plus the peak /
+// modality analysis the identification pipeline runs on the curves.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace satnet::stats {
+
+/// One local maximum of a density curve.
+struct DensityPeak {
+  double location = 0;  ///< x position of the peak
+  double density = 0;   ///< estimated density at the peak
+  double mass = 0;      ///< fraction of probability mass in the peak's basin
+};
+
+/// Gaussian KDE over a 1-D sample.
+class Kde {
+ public:
+  /// Builds the estimator. `bandwidth <= 0` selects Silverman's
+  /// rule-of-thumb bandwidth from the sample.
+  explicit Kde(std::span<const double> sample, double bandwidth = 0.0);
+
+  /// Density estimate at x.
+  double density(double x) const;
+
+  /// Evaluates the density on a uniform grid of `points` values spanning
+  /// [min - 3h, max + 3h].
+  struct Curve {
+    std::vector<double> x;
+    std::vector<double> y;
+  };
+  Curve curve(std::size_t points = 256) const;
+
+  /// Local maxima of the gridded curve, tallest first. Peaks whose density
+  /// is below `min_relative * max_density` are suppressed (noise).
+  std::vector<DensityPeak> peaks(std::size_t points = 256,
+                                 double min_relative = 0.05) const;
+
+  double bandwidth() const { return bandwidth_; }
+  std::size_t sample_size() const { return sample_.size(); }
+
+ private:
+  std::vector<double> sample_;
+  double bandwidth_ = 1.0;
+};
+
+/// True when the KDE of `sample` has >= 2 peaks each holding at least
+/// `min_mass` of probability mass — the pipeline's "mixed access" signal.
+bool is_multimodal(std::span<const double> sample, double min_mass = 0.1);
+
+}  // namespace satnet::stats

@@ -1,0 +1,74 @@
+#include "stats/rng.hpp"
+
+#include <cmath>
+
+namespace satnet::stats {
+
+std::uint64_t Rng::splitmix(std::uint64_t x) {
+  // SplitMix64: turns arbitrary (possibly low-entropy) seeds into
+  // well-distributed engine seeds.
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+Rng Rng::fork(std::uint64_t salt) {
+  const std::uint64_t base = engine_();
+  Rng child(0);
+  child.engine_.seed(splitmix(base ^ splitmix(salt)));
+  return child;
+}
+
+Rng Rng::fork(std::string_view name) {
+  // FNV-1a over the name gives a stable salt independent of call order.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : name) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ull;
+  }
+  return fork(h);
+}
+
+double Rng::uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+double Rng::lognormal_median(double median, double sigma) {
+  return std::lognormal_distribution<double>(std::log(median), sigma)(engine_);
+}
+
+double Rng::exponential(double mean) {
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+double Rng::pareto(double x_m, double alpha) {
+  const double u = uniform(1e-12, 1.0);
+  return x_m / std::pow(u, 1.0 / alpha);
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+int Rng::poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  return std::poisson_distribution<int>(mean)(engine_);
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  std::discrete_distribution<std::size_t> dist(weights.begin(), weights.end());
+  return dist(engine_);
+}
+
+}  // namespace satnet::stats

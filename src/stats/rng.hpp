@@ -1,0 +1,59 @@
+// Deterministic random number generation for reproducible simulations.
+//
+// Every stochastic component in the library takes an explicit Rng (or a
+// seed) so that a whole campaign is a pure function of its master seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+#include <vector>
+
+namespace satnet::stats {
+
+/// Deterministic PRNG wrapper around std::mt19937_64 with the sampling
+/// helpers used across the simulators. Cheap to copy; fork() derives
+/// independent child streams so sibling components never share state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5a7e11e7ull) : engine_(splitmix(seed)) {}
+
+  /// Derives an independent child stream; `salt` decorrelates children
+  /// forked from the same parent state.
+  Rng fork(std::uint64_t salt);
+  /// Derives a child stream keyed by a name (stable across runs).
+  Rng fork(std::string_view name);
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Gaussian with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+  /// Log-normal parameterized by the *median* and sigma of log-space.
+  double lognormal_median(double median, double sigma);
+  /// Exponential with the given mean.
+  double exponential(double mean);
+  /// Pareto (heavy tail) with scale x_m and shape alpha (> 0).
+  double pareto(double x_m, double alpha);
+  /// Bernoulli event with probability p.
+  bool chance(double p);
+  /// Poisson with the given mean.
+  int poisson(double mean);
+  /// Index in [0, weights.size()) with probability proportional to weight.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Uniformly chosen element of a non-empty container.
+  template <typename Container>
+  const typename Container::value_type& pick(const Container& c) {
+    return c[static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(c.size()) - 1))];
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  static std::uint64_t splitmix(std::uint64_t x);
+  std::mt19937_64 engine_;
+};
+
+}  // namespace satnet::stats

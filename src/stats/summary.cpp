@@ -1,0 +1,103 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <numeric>
+
+namespace satnet::stats {
+
+double percentile_sorted(std::span<const double> sorted, double p) {
+  if (sorted.empty()) return std::numeric_limits<double>::quiet_NaN();
+  if (sorted.size() == 1) return sorted[0];
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double percentile(std::span<const double> values, double p) {
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return percentile_sorted(sorted, p);
+}
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+double median(std::span<const double> values) { return percentile(values, 50.0); }
+
+double stddev(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double acc = 0.0;
+  for (const double v : values) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values.size() - 1));
+}
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.count = sorted.size();
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.p5 = percentile_sorted(sorted, 5);
+  s.p25 = percentile_sorted(sorted, 25);
+  s.p50 = percentile_sorted(sorted, 50);
+  s.p75 = percentile_sorted(sorted, 75);
+  s.p95 = percentile_sorted(sorted, 95);
+  s.mean = mean(values);
+  s.stddev = stddev(values);
+  return s;
+}
+
+Boxplot boxplot(std::span<const double> values) {
+  Boxplot b;
+  if (values.empty()) return b;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  b.count = sorted.size();
+  b.q1 = percentile_sorted(sorted, 25);
+  b.median = percentile_sorted(sorted, 50);
+  b.q3 = percentile_sorted(sorted, 75);
+  const double iqr = b.q3 - b.q1;
+  const double lo_fence = b.q1 - 1.5 * iqr;
+  const double hi_fence = b.q3 + 1.5 * iqr;
+  b.whisker_low = sorted.back();
+  b.whisker_high = sorted.front();
+  for (const double v : sorted) {
+    if (v >= lo_fence) {
+      b.whisker_low = v;
+      break;
+    }
+  }
+  for (auto it = sorted.rbegin(); it != sorted.rend(); ++it) {
+    if (*it <= hi_fence) {
+      b.whisker_high = *it;
+      break;
+    }
+  }
+  for (const double v : sorted) {
+    if (v < lo_fence || v > hi_fence) ++b.n_outliers;
+  }
+  return b;
+}
+
+std::string to_string(const Boxplot& b) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "med=%.1f [q1=%.1f q3=%.1f] whisk=[%.1f,%.1f] n=%zu out=%zu",
+                b.median, b.q1, b.q3, b.whisker_low, b.whisker_high, b.count,
+                b.n_outliers);
+  return buf;
+}
+
+}  // namespace satnet::stats

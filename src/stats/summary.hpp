@@ -1,0 +1,47 @@
+// Order statistics and distribution summaries used throughout the paper's
+// analyses (5th/95th percentiles, medians, boxplots).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace satnet::stats {
+
+/// Linear-interpolated percentile of an unsorted sample. `p` in [0, 100].
+/// Returns NaN for an empty sample.
+double percentile(std::span<const double> values, double p);
+
+/// Percentile of an already-sorted (ascending) sample; avoids re-sorting
+/// in hot loops.
+double percentile_sorted(std::span<const double> sorted, double p);
+
+double mean(std::span<const double> values);
+double median(std::span<const double> values);
+double stddev(std::span<const double> values);
+
+/// Five-number-style summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0, p5 = 0, p25 = 0, p50 = 0, p75 = 0, p95 = 0, max = 0;
+  double mean = 0, stddev = 0;
+};
+
+Summary summarize(std::span<const double> values);
+
+/// Boxplot geometry matching the paper's figures: quartile box, Tukey
+/// 1.5*IQR whiskers clipped to data, and points beyond the whiskers.
+struct Boxplot {
+  double q1 = 0, median = 0, q3 = 0;
+  double whisker_low = 0, whisker_high = 0;
+  std::size_t n_outliers = 0;
+  std::size_t count = 0;
+};
+
+Boxplot boxplot(std::span<const double> values);
+
+/// Renders "med=56.0 [q1=..,q3=..] whisk=[..,..]" for table output.
+std::string to_string(const Boxplot& b);
+
+}  // namespace satnet::stats

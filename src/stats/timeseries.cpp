@@ -1,0 +1,75 @@
+#include "stats/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "stats/summary.hpp"
+
+namespace satnet::stats {
+
+std::vector<Bucket> bucketize(std::span<const Observation> obs, double width_sec) {
+  std::vector<Bucket> out;
+  if (obs.empty() || width_sec <= 0.0) return out;
+  std::map<std::int64_t, std::vector<double>> groups;
+  for (const auto& o : obs) {
+    groups[static_cast<std::int64_t>(std::floor(o.t_sec / width_sec))].push_back(o.value);
+  }
+  out.reserve(groups.size());
+  for (auto& [idx, values] : groups) {
+    std::sort(values.begin(), values.end());
+    Bucket b;
+    b.t_start_sec = static_cast<double>(idx) * width_sec;
+    b.count = values.size();
+    b.median = percentile_sorted(values, 50);
+    b.p5 = percentile_sorted(values, 5);
+    b.p95 = percentile_sorted(values, 95);
+    out.push_back(b);
+  }
+  return out;
+}
+
+double daily_variation_p95(std::span<const Bucket> buckets) {
+  if (buckets.size() < 2) return 0.0;
+  std::vector<double> variations;
+  variations.reserve(buckets.size() - 1);
+  for (std::size_t i = 1; i < buckets.size(); ++i) {
+    const double prev = buckets[i - 1].median;
+    if (prev <= 0.0) continue;
+    variations.push_back(std::abs(buckets[i].median - prev) / prev);
+  }
+  if (variations.empty()) return 0.0;
+  return percentile(variations, 95);
+}
+
+std::vector<ChangePoint> detect_mean_shifts(std::span<const Observation> obs,
+                                            std::size_t window,
+                                            double threshold_frac,
+                                            double min_abs) {
+  std::vector<ChangePoint> out;
+  if (window < 2 || obs.size() < 2 * window) return out;
+
+  // Prefix sums make each window mean O(1).
+  std::vector<double> prefix(obs.size() + 1, 0.0);
+  for (std::size_t i = 0; i < obs.size(); ++i) prefix[i + 1] = prefix[i] + obs[i].value;
+  const auto window_mean = [&](std::size_t begin) {
+    return (prefix[begin + window] - prefix[begin]) / static_cast<double>(window);
+  };
+
+  std::size_t i = window;
+  while (i + window <= obs.size()) {
+    const double before = window_mean(i - window);
+    const double after = window_mean(i);
+    const double smaller = std::min(std::abs(before), std::abs(after));
+    const double delta = std::abs(after - before);
+    if (delta >= min_abs && smaller > 0.0 && delta / smaller >= threshold_frac) {
+      out.push_back({obs[i].t_sec, before, after});
+      i += window;  // skip past the detected step to avoid duplicate reports
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace satnet::stats

@@ -1,0 +1,56 @@
+// Time-bucketed aggregation and mean-shift detection.
+//
+// Figure 4a (daily median latency per SNO over a year) needs bucketed
+// medians; Figure 8b (PoP reassignments visible as latency steps) needs a
+// change-point detector — the identification pipeline uses the same
+// detector to flag PoP migrations from RIPE-style RTT series.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace satnet::stats {
+
+/// A single timestamped observation. Time is seconds since the campaign
+/// epoch (simulation time), not wall-clock time.
+struct Observation {
+  double t_sec = 0;
+  double value = 0;
+};
+
+/// One aggregated bucket.
+struct Bucket {
+  double t_start_sec = 0;
+  std::size_t count = 0;
+  double median = 0;
+  double p5 = 0;
+  double p95 = 0;
+};
+
+/// Groups observations into fixed-width buckets (e.g. 86400 s = daily) and
+/// summarizes each non-empty bucket. Input need not be sorted.
+std::vector<Bucket> bucketize(std::span<const Observation> obs, double width_sec);
+
+/// Largest relative day-to-day variation of the bucket medians:
+/// max |m[i] - m[i-1]| / m[i-1]. Matches the paper's "daily latency
+/// variation (95th %ile)" comparisons. Returns 0 for < 2 buckets.
+double daily_variation_p95(std::span<const Bucket> buckets);
+
+/// A detected step in the series mean.
+struct ChangePoint {
+  double t_sec = 0;        ///< time of the first observation after the step
+  double before_mean = 0;  ///< window mean before the step
+  double after_mean = 0;   ///< window mean after the step
+};
+
+/// Sliding-window mean-shift detector. A change-point is reported when two
+/// adjacent windows of `window` observations differ by more than
+/// `threshold_frac` of the smaller mean (and by at least `min_abs`).
+/// Observations must be sorted by time.
+std::vector<ChangePoint> detect_mean_shifts(std::span<const Observation> obs,
+                                            std::size_t window = 24,
+                                            double threshold_frac = 0.25,
+                                            double min_abs = 5.0);
+
+}  // namespace satnet::stats

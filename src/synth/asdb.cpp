@@ -1,0 +1,47 @@
+#include "synth/asdb.hpp"
+
+#include <algorithm>
+
+namespace satnet::synth {
+
+std::vector<AsdbRecord> asdb_satellite_category() {
+  std::vector<AsdbRecord> out;
+  for (const auto& spec : catalog()) {
+    for (const auto& asn : spec.asns) {
+      if (!asn.in_asdb) continue;  // ASdb's coverage gaps (Starlink, Viasat)
+      out.push_back({asn.asn, spec.name, "Satellite Communication"});
+    }
+  }
+  return out;
+}
+
+std::vector<bgp::Asn> he_bgp_search(const std::string& name_substring) {
+  std::vector<bgp::Asn> out;
+  std::string needle = name_substring;
+  std::transform(needle.begin(), needle.end(), needle.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  for (const auto& spec : catalog()) {
+    if (spec.name.find(needle) == std::string::npos) continue;
+    for (const auto& asn : spec.asns) out.push_back(asn.asn);
+  }
+  return out;
+}
+
+std::optional<IpInfoRecord> ipinfo_lookup(bgp::Asn asn) {
+  for (const auto& spec : catalog()) {
+    for (const auto& profile : spec.asns) {
+      if (profile.asn != asn) continue;
+      IpInfoRecord r;
+      r.asn = asn;
+      r.organization = spec.name;
+      r.website = "https://www." + spec.name + ".example";
+      r.kind = spec.kind;
+      r.declared_orbit = spec.primary_orbit;
+      r.declared_multi_orbit = spec.multi_orbit;
+      return r;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace satnet::synth

@@ -1,0 +1,43 @@
+// Emulators of the public metadata sources the paper's pipeline queries:
+// ASdb (ASN -> organization/category), Hurricane Electric's BGP toolkit
+// (name search -> ASNs), and IPInfo (ASN -> org, website). "Visiting the
+// operator's website" is emulated by exposing the entity kind and the
+// declared access technology.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/as_graph.hpp"
+#include "synth/catalog.hpp"
+
+namespace satnet::synth {
+
+/// One ASdb row (only the satellite-relevant slice is modelled).
+struct AsdbRecord {
+  bgp::Asn asn = 0;
+  std::string organization;
+  std::string category;  ///< "Satellite Communication" for all rows here
+};
+
+/// ASdb: returns the rows under "Computer and Information Technology /
+/// Satellite Communication". Famously *misses* Starlink and Viasat.
+std::vector<AsdbRecord> asdb_satellite_category();
+
+/// HE BGP toolkit: free-text search by operator name over all ASNs
+/// (including the ones ASdb misses).
+std::vector<bgp::Asn> he_bgp_search(const std::string& name_substring);
+
+/// IPInfo + website visit: what a researcher learns about an ASN.
+struct IpInfoRecord {
+  bgp::Asn asn = 0;
+  std::string organization;   ///< operator name
+  std::string website;        ///< synthetic URL
+  EntityKind kind;            ///< learned by reading the website
+  orbit::OrbitClass declared_orbit;  ///< primary technology advertised
+  bool declared_multi_orbit = false;
+};
+std::optional<IpInfoRecord> ipinfo_lookup(bgp::Asn asn);
+
+}  // namespace satnet::synth

@@ -1,0 +1,95 @@
+// Ground-truth catalog of satellite network operators and of the
+// look-alike entities (cable TV, teleport operators, ...) that pollute
+// ASdb's "Satellite Communication" category.
+//
+// Everything the identification pipeline must *discover* is declared here
+// as ground truth: which ASNs really carry satellite subscribers, which
+// are corporate/wireline, which operators mix orbits in one ASN, which
+// sell satellite as a backup for wireline — so the reproduction can score
+// the methodology's precision/recall, which the paper could not.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bgp/as_graph.hpp"
+#include "orbit/shell.hpp"
+#include "transport/linkmodel.hpp"
+
+namespace satnet::synth {
+
+/// What an organization actually is (the ground truth the paper's manual
+/// curation step approximates by visiting operator websites).
+enum class EntityKind {
+  sno,             ///< genuine satellite network operator
+  cable_tv,        ///< e.g. "Cable Axion"
+  residential_isp, ///< e.g. "Filer Mutual Telephone"
+  navigation,      ///< e.g. "Teletrac"
+  teleport,        ///< e.g. "United Teleports Inc"
+  enterprise_vsat, ///< corporate VSAT integrator, no consumer service
+};
+
+/// How subscribers of one ASN actually reach the Internet.
+enum class AccessTech {
+  satellite,       ///< dish all the way
+  terrestrial,     ///< wireline (corporate offices, fiber customers)
+  hybrid_backup,   ///< wireline primary, satellite as failover
+};
+
+/// Weighted region where an operator has subscribers.
+struct RegionWeight {
+  std::string city;      ///< gazetteer key; subscribers scatter around it
+  std::string country;
+  double weight = 1.0;
+  double scatter_deg = 1.5;  ///< uniform lat/lon scatter radius
+};
+
+/// One ASN of an operator and the subscriber mix it carries.
+struct AsnProfile {
+  bgp::Asn asn = 0;
+  /// Fraction of this ASN's speed tests from pure-terrestrial users
+  /// (Starlink's AS27277 corporate network is 1.0).
+  double terrestrial_frac = 0.0;
+  /// Fraction of users on wireline-with-satellite-backup plans.
+  double hybrid_frac = 0.0;
+  /// For multi-orbit operators (SES): fraction of satellite users on the
+  /// secondary (GEO) orbit; the rest use the primary orbit.
+  double secondary_orbit_frac = 0.0;
+  /// Whether ASdb's satellite category lists this ASN (Starlink and
+  /// Viasat are famously missing and only found via HE BGP search).
+  bool in_asdb = true;
+};
+
+/// Ground truth for one operator.
+struct SnoSpec {
+  std::string name;
+  EntityKind kind = EntityKind::sno;
+  orbit::OrbitClass primary_orbit = orbit::OrbitClass::geo;
+  bool multi_orbit = false;  ///< SES: MEO primary + GEO secondary
+  std::vector<AsnProfile> asns;
+  bool pep = false;
+  /// GEO operators: teleport city and satellite slot longitude.
+  std::string teleport_city;
+  double slot_lon_deg = 0.0;
+  double scheduling_overhead_ms = 60.0;
+  transport::LinkTraits traits;
+  std::vector<RegionWeight> regions;
+  /// The number of NDT speed tests this operator contributed to M-Lab in
+  /// the study window (paper Table 1); campaigns scale this down.
+  std::uint64_t mlab_tests = 0;
+  /// Appears in M-Lab at all? (Table 3 lists 41 SNOs; only 18 have data.)
+  bool in_mlab = true;
+};
+
+/// All operators (genuine SNOs first, then ASdb false positives).
+std::span<const SnoSpec> catalog();
+
+/// Only the genuine SNOs.
+std::vector<const SnoSpec*> genuine_snos();
+
+/// Lookup by name; throws std::out_of_range when unknown.
+const SnoSpec& find_sno(const std::string& name);
+
+}  // namespace satnet::synth

@@ -1,0 +1,322 @@
+#include "synth/world.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "geo/places.hpp"
+
+namespace satnet::synth {
+
+namespace {
+
+/// Deterministic integer hash for hybrid-state flips.
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t x = a * 0x9e3779b97f4a7c15ull ^ b;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  return x ^ (x >> 31);
+}
+
+/// Starlink capacity varies by continent (European cells are lightly
+/// loaded in the study window; North America is the busiest).
+double starlink_continent_capacity_factor(const std::string& country) {
+  switch (geo::continent_of(country)) {
+    case geo::Continent::europe: return 2.1;
+    case geo::Continent::oceania: return 1.0;
+    case geo::Continent::south_america: return 1.2;
+    default: return 0.85;
+  }
+}
+
+}  // namespace
+
+World::World(WorldConfig config) : config_(config) {
+  starlink_constellation_ =
+      std::make_shared<orbit::Constellation>(orbit::starlink_shells());
+  oneweb_constellation_ =
+      std::make_shared<orbit::Constellation>(std::vector{orbit::oneweb_shell()});
+  meo_constellation_ =
+      std::make_shared<orbit::Constellation>(std::vector{orbit::o3b_shell()});
+  build_access_networks();
+  stats::Rng rng(config_.seed);
+  build_subscribers(rng);
+}
+
+void World::build_access_networks() {
+  const auto specs = catalog();
+  primary_access_.resize(specs.size());
+  geo_secondary_.resize(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const SnoSpec& s = specs[i];
+    if (s.kind != EntityKind::sno) continue;
+    using orbit::OrbitClass;
+    if (s.name == "starlink") {
+      primary_access_[i] = std::make_unique<orbit::AccessNetwork>(
+          orbit::make_starlink_access(starlink_constellation_));
+    } else if (s.name == "oneweb") {
+      primary_access_[i] = std::make_unique<orbit::AccessNetwork>(
+          orbit::make_oneweb_access(oneweb_constellation_, s.scheduling_overhead_ms));
+    } else if (s.primary_orbit == OrbitClass::meo) {
+      primary_access_[i] = std::make_unique<orbit::AccessNetwork>(
+          orbit::make_o3b_access(meo_constellation_, s.scheduling_overhead_ms));
+    } else {
+      primary_access_[i] = std::make_unique<orbit::AccessNetwork>(orbit::make_geo_access(
+          s.teleport_city, s.slot_lon_deg, s.scheduling_overhead_ms));
+    }
+    if (s.multi_orbit) {
+      geo_secondary_[i] = std::make_unique<orbit::AccessNetwork>(orbit::make_geo_access(
+          s.teleport_city, s.slot_lon_deg, s.scheduling_overhead_ms));
+    }
+  }
+}
+
+void World::build_subscribers(stats::Rng& rng) {
+  const auto specs = catalog();
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const SnoSpec& s = specs[i];
+    if (s.kind != EntityKind::sno || !s.in_mlab || s.regions.empty()) continue;
+
+    const auto n = static_cast<std::size_t>(std::clamp(
+        std::sqrt(static_cast<double>(s.mlab_tests)) * config_.subscriber_scale,
+        static_cast<double>(config_.min_subscribers),
+        static_cast<double>(config_.max_subscribers)));
+
+    // One address pool per operator. Viasat gets the prefix block the
+    // paper calls out (45.232.112.0/22 contains 45.232.115.0/24).
+    net::PrefixPool pool = s.name == "viasat"
+                               ? net::PrefixPool(net::Ipv4(45, 232, 112, 0), 64)
+                               : net::PrefixPool(
+                                     net::Ipv4(45, static_cast<std::uint8_t>(40 + i), 0, 0),
+                                     256);
+
+    std::vector<double> region_weights;
+    for (const auto& r : s.regions) region_weights.push_back(r.weight);
+
+    stats::Rng sub_rng = rng.fork(s.name);
+    std::vector<Subscriber> spec_subs;
+    spec_subs.reserve(n);
+
+    for (std::size_t k = 0; k < n; ++k) {
+      Subscriber sub;
+      sub.spec_index = i;
+
+      // ASN: the first profile carries most subscribers.
+      const std::size_t asn_idx =
+          s.asns.size() == 1 || sub_rng.uniform() < 0.8
+              ? 0
+              : 1 + static_cast<std::size_t>(sub_rng.uniform_int(
+                        0, static_cast<std::int64_t>(s.asns.size()) - 2));
+      const AsnProfile& ap = s.asns[asn_idx];
+      sub.asn = ap.asn;
+
+      // Location: weighted region, scattered around the anchor city.
+      const RegionWeight& region = s.regions[sub_rng.weighted_index(region_weights)];
+      const geo::GeoPoint anchor = geo::city_point(region.city);
+      sub.location = {anchor.lat_deg + sub_rng.uniform(-region.scatter_deg,
+                                                       region.scatter_deg),
+                      anchor.lon_deg + sub_rng.uniform(-region.scatter_deg,
+                                                       region.scatter_deg),
+                      0.0};
+      sub.location.lat_deg = std::clamp(sub.location.lat_deg, -80.0, 80.0);
+      sub.country = region.country;
+
+      // Access technology mix within the ASN.
+      const double roll = sub_rng.uniform();
+      if (roll < ap.terrestrial_frac) {
+        sub.tech = AccessTech::terrestrial;
+      } else if (roll < ap.terrestrial_frac + ap.hybrid_frac) {
+        sub.tech = AccessTech::hybrid_backup;
+      } else {
+        sub.tech = AccessTech::satellite;
+      }
+      sub.orbit = s.primary_orbit;
+      if (s.multi_orbit && sub_rng.uniform() < ap.secondary_orbit_frac) {
+        sub.orbit = orbit::OrbitClass::geo;
+      }
+
+      // Subscription plan capacity.
+      double factor = 1.0;
+      if (s.name == "starlink") factor = starlink_continent_capacity_factor(sub.country);
+      sub.plan_down_mbps = std::max(
+          0.3, sub_rng.lognormal_median(s.traits.down_mbps_median * factor,
+                                        s.traits.down_mbps_sigma));
+      sub.plan_up_mbps = std::max(
+          0.2, sub_rng.lognormal_median(s.traits.up_mbps_median * factor,
+                                        s.traits.up_mbps_sigma));
+      sub.terrestrial_rtt_ms = sub_rng.uniform(12.0, 45.0);
+      spec_subs.push_back(std::move(sub));
+    }
+
+    // Address assignment mirrors real allocation practice: operators
+    // number wireline plants, hybrid plans, and satellite beams from
+    // different blocks, so a /24 is usually technology-homogeneous — with
+    // mixed prefixes at block boundaries (the paper's 45.232.115.0/24).
+    std::stable_sort(spec_subs.begin(), spec_subs.end(),
+                     [](const Subscriber& a, const Subscriber& b) {
+                       if (a.asn != b.asn) return a.asn < b.asn;
+                       if (a.tech != b.tech) return static_cast<int>(a.tech) <
+                                                    static_cast<int>(b.tech);
+                       return static_cast<int>(a.orbit) < static_cast<int>(b.orbit);
+                     });
+    constexpr std::uint8_t kHostsPerPrefix = 48;
+    net::Prefix24 current = pool.allocate();
+    std::uint8_t next_host = 1;
+    bgp::Asn current_asn = spec_subs.empty() ? 0 : spec_subs.front().asn;
+    for (auto& sub : spec_subs) {
+      if (next_host > kHostsPerPrefix || sub.asn != current_asn) {
+        current = pool.allocate();
+        next_host = 1;
+        current_asn = sub.asn;
+      }
+      sub.prefix = current;
+      sub.ip = current.host(next_host++);
+      subscribers_.push_back(std::move(sub));
+    }
+  }
+}
+
+std::vector<const Subscriber*> World::subscribers_of(const std::string& sno_name) const {
+  std::vector<const Subscriber*> out;
+  const auto specs = catalog();
+  for (const auto& sub : subscribers_) {
+    if (specs[sub.spec_index].name == sno_name) out.push_back(&sub);
+  }
+  return out;
+}
+
+const orbit::AccessNetwork& World::access_for(std::size_t spec_index,
+                                              orbit::OrbitClass orbit_class) const {
+  const SnoSpec& s = catalog()[spec_index];
+  if (s.multi_orbit && orbit_class == orbit::OrbitClass::geo &&
+      s.primary_orbit != orbit::OrbitClass::geo) {
+    if (!geo_secondary_[spec_index]) {
+      throw std::logic_error("no GEO secondary for " + s.name);
+    }
+    return *geo_secondary_[spec_index];
+  }
+  if (!primary_access_[spec_index]) {
+    throw std::logic_error("no access network for " + s.name);
+  }
+  return *primary_access_[spec_index];
+}
+
+int World::hybrid_state(const Subscriber& sub, double t_sec) const {
+  // Hour-granularity state: ~60% wired-good, 22% wired-degraded, 18% on
+  // the satellite backup — the three latency clusters of Fig 3b's inset.
+  const auto hour = static_cast<std::uint64_t>(t_sec / 3600.0);
+  const std::uint64_t h = mix(sub.ip.value() ^ config_.seed, hour);
+  const double u = static_cast<double>(h % 10000) / 10000.0;
+  if (u < 0.60) return 0;
+  if (u < 0.82) return 1;
+  return 2;
+}
+
+bool World::truly_satellite(const Subscriber& sub, double t_sec) const {
+  switch (sub.tech) {
+    case AccessTech::terrestrial: return false;
+    case AccessTech::satellite: return true;
+    case AccessTech::hybrid_backup: return hybrid_state(sub, t_sec) == 2;
+  }
+  return false;
+}
+
+Subscriber World::make_subscriber(const std::string& sno_name,
+                                  const geo::GeoPoint& location,
+                                  const std::string& country, stats::Rng& rng) const {
+  const auto specs = catalog();
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (specs[i].name != sno_name) continue;
+    const SnoSpec& s = specs[i];
+    Subscriber sub;
+    sub.spec_index = i;
+    sub.asn = s.asns.front().asn;
+    sub.location = location;
+    sub.country = country;
+    sub.tech = AccessTech::satellite;
+    sub.orbit = s.primary_orbit;
+    double factor = 1.0;
+    if (s.name == "starlink") factor = starlink_continent_capacity_factor(country);
+    sub.plan_down_mbps = std::max(
+        0.3, rng.lognormal_median(s.traits.down_mbps_median * factor,
+                                  s.traits.down_mbps_sigma));
+    sub.plan_up_mbps = std::max(
+        0.2, rng.lognormal_median(s.traits.up_mbps_median * factor,
+                                  s.traits.up_mbps_sigma));
+    sub.prefix = net::Prefix24(net::Ipv4(45, static_cast<std::uint8_t>(40 + i), 200, 0));
+    sub.ip = sub.prefix.host(static_cast<std::uint8_t>(rng.uniform_int(1, 254)));
+    return sub;
+  }
+  throw std::out_of_range("unknown operator: " + sno_name);
+}
+
+PathSample World::sample_path(const Subscriber& sub, double t_sec,
+                                     stats::Rng& rng) const {
+  PathSample out;
+  const SnoSpec& spec = catalog()[sub.spec_index];
+
+  AccessTech tech = sub.tech;
+  double wired_rtt = sub.terrestrial_rtt_ms;
+  if (tech == AccessTech::hybrid_backup) {
+    switch (hybrid_state(sub, t_sec)) {
+      case 0: tech = AccessTech::terrestrial; break;
+      case 1:  // degraded wireline / LTE fallback: the 100-150 ms cluster
+        tech = AccessTech::terrestrial;
+        wired_rtt = rng.uniform(100.0, 150.0);
+        break;
+      default: tech = AccessTech::satellite; break;
+    }
+  }
+  out.tech_used = tech;
+
+  if (tech == AccessTech::terrestrial) {
+    transport::PathProfile p;
+    p.base_rtt_ms = wired_rtt + rng.uniform(-3.0, 3.0);
+    p.jitter_ms = 2.0;
+    p.bottleneck_mbps = rng.lognormal_median(250.0, 0.4);
+    p.buffer_bdp = 2.0;
+    p.ground_loss = 0.0001;
+    out.download = p;
+    out.upload = p;
+    out.upload.bottleneck_mbps = p.bottleneck_mbps * 0.6;
+    out.access_one_way_ms = p.base_rtt_ms / 2.0;
+    out.ok = true;
+    return out;
+  }
+
+  const orbit::AccessNetwork& net = access_for(sub.spec_index, sub.orbit);
+  const orbit::AccessSample access = net.sample_with_handoff(sub.location, t_sec);
+  if (!access.reachable) return out;  // outage
+
+  // Measurement servers sit at exchange points one peering leg beyond
+  // the PoP (M-Lab pods are close to, not inside, operator PoPs).
+  const double server_extra_ms = rng.uniform(8.0, 22.0);
+  stats::Rng link_rng = rng.fork(sub.ip.value());
+  out.download =
+      transport::build_download_profile(access, spec.traits, server_extra_ms, link_rng);
+  out.upload =
+      transport::build_upload_profile(access, spec.traits, server_extra_ms, link_rng);
+  // The subscription plan, not the operator median, bounds this user.
+  out.download.bottleneck_mbps = sub.plan_down_mbps * rng.uniform(0.75, 1.1);
+  out.upload.bottleneck_mbps = sub.plan_up_mbps * rng.uniform(0.75, 1.1);
+  out.access_one_way_ms = access.one_way_ms;
+  out.handoff = access.handoff;
+  out.ok = true;
+
+  if (config_.enable_weather) {
+    const weather::WeatherField field(config_.weather);
+    out.sky = field.at(sub.location, t_sec);
+    const weather::LinkImpact hit = field.impact(out.sky, sub.orbit, t_sec, sub.location);
+    if (hit.outage) {
+      out.ok = false;
+      return out;
+    }
+    for (transport::PathProfile* p : {&out.download, &out.upload}) {
+      p->bottleneck_mbps *= hit.capacity_factor;
+      p->sat_loss += hit.extra_sat_loss;
+      p->jitter_ms += hit.extra_jitter_ms;
+    }
+  }
+  return out;
+}
+
+}  // namespace satnet::synth

@@ -1,0 +1,49 @@
+#include "transport/linkmodel.hpp"
+
+#include <algorithm>
+
+namespace satnet::transport {
+
+namespace {
+
+PathProfile common_profile(const orbit::AccessSample& access, const LinkTraits& traits,
+                           double server_rtt_extra_ms) {
+  PathProfile p;
+  // Access one-way latency counts twice (request/response symmetry);
+  // the PoP->server leg adds its own round trip.
+  p.base_rtt_ms = 2.0 * access.one_way_ms + server_rtt_extra_ms;
+  p.jitter_ms = traits.jitter_ms;
+  p.buffer_bdp = traits.buffer_bdp;
+  p.sat_loss = traits.sat_loss;
+  p.ground_loss = traits.ground_loss;
+  p.spurious_rto_prob = traits.spurious_rto_prob;
+  p.handoff_rate_hz = traits.handoff_rate_hz;
+  p.handoff_loss_frac = traits.handoff_loss_frac;
+  p.handoff_spike_ms = traits.handoff_spike_ms;
+  p.pep = traits.pep;
+  return p;
+}
+
+}  // namespace
+
+PathProfile build_download_profile(const orbit::AccessSample& access,
+                                   const LinkTraits& traits,
+                                   double server_rtt_extra_ms, stats::Rng& rng) {
+  PathProfile p = common_profile(access, traits, server_rtt_extra_ms);
+  p.bottleneck_mbps =
+      std::max(0.1, rng.lognormal_median(traits.down_mbps_median, traits.down_mbps_sigma));
+  return p;
+}
+
+PathProfile build_upload_profile(const orbit::AccessSample& access,
+                                 const LinkTraits& traits,
+                                 double server_rtt_extra_ms, stats::Rng& rng) {
+  PathProfile p = common_profile(access, traits, server_rtt_extra_ms);
+  p.bottleneck_mbps =
+      std::max(0.1, rng.lognormal_median(traits.up_mbps_median, traits.up_mbps_sigma));
+  // Uplink MAC scheduling (request/grant cycles) adds noise.
+  p.jitter_ms *= 1.5;
+  return p;
+}
+
+}  // namespace satnet::transport

@@ -1,0 +1,53 @@
+// Bridges the orbital access layer and the TCP layer: turns an
+// AccessSample (geometry-derived latency) plus per-operator link traits
+// (capacity plans, buffering, loss behaviour, PEP deployment) into the
+// PathProfile a flow runs over.
+#pragma once
+
+#include "orbit/access.hpp"
+#include "stats/rng.hpp"
+#include "transport/path.hpp"
+
+namespace satnet::transport {
+
+/// Operator-level link characteristics that are not geometric.
+struct LinkTraits {
+  /// Per-subscriber downlink capacity: lognormal(median, sigma), Mbit/s.
+  double down_mbps_median = 100.0;
+  double down_mbps_sigma = 0.4;
+  /// Per-subscriber uplink capacity.
+  double up_mbps_median = 10.0;
+  double up_mbps_sigma = 0.4;
+  /// Bottleneck buffer as a multiple of BDP.
+  double buffer_bdp = 1.5;
+  /// Random loss on the satellite segment as seen by the transport
+  /// (post link-layer FEC/ARQ) and on terrestrial segments.
+  double sat_loss = 0.001;
+  double ground_loss = 0.0002;
+  /// Spurious-RTO probability per round (see PathProfile).
+  double spurious_rto_prob = 0.0;
+  /// Per-round latency noise, ms.
+  double jitter_ms = 3.0;
+  /// Handoff process parameters (LEO/MEO only; rate 0 disables).
+  double handoff_rate_hz = 0.0;
+  double handoff_loss_frac = 0.0;
+  double handoff_spike_ms = 0.0;
+  /// Whether the operator deploys PEPs (RFC 3135).
+  bool pep = false;
+};
+
+/// Builds a download-direction path profile for one flow.
+/// `server_rtt_extra_ms` accounts for the leg between the PoP and the
+/// measurement server (M-Lab pods peer close to PoPs, so usually small).
+/// Per-user capacity is drawn once per call — callers wanting a stable
+/// subscriber plan should cache the result.
+PathProfile build_download_profile(const orbit::AccessSample& access,
+                                   const LinkTraits& traits,
+                                   double server_rtt_extra_ms, stats::Rng& rng);
+
+/// Upload-direction variant (uplink capacity, slightly higher MAC jitter).
+PathProfile build_upload_profile(const orbit::AccessSample& access,
+                                 const LinkTraits& traits,
+                                 double server_rtt_extra_ms, stats::Rng& rng);
+
+}  // namespace satnet::transport

@@ -1,0 +1,53 @@
+// End-to-end path characterization consumed by the TCP model.
+//
+// A PathProfile collapses everything below the transport layer — orbit
+// geometry, access-link capacity, bufferbloat, loss processes, handoff
+// dynamics — into the parameters a congestion-controlled flow reacts to.
+#pragma once
+
+namespace satnet::transport {
+
+/// Transport-visible characterization of one end-to-end path.
+struct PathProfile {
+  /// Two-way propagation + scheduling latency, ms (no queueing).
+  double base_rtt_ms = 40.0;
+  /// Per-round latency noise (stddev, ms): MAC jitter, path wander.
+  double jitter_ms = 2.0;
+  /// Bottleneck capacity available to this flow, Mbit/s.
+  double bottleneck_mbps = 100.0;
+  /// Bottleneck buffer, as a multiple of the path BDP (bufferbloat knob).
+  double buffer_bdp = 1.0;
+  /// Random per-packet loss probability on the *satellite* segment, as
+  /// the transport sees it (after link-layer FEC/ARQ — far below the raw
+  /// radio loss rate).
+  double sat_loss = 0.0;
+  /// Random per-packet loss probability on terrestrial segments.
+  double ground_loss = 0.0;
+  /// Probability per round of a spurious retransmission timeout. On long,
+  /// high-jitter GEO paths the RTO estimator underruns the real RTT and
+  /// the sender go-back-N retransmits data that was never lost — the
+  /// dominant source of the paper's 8.7% GEO retransmission fractions.
+  double spurious_rto_prob = 0.0;
+  /// Fraction of the in-flight window needlessly retransmitted by a
+  /// go-back-N recovery (RTO-triggered).
+  double go_back_n_frac = 0.7;
+  /// Satellite handoff events per second (0 for GEO).
+  double handoff_rate_hz = 0.0;
+  /// Fraction of in-flight packets lost when a handoff strikes.
+  double handoff_loss_frac = 0.0;
+  /// Extra latency on the rounds during a handoff, ms.
+  double handoff_spike_ms = 0.0;
+  /// Whether the operator deploys a Performance Enhancing Proxy. A PEP
+  /// splits the TCP control loop at the satellite link and recovers
+  /// satellite losses locally: they cost a little delivery time but are
+  /// invisible to the end-to-end connection (no retransmissions, no
+  /// congestion-window collapse). See RFC 3135.
+  bool pep = false;
+
+  /// Path bandwidth-delay product in packets of `mss` bytes.
+  double bdp_packets(double mss_bytes = 1500.0) const {
+    return bottleneck_mbps * 1e6 / 8.0 * (base_rtt_ms / 1e3) / mss_bytes;
+  }
+};
+
+}  // namespace satnet::transport

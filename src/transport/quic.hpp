@@ -1,0 +1,79 @@
+// Flow-level QUIC model.
+//
+// The paper's related work (Kuhn et al., "QUIC: opportunities and threats
+// in satcom"; Endres et al.) studies QUIC on satellite links. Two
+// structural differences against TCP matter here:
+//   * QUIC is encrypted end-to-end, so the operator's PEP cannot split
+//     the connection — GEO operators lose their main latency mitigation;
+//   * its loss recovery is packet-ranged (no go-back-N) with far fewer
+//     spurious timeouts, so long paths avoid TCP's RTO pathology.
+// The model reuses PathProfile; the `pep` flag is deliberately ignored.
+#pragma once
+
+#include "stats/rng.hpp"
+#include "transport/path.hpp"
+#include "transport/tcp.hpp"
+
+namespace satnet::transport {
+
+struct QuicOptions {
+  double mss_bytes = 1350.0;  ///< QUIC's typical max datagram payload
+  double initial_cwnd = 10.0;
+  /// Probe timeout floor (QUIC's PTO replaces TCP's RTO; same lower
+  /// bound, but spurious fires are ~4x rarer thanks to better RTT
+  /// accounting).
+  double min_pto_ms = 1000.0;
+  double spurious_pto_factor = 0.25;
+  double snapshot_interval_ms = 100.0;
+};
+
+/// A single bulk QUIC connection over a fixed path. Mirrors TcpFlow's
+/// result type so analyses apply to both.
+class QuicFlow {
+ public:
+  QuicFlow(PathProfile path, QuicOptions options, stats::Rng rng);
+
+  /// Bulk transfer for a fixed duration.
+  FlowResult run_for(double duration_ms);
+  /// Transfer a fixed payload (object fetch).
+  FlowResult run_bytes(std::uint64_t transfer_bytes, double max_ms = 120000.0);
+
+ private:
+  struct Round {
+    double rtt_ms = 0;
+    double sent = 0;
+    double lost = 0;
+    bool handoff = false;
+    bool spurious_pto = false;
+  };
+  Round simulate_round();
+  void react(const Round& round);
+  void record(const Round& round);
+  FlowResult finish();
+
+  PathProfile path_;
+  QuicOptions opt_;
+  stats::Rng rng_;
+
+  double cwnd_;
+  double ssthresh_ = 1e9;
+  double elapsed_ms_ = 0;
+  double srtt_ms_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_retrans_ = 0;
+  std::uint64_t bytes_acked_ = 0;
+  std::size_t n_handoffs_ = 0;
+  std::size_t n_ptos_ = 0;
+  double last_rtt_ms_ = 0;
+  double next_snapshot_ms_ = 0;
+  std::vector<double> rtt_samples_;
+  std::vector<double> jitter_samples_;
+  std::vector<TcpInfoSnapshot> snapshots_;
+};
+
+/// Time to fetch `bytes` over a fresh QUIC connection: 1-RTT handshake
+/// (vs TCP+TLS's 2) plus the transfer.
+double quic_fetch_time_ms(const PathProfile& path, std::uint64_t bytes, stats::Rng& rng,
+                          const QuicOptions& options = QuicOptions{});
+
+}  // namespace satnet::transport

@@ -1,0 +1,135 @@
+#include "video/abr_player.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "stats/summary.hpp"
+
+namespace satnet::video {
+
+namespace {
+
+constexpr std::array kLadder = {
+    Rendition{"144p", 256, 144, 0.10, 30},
+    Rendition{"240p", 426, 240, 0.25, 30},
+    Rendition{"360p", 480, 360, 0.50, 30},
+    Rendition{"480p", 854, 480, 1.00, 30},
+    Rendition{"720p", 1280, 720, 2.50, 60},
+    Rendition{"1080p", 1920, 1080, 4.50, 60},
+    Rendition{"1440p", 2560, 1440, 9.00, 60},
+    Rendition{"2160p", 3840, 2160, 17.0, 60},
+};
+
+/// Instantaneous deliverable throughput for one segment download: the
+/// path bottleneck modulated by loss/handoff events during the download.
+double segment_throughput_mbps(const transport::PathProfile& path, stats::Rng& rng,
+                               bool* handoff_hit) {
+  double tput = path.bottleneck_mbps * rng.uniform(0.6, 0.95);
+  // RTT-bound inefficiency: every segment restarts its request/response
+  // exchange and spends several round trips in window growth, so a 5 s
+  // segment on a 600 ms path delivers a small fraction of the link rate —
+  // which is why the paper's Viasat testers sat near 360p on 25 Mbps
+  // plans (Fig 11a).
+  const double rtt_penalty = 1.0 / (1.0 + path.base_rtt_ms / 250.0);
+  tput *= rtt_penalty;
+  *handoff_hit = false;
+  if (path.handoff_rate_hz > 0.0 && rng.chance(path.handoff_rate_hz * 5.0)) {
+    *handoff_hit = true;
+    tput *= rng.uniform(0.3, 0.7);  // mid-download interruption
+  }
+  const double loss = path.pep ? path.ground_loss : path.sat_loss + path.ground_loss;
+  if (loss > 0.0 && rng.chance(std::min(0.9, loss * 400.0))) {
+    tput *= rng.uniform(0.4, 0.8);  // loss-triggered window collapse
+  }
+  return std::max(tput, 0.05);
+}
+
+std::size_t pick_rendition(double est_mbps, double buffer_sec,
+                           const PlayerOptions& opt) {
+  if (buffer_sec < opt.low_buffer_sec) return 0;  // panic: lowest rung
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < kLadder.size(); ++i) {
+    if (kLadder[i].bitrate_mbps <= opt.safety_factor * est_mbps) best = i;
+  }
+  return best;
+}
+
+}  // namespace
+
+std::span<const Rendition> youtube_ladder() { return kLadder; }
+
+SessionStats play_session(const transport::PathProfile& path, stats::Rng& rng,
+                          const PlayerOptions& opt) {
+  SessionStats out;
+  std::vector<double> quality_mp;
+  std::vector<double> tput_series;
+  std::vector<std::size_t> rendition_idx;
+
+  double buffer_sec = 0.0;
+  double played_sec = 0.0;
+  double est_mbps = 1.0;  // conservative startup estimate
+  double total_frames = 0.0, dropped_frames = 0.0;
+  bool started = false;
+
+  while (played_sec < opt.playback_sec) {
+    // Download the next segment at the chosen rendition.
+    const std::size_t idx = pick_rendition(est_mbps, buffer_sec, opt);
+    const Rendition& r = kLadder[idx];
+    bool handoff = false;
+    const double tput = segment_throughput_mbps(path, rng, &handoff);
+    const double seg_bits = r.bitrate_mbps * 1e6 * opt.segment_sec;
+    const double dl_sec = seg_bits / (tput * 1e6) + path.base_rtt_ms / 1e3;
+
+    est_mbps = 0.7 * est_mbps + 0.3 * tput;  // EWMA throughput estimator
+
+    // Buffer dynamics: playback drains while the download proceeds.
+    if (started) {
+      const double drained = std::min(buffer_sec, dl_sec);
+      played_sec += drained;
+      if (dl_sec > buffer_sec) {
+        // Stall: buffer ran dry mid-download.
+        out.stall_sec += dl_sec - buffer_sec;
+        ++out.n_stalls;
+        buffer_sec = 0.0;
+      } else {
+        buffer_sec -= dl_sec;
+      }
+    }
+    buffer_sec += opt.segment_sec;
+    if (!started && buffer_sec >= opt.startup_buffer_sec) started = true;
+
+    // Frame accounting: handoffs and decode pressure at high resolutions
+    // drop frames.
+    const double frames = r.fps * opt.segment_sec;
+    total_frames += frames;
+    if (handoff) dropped_frames += frames * rng.uniform(0.05, 0.25);
+    if (r.megapixels() >= 2.0 && rng.chance(0.15)) {
+      dropped_frames += frames * rng.uniform(0.01, 0.05);
+    }
+
+    quality_mp.push_back(r.megapixels());
+    rendition_idx.push_back(idx);
+    tput_series.push_back(tput);
+    out.buffer_series.push_back(buffer_sec);
+
+    // Respect the buffer cap: the player idles instead of downloading.
+    if (buffer_sec > opt.max_buffer_sec) {
+      const double idle = buffer_sec - opt.max_buffer_sec;
+      played_sec += idle;
+      buffer_sec = opt.max_buffer_sec;
+    }
+  }
+
+  out.median_megapixels = stats::median(quality_mp);
+  std::sort(rendition_idx.begin(), rendition_idx.end());
+  out.median_rendition = kLadder[rendition_idx[rendition_idx.size() / 2]].name;
+  out.mean_download_mbps = stats::mean(tput_series);
+  out.mean_buffer_sec = stats::mean(out.buffer_series);
+  out.min_buffer_sec =
+      *std::min_element(out.buffer_series.begin(), out.buffer_series.end());
+  out.dropped_frame_frac = total_frames > 0 ? dropped_frames / total_frames : 0.0;
+  return out;
+}
+
+}  // namespace satnet::video

@@ -1,0 +1,59 @@
+// Adaptive-bitrate video player (paper Figure 11).
+//
+// A YouTube-like player with the standard ladder, a hybrid
+// throughput/buffer adaptation rule, buffer dynamics, dropped-frame
+// accounting, and "stats-for-nerds"-style reporting: per-session median
+// video quality (megapixels), download speed, buffer health, dropped
+// frames, and stall time.
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "stats/rng.hpp"
+#include "transport/path.hpp"
+
+namespace satnet::video {
+
+/// One rung of the encoding ladder.
+struct Rendition {
+  std::string_view name;  ///< "1080p"
+  int width = 0;
+  int height = 0;
+  double bitrate_mbps = 0;
+  double fps = 30;
+
+  double megapixels() const { return width * height / 1e6; }
+};
+
+/// The YouTube-style ladder used by the addon's 4K test video.
+std::span<const Rendition> youtube_ladder();
+
+struct PlayerOptions {
+  double playback_sec = 60.0;       ///< the addon plays 60 s
+  double segment_sec = 5.0;
+  double max_buffer_sec = 65.0;     ///< YouTube keeps up to ~1 min buffered
+  double safety_factor = 0.8;       ///< pick bitrate <= safety * est. throughput
+  double low_buffer_sec = 8.0;      ///< panic threshold: drop to lowest rung
+  double startup_buffer_sec = 2.0;  ///< playback starts after this much video
+};
+
+/// Outcome of one streaming session.
+struct SessionStats {
+  double median_megapixels = 0;
+  std::string_view median_rendition;
+  double mean_download_mbps = 0;   ///< as "stats for nerds" reports
+  double mean_buffer_sec = 0;      ///< buffer health
+  double min_buffer_sec = 0;
+  double dropped_frame_frac = 0;   ///< dropped / total frames
+  double stall_sec = 0;            ///< rebuffering wall time
+  int n_stalls = 0;
+  std::vector<double> buffer_series;  ///< buffer level after each segment
+};
+
+/// Plays the test video over `path` and reports the session statistics.
+SessionStats play_session(const transport::PathProfile& path, stats::Rng& rng,
+                          const PlayerOptions& options = PlayerOptions{});
+
+}  // namespace satnet::video

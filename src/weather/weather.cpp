@@ -1,0 +1,85 @@
+#include "weather/weather.hpp"
+
+#include <cmath>
+
+namespace satnet::weather {
+
+std::string_view to_string(Condition c) {
+  switch (c) {
+    case Condition::clear: return "clear";
+    case Condition::cloudy: return "cloudy";
+    case Condition::rain: return "rain";
+    case Condition::heavy_rain: return "heavy rain";
+  }
+  return "?";
+}
+
+double WeatherField::wetness(const geo::GeoPoint& location) const {
+  // Simple climate proxy: precipitation probability peaks in the tropics
+  // and decays toward the poles.
+  const double lat = std::abs(location.lat_deg);
+  if (lat < 20.0) return 1.8;
+  if (lat < 35.0) return 1.2;
+  if (lat < 55.0) return 1.0;
+  return 0.7;
+}
+
+std::uint64_t WeatherField::cell_hash(const geo::GeoPoint& location, double t_sec) const {
+  const auto lat_cell = static_cast<std::int64_t>(
+      std::floor((location.lat_deg + 90.0) / config_.cell_deg));
+  const auto lon_cell = static_cast<std::int64_t>(
+      std::floor((location.lon_deg + 180.0) / config_.cell_deg));
+  const auto epoch = static_cast<std::int64_t>(
+      std::floor(t_sec / (config_.cell_duration_hours * 3600.0)));
+  std::uint64_t x = config_.seed;
+  for (const std::int64_t v : {lat_cell, lon_cell, epoch}) {
+    x ^= static_cast<std::uint64_t>(v) + 0x9e3779b97f4a7c15ull + (x << 6) + (x >> 2);
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 29;
+  }
+  return x;
+}
+
+Condition WeatherField::at(const geo::GeoPoint& location, double t_sec) const {
+  const double u =
+      static_cast<double>(cell_hash(location, t_sec) % 1000003ull) / 1000003.0;
+  const double w = wetness(location);
+  const double heavy = config_.heavy_rain_prob * w;
+  const double rain = config_.rain_prob * w;
+  const double cloudy = config_.cloudy_prob;
+  if (u < heavy) return Condition::heavy_rain;
+  if (u < heavy + rain) return Condition::rain;
+  if (u < heavy + rain + cloudy) return Condition::cloudy;
+  return Condition::clear;
+}
+
+LinkImpact WeatherField::impact(Condition condition, orbit::OrbitClass orbit,
+                                double t_sec, const geo::GeoPoint& location) const {
+  LinkImpact out;
+  const bool geo_link = orbit == orbit::OrbitClass::geo;
+  switch (condition) {
+    case Condition::clear:
+      return out;
+    case Condition::cloudy:
+      out.capacity_factor = geo_link ? 0.92 : 0.97;
+      return out;
+    case Condition::rain:
+      out.capacity_factor = geo_link ? 0.55 : 0.80;
+      out.extra_sat_loss = geo_link ? 0.004 : 0.0005;
+      out.extra_jitter_ms = geo_link ? 15.0 : 4.0;
+      return out;
+    case Condition::heavy_rain:
+      out.capacity_factor = geo_link ? 0.22 : 0.55;
+      out.extra_sat_loss = geo_link ? 0.02 : 0.003;
+      out.extra_jitter_ms = geo_link ? 40.0 : 10.0;
+      if (geo_link) {
+        // Deterministic sub-cell draw: some heavy cells black the link out.
+        const std::uint64_t h = cell_hash(location, t_sec) ^ 0xabcdefull;
+        out.outage = static_cast<double>(h % 997ull) / 997.0 < config_.geo_outage_prob;
+      }
+      return out;
+  }
+  return out;
+}
+
+}  // namespace satnet::weather

@@ -1,0 +1,76 @@
+// Weather field and rain-fade link impairment.
+//
+// Prior satellite measurement work (Kassem et al., Ma et al. — the
+// paper's §2) found satellite access performance strongly
+// weather-dependent: Ku/Ka-band links lose capacity and take losses under
+// rain. This module provides a deterministic synthetic weather field
+// (regional rain cells evolving over time) plus the per-orbit link
+// impairment model, as an opt-in overlay on the world's path sampling.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "geo/geodesy.hpp"
+#include "orbit/shell.hpp"
+
+namespace satnet::weather {
+
+enum class Condition { clear, cloudy, rain, heavy_rain };
+
+std::string_view to_string(Condition c);
+
+/// Transport-visible impairment of one access link under a condition.
+struct LinkImpact {
+  double capacity_factor = 1.0;  ///< multiplies the subscriber capacity
+  double extra_sat_loss = 0.0;   ///< added post-FEC loss on the space segment
+  double extra_jitter_ms = 0.0;  ///< added per-round latency noise
+  bool outage = false;           ///< heavy rain can take Ka links down
+};
+
+struct WeatherConfig {
+  /// Size of one weather cell, degrees of latitude/longitude.
+  double cell_deg = 3.0;
+  /// How long one cell's condition persists, hours.
+  double cell_duration_hours = 6.0;
+  /// Baseline probabilities (mid-latitude): rain and heavy-rain shares.
+  double rain_prob = 0.12;
+  double heavy_rain_prob = 0.03;
+  double cloudy_prob = 0.25;
+  /// Probability a heavy-rain cell outright drops a GEO Ka link.
+  double geo_outage_prob = 0.25;
+  std::uint64_t seed = 0x5eed;
+};
+
+/// A deterministic global weather process: the condition at any location
+/// and time is a pure function of (cell, epoch, seed), so campaigns
+/// remain reproducible.
+class WeatherField {
+ public:
+  explicit WeatherField(WeatherConfig config = WeatherConfig{}) : config_(config) {}
+
+  Condition at(const geo::GeoPoint& location, double t_sec) const;
+
+  /// Link impairment for a given condition and orbit class. GEO links
+  /// (Ka-band, fixed dish, long slant path) are hit hardest; LEO
+  /// terminals re-steer and ride through all but heavy rain.
+  LinkImpact impact(Condition condition, orbit::OrbitClass orbit, double t_sec,
+                    const geo::GeoPoint& location) const;
+
+  /// Convenience: impact at a location/time.
+  LinkImpact impact_at(const geo::GeoPoint& location, double t_sec,
+                       orbit::OrbitClass orbit) const {
+    return impact(at(location, t_sec), orbit, t_sec, location);
+  }
+
+  const WeatherConfig& config() const { return config_; }
+
+ private:
+  /// Climate weighting: tropics are wetter than mid-latitudes.
+  double wetness(const geo::GeoPoint& location) const;
+  std::uint64_t cell_hash(const geo::GeoPoint& location, double t_sec) const;
+
+  WeatherConfig config_;
+};
+
+}  // namespace satnet::weather

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bgp/as_graph.hpp"
+#include "bgp/coverage.hpp"
+#include "bgp/routeviews.hpp"
+#include "bgp/sno_world.hpp"
+
+namespace satnet::bgp {
+namespace {
+
+// --------------------------------------------------------------- graph
+
+TEST(AsGraphTest, AddAndLookup) {
+  AsGraph g;
+  g.add_as({14593, "Starlink", "US", 3});
+  EXPECT_TRUE(g.contains(14593));
+  EXPECT_EQ(g.info(14593).name, "Starlink");
+  EXPECT_THROW(g.info(1), std::out_of_range);
+}
+
+TEST(AsGraphTest, EdgeRequiresBothEndpoints) {
+  AsGraph g;
+  g.add_as({1, "a", "US", 1});
+  EXPECT_THROW(g.add_edge(1, 2, Relationship::peer_peer), std::invalid_argument);
+}
+
+TEST(AsGraphTest, DegreeCountsAllEdges) {
+  AsGraph g;
+  for (Asn a : {1u, 2u, 3u, 4u}) g.add_as({a, "x", "US", 2});
+  g.add_edge(1, 2, Relationship::peer_peer);
+  g.add_edge(1, 3, Relationship::customer_provider);
+  g.add_edge(1, 4, Relationship::customer_provider);
+  EXPECT_EQ(g.degree(1), 3u);
+  EXPECT_EQ(g.degree(2), 1u);
+  EXPECT_EQ(g.degree(99), 0u);
+}
+
+TEST(AsGraphTest, ProvidersAreDirectional) {
+  AsGraph g;
+  g.add_as({1, "cust", "US", 3});
+  g.add_as({2, "prov", "US", 1});
+  g.add_edge(1, 2, Relationship::customer_provider);
+  EXPECT_EQ(g.providers(1), std::vector<Asn>{2});
+  EXPECT_TRUE(g.providers(2).empty());
+}
+
+TEST(AsGraphTest, NeighborCountries) {
+  AsGraph g;
+  g.add_as({1, "sno", "US", 3});
+  g.add_as({2, "a", "SE", 1});
+  g.add_as({3, "b", "SE", 1});
+  g.add_as({4, "c", "JP", 2});
+  g.add_edge(1, 2, Relationship::customer_provider);
+  g.add_edge(1, 3, Relationship::peer_peer);
+  g.add_edge(1, 4, Relationship::peer_peer);
+  const auto countries = g.neighbor_countries(1);
+  EXPECT_EQ(countries.size(), 2u);
+  EXPECT_TRUE(countries.count("SE"));
+  EXPECT_TRUE(countries.count("JP"));
+}
+
+// ----------------------------------------------------------- sno world
+
+TEST(SnoWorldTest, SnapshotYearsValid) {
+  EXPECT_NO_THROW(sno_world_graph(2021));
+  EXPECT_NO_THROW(sno_world_graph(2023));
+  EXPECT_THROW(sno_world_graph(2019), std::invalid_argument);
+  EXPECT_THROW(sno_world_graph(2024), std::invalid_argument);
+}
+
+TEST(SnoWorldTest, StarlinkPeeringGrowsExplosively) {
+  const auto g21 = sno_world_graph(2021);
+  const auto g23 = sno_world_graph(2023);
+  EXPECT_GE(g23.degree(kStarlink), 3 * g21.degree(kStarlink));
+}
+
+TEST(SnoWorldTest, HughesNetStagnant) {
+  EXPECT_EQ(sno_world_graph(2021).degree(kHughes), sno_world_graph(2023).degree(kHughes));
+}
+
+TEST(SnoWorldTest, ViasatExpandsBeyondUs) {
+  const auto countries21 = sno_world_graph(2021).neighbor_countries(kViasat);
+  const auto countries23 = sno_world_graph(2023).neighbor_countries(kViasat);
+  EXPECT_EQ(countries21.size(), 1u);  // US only
+  EXPECT_GT(countries23.size(), 3u);  // global
+}
+
+TEST(SnoWorldTest, MarlinkSwapsLevel3ForCogent) {
+  const auto g21 = sno_world_graph(2021);
+  const auto g22 = sno_world_graph(2022);
+  const auto n21 = g21.neighbors(kMarlink);
+  const auto n22 = g22.neighbors(kMarlink);
+  EXPECT_NE(std::find(n21.begin(), n21.end(), 3549u), n21.end());
+  EXPECT_EQ(std::find(n21.begin(), n21.end(), 174u), n21.end());
+  EXPECT_EQ(std::find(n22.begin(), n22.end(), 3549u), n22.end());
+  EXPECT_NE(std::find(n22.begin(), n22.end(), 174u), n22.end());
+}
+
+TEST(SnoWorldTest, OneWebHasExactlyTwoUsUpstreams2023) {
+  const auto g = sno_world_graph(2023);
+  const auto providers = g.providers(kOneWeb);
+  EXPECT_EQ(providers.size(), 2u);
+  for (const Asn p : providers) EXPECT_EQ(g.info(p).country, "US");
+}
+
+TEST(SnoWorldTest, HellasSatHasNoTier1) {
+  const auto g = sno_world_graph(2023);
+  for (const Asn n : g.neighbors(kHellasSat)) {
+    EXPECT_GT(g.info(n).tier, 1) << "AS" << n;
+  }
+}
+
+TEST(SnoWorldTest, KacificWellConnectedAndSellsToSmallIsps) {
+  const auto g = sno_world_graph(2023);
+  int tier1 = 0, smaller = 0;
+  const std::size_t own = g.degree(kKacific);
+  for (const Asn n : g.neighbors(kKacific)) {
+    if (g.info(n).tier == 1) ++tier1;
+    if (g.degree(n) < own) ++smaller;
+  }
+  EXPECT_GE(tier1, 2);    // paper: connected to multiple tier-1s
+  EXPECT_GE(smaller, 2);  // paper: peers with small regional ISPs
+}
+
+TEST(SnoWorldTest, Tier1DegreesDominateSnos) {
+  const auto g = sno_world_graph(2023);
+  EXPECT_GT(g.degree(3356), g.degree(kStarlink));
+  EXPECT_GT(g.degree(1299), g.degree(kHughes));
+}
+
+// ----------------------------------------------------------- routeviews
+
+TEST(RouteViewsTest, FullVisibilityPreservesGraph) {
+  const auto truth = sno_world_graph(2023);
+  stats::Rng rng(1);
+  const auto seen = observe_routeviews(truth, rng, 1.0);
+  EXPECT_EQ(seen.edge_count(), truth.edge_count());
+  EXPECT_EQ(seen.as_count(), truth.as_count());
+}
+
+TEST(RouteViewsTest, CustomerProviderEdgesAlwaysVisible) {
+  const auto truth = sno_world_graph(2023);
+  stats::Rng rng(2);
+  const auto seen = observe_routeviews(truth, rng, 0.0);
+  std::size_t cp = 0;
+  for (const auto& e : truth.edges()) {
+    if (e.rel == Relationship::customer_provider) ++cp;
+  }
+  EXPECT_EQ(seen.edge_count(), cp);
+}
+
+TEST(RouteViewsTest, PartialVisibilityDropsSomePeerEdges) {
+  const auto truth = sno_world_graph(2023);
+  stats::Rng rng(3);
+  const auto seen = observe_routeviews(truth, rng, 0.5);
+  EXPECT_LT(seen.edge_count(), truth.edge_count());
+  EXPECT_GT(seen.edge_count(), truth.edge_count() / 2);
+}
+
+TEST(RouteViewsTest, DescribePeeringMentionsUpstreams) {
+  const auto g = sno_world_graph(2023);
+  const std::string text = describe_peering(g, kStarlink);
+  EXPECT_NE(text.find("Starlink"), std::string::npos);
+  EXPECT_NE(text.find("Lumen/Level3"), std::string::npos);
+  EXPECT_NE(text.find("likely upstream"), std::string::npos);
+}
+
+// ------------------------------------------------------------- coverage
+
+TEST(CoverageTest, StarlinkCoverageUnderestimatesCountries) {
+  const auto g = sno_world_graph(2023);
+  const auto footprints = known_footprints();
+  const auto* starlink_fp = &footprints[0];
+  ASSERT_EQ(starlink_fp->asn, kStarlink);
+  const auto report = infer_coverage(g, kStarlink, starlink_fp->footprint);
+  EXPECT_EQ(report.truth_countries, 30u);
+  // Paper: 10 of 30 countries discovered; shape target is a substantial
+  // under-estimate, not exactness.
+  EXPECT_GE(report.discovered.size(), 6u);
+  EXPECT_LE(report.discovered.size(), 16u);
+  // City-level coverage is much higher (US PoPs dominate): ~74%.
+  EXPECT_GT(report.city_coverage(), 0.45);
+}
+
+TEST(CoverageTest, HellasSatFullyDiscovered) {
+  const auto g = sno_world_graph(2023);
+  const auto report = infer_coverage(g, kHellasSat, known_footprints()[2].footprint);
+  EXPECT_EQ(report.discovered.size(), 2u);  // paper: 2 out of 2
+  EXPECT_DOUBLE_EQ(report.city_coverage(), 1.0);
+}
+
+TEST(CoverageTest, SesPartialDiscovery) {
+  const auto g = sno_world_graph(2023);
+  const auto report = infer_coverage(g, kSes, known_footprints()[1].footprint);
+  EXPECT_EQ(report.truth_countries, 22u);
+  EXPECT_GT(report.discovered.size(), 2u);
+  EXPECT_LT(report.discovered.size(), 15u);
+}
+
+TEST(CoverageTest, EmptyFootprintYieldsZeroes) {
+  const auto g = sno_world_graph(2023);
+  const auto report = infer_coverage(g, kStarlink, {});
+  EXPECT_EQ(report.truth_countries, 0u);
+  EXPECT_DOUBLE_EQ(report.country_recall(), 0.0);
+  EXPECT_DOUBLE_EQ(report.city_coverage(), 0.0);
+}
+
+class SnapshotYearParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(SnapshotYearParam, GraphWellFormed) {
+  const auto g = sno_world_graph(GetParam());
+  EXPECT_GT(g.as_count(), 40u);
+  EXPECT_GT(g.edge_count(), 50u);
+  // Every edge endpoint resolves.
+  for (const auto& e : g.edges()) {
+    EXPECT_NO_THROW(g.info(e.a));
+    EXPECT_NO_THROW(g.info(e.b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Years, SnapshotYearParam, ::testing::Values(2021, 2022, 2023));
+
+}  // namespace
+}  // namespace satnet::bgp

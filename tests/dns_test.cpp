@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "dns/resolver.hpp"
+#include "dns/roots.hpp"
+#include "geo/places.hpp"
+
+namespace satnet::dns {
+namespace {
+
+// ----------------------------------------------------------------- roots
+
+TEST(RootsTest, ThirteenRootsLetteredAtoM) {
+  const auto roots = root_servers();
+  ASSERT_EQ(roots.size(), 13u);
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    EXPECT_EQ(roots[i].letter, static_cast<char>('A' + i));
+    EXPECT_FALSE(roots[i].instance_cities.empty());
+  }
+}
+
+TEST(RootsTest, SantiagoHostsSevenRoots) {
+  // Paper: only 7 of 13 roots are present in Chile.
+  EXPECT_EQ(roots_present_in("santiago"), 7u);
+}
+
+TEST(RootsTest, MRootAbsentFromSouthAmerica) {
+  const auto& m = root_servers()[12];
+  ASSERT_EQ(m.letter, 'M');
+  for (const auto city : m.instance_cities) {
+    const auto info = geo::find_city(city);
+    ASSERT_TRUE(info.has_value());
+    EXPECT_NE(geo::continent_of(info->country_code), geo::Continent::south_america)
+        << city;
+  }
+}
+
+TEST(RootsTest, AucklandHostsFewRoots) {
+  EXPECT_LE(roots_present_in("auckland"), 2u);
+  EXPECT_GE(roots_present_in("auckland"), 1u);
+}
+
+TEST(RootsTest, EuropeWellServed) {
+  // Every root has an instance somewhere in Europe except the US-only
+  // military roots (G, H).
+  std::size_t roots_with_europe = 0;
+  for (const auto& r : root_servers()) {
+    for (const auto city : r.instance_cities) {
+      const auto info = geo::find_city(city);
+      if (info && geo::continent_of(info->country_code) == geo::Continent::europe) {
+        ++roots_with_europe;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(roots_with_europe, 10u);
+}
+
+TEST(RootsTest, NearestInstanceFromSantiagoIsLocalForL) {
+  const auto& l = root_servers()[11];
+  ASSERT_EQ(l.letter, 'L');
+  const auto choice = nearest_instance(l, geo::city_point("santiago"));
+  EXPECT_EQ(choice.city, "santiago");
+  EXPECT_LT(choice.surface_km, 1.0);
+}
+
+TEST(RootsTest, NearestInstanceFromSantiagoIsRemoteForM) {
+  const auto& m = root_servers()[12];
+  const auto choice = nearest_instance(m, geo::city_point("santiago"));
+  EXPECT_GT(choice.surface_km, 5000.0);
+}
+
+TEST(RootsTest, NearestInstanceFromTokyoLocalWhereAvailable) {
+  for (const char letter : {'F', 'I', 'J', 'M'}) {
+    const auto& root = root_servers()[static_cast<std::size_t>(letter - 'A')];
+    const auto choice = nearest_instance(root, geo::city_point("tokyo"));
+    EXPECT_EQ(choice.city, "tokyo") << letter;
+  }
+}
+
+TEST(RootsTest, InstanceCitiesAllInGazetteer) {
+  for (const auto& r : root_servers()) {
+    for (const auto city : r.instance_cities) {
+      EXPECT_TRUE(geo::find_city(city).has_value()) << r.letter << ": " << city;
+    }
+  }
+}
+
+// --------------------------------------------------------------- resolver
+
+TEST(ResolverTest, UncachedLookupIncludesAccessRttAndRecursion) {
+  Resolver r({true, 60.0, 0.0, 300.0}, stats::Rng(1));
+  const auto result = r.lookup("example.com", 0.0, 70.0);
+  EXPECT_FALSE(result.cache_hit);
+  EXPECT_NEAR(result.time_ms, 130.0, 1.0);  // zero sigma: exact recursion
+}
+
+TEST(ResolverTest, CacheHitWithinTtl) {
+  Resolver r({true, 60.0, 0.2, 300.0}, stats::Rng(2));
+  r.lookup("example.com", 0.0, 70.0);
+  const auto hit = r.lookup("example.com", 100.0, 70.0);
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_LT(hit.time_ms, 2.0);
+}
+
+TEST(ResolverTest, CacheExpiresAfterTtl) {
+  Resolver r({true, 60.0, 0.2, 300.0}, stats::Rng(3));
+  r.lookup("example.com", 0.0, 70.0);
+  const auto miss = r.lookup("example.com", 301.0, 70.0);
+  EXPECT_FALSE(miss.cache_hit);
+  EXPECT_GT(miss.time_ms, 70.0);
+}
+
+TEST(ResolverTest, DistinctDomainsDoNotShareCache) {
+  Resolver r({true, 60.0, 0.2, 300.0}, stats::Rng(4));
+  r.lookup("a.example", 0.0, 70.0);
+  EXPECT_FALSE(r.lookup("b.example", 1.0, 70.0).cache_hit);
+}
+
+TEST(ResolverTest, GeoOperatorResolverDominatedBySatelliteRtt) {
+  // HughesNet-style: resolver beyond the satellite link.
+  Resolver hughes({false, 80.0, 0.0, 300.0}, stats::Rng(5));
+  // Viasat-style: slower recursion.
+  Resolver viasat({false, 330.0, 0.0, 300.0}, stats::Rng(6));
+  const double hughes_ms = hughes.lookup("x.example", 0.0, 650.0).time_ms;
+  const double viasat_ms = viasat.lookup("x.example", 0.0, 600.0).time_ms;
+  // Paper Fig 10c: Viasat lookups slower than HughesNet despite lower RTT.
+  EXPECT_GT(viasat_ms, hughes_ms);
+  EXPECT_NEAR(hughes_ms, 730.0, 1.0);
+  EXPECT_NEAR(viasat_ms, 930.0, 1.0);
+}
+
+class RootReachParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(RootReachParam, EveryRootReachableFromEveryStudyCity) {
+  const char* cities[] = {"seattle", "london", "tokyo", "sydney", "santiago",
+                          "auckland", "manila", "frankfurt"};
+  const auto& root = root_servers()[static_cast<std::size_t>(GetParam())];
+  for (const char* city : cities) {
+    const auto choice = nearest_instance(root, geo::city_point(city));
+    EXPECT_FALSE(choice.city.empty());
+    EXPECT_LT(choice.surface_km, 20020.0);  // at most half the planet
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRoots, RootReachParam, ::testing::Range(0, 13));
+
+}  // namespace
+}  // namespace satnet::dns

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "http/cdn.hpp"
+#include "http/loader.hpp"
+#include "http/page.hpp"
+#include "stats/summary.hpp"
+
+namespace satnet::http {
+namespace {
+
+transport::PathProfile starlink_path() {
+  transport::PathProfile p;
+  p.base_rtt_ms = 55;
+  p.jitter_ms = 4;
+  p.bottleneck_mbps = 100;
+  p.sat_loss = 0.002;
+  return p;
+}
+
+transport::PathProfile geo_path(double rtt = 620, double mbps = 20) {
+  transport::PathProfile p;
+  p.base_rtt_ms = rtt;
+  p.jitter_ms = 25;
+  p.bottleneck_mbps = mbps;
+  p.sat_loss = 0.004;
+  p.pep = true;
+  p.ground_loss = 0.0002;
+  return p;
+}
+
+// ------------------------------------------------------------------ CDN
+
+TEST(CdnTest, FiveProvidersRegistered) {
+  EXPECT_EQ(cdn_providers().size(), 5u);
+  EXPECT_NO_THROW(find_cdn("fastly"));
+  EXPECT_NO_THROW(find_cdn("cloudflare"));
+  EXPECT_THROW(find_cdn("akamai"), std::out_of_range);
+}
+
+TEST(CdnTest, CloudflareServesSmallestBodies) {
+  const auto& cf = find_cdn("cloudflare");
+  for (const auto& p : cdn_providers()) {
+    EXPECT_LE(cf.min_bytes, p.min_bytes);
+    EXPECT_LE(cf.regular_bytes, p.regular_bytes);
+  }
+}
+
+TEST(CdnTest, FastlyFastestOnStarlink) {
+  stats::Rng rng(1);
+  double fastly = 0, stackpath = 0;
+  for (int i = 0; i < 20; ++i) {
+    fastly += cdn_fetch_ms(find_cdn("fastly"), JqueryVariant::minified,
+                           starlink_path(), rng);
+    stackpath += cdn_fetch_ms(find_cdn("stackpath"), JqueryVariant::minified,
+                              starlink_path(), rng);
+  }
+  EXPECT_LT(fastly, stackpath);
+}
+
+TEST(CdnTest, JsdelivrRedirectHelpsStarlinkLittleHurtsGeo) {
+  stats::Rng rng(2);
+  double sl_jsd = 0, sl_fastly = 0, geo_jsd = 0, geo_fastly = 0;
+  for (int i = 0; i < 25; ++i) {
+    sl_jsd += cdn_fetch_ms(find_cdn("jsdelivr"), JqueryVariant::minified,
+                           starlink_path(), rng);
+    sl_fastly += cdn_fetch_ms(find_cdn("fastly"), JqueryVariant::minified,
+                              starlink_path(), rng);
+    geo_jsd += cdn_fetch_ms(find_cdn("jsdelivr"), JqueryVariant::minified,
+                            geo_path(), rng);
+    geo_fastly += cdn_fetch_ms(find_cdn("fastly"), JqueryVariant::minified,
+                               geo_path(), rng);
+  }
+  // The extra redirect RTT is ~55 ms on Starlink but ~620 ms on GEO.
+  EXPECT_LT(sl_jsd - sl_fastly, 100.0 * 25);
+  EXPECT_GT(geo_jsd - geo_fastly, 400.0 * 25);
+}
+
+TEST(CdnTest, MinifiedFasterThanRegular) {
+  stats::Rng rng(3);
+  double minified = 0, regular = 0;
+  for (int i = 0; i < 25; ++i) {
+    minified += cdn_fetch_ms(find_cdn("fastly"), JqueryVariant::minified,
+                             geo_path(620, 5), rng);
+    regular += cdn_fetch_ms(find_cdn("fastly"), JqueryVariant::regular,
+                            geo_path(620, 5), rng);
+  }
+  EXPECT_LT(minified, regular);
+}
+
+TEST(CdnTest, GeoFetchesAroundOneSecond) {
+  // Paper Fig 10a: Fastly jquery.min.js ~127 ms Starlink, ~1 s GEO.
+  stats::Rng rng(4);
+  std::vector<double> sl, geo;
+  for (int i = 0; i < 30; ++i) {
+    sl.push_back(cdn_fetch_ms(find_cdn("fastly"), JqueryVariant::minified,
+                              starlink_path(), rng));
+    geo.push_back(cdn_fetch_ms(find_cdn("fastly"), JqueryVariant::minified,
+                               geo_path(), rng));
+  }
+  const double sl_med = stats::median(sl);
+  const double geo_med = stats::median(geo);
+  EXPECT_GT(sl_med, 80.0);
+  EXPECT_LT(sl_med, 400.0);
+  EXPECT_GT(geo_med, 800.0);
+  EXPECT_LT(geo_med, 3000.0);
+}
+
+// ----------------------------------------------------------------- page
+
+TEST(PageTest, AkamaiDemoShape) {
+  const WebPage page = akamai_demo_page();
+  EXPECT_EQ(page.subresources.size(), 360u);
+  EXPECT_EQ(page.object_count(), 361u);
+  // All tiles from one host: the H1-vs-H2 stress case.
+  for (const auto& o : page.subresources) EXPECT_EQ(o.host, page.root.host);
+}
+
+TEST(PageTest, TotalBytesSumsResources) {
+  WebPage p;
+  p.root = {"h", 100};
+  p.subresources = {{"h", 50}, {"h", 25}};
+  EXPECT_EQ(p.total_bytes(), 175u);
+}
+
+TEST(PageTest, NewsPageUsesMultipleHosts) {
+  const WebPage page = news_page();
+  std::set<std::string> hosts;
+  for (const auto& o : page.subresources) hosts.insert(o.host);
+  EXPECT_GE(hosts.size(), 3u);
+}
+
+// --------------------------------------------------------------- loader
+
+TEST(LoaderTest, H2BeatsH1OnManyObjectPage) {
+  stats::Rng rng(5);
+  const WebPage page = akamai_demo_page();
+  const auto h1 = load_page(page, HttpVersion::h1, starlink_path(), rng);
+  const auto h2 = load_page(page, HttpVersion::h2, starlink_path(), rng);
+  EXPECT_LT(h2.plt_ms, h1.plt_ms);
+}
+
+TEST(LoaderTest, H1GeoCatastrophicH2Rescues) {
+  // Paper Fig 10b: H2 on GEO is comparable to H1 on Starlink.
+  stats::Rng rng(6);
+  const WebPage page = akamai_demo_page();
+  std::vector<double> h1_geo, h2_geo, h1_sl;
+  for (int i = 0; i < 8; ++i) {
+    h1_geo.push_back(load_page(page, HttpVersion::h1, geo_path(), rng).plt_ms);
+    h2_geo.push_back(load_page(page, HttpVersion::h2, geo_path(), rng).plt_ms);
+    h1_sl.push_back(load_page(page, HttpVersion::h1, starlink_path(), rng).plt_ms);
+  }
+  const double h1g = stats::median(h1_geo);
+  const double h2g = stats::median(h2_geo);
+  const double h1s = stats::median(h1_sl);
+  EXPECT_GT(h1g, 3 * h2g);           // multiplexing is transformative on GEO
+  EXPECT_LT(h2g, 3 * h1s + 4000.0);  // H2-GEO within reach of H1-Starlink
+}
+
+TEST(LoaderTest, H1OpensAtMostSixConnectionsPerHost) {
+  stats::Rng rng(7);
+  const WebPage page = akamai_demo_page();
+  const auto r = load_page(page, HttpVersion::h1, starlink_path(), rng);
+  // root conn + 6 pool conns on the single host.
+  EXPECT_LE(r.connections_opened, 7u);
+}
+
+TEST(LoaderTest, H2OneConnectionPerHost) {
+  stats::Rng rng(8);
+  const WebPage page = news_page();
+  std::set<std::string> hosts;
+  for (const auto& o : page.subresources) hosts.insert(o.host);
+  const auto r = load_page(page, HttpVersion::h2, starlink_path(), rng);
+  EXPECT_LE(r.connections_opened, hosts.size() + 1);
+}
+
+TEST(LoaderTest, AllObjectsFetched) {
+  stats::Rng rng(9);
+  const WebPage page = news_page();
+  const auto r = load_page(page, HttpVersion::h1, starlink_path(), rng);
+  EXPECT_EQ(r.objects_fetched, page.object_count());
+}
+
+TEST(LoaderTest, TimeoutClampsSlowLoads) {
+  stats::Rng rng(10);
+  transport::PathProfile p = geo_path(900, 0.5);
+  p.pep = false;
+  p.sat_loss = 0.02;
+  LoaderOptions opt;
+  opt.timeout_ms = 5000;
+  const auto r = load_page(akamai_demo_page(), HttpVersion::h1, p, rng, opt);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_DOUBLE_EQ(r.plt_ms, 5000.0);
+}
+
+TEST(LoaderTest, FasterLinkFasterLoad) {
+  stats::Rng rng(11);
+  const WebPage page = news_page();
+  const auto slow = load_page(page, HttpVersion::h2, geo_path(620, 2), rng);
+  const auto fast = load_page(page, HttpVersion::h2, geo_path(620, 50), rng);
+  EXPECT_LT(fast.plt_ms, slow.plt_ms);
+}
+
+class LoaderRttSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LoaderRttSweep, H1PltScalesWithRtt) {
+  stats::Rng rng(12);
+  transport::PathProfile p = starlink_path();
+  p.base_rtt_ms = GetParam();
+  p.sat_loss = 0;
+  const auto r = load_page(akamai_demo_page(), HttpVersion::h1, p, rng);
+  // ~360 objects over 6 connections: at least 60 serialized RTTs.
+  EXPECT_GT(r.plt_ms, 55 * GetParam());
+  EXPECT_LT(r.plt_ms, 90 * GetParam() + 3000);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rtts, LoaderRttSweep, ::testing::Values(30.0, 60.0, 120.0, 300.0));
+
+}  // namespace
+}  // namespace satnet::http

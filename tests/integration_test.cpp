@@ -1,0 +1,191 @@
+// End-to-end integration: the full study loop — world synthesis, M-Lab
+// campaign, identification pipeline, cross-orbit analysis, RIPE analysis,
+// Prolific study — wired together the way the paper's evaluation is.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mlab/campaign.hpp"
+#include "prolific/addon.hpp"
+#include "prolific/census.hpp"
+#include "ripe/atlas.hpp"
+#include "snoid/analysis.hpp"
+#include "snoid/pipeline.hpp"
+#include "snoid/pop_analysis.hpp"
+#include "synth/world.hpp"
+
+namespace satnet {
+namespace {
+
+struct Study {
+  synth::World world;
+  mlab::NdtDataset mlab;
+  snoid::PipelineResult pipeline;
+  ripe::AtlasDataset atlas;
+
+  Study() {
+    mlab::CampaignConfig mc;
+    mc.volume_scale = 0.0005;
+    mc.min_tests_per_sno = 25;
+    mlab = mlab::run_campaign(world, mc);
+    pipeline = snoid::run_pipeline(mlab);
+
+    ripe::AtlasConfig ac;
+    ac.duration_days = 366.0;
+    ac.round_interval_hours = 24.0 * 3;
+    atlas = ripe::run_atlas_campaign(ac);
+  }
+};
+
+const Study& study() {
+  static const Study s;
+  return s;
+}
+
+TEST(IntegrationTest, FullLoopIdentifiesEighteenOperators) {
+  EXPECT_EQ(study().pipeline.identified_operators, 18u);
+}
+
+TEST(IntegrationTest, RetainedVolumeOrderingFollowsTable1) {
+  // Starlink must dominate, the GEO tail must be small (Table 1's shape).
+  std::map<std::string, std::size_t> retained;
+  for (const auto& op : study().pipeline.operators) {
+    retained[op.name] = op.retained.size();
+  }
+  EXPECT_GT(retained["starlink"], 50 * retained["viasat"]);
+  EXPECT_GT(retained["o3b/ses"], retained["kacific"]);
+}
+
+TEST(IntegrationTest, EndToEndOrbitOrdering) {
+  const auto groups = snoid::retained_by_orbit(study().pipeline);
+  const auto median_of = [&](orbit::OrbitClass c) {
+    return stats::median(
+        study().mlab.field(groups.at(c), &mlab::NdtRecord::latency_p5_ms));
+  };
+  EXPECT_LT(median_of(orbit::OrbitClass::leo), median_of(orbit::OrbitClass::meo));
+  EXPECT_LT(median_of(orbit::OrbitClass::meo), median_of(orbit::OrbitClass::geo));
+}
+
+TEST(IntegrationTest, RipePopRttMatchesMlabStarlinkLatencyFloor) {
+  // The PoP RTT seen by RIPE probes must sit below the M-Lab NDT latency
+  // (which adds the PoP->server leg) but in the same regime.
+  const auto world_rtt = snoid::pop_rtt_by_country(study().atlas, /*us_only=*/false);
+  ASSERT_FALSE(world_rtt.empty());
+  double best_median = 1e9;
+  for (const auto& r : world_rtt) best_median = std::min(best_median, r.rtt.median);
+
+  const auto groups = snoid::retained_by_orbit(study().pipeline);
+  const auto leo_lat =
+      study().mlab.field(groups.at(orbit::OrbitClass::leo), &mlab::NdtRecord::latency_p5_ms);
+  EXPECT_LT(best_median, stats::median(leo_lat));
+  EXPECT_GT(best_median, 25.0);
+}
+
+TEST(IntegrationTest, PhilippinesWorstPopRttWorldwide) {
+  const auto world_rtt = snoid::pop_rtt_by_country(study().atlas, false);
+  ASSERT_GE(world_rtt.size(), 10u);
+  EXPECT_EQ(world_rtt.back().key, "PH");  // sorted by median
+  // ~2x the best-served countries (paper: 80 ms vs ~33 ms).
+  EXPECT_GT(world_rtt.back().rtt.median, 1.7 * world_rtt.front().rtt.median);
+}
+
+TEST(IntegrationTest, AlaskaWorstUsState) {
+  const auto us = snoid::pop_rtt_by_us_state(study().atlas);
+  ASSERT_GE(us.size(), 20u);
+  EXPECT_EQ(us.back().key, "AK");
+  EXPECT_GT(us.back().rtt.median, 60.0);  // paper: ~80 ms median
+}
+
+TEST(IntegrationTest, PopMigrationsDetected) {
+  const auto migrations = snoid::detect_pop_migrations(study().atlas);
+  // NZ (Sydney->Auckland), NL (Frankfurt->London), Reno (LA->Denver->LA).
+  bool nz = false, nl = false, nv_out = false, nv_back = false;
+  for (const auto& m : migrations) {
+    if (m.country == "NZ" && m.from_pop == "sydnaus1" && m.to_pop == "acklnzl1") {
+      nz = true;
+      EXPECT_GT(m.rtt_before_ms, m.rtt_after_ms);  // ~20 ms improvement
+    }
+    if (m.country == "NL" && m.from_pop == "frntdeu1" && m.to_pop == "lndngbr1") {
+      nl = true;
+    }
+    if (m.country == "US" && m.from_pop == "lsancax1" && m.to_pop == "dnvrcox1") {
+      nv_out = true;
+      EXPECT_LT(m.rtt_before_ms, m.rtt_after_ms);  // the "damage" case
+    }
+    if (m.country == "US" && m.from_pop == "dnvrcox1" && m.to_pop == "lsancax1") {
+      nv_back = true;
+    }
+  }
+  EXPECT_TRUE(nz);
+  EXPECT_TRUE(nl);
+  EXPECT_TRUE(nv_out);
+  EXPECT_TRUE(nv_back);
+}
+
+TEST(IntegrationTest, PopAssociationHistoryListsActiveAndPast) {
+  const auto assoc = snoid::pop_association_history(study().atlas);
+  // The NZ probe must show two associations: Sydney (ended) and Auckland
+  // (active until the end of the campaign).
+  std::vector<snoid::PopAssociation> nz;
+  for (const auto& a : assoc) {
+    if (a.country == "NZ") nz.push_back(a);
+  }
+  ASSERT_EQ(nz.size(), 2u);
+  EXPECT_EQ(nz[0].pop_name, "sydnaus1");
+  EXPECT_EQ(nz[1].pop_name, "acklnzl1");
+  EXPECT_LT(nz[0].last_day, 75.0);
+  EXPECT_GT(nz[1].last_day, 350.0);
+}
+
+TEST(IntegrationTest, RootDnsChileWideDistribution) {
+  // Chile: 7 local roots (fast) + 6 remote (slow) -> wide spread.
+  const auto root_rtt = snoid::root_rtt_by_country(study().atlas);
+  const snoid::RttSummary* cl = nullptr;
+  const snoid::RttSummary* de = nullptr;
+  for (const auto& r : root_rtt) {
+    if (r.key == "CL") cl = &r;
+    if (r.key == "DE") de = &r;
+  }
+  ASSERT_NE(cl, nullptr);
+  ASSERT_NE(de, nullptr);
+  const double cl_spread = cl->rtt.whisker_high - cl->rtt.whisker_low;
+  const double de_spread = de->rtt.whisker_high - de->rtt.whisker_low;
+  EXPECT_GT(cl_spread, de_spread);
+}
+
+TEST(IntegrationTest, ProlificStudyConsistentWithMlabSpeeds) {
+  prolific::TesterPool pool;
+  prolific::StudyConfig cfg;
+  cfg.runs_per_tester = 2;
+  const auto reports = prolific::run_addon_study(study().world, pool, cfg);
+
+  std::map<std::string, std::vector<double>> down;
+  for (const auto& r : reports) {
+    if (r.speedtest.down_mbps > 0) down[r.sno].push_back(r.speedtest.down_mbps);
+  }
+  // Fig 9a ordering: Starlink >> Viasat > HughesNet.
+  EXPECT_GT(stats::median(down["starlink"]), 2.0 * stats::median(down["viasat"]));
+  EXPECT_GT(stats::median(down["viasat"]), stats::median(down["hughesnet"]));
+  EXPECT_LT(stats::median(down["hughesnet"]), 4.0);  // never near 25 Mbps
+}
+
+TEST(IntegrationTest, ScalingUpCampaignPreservesFindings) {
+  // Same world, 4x test volume: the pipeline conclusions are stable.
+  mlab::CampaignConfig mc;
+  mc.volume_scale = 0.002;
+  mc.min_tests_per_sno = 30;
+  const auto big = mlab::run_campaign(study().world, mc);
+  const auto result = snoid::run_pipeline(big);
+  EXPECT_EQ(result.identified_operators, 18u);
+  for (const auto& op : result.operators) {
+    if (op.identified()) EXPECT_GT(op.precision(), 0.9) << op.name;
+  }
+  // At this volume Viasat's clean prefixes surface and it is covered by
+  // the strict filter (Fig 3a lists Viasat among the 6 covered SNOs).
+  for (const auto& op : result.operators) {
+    if (op.name == "viasat") EXPECT_TRUE(op.covered_by_strict);
+  }
+}
+
+}  // namespace
+}  // namespace satnet

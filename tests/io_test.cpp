@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/csv.hpp"
+#include "io/report.hpp"
+#include "mlab/campaign.hpp"
+#include "snoid/pipeline.hpp"
+#include "synth/world.hpp"
+
+namespace satnet::io {
+namespace {
+
+// ------------------------------------------------------------- CsvWriter
+
+TEST(CsvWriterTest, PlainFieldsUnquoted) {
+  EXPECT_EQ(CsvWriter::escape("hello"), "hello");
+  EXPECT_EQ(CsvWriter::escape("12.5"), "12.5");
+}
+
+TEST(CsvWriterTest, CommaTriggersQuoting) {
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvWriterTest, QuotesDoubled) {
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvWriterTest, NewlineQuoted) {
+  EXPECT_EQ(CsvWriter::escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvWriterTest, HeaderThenRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"a", "b"});
+  csv.row({"1", "2"});
+  csv.row({"3", "x,y"});
+  EXPECT_EQ(out.str(), "a,b\n1,2\n3,\"x,y\"\n");
+  EXPECT_EQ(csv.rows_written(), 2u);
+}
+
+TEST(CsvWriterTest, RowWidthEnforced) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"a", "b"});
+  EXPECT_THROW(csv.row({"only one"}), std::invalid_argument);
+}
+
+TEST(CsvWriterTest, RowBeforeHeaderThrows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  EXPECT_THROW(csv.row({"x"}), std::logic_error);
+}
+
+TEST(CsvWriterTest, DoubleHeaderThrows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"a"});
+  EXPECT_THROW(csv.header({"a"}), std::logic_error);
+}
+
+// --------------------------------------------------------------- exports
+
+class ExportTest : public ::testing::Test {
+ protected:
+  static const mlab::NdtDataset& dataset() {
+    static const mlab::NdtDataset ds = [] {
+      static const synth::World world;
+      mlab::CampaignConfig cfg;
+      cfg.volume_scale = 0.00005;
+      cfg.min_tests_per_sno = 5;
+      return mlab::run_campaign(world, cfg);
+    }();
+    return ds;
+  }
+};
+
+TEST_F(ExportTest, NdtRowCountMatchesDataset) {
+  std::ostringstream out;
+  EXPECT_EQ(export_ndt(dataset(), out), dataset().size());
+  // header + one line per record
+  std::size_t lines = 0;
+  for (const char c : out.str()) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, dataset().size() + 1);
+}
+
+TEST_F(ExportTest, NdtHeaderColumns) {
+  std::ostringstream out;
+  export_ndt(dataset(), out);
+  const std::string text = out.str();
+  const std::string header = text.substr(0, text.find('\n'));
+  EXPECT_NE(header.find("latency_p5_ms"), std::string::npos);
+  EXPECT_NE(header.find("truth_operator"), std::string::npos);
+  // 15 columns -> 14 commas.
+  EXPECT_EQ(std::count(header.begin(), header.end(), ','), 14);
+}
+
+TEST_F(ExportTest, PipelineExportHasOneRowPerOperator) {
+  const auto result = snoid::run_pipeline(dataset());
+  std::ostringstream out;
+  EXPECT_EQ(export_pipeline(result, out), result.operators.size());
+  EXPECT_NE(out.str().find("starlink"), std::string::npos);
+}
+
+TEST_F(ExportTest, TracerouteExportWorks) {
+  ripe::AtlasConfig cfg;
+  cfg.duration_days = 3.0;
+  cfg.round_interval_hours = 24.0;
+  const auto atlas = ripe::run_atlas_campaign(cfg);
+  std::ostringstream out;
+  EXPECT_EQ(export_traceroutes(atlas, out), atlas.traceroutes.size());
+  EXPECT_NE(out.str().find("cgnat_rtt_ms"), std::string::npos);
+}
+
+TEST_F(ExportTest, StudyReportContainsAllSections) {
+  const auto result = snoid::run_pipeline(dataset());
+  ripe::AtlasConfig cfg;
+  cfg.duration_days = 3.0;
+  cfg.round_interval_hours = 24.0;
+  const auto atlas = ripe::run_atlas_campaign(cfg);
+  const std::string report = study_report(dataset(), result, atlas);
+  EXPECT_NE(report.find("# SNO performance study report"), std::string::npos);
+  EXPECT_NE(report.find("## Identified operators"), std::string::npos);
+  EXPECT_NE(report.find("## Cross-orbit summary"), std::string::npos);
+  EXPECT_NE(report.find("## Starlink PoP analysis"), std::string::npos);
+  EXPECT_NE(report.find("starlink"), std::string::npos);
+}
+
+TEST_F(ExportTest, StudyReportSkipsPopSectionWithoutAtlas) {
+  const auto result = snoid::run_pipeline(dataset());
+  const std::string report = study_report(dataset(), result, ripe::AtlasDataset{});
+  EXPECT_EQ(report.find("## Starlink PoP analysis"), std::string::npos);
+  EXPECT_NE(report.find("## Cross-orbit summary"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace satnet::io

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mlab/campaign.hpp"
+#include "mlab/dataset.hpp"
+#include "mlab/ndt.hpp"
+
+namespace satnet::mlab {
+namespace {
+
+const synth::World& world() {
+  static const synth::World w;
+  return w;
+}
+
+NdtDataset small_dataset() {
+  CampaignConfig cfg;
+  cfg.volume_scale = 0.0003;
+  cfg.min_tests_per_sno = 15;
+  return run_campaign(world(), cfg);
+}
+
+// ------------------------------------------------------------------ NDT
+
+TEST(NdtTest, RecordCarriesTcpInfoFields) {
+  stats::Rng rng(1);
+  const auto* sub = world().subscribers_of("hughesnet").front();
+  const auto rec = run_ndt(world(), *sub, 1000.0, rng);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_GT(rec->latency_p5_ms, 0.0);
+  EXPECT_GT(rec->download_mbps, 0.0);
+  EXPECT_GE(rec->retrans_frac, 0.0);
+  EXPECT_LE(rec->retrans_frac, 1.0);
+  EXPECT_EQ(rec->asn, sub->asn);
+  EXPECT_EQ(rec->truth_operator, "hughesnet");
+}
+
+TEST(NdtTest, UploadSkippedByDefault) {
+  stats::Rng rng(2);
+  const auto* sub = world().subscribers_of("starlink").front();
+  const auto rec = run_ndt(world(), *sub, 0.0, rng);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_DOUBLE_EQ(rec->upload_mbps, 0.0);
+}
+
+TEST(NdtTest, UploadMeasuredWhenRequested) {
+  stats::Rng rng(3);
+  NdtOptions opt;
+  opt.measure_upload = true;
+  const auto* sub = world().subscribers_of("starlink").front();
+  const auto rec = run_ndt(world(), *sub, 0.0, rng, opt);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_GT(rec->upload_mbps, 0.0);
+  EXPECT_LT(rec->upload_mbps, rec->download_mbps);
+}
+
+TEST(NdtTest, GeoLatencyInGeoBand) {
+  stats::Rng rng(4);
+  int n = 0;
+  for (const auto* sub : world().subscribers_of("kvh")) {
+    if (sub->tech != synth::AccessTech::satellite) continue;
+    const auto rec = run_ndt(world(), *sub, 500.0, rng);
+    if (!rec) continue;
+    if (rec->latency_p5_ms < 400) continue;  // rare VPN artifact
+    EXPECT_GT(rec->latency_p5_ms, 600.0);
+    EXPECT_LT(rec->latency_p5_ms, 1100.0);
+    if (++n > 10) break;
+  }
+  EXPECT_GT(n, 3);
+}
+
+TEST(NdtTest, TruthLabelsConsistent) {
+  stats::Rng rng(5);
+  for (const auto* sub : world().subscribers_of("telalaska")) {
+    const auto rec = run_ndt(world(), *sub, 123.0, rng);
+    if (!rec) continue;
+    if (sub->tech == synth::AccessTech::terrestrial) {
+      EXPECT_FALSE(rec->truth_satellite);
+    }
+    if (sub->tech == synth::AccessTech::satellite) {
+      EXPECT_TRUE(rec->truth_satellite);
+    }
+  }
+}
+
+// ------------------------------------------------------------- campaign
+
+TEST(CampaignTest, ScheduledTestsScaleWithTable1) {
+  CampaignConfig cfg;
+  cfg.volume_scale = 0.001;
+  cfg.min_tests_per_sno = 30;
+  const auto& starlink = synth::find_sno("starlink");
+  const auto& kacific = synth::find_sno("kacific");
+  EXPECT_EQ(scheduled_tests(starlink, cfg), 11700u);
+  EXPECT_EQ(scheduled_tests(kacific, cfg), 30u);  // floor clamped to paper count
+}
+
+TEST(CampaignTest, NonMlabOperatorsScheduleNothing) {
+  CampaignConfig cfg;
+  EXPECT_EQ(scheduled_tests(synth::find_sno("telesat"), cfg), 0u);
+  EXPECT_EQ(scheduled_tests(synth::find_sno("cable-axion"), cfg), 0u);
+}
+
+TEST(CampaignTest, DatasetDeterministic) {
+  CampaignConfig cfg;
+  cfg.volume_scale = 0.0001;
+  cfg.min_tests_per_sno = 5;
+  const auto a = run_campaign(world(), cfg);
+  const auto b = run_campaign(world(), cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 17) {
+    EXPECT_EQ(a.records()[i].client_ip, b.records()[i].client_ip);
+    EXPECT_DOUBLE_EQ(a.records()[i].latency_p5_ms, b.records()[i].latency_p5_ms);
+  }
+}
+
+TEST(CampaignTest, CoversAllMlabOperators) {
+  const auto ds = small_dataset();
+  std::set<std::string> operators;
+  for (const auto& r : ds.records()) operators.insert(r.truth_operator);
+  EXPECT_EQ(operators.size(), 18u);
+}
+
+TEST(CampaignTest, TestTimesWithinWindow) {
+  const auto ds = small_dataset();
+  for (const auto& r : ds.records()) {
+    EXPECT_GE(r.t_sec, 0.0);
+    EXPECT_LE(r.t_sec, 730.0 * 86400.0);
+  }
+}
+
+TEST(CampaignTest, RepeatTestersProduceDensePrefixes) {
+  const auto ds = small_dataset();
+  const auto by_prefix = ds.by_prefix(ds.all());
+  std::size_t dense = 0;
+  for (const auto& [prefix, idxs] : by_prefix) {
+    if (idxs.size() >= 10) ++dense;
+  }
+  EXPECT_GT(dense, 5u);  // prefix filtering needs >= 10-test prefixes
+}
+
+// -------------------------------------------------------------- dataset
+
+TEST(DatasetTest, ByAsnPartitionsAllRecords) {
+  const auto ds = small_dataset();
+  std::size_t total = 0;
+  for (const auto& [asn, idxs] : ds.by_asn()) {
+    total += idxs.size();
+    for (const std::size_t i : idxs) EXPECT_EQ(ds.records()[i].asn, asn);
+  }
+  EXPECT_EQ(total, ds.size());
+}
+
+TEST(DatasetTest, FieldExtraction) {
+  const auto ds = small_dataset();
+  const auto lat = ds.field(ds.all(), &NdtRecord::latency_p5_ms);
+  EXPECT_EQ(lat.size(), ds.size());
+}
+
+TEST(DatasetTest, SelectPredicate) {
+  const auto ds = small_dataset();
+  const auto geo_only = ds.select(
+      [](const NdtRecord& r) { return r.truth_orbit == orbit::OrbitClass::geo; });
+  EXPECT_GT(geo_only.size(), 0u);
+  EXPECT_LT(geo_only.size(), ds.size());
+}
+
+}  // namespace
+}  // namespace satnet::mlab

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/places.hpp"
+#include "net/ipv4.hpp"
+#include "net/route.hpp"
+
+namespace satnet::net {
+namespace {
+
+// ----------------------------------------------------------------- IPv4
+
+TEST(Ipv4Test, ParseAndFormatRoundTrip) {
+  const auto a = Ipv4::parse("100.64.0.1");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->to_string(), "100.64.0.1");
+  EXPECT_EQ(*a, kCgnatGateway);
+}
+
+TEST(Ipv4Test, ParseRejectsGarbage) {
+  EXPECT_FALSE(Ipv4::parse("").has_value());
+  EXPECT_FALSE(Ipv4::parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4::parse("256.1.1.1").has_value());
+  EXPECT_FALSE(Ipv4::parse("a.b.c.d").has_value());
+  EXPECT_FALSE(Ipv4::parse("1..2.3").has_value());
+  EXPECT_FALSE(Ipv4::parse("1.2.3.4 ").has_value());
+}
+
+TEST(Ipv4Test, OctetConstructor) {
+  EXPECT_EQ(Ipv4(192, 168, 1, 1).to_string(), "192.168.1.1");
+  EXPECT_EQ(Ipv4(0, 0, 0, 0).value(), 0u);
+  EXPECT_EQ(Ipv4(255, 255, 255, 255).value(), 0xffffffffu);
+}
+
+TEST(Ipv4Test, CgnatRange) {
+  EXPECT_TRUE(Ipv4(100, 64, 0, 1).is_cgnat());
+  EXPECT_TRUE(Ipv4(100, 127, 255, 255).is_cgnat());
+  EXPECT_FALSE(Ipv4(100, 128, 0, 0).is_cgnat());
+  EXPECT_FALSE(Ipv4(100, 63, 255, 255).is_cgnat());
+  EXPECT_FALSE(Ipv4(192, 168, 1, 1).is_cgnat());
+}
+
+TEST(Ipv4Test, Ordering) {
+  EXPECT_LT(Ipv4(1, 0, 0, 0), Ipv4(2, 0, 0, 0));
+  EXPECT_LT(Ipv4(1, 0, 0, 1), Ipv4(1, 0, 1, 0));
+}
+
+TEST(Prefix24Test, ContainsItsHosts) {
+  const Prefix24 p{Ipv4(45, 232, 115, 77)};
+  EXPECT_EQ(p.to_string(), "45.232.115.0/24");
+  EXPECT_TRUE(p.contains(Ipv4(45, 232, 115, 1)));
+  EXPECT_TRUE(p.contains(Ipv4(45, 232, 115, 254)));
+  EXPECT_FALSE(p.contains(Ipv4(45, 232, 116, 1)));
+}
+
+TEST(Prefix24Test, HostAddressing) {
+  const Prefix24 p{Ipv4(10, 0, 5, 0)};
+  EXPECT_EQ(p.host(1).to_string(), "10.0.5.1");
+  EXPECT_EQ(p.host(200).to_string(), "10.0.5.200");
+}
+
+TEST(PrefixPoolTest, SequentialAllocation) {
+  PrefixPool pool(Ipv4(45, 40, 0, 0), 3);
+  EXPECT_EQ(pool.allocate().to_string(), "45.40.0.0/24");
+  EXPECT_EQ(pool.allocate().to_string(), "45.40.1.0/24");
+  EXPECT_EQ(pool.remaining(), 1u);
+  pool.allocate();
+  EXPECT_THROW(pool.allocate(), std::runtime_error);
+}
+
+TEST(PrefixPoolTest, RejectsUnalignedBase) {
+  EXPECT_THROW(PrefixPool(Ipv4(10, 0, 0, 5), 4), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- route
+
+TEST(RouteTest, EmptyRouteHasNaNRtt) {
+  EXPECT_TRUE(std::isnan(Route{}.destination_rtt_ms()));
+}
+
+TEST(RouteTest, FindIpLocatesCgnatHop) {
+  Route r;
+  r.hops.push_back({1, "cpe", Ipv4(192, 168, 1, 1), 1.0, true});
+  r.hops.push_back({2, "", kCgnatGateway, 35.0, true});
+  const Hop* h = r.find_ip(kCgnatGateway);
+  ASSERT_NE(h, nullptr);
+  EXPECT_DOUBLE_EQ(h->rtt_ms, 35.0);
+  EXPECT_EQ(r.find_ip(Ipv4(8, 8, 8, 8)), nullptr);
+}
+
+TEST(BackboneTest, HopCountGrowsWithDistance) {
+  const Backbone b;
+  EXPECT_LT(b.expected_hops(100.0), b.expected_hops(5000.0));
+  EXPECT_GE(b.expected_hops(0.0), 3);
+}
+
+TEST(BackboneTest, CumulativeRttNondecreasing) {
+  const Backbone b;
+  stats::Rng rng(3);
+  const auto hops = b.build(geo::city_point("seattle"), geo::city_point("new york"),
+                            40.0, 4, rng);
+  ASSERT_GT(hops.size(), 3u);
+  EXPECT_GE(hops.front().rtt_ms, 40.0);
+  EXPECT_GT(hops.back().rtt_ms, hops.front().rtt_ms);
+}
+
+TEST(BackboneTest, TtlsSequential) {
+  const Backbone b;
+  stats::Rng rng(4);
+  const auto hops =
+      b.build(geo::city_point("london"), geo::city_point("tokyo"), 30.0, 4, rng);
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    EXPECT_EQ(hops[i].ttl, 4 + static_cast<int>(i));
+  }
+}
+
+TEST(BackboneTest, FinalHopRttReflectsFiberDistance) {
+  const Backbone b;
+  stats::Rng rng(5);
+  const geo::GeoPoint from = geo::city_point("seattle");
+  const geo::GeoPoint to = geo::city_point("new york");
+  const auto hops = b.build(from, to, 0.0, 1, rng);
+  const double fiber_rtt = 2.0 * geo::fiber_delay_ms(geo::surface_distance_km(from, to));
+  EXPECT_NEAR(hops.back().rtt_ms, fiber_rtt, fiber_rtt * 0.25 + 5.0);
+}
+
+TEST(BackboneTest, ToStringRendersTracerouteLines) {
+  Route r;
+  r.hops.push_back({1, "cpe.lan", Ipv4(192, 168, 1, 1), 1.2, true});
+  r.hops.push_back({2, "", kCgnatGateway, 40.0, false});
+  const std::string text = to_string(r);
+  EXPECT_NE(text.find("cpe.lan"), std::string::npos);
+  EXPECT_NE(text.find("*"), std::string::npos);
+}
+
+class BackboneDistanceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BackboneDistanceProperty, RttScalesWithDistance) {
+  const Backbone b;
+  stats::Rng rng(GetParam());
+  const double km = 200.0 + GetParam() * 900.0;
+  const geo::GeoPoint from{0, 0, 0};
+  // Move roughly `km` east along the equator (1 deg ~ 111 km).
+  const geo::GeoPoint to{0, km / 111.0, 0};
+  const auto hops = b.build(from, to, 0.0, 1, rng);
+  ASSERT_FALSE(hops.empty());
+  const double expected = 2.0 * geo::fiber_delay_ms(km);
+  EXPECT_NEAR(hops.back().rtt_ms, expected, expected * 0.3 + 6.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, BackboneDistanceProperty, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace satnet::net

@@ -1,0 +1,154 @@
+// Unit tests for the RIPE-side analytics with hand-crafted datasets
+// (integration_test covers them end-to-end; these pin the edge cases).
+#include <gtest/gtest.h>
+
+#include "snoid/pop_analysis.hpp"
+
+namespace satnet::snoid {
+namespace {
+
+ripe::Probe make_probe(int id, const char* country, const char* state = "") {
+  ripe::Probe p;
+  p.id = id;
+  p.country = country;
+  p.us_state = state;
+  return p;
+}
+
+ripe::TracerouteRecord make_trace(int probe, double day, const char* pop,
+                                  double cgnat_rtt, bool via_cgnat = true) {
+  ripe::TracerouteRecord t;
+  t.probe_id = probe;
+  t.t_sec = day * 86400.0;
+  t.root = 'A';
+  t.via_cgnat = via_cgnat;
+  t.pop_name = via_cgnat ? pop : "";
+  t.cgnat_rtt_ms = via_cgnat ? cgnat_rtt : 0.0;
+  t.dest_rtt_ms = cgnat_rtt + 10.0;
+  t.hop_count = 8;
+  return t;
+}
+
+/// A probe is validated when >50% of its traceroutes cross the CGNAT.
+ripe::AtlasDataset two_probe_dataset() {
+  ripe::AtlasDataset ds;
+  ds.probes = {make_probe(1, "NZ"), make_probe(2, "DE")};
+  for (int day = 0; day < 30; ++day) {
+    ds.traceroutes.push_back(make_trace(1, day, "sydnaus1", 53.0));
+    ds.traceroutes.push_back(make_trace(2, day, "frntdeu1", 35.0));
+  }
+  return ds;
+}
+
+TEST(PopAnalysisTest, RttByCountryGroupsAndSorts) {
+  const auto ds = two_probe_dataset();
+  const auto rows = pop_rtt_by_country(ds, /*us_only=*/false);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].key, "DE");  // lower median first
+  EXPECT_EQ(rows[1].key, "NZ");
+  EXPECT_NEAR(rows[0].rtt.median, 35.0, 0.1);
+}
+
+TEST(PopAnalysisTest, UsOnlyFiltering) {
+  auto ds = two_probe_dataset();
+  ds.probes.push_back(make_probe(3, "US", "WA"));
+  for (int day = 0; day < 30; ++day) {
+    ds.traceroutes.push_back(make_trace(3, day, "sttlwax1", 45.0));
+  }
+  const auto us = pop_rtt_by_country(ds, /*us_only=*/true);
+  ASSERT_EQ(us.size(), 1u);
+  EXPECT_EQ(us[0].key, "US");
+  const auto by_state = pop_rtt_by_us_state(ds);
+  ASSERT_EQ(by_state.size(), 1u);
+  EXPECT_EQ(by_state[0].key, "WA");
+}
+
+TEST(PopAnalysisTest, UnvalidatedProbeExcluded) {
+  auto ds = two_probe_dataset();
+  // Probe 9: metadata says Starlink, traceroutes say otherwise.
+  ds.probes.push_back(make_probe(9, "FR"));
+  for (int day = 0; day < 30; ++day) {
+    ds.traceroutes.push_back(make_trace(9, day, "", 20.0, /*via_cgnat=*/false));
+  }
+  const auto rows = pop_rtt_by_country(ds, false);
+  for (const auto& r : rows) EXPECT_NE(r.key, "FR");
+}
+
+TEST(PopAnalysisTest, AssociationHistoryTracksIntervals) {
+  ripe::AtlasDataset ds;
+  ds.probes = {make_probe(1, "NZ")};
+  for (int day = 0; day < 70; ++day) {
+    ds.traceroutes.push_back(make_trace(1, day, "sydnaus1", 53.0));
+  }
+  for (int day = 70; day < 365; ++day) {
+    ds.traceroutes.push_back(make_trace(1, day, "acklnzl1", 34.0));
+  }
+  const auto assoc = pop_association_history(ds);
+  ASSERT_EQ(assoc.size(), 2u);
+  EXPECT_EQ(assoc[0].pop_name, "sydnaus1");
+  EXPECT_NEAR(assoc[0].first_day, 0.0, 0.01);
+  EXPECT_NEAR(assoc[0].last_day, 69.0, 0.01);
+  EXPECT_EQ(assoc[1].pop_name, "acklnzl1");
+  EXPECT_EQ(assoc[0].n_traceroutes, 70u);
+}
+
+TEST(PopAnalysisTest, MigrationDetectionReportsRttShift) {
+  ripe::AtlasDataset ds;
+  ds.probes = {make_probe(1, "NZ")};
+  for (int day = 0; day < 70; ++day) {
+    ds.traceroutes.push_back(make_trace(1, day, "sydnaus1", 53.0 + (day % 3)));
+  }
+  for (int day = 70; day < 150; ++day) {
+    ds.traceroutes.push_back(make_trace(1, day, "acklnzl1", 34.0 + (day % 3)));
+  }
+  const auto migrations = detect_pop_migrations(ds);
+  ASSERT_EQ(migrations.size(), 1u);
+  EXPECT_EQ(migrations[0].from_pop, "sydnaus1");
+  EXPECT_EQ(migrations[0].to_pop, "acklnzl1");
+  EXPECT_NEAR(migrations[0].day, 70.0, 1.0);
+  EXPECT_GT(migrations[0].rtt_before_ms, migrations[0].rtt_after_ms + 15.0);
+}
+
+TEST(PopAnalysisTest, FlipFlopProducesTwoMigrations) {
+  ripe::AtlasDataset ds;
+  ds.probes = {make_probe(1, "US", "NV")};
+  auto add = [&](int from, int to, const char* pop, double rtt) {
+    for (int day = from; day < to; ++day) {
+      ds.traceroutes.push_back(make_trace(1, day, pop, rtt));
+    }
+  };
+  add(0, 130, "lsancax1", 48.0);
+  add(130, 160, "dnvrcox1", 95.0);
+  add(160, 365, "lsancax1", 48.0);
+  const auto migrations = detect_pop_migrations(ds);
+  ASSERT_EQ(migrations.size(), 2u);
+  EXPECT_LT(migrations[0].rtt_before_ms, migrations[0].rtt_after_ms);  // damage
+  EXPECT_GT(migrations[1].rtt_before_ms, migrations[1].rtt_after_ms);  // revert
+}
+
+TEST(PopAnalysisTest, NoMigrationWithoutPopChange) {
+  ripe::AtlasDataset ds;
+  ds.probes = {make_probe(1, "DE")};
+  for (int day = 0; day < 200; ++day) {
+    // RTT drifts but the PoP never changes: not a migration.
+    ds.traceroutes.push_back(make_trace(1, day, "frntdeu1", 35.0 + day * 0.05));
+  }
+  EXPECT_TRUE(detect_pop_migrations(ds).empty());
+}
+
+TEST(PopAnalysisTest, RootHopsSummaryPerCountry) {
+  const auto ds = two_probe_dataset();
+  const auto hops = root_hops_by_country(ds);
+  ASSERT_EQ(hops.size(), 2u);
+  EXPECT_DOUBLE_EQ(hops.at("NZ").p50, 8.0);
+}
+
+TEST(PopAnalysisTest, EmptyDatasetYieldsNothing) {
+  const ripe::AtlasDataset empty;
+  EXPECT_TRUE(pop_rtt_by_country(empty, false).empty());
+  EXPECT_TRUE(pop_association_history(empty).empty());
+  EXPECT_TRUE(detect_pop_migrations(empty).empty());
+}
+
+}  // namespace
+}  // namespace satnet::snoid

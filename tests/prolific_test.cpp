@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "prolific/addon.hpp"
+#include "stats/summary.hpp"
+#include "prolific/census.hpp"
+#include "synth/world.hpp"
+
+namespace satnet::prolific {
+namespace {
+
+const TesterPool& pool() {
+  static const TesterPool p;
+  return p;
+}
+
+const synth::World& world() {
+  static const synth::World w;
+  return w;
+}
+
+// ---------------------------------------------------------------- census
+
+TEST(CensusTest, PoolPopulationMatchesPaper) {
+  EXPECT_EQ(pool().testers().size(), 14371u);
+}
+
+TEST(CensusTest, FunnelNumbersMatchPaperShape) {
+  stats::Rng rng(1);
+  const CensusOutcome out = pool().run_census(rng);
+  EXPECT_EQ(out.prescreen_claimed, 160u);      // paper: 160 prescreened
+  EXPECT_NEAR(out.prescreen_responded, 30.0, 10.0);  // paper: 30 respondents
+  EXPECT_EQ(out.prescreen_verified, 20u);      // paper: 20 verified
+  EXPECT_EQ(out.open_participants, 14371u);    // paper: 14,371
+  EXPECT_EQ(out.open_verified, 57u);           // paper: 57
+}
+
+TEST(CensusTest, VerifiedSplitAcrossThreeSnos) {
+  stats::Rng rng(2);
+  const CensusOutcome out = pool().run_census(rng);
+  ASSERT_EQ(out.verified_by_sno.size(), 3u);
+  std::size_t total = 0;
+  for (const auto& [sno, n] : out.verified_by_sno) total += n;
+  EXPECT_EQ(total, 57u);
+  EXPECT_GT(out.verified_by_sno.at("starlink"), out.verified_by_sno.at("hughesnet"));
+}
+
+TEST(CensusTest, SatisfactionShapesMatchFig14) {
+  const auto hist = pool().satisfaction_histogram();
+  const auto& starlink = hist.at("starlink");
+  const auto& hughes = hist.at("hughesnet");
+  // Starlink skews good/very-good.
+  EXPECT_GT(starlink[3] + starlink[4], starlink[0] + starlink[1] + starlink[2]);
+  // HughesNet never rates "very good" strongly and peaks at "ok" or below.
+  EXPECT_EQ(hughes[4], 0u);
+  std::size_t hughes_total = 0;
+  for (const auto v : hughes) hughes_total += v;
+  EXPECT_GT(hughes[2] + hughes[1] + hughes[0], hughes_total / 2);
+}
+
+TEST(CensusTest, RecruitQuotasRespected) {
+  EXPECT_EQ(pool().recruitable("starlink", 10).size(), 10u);
+  EXPECT_EQ(pool().recruitable("hughesnet", 5).size(), 5u);
+  EXPECT_EQ(pool().recruitable("viasat", 5).size(), 5u);
+  EXPECT_TRUE(pool().recruitable("oneweb", 5).empty());
+}
+
+TEST(CensusTest, RecruitsAreVerifiedAndWilling) {
+  for (const Tester* t : pool().recruitable("starlink", 10)) {
+    EXPECT_TRUE(t->connects_via_sno);
+    EXPECT_TRUE(t->accepts_jobs);
+  }
+}
+
+TEST(CensusTest, StarlinkTestersSpanContinents) {
+  std::set<geo::Continent> continents;
+  for (const Tester* t : pool().recruitable("starlink", 10)) {
+    continents.insert(geo::continent_of(t->country));
+  }
+  EXPECT_TRUE(continents.count(geo::Continent::north_america));
+  EXPECT_TRUE(continents.count(geo::Continent::europe));
+  EXPECT_TRUE(continents.count(geo::Continent::oceania));
+}
+
+// ----------------------------------------------------------------- addon
+
+TEST(AddonTest, SingleRunProducesAllExperiments) {
+  stats::Rng rng(3);
+  const Tester* t = pool().recruitable("starlink", 1).front();
+  const AddonRunReport r = run_addon_once(world(), *t, 86400.0, rng);
+  EXPECT_EQ(r.sno, "starlink");
+  EXPECT_GT(r.speedtest.down_mbps, 0.0);
+  EXPECT_GT(r.speedtest.up_mbps, 0.0);
+  EXPECT_EQ(r.cdn.size(), 5u);
+  EXPECT_GT(r.akamai.h1_plt_ms, 0.0);
+  EXPECT_GT(r.akamai.h2_plt_ms, 0.0);
+  EXPECT_FALSE(r.dns_lookup_ms.empty());
+  EXPECT_GT(r.youtube.median_megapixels, 0.0);
+}
+
+TEST(AddonTest, StarlinkLatencyMatchesPopRtt) {
+  stats::Rng rng(4);
+  const Tester* t = pool().recruitable("starlink", 1).front();
+  const AddonRunReport r = run_addon_once(world(), *t, 0.0, rng);
+  // Paper Fig 9c: Starlink fast.com latency 35-49 ms.
+  EXPECT_GT(r.speedtest.latency_ms, 25.0);
+  EXPECT_LT(r.speedtest.latency_ms, 90.0);
+}
+
+TEST(AddonTest, GeoSpeedtestLatencyAbove500) {
+  stats::Rng rng(5);
+  for (const char* sno : {"hughesnet", "viasat"}) {
+    const Tester* t = pool().recruitable(sno, 1).front();
+    const AddonRunReport r = run_addon_once(world(), *t, 0.0, rng);
+    EXPECT_GT(r.speedtest.latency_ms, 450.0) << sno;
+  }
+}
+
+TEST(AddonTest, StudyRunCountsMatchDesign) {
+  StudyConfig cfg;
+  cfg.runs_per_tester = 2;  // keep the test quick
+  const auto reports = run_addon_study(world(), pool(), cfg);
+  EXPECT_EQ(reports.size(), (10u + 5u + 5u) * 2u);
+  std::map<std::string, int> by_sno;
+  for (const auto& r : reports) ++by_sno[r.sno];
+  EXPECT_EQ(by_sno["starlink"], 20);
+  EXPECT_EQ(by_sno["hughesnet"], 10);
+  EXPECT_EQ(by_sno["viasat"], 10);
+}
+
+TEST(AddonTest, HughesNetNeverExceedsAdvertisedFraction) {
+  // Paper: HughesNet testers never saw more than ~3 Mbps down.
+  stats::Rng rng(6);
+  for (const Tester* t : pool().recruitable("hughesnet", 5)) {
+    const AddonRunReport r = run_addon_once(world(), *t, 43200.0, rng);
+    EXPECT_LT(r.speedtest.down_mbps, 8.0);
+  }
+}
+
+TEST(AddonTest, DnsMediansOrderedStarlinkHughesViasat) {
+  // Paper Fig 10c: 130 ms (Starlink) < 755 ms (HughesNet) < 985 ms (Viasat).
+  stats::Rng rng(7);
+  std::map<std::string, std::vector<double>> lookups;
+  for (const char* sno : {"starlink", "hughesnet", "viasat"}) {
+    for (const Tester* t : pool().recruitable(sno, 3)) {
+      const auto r = run_addon_once(world(), *t, 7200.0, rng);
+      lookups[sno].insert(lookups[sno].end(), r.dns_lookup_ms.begin(),
+                          r.dns_lookup_ms.end());
+    }
+  }
+  const double sl = stats::median(lookups["starlink"]);
+  const double hn = stats::median(lookups["hughesnet"]);
+  const double vs = stats::median(lookups["viasat"]);
+  EXPECT_LT(sl, hn);
+  EXPECT_LT(hn, vs);
+}
+
+TEST(AddonTest, FastlyFastestCdnForEverySno) {
+  stats::Rng rng(8);
+  for (const char* sno : {"starlink", "viasat"}) {
+    const Tester* t = pool().recruitable(sno, 1).front();
+    // Average a few runs: a single fetch is noisy.
+    std::map<std::string, double> total;
+    for (int i = 0; i < 5; ++i) {
+      const auto r = run_addon_once(world(), *t, i * 86400.0, rng);
+      for (const auto& c : r.cdn) total[c.cdn] += c.minified_ms;
+    }
+    for (const auto& [cdn, sum] : total) {
+      if (cdn == "fastly") continue;
+      EXPECT_LE(total["fastly"], sum * 1.15) << sno << " vs " << cdn;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace satnet::prolific

@@ -1,0 +1,207 @@
+// Cross-module property tests: invariants that must hold for any seed,
+// any scale, and any parameterization — the safety net under the
+// calibrated numbers.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mlab/campaign.hpp"
+#include "snoid/pipeline.hpp"
+#include "snoid/tcptrace.hpp"
+#include "stats/kde.hpp"
+#include "synth/world.hpp"
+#include "transport/quic.hpp"
+#include "transport/tcp.hpp"
+
+namespace satnet {
+namespace {
+
+// ---------------------------------------------------------------- seeds
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, TcpByteConservationForAnySeedAndPath) {
+  stats::Rng meta(GetParam());
+  for (int variant = 0; variant < 6; ++variant) {
+    transport::PathProfile p;
+    p.base_rtt_ms = meta.uniform(20, 700);
+    p.jitter_ms = meta.uniform(0.5, 60);
+    p.bottleneck_mbps = meta.uniform(0.5, 200);
+    p.buffer_bdp = meta.uniform(0.3, 3.0);
+    p.sat_loss = meta.uniform(0, 0.03);
+    p.spurious_rto_prob = meta.uniform(0, 0.15);
+    p.handoff_rate_hz = meta.uniform(0, 0.2);
+    p.handoff_loss_frac = meta.uniform(0, 0.3);
+    p.handoff_spike_ms = meta.uniform(0, 100);
+    p.pep = meta.chance(0.5);
+    transport::TcpFlow flow(p, transport::TcpOptions{}, meta.fork(variant));
+    const auto r = flow.run_for(6000);
+    EXPECT_EQ(r.bytes_sent, r.bytes_acked + r.bytes_retrans)
+        << "variant " << variant << " seed " << GetParam();
+    EXPECT_GE(r.retrans_fraction, 0.0);
+    EXPECT_LE(r.retrans_fraction, 1.0);
+    EXPECT_GE(r.rtt_p5_ms, p.base_rtt_ms * 0.9);
+  }
+}
+
+TEST_P(SeedSweep, QuicByteConservationForAnySeedAndPath) {
+  stats::Rng meta(GetParam() ^ 0xbeef);
+  for (int variant = 0; variant < 6; ++variant) {
+    transport::PathProfile p;
+    p.base_rtt_ms = meta.uniform(20, 700);
+    p.bottleneck_mbps = meta.uniform(0.5, 200);
+    p.sat_loss = meta.uniform(0, 0.03);
+    p.spurious_rto_prob = meta.uniform(0, 0.15);
+    transport::QuicFlow flow(p, transport::QuicOptions{}, meta.fork(variant));
+    const auto r = flow.run_for(6000);
+    EXPECT_EQ(r.bytes_sent, r.bytes_acked + r.bytes_retrans);
+  }
+}
+
+TEST_P(SeedSweep, TraceEpisodesSumToSnapshotTotal) {
+  stats::Rng meta(GetParam() ^ 0xfeed);
+  transport::PathProfile p;
+  p.base_rtt_ms = meta.uniform(40, 700);
+  p.bottleneck_mbps = meta.uniform(1, 50);
+  p.sat_loss = meta.uniform(0.001, 0.02);
+  p.spurious_rto_prob = meta.uniform(0, 0.15);
+  transport::TcpFlow flow(p, transport::TcpOptions{}, meta.fork(1));
+  const auto result = flow.run_for(8000);
+  const auto analysis = snoid::analyze_trace(result.snapshots);
+  std::uint64_t sum = 0;
+  for (const auto& e : analysis.episodes) sum += e.bytes;
+  // Episodes cover exactly the retransmitted bytes visible in snapshots.
+  EXPECT_EQ(sum, result.snapshots.back().bytes_retrans);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Values(1u, 17u, 4242u, 99991u));
+
+// -------------------------------------------------------------- pipeline
+
+TEST(PipelinePropertyTest, RetainedSetsAreDisjointAcrossOperators) {
+  static const synth::World world;
+  mlab::CampaignConfig cfg;
+  cfg.volume_scale = 0.0003;
+  cfg.min_tests_per_sno = 20;
+  const auto ds = mlab::run_campaign(world, cfg);
+  const auto result = snoid::run_pipeline(ds);
+  std::set<std::size_t> seen;
+  for (const auto& op : result.operators) {
+    for (const std::size_t i : op.retained) {
+      EXPECT_TRUE(seen.insert(i).second) << "record retained twice: " << i;
+      EXPECT_LT(i, ds.size());
+    }
+  }
+}
+
+TEST(PipelinePropertyTest, LooseningStrictThresholdNeverLosesOperators) {
+  static const synth::World world;
+  mlab::CampaignConfig cfg;
+  cfg.volume_scale = 0.0003;
+  cfg.min_tests_per_sno = 20;
+  const auto ds = mlab::run_campaign(world, cfg);
+  std::size_t prev = 0;
+  for (const double thr : {700.0, 600.0, 500.0, 400.0}) {
+    snoid::PipelineConfig pc;
+    pc.geo_strict_ms = thr;
+    const auto result = snoid::run_pipeline(ds, pc);
+    std::size_t covered = 0;
+    for (const auto& op : result.operators) {
+      if (op.covered_by_strict) ++covered;
+    }
+    EXPECT_GE(covered, prev) << "thr " << thr;
+    prev = covered;
+  }
+}
+
+TEST(PipelinePropertyTest, RaisingMinTestsOnlyShrinksStrictCoverage) {
+  static const synth::World world;
+  mlab::CampaignConfig cfg;
+  cfg.volume_scale = 0.0003;
+  cfg.min_tests_per_sno = 20;
+  const auto ds = mlab::run_campaign(world, cfg);
+  std::size_t prev = SIZE_MAX;
+  for (const std::size_t n : {2ul, 10ul, 50ul, 500ul}) {
+    snoid::PipelineConfig pc;
+    pc.min_tests_per_prefix = n;
+    const auto result = snoid::run_pipeline(ds, pc);
+    std::size_t strict_prefixes = 0;
+    for (const auto& op : result.operators) {
+      for (const auto& p : op.prefixes) {
+        if (p.retained_strict) ++strict_prefixes;
+      }
+    }
+    EXPECT_LE(strict_prefixes, prev);
+    prev = strict_prefixes;
+  }
+}
+
+TEST(PipelinePropertyTest, DeterministicAcrossRuns) {
+  static const synth::World world;
+  mlab::CampaignConfig cfg;
+  cfg.volume_scale = 0.0002;
+  cfg.min_tests_per_sno = 10;
+  const auto a = snoid::run_pipeline(mlab::run_campaign(world, cfg));
+  const auto b = snoid::run_pipeline(mlab::run_campaign(world, cfg));
+  ASSERT_EQ(a.operators.size(), b.operators.size());
+  for (std::size_t i = 0; i < a.operators.size(); ++i) {
+    EXPECT_EQ(a.operators[i].retained.size(), b.operators[i].retained.size());
+    EXPECT_EQ(a.operators[i].covered_by_strict, b.operators[i].covered_by_strict);
+  }
+}
+
+// ------------------------------------------------------------------ KDE
+
+class KdeScaleInvariance : public ::testing::TestWithParam<double> {};
+
+TEST_P(KdeScaleInvariance, PeakLocationScalesWithData) {
+  stats::Rng rng(5);
+  std::vector<double> base, scaled;
+  for (int i = 0; i < 400; ++i) {
+    const double v = rng.normal(100, 10);
+    base.push_back(v);
+    scaled.push_back(v * GetParam());
+  }
+  const auto pb = stats::Kde(base).peaks();
+  const auto ps = stats::Kde(scaled).peaks();
+  ASSERT_FALSE(pb.empty());
+  ASSERT_FALSE(ps.empty());
+  EXPECT_NEAR(ps.front().location, pb.front().location * GetParam(),
+              pb.front().location * GetParam() * 0.05);
+  EXPECT_NEAR(ps.front().mass, pb.front().mass, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, KdeScaleInvariance, ::testing::Values(0.1, 2.0, 13.0));
+
+// ----------------------------------------------------------------- world
+
+TEST(WorldPropertyTest, SubscriberIpsUnique) {
+  static const synth::World world;
+  std::set<std::uint32_t> ips;
+  for (const auto& sub : world.subscribers()) {
+    EXPECT_TRUE(ips.insert(sub.ip.value()).second) << sub.ip.to_string();
+  }
+}
+
+TEST(WorldPropertyTest, AccessLatencyAboveGeometricFloor) {
+  // No sampled satellite path may beat the physical floor for its orbit:
+  // 2x altitude at light speed (up + down legs).
+  static const synth::World world;
+  stats::Rng rng(6);
+  int checked = 0;
+  for (const auto& sub : world.subscribers()) {
+    if (sub.tech != synth::AccessTech::satellite) continue;
+    const auto p = world.sample_path(sub, 4000.0, rng);
+    if (!p.ok) continue;
+    double floor_km = 2 * 550.0;
+    if (sub.orbit == orbit::OrbitClass::meo) floor_km = 2 * 8062.0;
+    if (sub.orbit == orbit::OrbitClass::geo) floor_km = 2 * 35786.0;
+    const double floor_rtt = 2.0 * geo::radio_delay_ms(floor_km);
+    EXPECT_GT(p.download.base_rtt_ms, floor_rtt)
+        << world.specs()[sub.spec_index].name;
+    if (++checked > 300) break;
+  }
+}
+
+}  // namespace
+}  // namespace satnet

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "ripe/atlas.hpp"
+#include "ripe/probes.hpp"
+
+namespace satnet::ripe {
+namespace {
+
+const AtlasDataset& dataset() {
+  static const AtlasDataset ds = [] {
+    AtlasConfig cfg;
+    cfg.duration_days = 40.0;  // enough rounds for every analysis
+    cfg.round_interval_hours = 24.0;
+    return run_atlas_campaign(cfg);
+  }();
+  return ds;
+}
+
+const orbit::AccessNetwork& starlink() {
+  static const orbit::AccessNetwork net = orbit::make_starlink_access(
+      std::make_shared<orbit::Constellation>(orbit::starlink_shells()));
+  return net;
+}
+
+// --------------------------------------------------------------- probes
+
+TEST(ProbesTest, Table2Composition) {
+  const auto probes = starlink_probe_candidates();
+  std::map<std::string, int> by_country;
+  int decoys = 0;
+  for (const auto& p : probes) {
+    if (p.stale_asn) {  // genuinely off-Starlink; multihomed probes count
+      ++decoys;
+      continue;
+    }
+    ++by_country[p.country];
+  }
+  EXPECT_EQ(probes.size() - decoys, 67u);  // Table 2's probe count
+  EXPECT_EQ(by_country["US"], 33);
+  EXPECT_EQ(by_country["DE"], 5);
+  EXPECT_EQ(by_country["FR"], 5);
+  EXPECT_EQ(by_country["GB"], 5);
+  EXPECT_EQ(by_country["AU"], 4);
+  EXPECT_EQ(by_country["NZ"], 1);
+  EXPECT_EQ(by_country["PH"], 1);
+  EXPECT_EQ(by_country["CL"], 1);
+  EXPECT_EQ(by_country.size(), 15u);
+}
+
+TEST(ProbesTest, StartDaysFollowTable2) {
+  EXPECT_DOUBLE_EQ(start_day_for("22/05"), 0.0);
+  EXPECT_DOUBLE_EQ(start_day_for("23/03"), 305.0);
+  EXPECT_THROW(start_day_for("24/01"), std::invalid_argument);
+  for (const auto& p : starlink_probe_candidates()) {
+    if (p.country == "PH") EXPECT_DOUBLE_EQ(p.start_day, 305.0);
+    if (p.country == "FR") EXPECT_DOUBLE_EQ(p.start_day, 180.0);
+  }
+}
+
+TEST(ProbesTest, NevadaProbesSplitRenoVegas) {
+  std::vector<Probe> nv;
+  for (const auto& p : starlink_probe_candidates()) {
+    if (p.us_state == "NV") nv.push_back(p);
+  }
+  ASSERT_EQ(nv.size(), 2u);
+  EXPECT_NEAR(nv[0].location.lat_deg, 39.53, 0.01);  // Reno
+  EXPECT_NEAR(nv[1].location.lat_deg, 36.17, 0.01);  // Las Vegas
+}
+
+// ------------------------------------------------------------- identity
+
+TEST(AtlasTest, PublicIpEncodesPop) {
+  const auto probes = starlink_probe_candidates();
+  const net::Ipv4 ip = probe_public_ip(probes[0], 16);
+  EXPECT_EQ(reverse_dns(ip, starlink()), "customer.tkyojpn1.pop.starlinkisp.net");
+}
+
+TEST(AtlasTest, ReverseDnsRejectsForeignSpace) {
+  EXPECT_EQ(reverse_dns(net::Ipv4(8, 8, 8, 8), starlink()), "");
+  EXPECT_EQ(reverse_dns(net::Ipv4(98, 97, 250, 1), starlink()), "");  // no such PoP
+}
+
+// ------------------------------------------------------------ traceroute
+
+TEST(AtlasTest, TracerouteStructure) {
+  stats::Rng rng(1);
+  const auto probes = starlink_probe_candidates();
+  const net::Route route = build_traceroute(starlink(), probes[0], 3600.0, 'A', rng);
+  ASSERT_GE(route.hops.size(), 5u);
+  // Hop 2 is the CGNAT gateway with the PoP RTT.
+  const net::Hop* cgnat = route.find_ip(net::kCgnatGateway);
+  ASSERT_NE(cgnat, nullptr);
+  EXPECT_EQ(cgnat->ttl, 2);
+  EXPECT_GT(cgnat->rtt_ms, 20.0);
+  // Destination is a root server.
+  EXPECT_NE(route.hops.back().name.find("root-servers.net"), std::string::npos);
+  EXPECT_GE(route.destination_rtt_ms(), cgnat->rtt_ms);
+}
+
+TEST(AtlasTest, TracerouteHopNamesIncludePop) {
+  stats::Rng rng(2);
+  const auto probes = starlink_probe_candidates();
+  const net::Route route = build_traceroute(starlink(), probes[0], 7200.0, 'J', rng);
+  bool pop_hop = false;
+  for (const auto& h : route.hops) {
+    if (h.name.find("pop.starlinkisp.net") != std::string::npos) pop_hop = true;
+  }
+  EXPECT_TRUE(pop_hop);
+}
+
+// -------------------------------------------------------------- campaign
+
+TEST(AtlasTest, CampaignVolumes) {
+  const auto& ds = dataset();
+  EXPECT_GT(ds.traceroutes.size(), 10000u);
+  EXPECT_GT(ds.sslcerts.size(), 500u);
+  // 13 roots per round.
+  std::set<char> roots;
+  for (const auto& t : ds.traceroutes) roots.insert(t.root);
+  EXPECT_EQ(roots.size(), 13u);
+}
+
+TEST(AtlasTest, ValidationDropsStaleAsnProbes) {
+  const auto& ds = dataset();
+  const auto valid = validated_probe_ids(ds);
+  std::set<int> valid_set(valid.begin(), valid.end());
+  std::size_t genuine = 0;
+  for (const auto& p : ds.probes) {
+    if (p.stale_asn) {
+      EXPECT_FALSE(valid_set.count(p.id)) << "stale probe " << p.id;
+    } else {
+      if (valid_set.count(p.id)) ++genuine;
+    }
+  }
+  EXPECT_EQ(genuine, valid.size());
+}
+
+TEST(AtlasTest, SixtySevenValidProbesEventually) {
+  // With the 40-day window the late probes (PH, CL, BE, PL) have not yet
+  // activated; run a full-year campaign at coarse cadence to check the 67.
+  AtlasConfig cfg;
+  cfg.duration_days = 366.0;
+  cfg.round_interval_hours = 24.0 * 7;
+  const auto ds = run_atlas_campaign(cfg);
+  const auto valid = validated_probe_ids(ds);
+  EXPECT_EQ(valid.size(), 67u);
+  // The multihomed (LTE failover) probe survives the majority rule.
+  const std::set<int> valid_set(valid.begin(), valid.end());
+  for (const auto& p : ds.probes) {
+    if (p.lte_failover) EXPECT_TRUE(valid_set.count(p.id));
+    if (p.stale_asn) EXPECT_FALSE(valid_set.count(p.id));
+  }
+}
+
+TEST(AtlasTest, CgnatRttPlausiblePerCountry) {
+  const auto& ds = dataset();
+  std::map<int, const Probe*> probes;
+  for (const auto& p : ds.probes) probes[p.id] = &p;
+  for (const auto& t : ds.traceroutes) {
+    if (!t.via_cgnat) continue;
+    EXPECT_GT(t.cgnat_rtt_ms, 20.0);
+    EXPECT_LT(t.cgnat_rtt_ms, 220.0);
+    EXPECT_LE(t.cgnat_rtt_ms, t.dest_rtt_ms + 1e-9);
+  }
+}
+
+TEST(AtlasTest, PopNamesAreKnownPops) {
+  const auto& ds = dataset();
+  std::set<std::string> known;
+  for (const auto& pop : starlink().config().pops) known.insert(pop.name);
+  for (const auto& t : ds.traceroutes) {
+    if (t.via_cgnat) EXPECT_TRUE(known.count(t.pop_name)) << t.pop_name;
+  }
+}
+
+TEST(AtlasTest, HopCountsGrowWithInstanceDistance) {
+  const auto& ds = dataset();
+  // For validated Starlink traceroutes the hop count is 4 + backbone.
+  for (const auto& t : ds.traceroutes) {
+    if (!t.via_cgnat) continue;
+    EXPECT_GE(t.hop_count, 5);
+    EXPECT_LE(t.hop_count, 40);
+  }
+}
+
+}  // namespace
+}  // namespace satnet::ripe

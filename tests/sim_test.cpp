@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace satnet::sim {
+namespace {
+
+TEST(EventQueueTest, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&](Time) { order.push_back(3); });
+  q.schedule_at(1.0, [&](Time) { order.push_back(1); });
+  q.schedule_at(2.0, [&](Time) { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakByScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(1.0, [&order, i](Time) { order.push_back(i); });
+  }
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, ClockAdvancesToEventTime) {
+  EventQueue q;
+  double seen = -1;
+  q.schedule_at(42.5, [&](Time t) { seen = t; });
+  q.run();
+  EXPECT_DOUBLE_EQ(seen, 42.5);
+  EXPECT_DOUBLE_EQ(q.now(), 42.5);
+}
+
+TEST(EventQueueTest, HandlersCanScheduleMoreEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1.0, [&](Time) {
+    ++fired;
+    q.schedule_in(1.0, [&](Time) { ++fired; });
+  });
+  q.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1.0, [&](Time) { ++fired; });
+  q.schedule_at(5.0, [&](Time) { ++fired; });
+  const std::size_t executed = q.run_until(3.0);
+  EXPECT_EQ(executed, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueueTest, RunUntilInclusiveOfBoundaryEvent) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(3.0, [&](Time) { ++fired; });
+  q.run_until(3.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueTest, SchedulingInPastThrows) {
+  EventQueue q;
+  q.schedule_at(10.0, [](Time) {});
+  q.run();
+  EXPECT_THROW(q.schedule_at(5.0, [](Time) {}), std::invalid_argument);
+  EXPECT_THROW(q.schedule_in(-1.0, [](Time) {}), std::invalid_argument);
+}
+
+TEST(EventQueueTest, ScheduleInIsRelativeToNow) {
+  EventQueue q;
+  double second_time = 0;
+  q.schedule_at(10.0, [&](Time) {
+    q.schedule_in(5.0, [&](Time t) { second_time = t; });
+  });
+  q.run();
+  EXPECT_DOUBLE_EQ(second_time, 15.0);
+}
+
+TEST(EventQueueTest, RunReturnsExecutedCount) {
+  EventQueue q;
+  for (int i = 0; i < 7; ++i) q.schedule_at(i, [](Time) {});
+  EXPECT_EQ(q.run(), 7u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, PeriodicSelfRescheduling) {
+  EventQueue q;
+  int ticks = 0;
+  std::function<void(Time)> tick = [&](Time) {
+    if (++ticks < 10) q.schedule_in(1.0, tick);
+  };
+  q.schedule_at(0.0, tick);
+  q.run();
+  EXPECT_EQ(ticks, 10);
+  EXPECT_DOUBLE_EQ(q.now(), 9.0);
+}
+
+}  // namespace
+}  // namespace satnet::sim

@@ -1,0 +1,309 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bgp/sno_world.hpp"
+#include "mlab/campaign.hpp"
+#include "snoid/analysis.hpp"
+#include "snoid/pipeline.hpp"
+#include "snoid/pop_analysis.hpp"
+#include "snoid/validation.hpp"
+#include "synth/world.hpp"
+
+namespace satnet::snoid {
+namespace {
+
+const synth::World& world() {
+  static const synth::World w;
+  return w;
+}
+
+const mlab::NdtDataset& dataset() {
+  static const mlab::NdtDataset ds = [] {
+    mlab::CampaignConfig cfg;
+    cfg.volume_scale = 0.0005;
+    cfg.min_tests_per_sno = 25;
+    return mlab::run_campaign(world(), cfg);
+  }();
+  return ds;
+}
+
+const PipelineResult& result() {
+  static const PipelineResult r = run_pipeline(dataset());
+  return r;
+}
+
+const OperatorResult& op(const std::string& name) {
+  for (const auto& o : result().operators) {
+    if (o.name == name) return o;
+  }
+  throw std::out_of_range(name);
+}
+
+// ------------------------------------------------------------ validation
+
+TEST(ValidationTest, CleanGeoAsn) {
+  stats::Rng rng(1);
+  std::vector<double> lat;
+  for (int i = 0; i < 200; ++i) lat.push_back(rng.normal(650, 20));
+  const TechWindow geo{430.0, 1e9, 0, 0};
+  const auto v = classify_asn(1, lat, geo);
+  EXPECT_EQ(v.cls, AsnClass::clean);
+  EXPECT_NEAR(v.main_peak_ms, 650, 30);
+}
+
+TEST(ValidationTest, TerrestrialAsnIncompatibleWithLeo) {
+  stats::Rng rng(2);
+  std::vector<double> lat;
+  for (int i = 0; i < 400; ++i) lat.push_back(rng.normal(25, 6));
+  const TechWindow leo{35.0, 320.0, 0, 0};
+  EXPECT_EQ(classify_asn(27277, lat, leo).cls, AsnClass::incompatible);
+}
+
+TEST(ValidationTest, MixedAsnDetected) {
+  stats::Rng rng(3);
+  std::vector<double> lat;
+  for (int i = 0; i < 200; ++i) lat.push_back(rng.normal(660, 20));
+  for (int i = 0; i < 100; ++i) lat.push_back(rng.normal(28, 6));
+  const TechWindow geo{430.0, 1e9, 0, 0};
+  EXPECT_EQ(classify_asn(10538, lat, geo).cls, AsnClass::mixed);
+}
+
+TEST(ValidationTest, FewTestsIsNoData) {
+  const std::vector<double> lat{600, 610, 620};
+  const TechWindow geo{430.0, 1e9, 0, 0};
+  EXPECT_EQ(classify_asn(1, lat, geo, 10).cls, AsnClass::no_data);
+}
+
+TEST(ValidationTest, MultiOrbitWindowAcceptsBothModes) {
+  stats::Rng rng(4);
+  std::vector<double> lat;
+  for (int i = 0; i < 150; ++i) lat.push_back(rng.normal(230, 15));  // MEO
+  for (int i = 0; i < 150; ++i) lat.push_back(rng.normal(660, 25));  // GEO
+  TechWindow hybrid{180.0, 480.0, 430.0, 1e9};
+  const auto v = classify_asn(201554, lat, hybrid);
+  EXPECT_EQ(v.cls, AsnClass::clean);
+  EXPECT_TRUE(v.multimodal);
+}
+
+TEST(ValidationTest, RegionalModesWithinWindowStayClean) {
+  // OneWeb-style: several peaks, all inside the LEO window.
+  stats::Rng rng(5);
+  std::vector<double> lat;
+  for (int i = 0; i < 150; ++i) lat.push_back(rng.normal(70, 8));
+  for (int i = 0; i < 150; ++i) lat.push_back(rng.normal(150, 12));
+  const TechWindow leo{35.0, 320.0, 0, 0};
+  EXPECT_EQ(classify_asn(800, lat, leo).cls, AsnClass::clean);
+}
+
+// -------------------------------------------------------------- pipeline
+
+TEST(PipelineTest, EighteenOperatorsIdentified) {
+  EXPECT_EQ(result().identified_operators, 18u);  // the paper's headline
+}
+
+TEST(PipelineTest, CurationDropsLookalikes) {
+  // 41 genuine SNOs curated (Table 3; 18 of them with M-Lab data), all
+  // false positives removed.
+  EXPECT_EQ(result().curated_operators, 41u);
+  for (const auto& o : result().operators) {
+    EXPECT_EQ(o.name.find("cable"), std::string::npos);
+    EXPECT_EQ(o.name.find("teleport"), std::string::npos);
+  }
+}
+
+TEST(PipelineTest, HeSearchContributesAsns) {
+  EXPECT_GE(result().he_added_asns, 3u);  // Starlink x2 + Viasat at least
+}
+
+TEST(PipelineTest, StarlinkCorporateAsnRejected) {
+  const auto& starlink = op("starlink");
+  bool corporate_checked = false;
+  for (const auto& v : starlink.asn_verdicts) {
+    if (v.asn == bgp::kStarlinkCorporate) {
+      EXPECT_EQ(v.cls, AsnClass::incompatible);
+      corporate_checked = true;
+    }
+    if (v.asn == bgp::kStarlink) {
+      EXPECT_EQ(v.cls, AsnClass::clean);
+    }
+  }
+  EXPECT_TRUE(corporate_checked);
+  // No corporate (terrestrial) test retained.
+  for (const std::size_t i : starlink.retained) {
+    EXPECT_NE(dataset().records()[i].asn, bgp::kStarlinkCorporate);
+  }
+}
+
+TEST(PipelineTest, TelAlaskaMixedAsnGoesToPrefixFiltering) {
+  const auto& tel = op("telalaska");
+  ASSERT_EQ(tel.asn_verdicts.size(), 1u);
+  EXPECT_EQ(tel.asn_verdicts[0].cls, AsnClass::mixed);
+  EXPECT_FALSE(tel.retained.empty());
+}
+
+TEST(PipelineTest, StrictPrefixesAllAboveThreshold) {
+  for (const auto& o : result().operators) {
+    for (const auto& p : o.prefixes) {
+      if (!p.retained_strict) continue;
+      EXPECT_GE(p.n_tests, 10u);
+      EXPECT_GT(p.min_latency_ms, 200.0);
+    }
+  }
+}
+
+TEST(PipelineTest, RelaxationNeverLowersBelowStrictMin) {
+  for (const auto& o : result().operators) {
+    if (!o.covered_by_strict) continue;
+    for (const std::size_t i : o.retained) {
+      const auto& rec = dataset().records()[i];
+      const bool meo_ok = o.multi_orbit && rec.latency_p5_ms >= 180.0;
+      EXPECT_TRUE(rec.latency_p5_ms >= o.relax_threshold_ms || meo_ok);
+    }
+  }
+}
+
+TEST(PipelineTest, UncoveredOperatorsUseFallback) {
+  const double fb = result().fallback_threshold_ms;
+  EXPECT_GT(fb, 400.0);
+  EXPECT_LT(fb, 700.0);  // paper's fallback was 527 ms
+  for (const auto& o : result().operators) {
+    if (o.declared_orbit == orbit::OrbitClass::geo && !o.covered_by_strict &&
+        o.identified()) {
+      EXPECT_DOUBLE_EQ(o.relax_threshold_ms, fb);
+    }
+  }
+}
+
+TEST(PipelineTest, HighPrecisionOnAllIdentified) {
+  for (const auto& o : result().operators) {
+    if (!o.identified()) continue;
+    EXPECT_GT(o.precision(), 0.9) << o.name;
+  }
+}
+
+TEST(PipelineTest, HighRecallOnPureSatelliteOperators) {
+  for (const char* name : {"starlink", "oneweb", "o3b/ses", "kvh", "ssi"}) {
+    EXPECT_GT(op(name).recall(), 0.85) << name;
+  }
+}
+
+TEST(PipelineTest, NonMlabOperatorsNotIdentified) {
+  for (const char* name : {"telesat", "thaicom", "speedcast"}) {
+    EXPECT_FALSE(op(name).identified()) << name;
+  }
+}
+
+TEST(PipelineTest, DescribeRendersSummary) {
+  const std::string text = describe(result());
+  EXPECT_NE(text.find("starlink"), std::string::npos);
+  EXPECT_NE(text.find("identified"), std::string::npos);
+}
+
+// -------------------------------------------------------------- analysis
+
+TEST(AnalysisTest, OrbitLatencyOrdering) {
+  const auto groups = retained_by_orbit(result());
+  const auto med = [&](orbit::OrbitClass c) {
+    return stats::median(dataset().field(groups.at(c), &mlab::NdtRecord::latency_p5_ms));
+  };
+  const double leo = med(orbit::OrbitClass::leo);
+  const double meo = med(orbit::OrbitClass::meo);
+  const double geo = med(orbit::OrbitClass::geo);
+  EXPECT_LT(leo, meo);
+  EXPECT_LT(meo, geo);
+  // Paper Fig 3c bands.
+  EXPECT_NEAR(leo, 56.0, 25.0);
+  EXPECT_NEAR(meo, 280.0, 90.0);
+  EXPECT_NEAR(geo, 673.0, 80.0);
+}
+
+TEST(AnalysisTest, JitterVariabilityLeoAboveGeo) {
+  const auto groups = retained_by_orbit(result());
+  const auto jv_leo = jitter_variability(dataset(), groups.at(orbit::OrbitClass::leo));
+  const auto jv_geo = jitter_variability(dataset(), groups.at(orbit::OrbitClass::geo));
+  // Paper Fig 4b: LEO median ~0.5 vs GEO ~0.28.
+  EXPECT_GT(stats::median(jv_leo), stats::median(jv_geo));
+}
+
+TEST(AnalysisTest, AbsoluteJitterGeoAboveLeo) {
+  const auto groups = retained_by_orbit(result());
+  const auto j_leo =
+      dataset().field(groups.at(orbit::OrbitClass::leo), &mlab::NdtRecord::jitter_p95_ms);
+  const auto j_geo =
+      dataset().field(groups.at(orbit::OrbitClass::geo), &mlab::NdtRecord::jitter_p95_ms);
+  // Paper Fig 4b inset: GEO's absolute jitter is far larger.
+  EXPECT_GT(stats::median(j_geo), stats::median(j_leo));
+}
+
+TEST(AnalysisTest, PepSplitMatchesFig4c) {
+  const auto g = retransmission_groups(dataset(), result());
+  ASSERT_FALSE(g.leo.empty());
+  ASSERT_FALSE(g.geo_pep.empty());
+  ASSERT_FALSE(g.geo_others.empty());
+  const double leo = stats::median(g.leo);
+  const double pep = stats::median(g.geo_pep);
+  const double others = stats::median(g.geo_others);
+  EXPECT_GT(others, 3 * pep);   // PEP suppresses retransmissions
+  EXPECT_LT(pep, leo + 0.03);   // PEP GEO comparable to LEO
+  EXPECT_GT(others, 0.04);      // paper: median 8.74%
+}
+
+TEST(AnalysisTest, PepOperatorListMatchesFootnote) {
+  EXPECT_TRUE(is_pep_operator("hughesnet"));
+  EXPECT_TRUE(is_pep_operator("viasat"));
+  EXPECT_TRUE(is_pep_operator("eutelsat"));
+  EXPECT_TRUE(is_pep_operator("avanti"));
+  EXPECT_FALSE(is_pep_operator("kvh"));
+  EXPECT_EQ(pep_operators().size(), 4u);
+}
+
+TEST(AnalysisTest, BoxplotsSortedByMedian) {
+  const auto boxes = latency_boxplots(dataset(), result());
+  ASSERT_GE(boxes.size(), 15u);
+  for (std::size_t i = 1; i < boxes.size(); ++i) {
+    EXPECT_LE(boxes[i - 1].second.median, boxes[i].second.median);
+  }
+  // Starlink fastest overall; KVH the slowest GEO (Fig 3c).
+  EXPECT_EQ(boxes.front().first, "starlink");
+  EXPECT_EQ(boxes.back().first, "kvh");
+}
+
+TEST(AnalysisTest, ConfusionMatrixPartitionsDataset) {
+  const auto cm = confusion_matrix(dataset(), result());
+  EXPECT_EQ(cm.true_positive + cm.false_positive + cm.false_negative +
+                cm.true_negative,
+            dataset().size());
+  EXPECT_GT(cm.precision(), 0.95);
+  EXPECT_GT(cm.recall(), 0.9);
+  EXPECT_LT(cm.false_positive_rate(), 0.05);
+  EXPECT_GT(cm.true_negative, 0u);  // the corporate/hybrid tests exist
+}
+
+TEST(AnalysisTest, StarlinkMoreConsistentAcrossCountriesThanOneWeb) {
+  // §4: Starlink's dense PoP footprint gives uniform latency; OneWeb's
+  // two US PoPs skew it heavily by geography.
+  const double starlink = country_consistency_spread(dataset(), result(), "starlink");
+  const double oneweb = country_consistency_spread(dataset(), result(), "oneweb");
+  EXPECT_GT(oneweb, 1.5 * starlink);
+}
+
+TEST(AnalysisTest, LatencyByCountrySortedAndFiltered) {
+  const auto rows = latency_by_country(dataset(), result(), "starlink");
+  ASSERT_GE(rows.size(), 3u);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LE(rows[i - 1].second.median, rows[i].second.median);
+  }
+  for (const auto& [country, box] : rows) EXPECT_GE(box.count, 5u);
+  EXPECT_TRUE(latency_by_country(dataset(), result(), "nope").empty());
+}
+
+TEST(AnalysisTest, DailySeriesCoversCampaign) {
+  const auto series = daily_latency_series(dataset(), result(), "starlink");
+  EXPECT_GT(series.size(), 300u);  // most days of a 730-day window
+  for (const auto& b : series) EXPECT_GT(b.median, 20.0);
+  EXPECT_TRUE(daily_latency_series(dataset(), result(), "nope").empty());
+}
+
+}  // namespace
+}  // namespace satnet::snoid

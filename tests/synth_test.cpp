@@ -1,0 +1,296 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "bgp/sno_world.hpp"
+#include "geo/places.hpp"
+#include "synth/asdb.hpp"
+#include "synth/catalog.hpp"
+#include "synth/world.hpp"
+
+namespace satnet::synth {
+namespace {
+
+// --------------------------------------------------------------- catalog
+
+TEST(CatalogTest, EighteenMlabSnosPresent) {
+  std::size_t in_mlab = 0;
+  for (const auto& s : catalog()) {
+    if (s.kind == EntityKind::sno && s.in_mlab) ++in_mlab;
+  }
+  EXPECT_EQ(in_mlab, 18u);  // Table 1's operator count
+}
+
+TEST(CatalogTest, FalsePositivesPresent) {
+  std::size_t fp = 0;
+  for (const auto& s : catalog()) {
+    if (s.kind != EntityKind::sno) ++fp;
+  }
+  EXPECT_GE(fp, 10u);  // the "more than half are not SNOs" effect
+}
+
+TEST(CatalogTest, Table1VolumesEncoded) {
+  EXPECT_EQ(find_sno("starlink").mlab_tests, 11700000u);
+  EXPECT_EQ(find_sno("o3b/ses").mlab_tests, 78100u);
+  EXPECT_EQ(find_sno("viasat").mlab_tests, 50000u);
+  EXPECT_EQ(find_sno("kacific").mlab_tests, 34u);
+}
+
+TEST(CatalogTest, PepOperatorsMatchPaperFootnote) {
+  for (const char* name : {"hughesnet", "viasat", "eutelsat", "avanti"}) {
+    EXPECT_TRUE(find_sno(name).pep) << name;
+    EXPECT_TRUE(find_sno(name).traits.pep) << name;
+  }
+  EXPECT_FALSE(find_sno("kvh").pep);
+  EXPECT_FALSE(find_sno("telalaska").pep);
+}
+
+TEST(CatalogTest, StarlinkAsnsOutsideAsdb) {
+  for (const auto& asn : find_sno("starlink").asns) {
+    EXPECT_FALSE(asn.in_asdb);
+  }
+}
+
+TEST(CatalogTest, StarlinkCorporateIsFullyTerrestrial) {
+  const auto& asns = find_sno("starlink").asns;
+  ASSERT_EQ(asns.size(), 2u);
+  EXPECT_DOUBLE_EQ(asns[1].terrestrial_frac, 1.0);
+}
+
+TEST(CatalogTest, SesIsMultiOrbit) {
+  const auto& ses = find_sno("ses");
+  EXPECT_TRUE(ses.multi_orbit);
+  EXPECT_EQ(ses.primary_orbit, orbit::OrbitClass::meo);
+}
+
+TEST(CatalogTest, UnknownOperatorThrows) {
+  EXPECT_THROW(find_sno("spacey"), std::out_of_range);
+}
+
+TEST(CatalogTest, RegionsResolveToGazetteer) {
+  for (const auto& s : catalog()) {
+    for (const auto& r : s.regions) {
+      EXPECT_NO_THROW(geo::city_point(r.city)) << s.name << " " << r.city;
+      EXPECT_NO_THROW(geo::continent_of(r.country)) << s.name << " " << r.country;
+    }
+  }
+}
+
+// ------------------------------------------------------------------ asdb
+
+TEST(AsdbTest, SatelliteCategoryMissesStarlinkAndViasat) {
+  std::set<bgp::Asn> asns;
+  for (const auto& row : asdb_satellite_category()) asns.insert(row.asn);
+  EXPECT_FALSE(asns.count(bgp::kStarlink));
+  EXPECT_FALSE(asns.count(bgp::kViasat));
+  EXPECT_TRUE(asns.count(bgp::kHughes));
+  EXPECT_TRUE(asns.count(bgp::kOneWeb));
+}
+
+TEST(AsdbTest, CategoryIncludesFalsePositives) {
+  bool saw_cable = false;
+  for (const auto& row : asdb_satellite_category()) {
+    const auto info = ipinfo_lookup(row.asn);
+    ASSERT_TRUE(info.has_value());
+    if (info->kind == EntityKind::cable_tv) saw_cable = true;
+  }
+  EXPECT_TRUE(saw_cable);
+}
+
+TEST(AsdbTest, HeSearchFindsStarlink) {
+  const auto asns = he_bgp_search("starlink");
+  EXPECT_EQ(asns.size(), 2u);  // customer + corporate ASN
+}
+
+TEST(AsdbTest, HeSearchCaseInsensitive) {
+  EXPECT_FALSE(he_bgp_search("Viasat").empty());
+}
+
+TEST(AsdbTest, HeSearchUnknownEmpty) {
+  EXPECT_TRUE(he_bgp_search("galactic-nonexistent").empty());
+}
+
+TEST(AsdbTest, IpinfoLookupRoundTrip) {
+  const auto r = ipinfo_lookup(bgp::kViasat);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->organization, "viasat");
+  EXPECT_EQ(r->kind, EntityKind::sno);
+  EXPECT_EQ(r->declared_orbit, orbit::OrbitClass::geo);
+  EXPECT_FALSE(ipinfo_lookup(999999).has_value());
+}
+
+// ----------------------------------------------------------------- world
+
+class WorldTest : public ::testing::Test {
+ protected:
+  static const World& world() {
+    static const World w;
+    return w;
+  }
+};
+
+TEST_F(WorldTest, DeterministicAcrossConstructions) {
+  const World a({.seed = 5});
+  const World b({.seed = 5});
+  ASSERT_EQ(a.subscribers().size(), b.subscribers().size());
+  for (std::size_t i = 0; i < a.subscribers().size(); i += 97) {
+    EXPECT_EQ(a.subscribers()[i].ip, b.subscribers()[i].ip);
+    EXPECT_EQ(a.subscribers()[i].plan_down_mbps, b.subscribers()[i].plan_down_mbps);
+  }
+}
+
+TEST_F(WorldTest, EveryMlabSnoHasSubscribers) {
+  for (const auto& s : catalog()) {
+    if (s.kind != EntityKind::sno || !s.in_mlab) continue;
+    EXPECT_FALSE(world().subscribers_of(s.name).empty()) << s.name;
+  }
+}
+
+TEST_F(WorldTest, PrefixesAreAsnHomogeneous) {
+  std::map<net::Prefix24, std::set<bgp::Asn>> by_prefix;
+  for (const auto& sub : world().subscribers()) {
+    by_prefix[sub.prefix].insert(sub.asn);
+  }
+  for (const auto& [prefix, asns] : by_prefix) {
+    EXPECT_EQ(asns.size(), 1u) << prefix.to_string();
+  }
+}
+
+TEST_F(WorldTest, MostPrefixesTechHomogeneous) {
+  // Address sorting groups technologies; only boundary prefixes mix.
+  std::map<net::Prefix24, std::set<AccessTech>> by_prefix;
+  for (const auto& sub : world().subscribers()) {
+    by_prefix[sub.prefix].insert(sub.tech);
+  }
+  std::size_t mixed = 0;
+  for (const auto& [prefix, techs] : by_prefix) {
+    if (techs.size() > 1) ++mixed;
+  }
+  EXPECT_LT(mixed, by_prefix.size() / 3);
+  EXPECT_GT(mixed, 0u);  // the 45.232.115.0/24-style prefixes exist
+}
+
+TEST_F(WorldTest, ViasatUsesItsPaperPrefixBlock) {
+  const auto subs = world().subscribers_of("viasat");
+  ASSERT_FALSE(subs.empty());
+  for (const auto* sub : subs) {
+    EXPECT_EQ(sub->ip.value() >> 16, (45u << 8) | 232u) << sub->ip.to_string();
+  }
+}
+
+TEST_F(WorldTest, StarlinkHasCorporateTerrestrialUsers) {
+  bool corporate_terrestrial = false;
+  for (const auto* sub : world().subscribers_of("starlink")) {
+    if (sub->asn == bgp::kStarlinkCorporate) {
+      EXPECT_EQ(sub->tech, AccessTech::terrestrial);
+      corporate_terrestrial = true;
+    }
+  }
+  EXPECT_TRUE(corporate_terrestrial);
+}
+
+TEST_F(WorldTest, SesSubscribersSpanOrbits) {
+  std::set<orbit::OrbitClass> orbits;
+  for (const auto* sub : world().subscribers_of("ses")) orbits.insert(sub->orbit);
+  EXPECT_TRUE(orbits.count(orbit::OrbitClass::meo));
+  EXPECT_TRUE(orbits.count(orbit::OrbitClass::geo));
+}
+
+TEST_F(WorldTest, SatelliteSampleLatenciesMatchOrbit) {
+  stats::Rng rng(1);
+  int checked = 0;
+  for (const auto& sub : world().subscribers()) {
+    if (sub.tech != AccessTech::satellite) continue;
+    if (++checked > 200) break;
+    const PathSample p = world().sample_path(sub, 1000.0, rng);
+    if (!p.ok) continue;
+    switch (sub.orbit) {
+      case orbit::OrbitClass::leo:
+        EXPECT_LT(p.download.base_rtt_ms, 420.0) << catalog()[sub.spec_index].name;
+        break;
+      case orbit::OrbitClass::meo:
+        EXPECT_GT(p.download.base_rtt_ms, 150.0);
+        EXPECT_LT(p.download.base_rtt_ms, 520.0);
+        break;
+      case orbit::OrbitClass::geo:
+        EXPECT_GT(p.download.base_rtt_ms, 450.0) << catalog()[sub.spec_index].name;
+        break;
+    }
+  }
+}
+
+TEST_F(WorldTest, TerrestrialSamplesAreFast) {
+  stats::Rng rng(2);
+  for (const auto& sub : world().subscribers()) {
+    if (sub.tech != AccessTech::terrestrial) continue;
+    const PathSample p = world().sample_path(sub, 0.0, rng);
+    ASSERT_TRUE(p.ok);
+    EXPECT_LT(p.download.base_rtt_ms, 60.0);
+    EXPECT_FALSE(world().truly_satellite(sub, 0.0));
+  }
+}
+
+TEST_F(WorldTest, HybridUsersFlipOverTime) {
+  stats::Rng rng(3);
+  for (const auto& sub : world().subscribers()) {
+    if (sub.tech != AccessTech::hybrid_backup) continue;
+    std::set<AccessTech> seen;
+    for (double t = 0; t < 400 * 3600.0; t += 3600.0) {
+      seen.insert(world().sample_path(sub, t, rng).tech_used);
+    }
+    EXPECT_TRUE(seen.count(AccessTech::satellite)) << sub.ip.to_string();
+    EXPECT_TRUE(seen.count(AccessTech::terrestrial));
+    break;  // one hybrid subscriber suffices
+  }
+}
+
+TEST_F(WorldTest, TruthMatchesHybridState) {
+  for (const auto& sub : world().subscribers()) {
+    if (sub.tech != AccessTech::hybrid_backup) continue;
+    stats::Rng rng(4);
+    for (double t = 0; t < 100 * 3600.0; t += 3600.0) {
+      const PathSample p = world().sample_path(sub, t, rng);
+      EXPECT_EQ(world().truly_satellite(sub, t),
+                p.tech_used == AccessTech::satellite);
+    }
+    break;
+  }
+}
+
+TEST_F(WorldTest, StarlinkEuropeansFasterPlans) {
+  double eu = 0, na = 0;
+  int eu_n = 0, na_n = 0;
+  for (const auto* sub : world().subscribers_of("starlink")) {
+    const auto cont = geo::continent_of(sub->country);
+    if (cont == geo::Continent::europe) {
+      eu += sub->plan_down_mbps;
+      ++eu_n;
+    } else if (cont == geo::Continent::north_america) {
+      na += sub->plan_down_mbps;
+      ++na_n;
+    }
+  }
+  ASSERT_GT(eu_n, 10);
+  ASSERT_GT(na_n, 10);
+  EXPECT_GT(eu / eu_n, 1.3 * (na / na_n));
+}
+
+TEST_F(WorldTest, MakeSubscriberUsable) {
+  stats::Rng rng(5);
+  const Subscriber sub =
+      world().make_subscriber("hughesnet", geo::city_point("atlanta"), "US", rng);
+  EXPECT_EQ(sub.asn, bgp::kHughes);
+  const PathSample p = world().sample_path(sub, 0.0, rng);
+  ASSERT_TRUE(p.ok);
+  EXPECT_GT(p.download.base_rtt_ms, 450.0);
+  EXPECT_THROW(world().make_subscriber("nope", {}, "US", rng), std::out_of_range);
+}
+
+TEST_F(WorldTest, SubscriberScaleChangesPopulation) {
+  const World small({.seed = 1, .subscriber_scale = 0.3});
+  EXPECT_LT(small.subscribers().size(), world().subscribers().size());
+}
+
+}  // namespace
+}  // namespace satnet::synth

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "snoid/tcptrace.hpp"
+#include "transport/tcp.hpp"
+
+namespace satnet::snoid {
+namespace {
+
+using transport::TcpInfoSnapshot;
+
+/// Hand-builds a snapshot sequence at 100 ms cadence.
+std::vector<TcpInfoSnapshot> make_trace(
+    const std::vector<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>>&
+        sent_acked_retrans) {
+  std::vector<TcpInfoSnapshot> out;
+  double t = 0;
+  for (const auto& [sent, acked, retrans] : sent_acked_retrans) {
+    TcpInfoSnapshot s;
+    s.t_ms = t;
+    s.bytes_sent = sent;
+    s.bytes_acked = acked;
+    s.bytes_retrans = retrans;
+    out.push_back(s);
+    t += 100.0;
+  }
+  return out;
+}
+
+TEST(TcpTraceTest, EmptyTraceIsClean) {
+  EXPECT_EQ(analyze_trace({}).profile, RetransProfile::clean);
+  EXPECT_TRUE(analyze_trace({}).episodes.empty());
+}
+
+TEST(TcpTraceTest, LossFreeFlowIsClean) {
+  const auto trace = make_trace({{0, 0, 0},
+                                 {100000, 90000, 0},
+                                 {200000, 190000, 0},
+                                 {300000, 290000, 0}});
+  const auto a = analyze_trace(trace);
+  EXPECT_EQ(a.profile, RetransProfile::clean);
+  EXPECT_EQ(a.total_retrans_bytes, 0u);
+  EXPECT_DOUBLE_EQ(a.retrans_fraction, 0.0);
+}
+
+TEST(TcpTraceTest, EpisodeBytesSumToTotal) {
+  const auto trace = make_trace({{0, 0, 0},
+                                 {100000, 90000, 3000},
+                                 {200000, 190000, 3000},
+                                 {300000, 200000, 9000},
+                                 {400000, 300000, 9000}});
+  const auto a = analyze_trace(trace);
+  std::uint64_t sum = 0;
+  for (const auto& e : a.episodes) sum += e.bytes;
+  EXPECT_EQ(sum, a.total_retrans_bytes);
+  EXPECT_EQ(a.episodes.size(), 2u);
+}
+
+TEST(TcpTraceTest, AdjacentRetransIntervalsMergeIntoOneEpisode) {
+  const auto trace = make_trace({{0, 0, 0},
+                                 {100000, 90000, 1000},
+                                 {200000, 180000, 2000},
+                                 {300000, 270000, 3000},
+                                 {400000, 370000, 3000}});
+  const auto a = analyze_trace(trace);
+  EXPECT_EQ(a.episodes.size(), 1u);
+  EXPECT_EQ(a.episodes[0].bytes, 3000u);
+}
+
+TEST(TcpTraceTest, TimeoutLikeEpisodeDetectedByAckStall) {
+  // Ack progress freezes for 1.2 s while retransmissions accumulate.
+  std::vector<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>> rows;
+  rows.push_back({0, 0, 0});
+  rows.push_back({100000, 90000, 0});
+  for (int i = 0; i < 12; ++i) {
+    rows.push_back({110000 + i * 100, 90000, 20000});  // stalled acks
+  }
+  rows.push_back({400000, 200000, 20000});
+  const auto a = analyze_trace(rows.empty() ? std::vector<TcpInfoSnapshot>{}
+                                            : make_trace(rows));
+  ASSERT_EQ(a.episodes.size(), 1u);
+  EXPECT_TRUE(a.episodes[0].timeout_like);
+  EXPECT_EQ(a.profile, RetransProfile::timeout_driven);
+  EXPECT_GE(a.longest_ack_stall_ms, 1200.0);
+}
+
+TEST(TcpTraceTest, FastRecoveryEpisodesAreLossDriven) {
+  // Several small retransmission bumps with continuous ack progress.
+  std::vector<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>> rows;
+  std::uint64_t sent = 0, acked = 0, retrans = 0;
+  for (int i = 0; i < 30; ++i) {
+    sent += 100000;
+    acked += 95000;
+    if (i % 7 == 3) retrans += 30000;  // sparse fast-recovery episodes
+    rows.push_back({sent, acked, retrans});
+  }
+  const auto a = analyze_trace(make_trace(rows));
+  EXPECT_GT(a.episodes.size(), 2u);
+  EXPECT_EQ(a.profile, RetransProfile::loss_driven);
+}
+
+// ------------------- end-to-end: profiles of simulated flows -----------
+
+TraceAnalysis analyze_flow(const transport::PathProfile& p, std::uint64_t seed) {
+  transport::TcpFlow flow(p, transport::TcpOptions{}, stats::Rng(seed));
+  const auto result = flow.run_for(12000);
+  return analyze_trace(result.snapshots);
+}
+
+TEST(TcpTraceTest, GeoNonPepFlowsAreTimeoutDriven) {
+  transport::PathProfile p;
+  p.base_rtt_ms = 650;
+  p.bottleneck_mbps = 8;
+  p.jitter_ms = 60;
+  p.spurious_rto_prob = 0.12;
+  p.sat_loss = 0.005;
+  int timeout_driven = 0, n = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto a = analyze_flow(p, seed);
+    if (a.profile != RetransProfile::clean) {
+      ++n;
+      if (a.profile == RetransProfile::timeout_driven) ++timeout_driven;
+    }
+  }
+  ASSERT_GT(n, 4);
+  EXPECT_GT(timeout_driven * 2, n);  // majority timeout-driven
+}
+
+TEST(TcpTraceTest, PepGeoFlowsAvoidTimeoutRecovery) {
+  // A PEP shields the end-to-end loop from the satellite segment: what
+  // little retransmission remains (slow-start overshoot residue) recovers
+  // via fast retransmit, never via RTO stalls.
+  transport::PathProfile p;
+  p.base_rtt_ms = 620;
+  p.bottleneck_mbps = 20;
+  p.jitter_ms = 45;
+  p.sat_loss = 0.018;
+  p.spurious_rto_prob = 0.004;
+  p.pep = true;
+  int timeout_driven = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    if (analyze_flow(p, seed).profile == RetransProfile::timeout_driven) {
+      ++timeout_driven;
+    }
+  }
+  EXPECT_LE(timeout_driven, 2);
+}
+
+TEST(TcpTraceTest, GoodputMatchesFlowResult) {
+  transport::PathProfile p;
+  p.base_rtt_ms = 55;
+  p.bottleneck_mbps = 80;
+  transport::TcpFlow flow(p, transport::TcpOptions{}, stats::Rng(3));
+  const auto result = flow.run_for(10000);
+  const auto a = analyze_trace(result.snapshots);
+  EXPECT_NEAR(a.goodput_mbps, result.goodput_mbps, result.goodput_mbps * 0.1);
+  EXPECT_NEAR(a.retrans_fraction, result.retrans_fraction, 0.01);
+}
+
+}  // namespace
+}  // namespace satnet::snoid

@@ -1,0 +1,145 @@
+// Edge cases of the transport models: option plumbing, the spurious-RTO
+// machinery, go-back-N accounting, and degenerate paths.
+#include <gtest/gtest.h>
+
+#include "transport/quic.hpp"
+#include "transport/tcp.hpp"
+
+namespace satnet::transport {
+namespace {
+
+PathProfile base_path() {
+  PathProfile p;
+  p.base_rtt_ms = 100;
+  p.jitter_ms = 1;
+  p.bottleneck_mbps = 50;
+  return p;
+}
+
+TEST(TransportEdgeTest, SnapshotCadenceConfigurable) {
+  TcpOptions fast, slow;
+  fast.snapshot_interval_ms = 50;
+  slow.snapshot_interval_ms = 500;
+  TcpFlow a(base_path(), fast, stats::Rng(1));
+  TcpFlow b(base_path(), slow, stats::Rng(1));
+  const auto ra = a.run_for(5000);
+  const auto rb = b.run_for(5000);
+  EXPECT_GT(ra.snapshots.size(), 5 * rb.snapshots.size());
+}
+
+TEST(TransportEdgeTest, SpuriousRtoAlwaysFires) {
+  PathProfile p = base_path();
+  p.spurious_rto_prob = 1.0;  // every round times out
+  TcpFlow flow(p, TcpOptions{}, stats::Rng(2));
+  const auto r = flow.run_for(8000);
+  EXPECT_GT(r.n_rtos, 3u);
+  EXPECT_GT(r.retrans_fraction, 0.2);  // go-back-N duplicates dominate
+  EXPECT_EQ(r.bytes_sent, r.bytes_acked + r.bytes_retrans);
+  // RTO idles dominate the timeline: few productive rounds.
+  EXPECT_LT(r.goodput_mbps, 5.0);
+}
+
+TEST(TransportEdgeTest, GoBackNFractionScalesDuplicates) {
+  PathProfile lo = base_path();
+  lo.spurious_rto_prob = 0.3;
+  lo.go_back_n_frac = 0.1;
+  PathProfile hi = lo;
+  hi.go_back_n_frac = 0.9;
+  double lo_retrans = 0, hi_retrans = 0;
+  for (std::uint64_t s = 0; s < 6; ++s) {
+    TcpFlow a(lo, TcpOptions{}, stats::Rng(s));
+    TcpFlow b(hi, TcpOptions{}, stats::Rng(s));
+    lo_retrans += a.run_for(8000).retrans_fraction;
+    hi_retrans += b.run_for(8000).retrans_fraction;
+  }
+  EXPECT_GT(hi_retrans, 2 * lo_retrans);
+}
+
+TEST(TransportEdgeTest, MinRtoRespected) {
+  PathProfile p = base_path();
+  p.spurious_rto_prob = 1.0;
+  TcpOptions opt;
+  opt.min_rto_ms = 3000;
+  TcpFlow flow(p, opt, stats::Rng(3));
+  const auto r = flow.run_for(10000);
+  // With a 3 s RTO per round, only ~3 rounds fit in 10 s.
+  EXPECT_LE(r.n_rtos, 5u);
+  EXPECT_GE(r.duration_ms, 10000.0);
+}
+
+TEST(TransportEdgeTest, TinyCapacityStillProgresses) {
+  PathProfile p = base_path();
+  p.bottleneck_mbps = 0.05;  // 50 kbps
+  TcpFlow flow(p, TcpOptions{}, stats::Rng(4));
+  const auto r = flow.run_for(10000);
+  EXPECT_GT(r.bytes_acked, 0u);
+  EXPECT_LT(r.goodput_mbps, 0.3);
+}
+
+TEST(TransportEdgeTest, ZeroJitterGivesFlatRtt) {
+  PathProfile p = base_path();
+  p.jitter_ms = 0;
+  p.bottleneck_mbps = 10000;  // no queueing below max window
+  TcpFlow flow(p, TcpOptions{}, stats::Rng(5));
+  const auto r = flow.run_for(3000);
+  EXPECT_NEAR(r.rtt_p5_ms, 100.0, 0.5);
+  EXPECT_NEAR(r.rtt_median_ms, 100.0, 0.5);
+  EXPECT_LT(r.jitter_p95_ms, 0.5);
+}
+
+TEST(TransportEdgeTest, BufferbloatRaisesMedianRtt) {
+  PathProfile thin = base_path();
+  thin.buffer_bdp = 0.2;
+  PathProfile bloated = base_path();
+  bloated.buffer_bdp = 4.0;
+  TcpFlow a(thin, TcpOptions{}, stats::Rng(6));
+  TcpFlow b(bloated, TcpOptions{}, stats::Rng(6));
+  const auto ra = a.run_for(10000);
+  const auto rb = b.run_for(10000);
+  EXPECT_GT(rb.rtt_median_ms, ra.rtt_median_ms);
+}
+
+TEST(TransportEdgeTest, RenoGrowsLinearlyCubicFaster) {
+  // After leaving slow start, CUBIC should regain a large window sooner
+  // than Reno on a long-RTT path.
+  PathProfile p;
+  p.base_rtt_ms = 200;
+  p.jitter_ms = 0.5;
+  p.bottleneck_mbps = 400;
+  p.sat_loss = 0.0003;
+  TcpOptions reno, cubic;
+  reno.cc = CongestionControl::reno;
+  cubic.cc = CongestionControl::cubic;
+  double reno_total = 0, cubic_total = 0;
+  for (std::uint64_t s = 0; s < 6; ++s) {
+    TcpFlow a(p, reno, stats::Rng(s));
+    TcpFlow b(p, cubic, stats::Rng(s));
+    reno_total += a.run_for(20000).goodput_mbps;
+    cubic_total += b.run_for(20000).goodput_mbps;
+  }
+  EXPECT_GT(cubic_total, reno_total);
+}
+
+TEST(TransportEdgeTest, QuicSpuriousPtoCheaperThanTcpRto) {
+  PathProfile p = base_path();
+  p.spurious_rto_prob = 0.5;
+  double tcp_retrans = 0, quic_retrans = 0;
+  for (std::uint64_t s = 0; s < 6; ++s) {
+    TcpFlow a(p, TcpOptions{}, stats::Rng(s));
+    QuicFlow b(p, QuicOptions{}, stats::Rng(s));
+    tcp_retrans += a.run_for(8000).retrans_fraction;
+    quic_retrans += b.run_for(8000).retrans_fraction;
+  }
+  EXPECT_LT(quic_retrans, tcp_retrans * 0.25);
+}
+
+TEST(TransportEdgeTest, FetchZeroBytesCostsOnlyHandshake) {
+  PathProfile p = base_path();
+  p.jitter_ms = 0;
+  stats::Rng rng(7);
+  const double t = fetch_time_ms(p, 0, 2.0, rng);
+  EXPECT_NEAR(t, 200.0, 120.0);  // 2 handshake RTTs + at most one round
+}
+
+}  // namespace
+}  // namespace satnet::transport

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "stats/summary.hpp"
+#include "video/abr_player.hpp"
+
+namespace satnet::video {
+namespace {
+
+transport::PathProfile path(double mbps, double rtt = 60, bool handoffs = false) {
+  transport::PathProfile p;
+  p.base_rtt_ms = rtt;
+  p.jitter_ms = 4;
+  p.bottleneck_mbps = mbps;
+  if (handoffs) {
+    p.handoff_rate_hz = 0.05;
+    p.handoff_loss_frac = 0.12;
+    p.handoff_spike_ms = 30;
+  }
+  return p;
+}
+
+TEST(LadderTest, EightRungsOrderedByBitrate) {
+  const auto ladder = youtube_ladder();
+  ASSERT_EQ(ladder.size(), 8u);
+  for (std::size_t i = 1; i < ladder.size(); ++i) {
+    EXPECT_GT(ladder[i].bitrate_mbps, ladder[i - 1].bitrate_mbps);
+    EXPECT_GT(ladder[i].megapixels(), ladder[i - 1].megapixels());
+  }
+}
+
+TEST(LadderTest, MegapixelValuesMatchPaper) {
+  // 1080p ~ 2 MP; 2160p ~ 8 MP (the paper's quality axis).
+  EXPECT_NEAR(youtube_ladder()[5].megapixels(), 2.07, 0.05);
+  EXPECT_NEAR(youtube_ladder()[7].megapixels(), 8.29, 0.05);
+}
+
+TEST(PlayerTest, FastLinkReachesHighResolution) {
+  stats::Rng rng(1);
+  const auto s = play_session(path(80), rng);
+  EXPECT_GE(s.median_megapixels, 2.0);  // 1080p or better
+  EXPECT_EQ(s.n_stalls, 0);
+}
+
+TEST(PlayerTest, HughesNetClassLinkStuckBelow360p) {
+  // Paper Fig 11: HughesNet testers mostly at ~0.5 MP or below.
+  stats::Rng rng(2);
+  std::vector<double> quality;
+  for (int i = 0; i < 10; ++i) {
+    stats::Rng r = rng.fork(i);
+    quality.push_back(play_session(path(2.2, 650), r).median_megapixels);
+  }
+  EXPECT_LE(stats::median(quality), 0.55);
+}
+
+TEST(PlayerTest, ViasatClassSometimesReachesOneMegapixel) {
+  stats::Rng rng(3);
+  double best = 0;
+  for (int i = 0; i < 10; ++i) {
+    stats::Rng r = rng.fork(i);
+    best = std::max(best, play_session(path(12, 600), r).median_megapixels);
+  }
+  EXPECT_GE(best, 0.4);
+}
+
+TEST(PlayerTest, BufferBoundedByCap) {
+  stats::Rng rng(4);
+  PlayerOptions opt;
+  const auto s = play_session(path(100), rng, opt);
+  for (const double b : s.buffer_series) {
+    EXPECT_LE(b, opt.max_buffer_sec + opt.segment_sec + 1e-9);
+    EXPECT_GE(b, 0.0);
+  }
+}
+
+TEST(PlayerTest, HealthyBufferOnGoodLink) {
+  // Paper: most runs keep 40-65 s of buffer.
+  stats::Rng rng(5);
+  const auto s = play_session(path(50), rng);
+  EXPECT_GT(s.mean_buffer_sec, 30.0);
+}
+
+TEST(PlayerTest, StarvedLinkStalls) {
+  stats::Rng rng(6);
+  int stalls = 0;
+  for (int i = 0; i < 10; ++i) {
+    stats::Rng r = rng.fork(i);
+    stalls += play_session(path(0.08, 700), r).n_stalls;
+  }
+  EXPECT_GT(stalls, 0);
+}
+
+TEST(PlayerTest, HandoffsCauseDroppedFrames) {
+  stats::Rng rng(7);
+  double with = 0, without = 0;
+  for (int i = 0; i < 12; ++i) {
+    stats::Rng ra = rng.fork(i);
+    stats::Rng rb = rng.fork(1000 + i);
+    with += play_session(path(80, 60, true), ra).dropped_frame_frac;
+    without += play_session(path(80, 60, false), rb).dropped_frame_frac;
+  }
+  EXPECT_GT(with, without);
+}
+
+TEST(PlayerTest, ReportedDownloadSpeedBelowCapacity) {
+  stats::Rng rng(8);
+  const auto s = play_session(path(40), rng);
+  EXPECT_LE(s.mean_download_mbps, 40.0);
+  EXPECT_GT(s.mean_download_mbps, 5.0);
+}
+
+TEST(PlayerTest, MedianRenditionNameConsistentWithMegapixels) {
+  stats::Rng rng(9);
+  const auto s = play_session(path(100), rng);
+  bool found = false;
+  for (const auto& r : youtube_ladder()) {
+    if (r.name == s.median_rendition) {
+      found = true;
+      EXPECT_NEAR(r.megapixels(), s.median_megapixels, r.megapixels() * 0.8 + 0.2);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+class CapacityQualitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CapacityQualitySweep, QualityMonotoneInCapacity) {
+  stats::Rng a(10), b(10);
+  const double low = play_session(path(GetParam()), a).median_megapixels;
+  const double high = play_session(path(GetParam() * 8), b).median_megapixels;
+  EXPECT_LE(low, high + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, CapacityQualitySweep,
+                         ::testing::Values(0.5, 1.0, 2.0, 5.0));
+
+}  // namespace
+}  // namespace satnet::video

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "geo/places.hpp"
+#include "stats/summary.hpp"
+#include "synth/world.hpp"
+#include "weather/weather.hpp"
+
+namespace satnet::weather {
+namespace {
+
+TEST(WeatherFieldTest, Deterministic) {
+  const WeatherField a, b;
+  for (double t = 0; t < 86400.0 * 10; t += 7200.0) {
+    EXPECT_EQ(a.at({40.0, -100.0, 0}, t), b.at({40.0, -100.0, 0}, t));
+  }
+}
+
+TEST(WeatherFieldTest, SeedChangesField) {
+  WeatherConfig c1, c2;
+  c2.seed = 999;
+  const WeatherField a(c1), b(c2);
+  int differ = 0;
+  for (double t = 0; t < 86400.0 * 30; t += 3600.0) {
+    if (a.at({40.0, -100.0, 0}, t) != b.at({40.0, -100.0, 0}, t)) ++differ;
+  }
+  EXPECT_GT(differ, 10);
+}
+
+TEST(WeatherFieldTest, ConditionPersistsWithinCell) {
+  const WeatherField field;
+  // Same 3-degree cell, same 6-hour epoch: identical condition.
+  const Condition c1 = field.at({40.1, -100.1, 0}, 1000.0);
+  const Condition c2 = field.at({40.9, -100.9, 0}, 5000.0);
+  EXPECT_EQ(c1, c2);
+}
+
+TEST(WeatherFieldTest, TropicsWetterThanPoles) {
+  const WeatherField field;
+  auto rain_fraction = [&](double lat) {
+    int rainy = 0, total = 0;
+    for (double lon = -180; lon < 180; lon += 3.5) {
+      for (double t = 0; t < 86400.0 * 60; t += 6.5 * 3600) {
+        const Condition c = field.at({lat, lon, 0}, t);
+        if (c == Condition::rain || c == Condition::heavy_rain) ++rainy;
+        ++total;
+      }
+    }
+    return static_cast<double>(rainy) / total;
+  };
+  EXPECT_GT(rain_fraction(5.0), 1.5 * rain_fraction(60.0));
+}
+
+TEST(WeatherFieldTest, ClearHasNoImpact) {
+  const WeatherField field;
+  const LinkImpact i =
+      field.impact(Condition::clear, orbit::OrbitClass::geo, 0.0, {0, 0, 0});
+  EXPECT_DOUBLE_EQ(i.capacity_factor, 1.0);
+  EXPECT_DOUBLE_EQ(i.extra_sat_loss, 0.0);
+  EXPECT_FALSE(i.outage);
+}
+
+TEST(WeatherFieldTest, ImpactOrderingByCondition) {
+  const WeatherField field;
+  for (const auto orbit_class : {orbit::OrbitClass::leo, orbit::OrbitClass::geo}) {
+    double prev = 1.1;
+    for (const Condition c : {Condition::clear, Condition::cloudy, Condition::rain,
+                              Condition::heavy_rain}) {
+      const LinkImpact i = field.impact(c, orbit_class, 0.0, {0, 0, 0});
+      EXPECT_LT(i.capacity_factor, prev);
+      prev = i.capacity_factor;
+    }
+  }
+}
+
+TEST(WeatherFieldTest, GeoHitHarderThanLeo) {
+  const WeatherField field;
+  for (const Condition c : {Condition::rain, Condition::heavy_rain}) {
+    const LinkImpact geo = field.impact(c, orbit::OrbitClass::geo, 0.0, {0, 0, 0});
+    const LinkImpact leo = field.impact(c, orbit::OrbitClass::leo, 0.0, {0, 0, 0});
+    EXPECT_LT(geo.capacity_factor, leo.capacity_factor);
+    EXPECT_GT(geo.extra_sat_loss, leo.extra_sat_loss);
+  }
+}
+
+TEST(WeatherFieldTest, OnlyGeoHeavyRainCausesOutages) {
+  const WeatherField field;
+  bool geo_outage = false;
+  for (double lon = -180; lon < 180; lon += 2.9) {
+    const geo::GeoPoint p{10.0, lon, 0};
+    if (field.impact(Condition::heavy_rain, orbit::OrbitClass::geo, 0.0, p).outage) {
+      geo_outage = true;
+    }
+    EXPECT_FALSE(
+        field.impact(Condition::heavy_rain, orbit::OrbitClass::leo, 0.0, p).outage);
+  }
+  EXPECT_TRUE(geo_outage);
+}
+
+TEST(WeatherWorldTest, DisabledByDefault) {
+  const synth::World world;
+  stats::Rng rng(1);
+  for (const auto& sub : world.subscribers()) {
+    const auto p = world.sample_path(sub, 0.0, rng);
+    if (p.ok) {
+      EXPECT_EQ(p.sky, Condition::clear);
+      break;
+    }
+  }
+}
+
+TEST(WeatherWorldTest, EnabledWorldDegradesRainySamples) {
+  synth::WorldConfig cfg;
+  cfg.enable_weather = true;
+  const synth::World world(cfg);
+  const WeatherField field(cfg.weather);
+  stats::Rng rng(2);
+
+  std::map<Condition, std::vector<double>> capacity_ratio;
+  for (const auto& sub : world.subscribers()) {
+    if (sub.tech != synth::AccessTech::satellite) continue;
+    for (double t = 0; t < 86400.0 * 20; t += 86400.0 * 2 + 3600.0) {
+      const auto p = world.sample_path(sub, t, rng);
+      if (!p.ok) continue;
+      capacity_ratio[p.sky].push_back(p.download.bottleneck_mbps / sub.plan_down_mbps);
+    }
+    if (capacity_ratio[Condition::rain].size() > 50 &&
+        capacity_ratio[Condition::clear].size() > 50) {
+      break;
+    }
+  }
+  ASSERT_FALSE(capacity_ratio[Condition::clear].empty());
+  ASSERT_FALSE(capacity_ratio[Condition::rain].empty());
+  EXPECT_LT(stats::mean(capacity_ratio[Condition::rain]),
+            stats::mean(capacity_ratio[Condition::clear]));
+}
+
+class ConditionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConditionSweep, ImpactFieldsSane) {
+  const WeatherField field;
+  const auto c = static_cast<Condition>(GetParam());
+  for (const auto orbit_class :
+       {orbit::OrbitClass::leo, orbit::OrbitClass::meo, orbit::OrbitClass::geo}) {
+    const LinkImpact i = field.impact(c, orbit_class, 1234.0, {45, 9, 0});
+    EXPECT_GT(i.capacity_factor, 0.0);
+    EXPECT_LE(i.capacity_factor, 1.0);
+    EXPECT_GE(i.extra_sat_loss, 0.0);
+    EXPECT_LT(i.extra_sat_loss, 0.1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConditions, ConditionSweep, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace satnet::weather
