@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pop.dir/bench_ablation_pop.cpp.o"
+  "CMakeFiles/bench_ablation_pop.dir/bench_ablation_pop.cpp.o.d"
+  "bench_ablation_pop"
+  "bench_ablation_pop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

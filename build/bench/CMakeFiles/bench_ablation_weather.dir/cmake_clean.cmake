@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_weather.dir/bench_ablation_weather.cpp.o"
+  "CMakeFiles/bench_ablation_weather.dir/bench_ablation_weather.cpp.o.d"
+  "bench_ablation_weather"
+  "bench_ablation_weather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_weather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_quic.dir/bench_ext_quic.cpp.o"
+  "CMakeFiles/bench_ext_quic.dir/bench_ext_quic.cpp.o.d"
+  "bench_ext_quic"
+  "bench_ext_quic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_quic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

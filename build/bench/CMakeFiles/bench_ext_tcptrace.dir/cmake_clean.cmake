@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_tcptrace.dir/bench_ext_tcptrace.cpp.o"
+  "CMakeFiles/bench_ext_tcptrace.dir/bench_ext_tcptrace.cpp.o.d"
+  "bench_ext_tcptrace"
+  "bench_ext_tcptrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_tcptrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_web.dir/bench_fig10_web.cpp.o"
+  "CMakeFiles/bench_fig10_web.dir/bench_fig10_web.cpp.o.d"
+  "bench_fig10_web"
+  "bench_fig10_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

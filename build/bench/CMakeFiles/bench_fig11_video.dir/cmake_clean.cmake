@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_video.dir/bench_fig11_video.cpp.o"
+  "CMakeFiles/bench_fig11_video.dir/bench_fig11_video.cpp.o.d"
+  "bench_fig11_video"
+  "bench_fig11_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_census.dir/bench_fig14_census.cpp.o"
+  "CMakeFiles/bench_fig14_census.dir/bench_fig14_census.cpp.o.d"
+  "bench_fig14_census"
+  "bench_fig14_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

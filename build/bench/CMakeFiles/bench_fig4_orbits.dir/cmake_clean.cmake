@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_orbits.dir/bench_fig4_orbits.cpp.o"
+  "CMakeFiles/bench_fig4_orbits.dir/bench_fig4_orbits.cpp.o.d"
+  "bench_fig4_orbits"
+  "bench_fig4_orbits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_orbits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_bgp.dir/bench_fig5_bgp.cpp.o"
+  "CMakeFiles/bench_fig5_bgp.dir/bench_fig5_bgp.cpp.o.d"
+  "bench_fig5_bgp"
+  "bench_fig5_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_ripe_world.dir/bench_fig6_ripe_world.cpp.o"
+  "CMakeFiles/bench_fig6_ripe_world.dir/bench_fig6_ripe_world.cpp.o.d"
+  "bench_fig6_ripe_world"
+  "bench_fig6_ripe_world.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_ripe_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

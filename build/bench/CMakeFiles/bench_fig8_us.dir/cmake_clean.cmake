@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_us.dir/bench_fig8_us.cpp.o"
+  "CMakeFiles/bench_fig8_us.dir/bench_fig8_us.cpp.o.d"
+  "bench_fig8_us"
+  "bench_fig8_us.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_us.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_speedtest.dir/bench_fig9_speedtest.cpp.o"
+  "CMakeFiles/bench_fig9_speedtest.dir/bench_fig9_speedtest.cpp.o.d"
+  "bench_fig9_speedtest"
+  "bench_fig9_speedtest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_speedtest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_snos.dir/bench_table1_snos.cpp.o"
+  "CMakeFiles/bench_table1_snos.dir/bench_table1_snos.cpp.o.d"
+  "bench_table1_snos"
+  "bench_table1_snos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_snos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

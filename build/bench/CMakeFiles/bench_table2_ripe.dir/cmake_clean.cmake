@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_ripe.dir/bench_table2_ripe.cpp.o"
+  "CMakeFiles/bench_table2_ripe.dir/bench_table2_ripe.cpp.o.d"
+  "bench_table2_ripe"
+  "bench_table2_ripe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_ripe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

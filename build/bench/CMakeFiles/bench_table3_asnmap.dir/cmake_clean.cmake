@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_asnmap.dir/bench_table3_asnmap.cpp.o"
+  "CMakeFiles/bench_table3_asnmap.dir/bench_table3_asnmap.cpp.o.d"
+  "bench_table3_asnmap"
+  "bench_table3_asnmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_asnmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constellation_tour.dir/constellation_tour.cpp.o"
+  "CMakeFiles/constellation_tour.dir/constellation_tour.cpp.o.d"
+  "constellation_tour"
+  "constellation_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constellation_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_vs_leo_webload.dir/geo_vs_leo_webload.cpp.o"
+  "CMakeFiles/geo_vs_leo_webload.dir/geo_vs_leo_webload.cpp.o.d"
+  "geo_vs_leo_webload"
+  "geo_vs_leo_webload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_vs_leo_webload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for geo_vs_leo_webload.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/identify_snos.dir/identify_snos.cpp.o"
+  "CMakeFiles/identify_snos.dir/identify_snos.cpp.o.d"
+  "identify_snos"
+  "identify_snos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/identify_snos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

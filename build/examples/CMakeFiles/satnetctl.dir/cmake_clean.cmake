@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satnetctl.dir/satnetctl.cpp.o"
+  "CMakeFiles/satnetctl.dir/satnetctl.cpp.o.d"
+  "satnetctl"
+  "satnetctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satnetctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

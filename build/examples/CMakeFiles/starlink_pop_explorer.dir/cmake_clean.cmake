@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starlink_pop_explorer.dir/starlink_pop_explorer.cpp.o"
+  "CMakeFiles/starlink_pop_explorer.dir/starlink_pop_explorer.cpp.o.d"
+  "starlink_pop_explorer"
+  "starlink_pop_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starlink_pop_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

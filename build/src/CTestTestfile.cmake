@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("stats")
+subdirs("geo")
+subdirs("sim")
+subdirs("orbit")
+subdirs("net")
+subdirs("transport")
+subdirs("bgp")
+subdirs("weather")
+subdirs("dns")
+subdirs("http")
+subdirs("video")
+subdirs("synth")
+subdirs("mlab")
+subdirs("ripe")
+subdirs("prolific")
+subdirs("snoid")
+subdirs("io")

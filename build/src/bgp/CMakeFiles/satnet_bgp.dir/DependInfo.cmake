@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/as_graph.cpp" "src/bgp/CMakeFiles/satnet_bgp.dir/as_graph.cpp.o" "gcc" "src/bgp/CMakeFiles/satnet_bgp.dir/as_graph.cpp.o.d"
+  "/root/repo/src/bgp/coverage.cpp" "src/bgp/CMakeFiles/satnet_bgp.dir/coverage.cpp.o" "gcc" "src/bgp/CMakeFiles/satnet_bgp.dir/coverage.cpp.o.d"
+  "/root/repo/src/bgp/routeviews.cpp" "src/bgp/CMakeFiles/satnet_bgp.dir/routeviews.cpp.o" "gcc" "src/bgp/CMakeFiles/satnet_bgp.dir/routeviews.cpp.o.d"
+  "/root/repo/src/bgp/sno_world.cpp" "src/bgp/CMakeFiles/satnet_bgp.dir/sno_world.cpp.o" "gcc" "src/bgp/CMakeFiles/satnet_bgp.dir/sno_world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/satnet_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

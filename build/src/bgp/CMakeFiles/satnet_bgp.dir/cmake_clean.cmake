@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satnet_bgp.dir/as_graph.cpp.o"
+  "CMakeFiles/satnet_bgp.dir/as_graph.cpp.o.d"
+  "CMakeFiles/satnet_bgp.dir/coverage.cpp.o"
+  "CMakeFiles/satnet_bgp.dir/coverage.cpp.o.d"
+  "CMakeFiles/satnet_bgp.dir/routeviews.cpp.o"
+  "CMakeFiles/satnet_bgp.dir/routeviews.cpp.o.d"
+  "CMakeFiles/satnet_bgp.dir/sno_world.cpp.o"
+  "CMakeFiles/satnet_bgp.dir/sno_world.cpp.o.d"
+  "libsatnet_bgp.a"
+  "libsatnet_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satnet_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satnet_dns.dir/resolver.cpp.o"
+  "CMakeFiles/satnet_dns.dir/resolver.cpp.o.d"
+  "CMakeFiles/satnet_dns.dir/roots.cpp.o"
+  "CMakeFiles/satnet_dns.dir/roots.cpp.o.d"
+  "libsatnet_dns.a"
+  "libsatnet_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satnet_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

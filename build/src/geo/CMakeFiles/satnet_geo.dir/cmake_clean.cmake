@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satnet_geo.dir/geodesy.cpp.o"
+  "CMakeFiles/satnet_geo.dir/geodesy.cpp.o.d"
+  "CMakeFiles/satnet_geo.dir/places.cpp.o"
+  "CMakeFiles/satnet_geo.dir/places.cpp.o.d"
+  "libsatnet_geo.a"
+  "libsatnet_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satnet_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/http/cdn.cpp" "src/http/CMakeFiles/satnet_http.dir/cdn.cpp.o" "gcc" "src/http/CMakeFiles/satnet_http.dir/cdn.cpp.o.d"
+  "/root/repo/src/http/loader.cpp" "src/http/CMakeFiles/satnet_http.dir/loader.cpp.o" "gcc" "src/http/CMakeFiles/satnet_http.dir/loader.cpp.o.d"
+  "/root/repo/src/http/page.cpp" "src/http/CMakeFiles/satnet_http.dir/page.cpp.o" "gcc" "src/http/CMakeFiles/satnet_http.dir/page.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transport/CMakeFiles/satnet_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/satnet_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/orbit/CMakeFiles/satnet_orbit.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/satnet_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

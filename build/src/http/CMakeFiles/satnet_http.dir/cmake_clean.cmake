@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satnet_http.dir/cdn.cpp.o"
+  "CMakeFiles/satnet_http.dir/cdn.cpp.o.d"
+  "CMakeFiles/satnet_http.dir/loader.cpp.o"
+  "CMakeFiles/satnet_http.dir/loader.cpp.o.d"
+  "CMakeFiles/satnet_http.dir/page.cpp.o"
+  "CMakeFiles/satnet_http.dir/page.cpp.o.d"
+  "libsatnet_http.a"
+  "libsatnet_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satnet_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

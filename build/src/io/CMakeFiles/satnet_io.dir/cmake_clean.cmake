@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satnet_io.dir/csv.cpp.o"
+  "CMakeFiles/satnet_io.dir/csv.cpp.o.d"
+  "CMakeFiles/satnet_io.dir/report.cpp.o"
+  "CMakeFiles/satnet_io.dir/report.cpp.o.d"
+  "libsatnet_io.a"
+  "libsatnet_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satnet_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

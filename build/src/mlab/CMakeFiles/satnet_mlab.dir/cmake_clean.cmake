@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satnet_mlab.dir/campaign.cpp.o"
+  "CMakeFiles/satnet_mlab.dir/campaign.cpp.o.d"
+  "CMakeFiles/satnet_mlab.dir/dataset.cpp.o"
+  "CMakeFiles/satnet_mlab.dir/dataset.cpp.o.d"
+  "CMakeFiles/satnet_mlab.dir/ndt.cpp.o"
+  "CMakeFiles/satnet_mlab.dir/ndt.cpp.o.d"
+  "libsatnet_mlab.a"
+  "libsatnet_mlab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satnet_mlab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satnet_net.dir/ipv4.cpp.o"
+  "CMakeFiles/satnet_net.dir/ipv4.cpp.o.d"
+  "CMakeFiles/satnet_net.dir/route.cpp.o"
+  "CMakeFiles/satnet_net.dir/route.cpp.o.d"
+  "libsatnet_net.a"
+  "libsatnet_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satnet_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

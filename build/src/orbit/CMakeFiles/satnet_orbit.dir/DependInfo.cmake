@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/orbit/access.cpp" "src/orbit/CMakeFiles/satnet_orbit.dir/access.cpp.o" "gcc" "src/orbit/CMakeFiles/satnet_orbit.dir/access.cpp.o.d"
+  "/root/repo/src/orbit/constellation.cpp" "src/orbit/CMakeFiles/satnet_orbit.dir/constellation.cpp.o" "gcc" "src/orbit/CMakeFiles/satnet_orbit.dir/constellation.cpp.o.d"
+  "/root/repo/src/orbit/shell.cpp" "src/orbit/CMakeFiles/satnet_orbit.dir/shell.cpp.o" "gcc" "src/orbit/CMakeFiles/satnet_orbit.dir/shell.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/satnet_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satnet_orbit.dir/access.cpp.o"
+  "CMakeFiles/satnet_orbit.dir/access.cpp.o.d"
+  "CMakeFiles/satnet_orbit.dir/constellation.cpp.o"
+  "CMakeFiles/satnet_orbit.dir/constellation.cpp.o.d"
+  "CMakeFiles/satnet_orbit.dir/shell.cpp.o"
+  "CMakeFiles/satnet_orbit.dir/shell.cpp.o.d"
+  "libsatnet_orbit.a"
+  "libsatnet_orbit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satnet_orbit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prolific/addon.cpp" "src/prolific/CMakeFiles/satnet_prolific.dir/addon.cpp.o" "gcc" "src/prolific/CMakeFiles/satnet_prolific.dir/addon.cpp.o.d"
+  "/root/repo/src/prolific/census.cpp" "src/prolific/CMakeFiles/satnet_prolific.dir/census.cpp.o" "gcc" "src/prolific/CMakeFiles/satnet_prolific.dir/census.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/synth/CMakeFiles/satnet_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/satnet_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/satnet_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/satnet_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/satnet_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/satnet_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/satnet_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/satnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/satnet_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/weather/CMakeFiles/satnet_weather.dir/DependInfo.cmake"
+  "/root/repo/build/src/orbit/CMakeFiles/satnet_orbit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satnet_prolific.dir/addon.cpp.o"
+  "CMakeFiles/satnet_prolific.dir/addon.cpp.o.d"
+  "CMakeFiles/satnet_prolific.dir/census.cpp.o"
+  "CMakeFiles/satnet_prolific.dir/census.cpp.o.d"
+  "libsatnet_prolific.a"
+  "libsatnet_prolific.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satnet_prolific.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

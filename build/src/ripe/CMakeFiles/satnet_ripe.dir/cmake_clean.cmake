@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satnet_ripe.dir/atlas.cpp.o"
+  "CMakeFiles/satnet_ripe.dir/atlas.cpp.o.d"
+  "CMakeFiles/satnet_ripe.dir/probes.cpp.o"
+  "CMakeFiles/satnet_ripe.dir/probes.cpp.o.d"
+  "libsatnet_ripe.a"
+  "libsatnet_ripe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satnet_ripe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

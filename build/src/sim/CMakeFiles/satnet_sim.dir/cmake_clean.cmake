@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satnet_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/satnet_sim.dir/event_queue.cpp.o.d"
+  "libsatnet_sim.a"
+  "libsatnet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satnet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satnet_snoid.dir/analysis.cpp.o"
+  "CMakeFiles/satnet_snoid.dir/analysis.cpp.o.d"
+  "CMakeFiles/satnet_snoid.dir/pipeline.cpp.o"
+  "CMakeFiles/satnet_snoid.dir/pipeline.cpp.o.d"
+  "CMakeFiles/satnet_snoid.dir/pop_analysis.cpp.o"
+  "CMakeFiles/satnet_snoid.dir/pop_analysis.cpp.o.d"
+  "CMakeFiles/satnet_snoid.dir/tcptrace.cpp.o"
+  "CMakeFiles/satnet_snoid.dir/tcptrace.cpp.o.d"
+  "CMakeFiles/satnet_snoid.dir/validation.cpp.o"
+  "CMakeFiles/satnet_snoid.dir/validation.cpp.o.d"
+  "libsatnet_snoid.a"
+  "libsatnet_snoid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satnet_snoid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satnet_stats.dir/cdf.cpp.o"
+  "CMakeFiles/satnet_stats.dir/cdf.cpp.o.d"
+  "CMakeFiles/satnet_stats.dir/kde.cpp.o"
+  "CMakeFiles/satnet_stats.dir/kde.cpp.o.d"
+  "CMakeFiles/satnet_stats.dir/rng.cpp.o"
+  "CMakeFiles/satnet_stats.dir/rng.cpp.o.d"
+  "CMakeFiles/satnet_stats.dir/summary.cpp.o"
+  "CMakeFiles/satnet_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/satnet_stats.dir/timeseries.cpp.o"
+  "CMakeFiles/satnet_stats.dir/timeseries.cpp.o.d"
+  "libsatnet_stats.a"
+  "libsatnet_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satnet_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/asdb.cpp" "src/synth/CMakeFiles/satnet_synth.dir/asdb.cpp.o" "gcc" "src/synth/CMakeFiles/satnet_synth.dir/asdb.cpp.o.d"
+  "/root/repo/src/synth/catalog.cpp" "src/synth/CMakeFiles/satnet_synth.dir/catalog.cpp.o" "gcc" "src/synth/CMakeFiles/satnet_synth.dir/catalog.cpp.o.d"
+  "/root/repo/src/synth/world.cpp" "src/synth/CMakeFiles/satnet_synth.dir/world.cpp.o" "gcc" "src/synth/CMakeFiles/satnet_synth.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/satnet_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/satnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/orbit/CMakeFiles/satnet_orbit.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/satnet_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/satnet_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/weather/CMakeFiles/satnet_weather.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/satnet_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satnet_synth.dir/asdb.cpp.o"
+  "CMakeFiles/satnet_synth.dir/asdb.cpp.o.d"
+  "CMakeFiles/satnet_synth.dir/catalog.cpp.o"
+  "CMakeFiles/satnet_synth.dir/catalog.cpp.o.d"
+  "CMakeFiles/satnet_synth.dir/world.cpp.o"
+  "CMakeFiles/satnet_synth.dir/world.cpp.o.d"
+  "libsatnet_synth.a"
+  "libsatnet_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satnet_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

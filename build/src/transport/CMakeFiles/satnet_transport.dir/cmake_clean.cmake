@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satnet_transport.dir/linkmodel.cpp.o"
+  "CMakeFiles/satnet_transport.dir/linkmodel.cpp.o.d"
+  "CMakeFiles/satnet_transport.dir/quic.cpp.o"
+  "CMakeFiles/satnet_transport.dir/quic.cpp.o.d"
+  "CMakeFiles/satnet_transport.dir/tcp.cpp.o"
+  "CMakeFiles/satnet_transport.dir/tcp.cpp.o.d"
+  "libsatnet_transport.a"
+  "libsatnet_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satnet_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/video/abr_player.cpp" "src/video/CMakeFiles/satnet_video.dir/abr_player.cpp.o" "gcc" "src/video/CMakeFiles/satnet_video.dir/abr_player.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transport/CMakeFiles/satnet_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/satnet_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/orbit/CMakeFiles/satnet_orbit.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/satnet_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

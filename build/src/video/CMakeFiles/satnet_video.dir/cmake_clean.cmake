@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satnet_video.dir/abr_player.cpp.o"
+  "CMakeFiles/satnet_video.dir/abr_player.cpp.o.d"
+  "libsatnet_video.a"
+  "libsatnet_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satnet_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

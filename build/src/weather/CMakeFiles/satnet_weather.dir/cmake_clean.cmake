@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satnet_weather.dir/weather.cpp.o"
+  "CMakeFiles/satnet_weather.dir/weather.cpp.o.d"
+  "libsatnet_weather.a"
+  "libsatnet_weather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satnet_weather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

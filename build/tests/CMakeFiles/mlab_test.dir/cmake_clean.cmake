@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlab_test.dir/mlab_test.cpp.o"
+  "CMakeFiles/mlab_test.dir/mlab_test.cpp.o.d"
+  "mlab_test"
+  "mlab_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlab_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pop_analysis_test.dir/pop_analysis_test.cpp.o"
+  "CMakeFiles/pop_analysis_test.dir/pop_analysis_test.cpp.o.d"
+  "pop_analysis_test"
+  "pop_analysis_test.pdb"
+  "pop_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pop_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prolific_test.dir/prolific_test.cpp.o"
+  "CMakeFiles/prolific_test.dir/prolific_test.cpp.o.d"
+  "prolific_test"
+  "prolific_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prolific_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quic_test.dir/quic_test.cpp.o"
+  "CMakeFiles/quic_test.dir/quic_test.cpp.o.d"
+  "quic_test"
+  "quic_test.pdb"
+  "quic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ripe_test.cpp" "tests/CMakeFiles/ripe_test.dir/ripe_test.cpp.o" "gcc" "tests/CMakeFiles/ripe_test.dir/ripe_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/prolific/CMakeFiles/satnet_prolific.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/satnet_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/satnet_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/satnet_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/snoid/CMakeFiles/satnet_snoid.dir/DependInfo.cmake"
+  "/root/repo/build/src/mlab/CMakeFiles/satnet_mlab.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/satnet_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/satnet_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/satnet_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/weather/CMakeFiles/satnet_weather.dir/DependInfo.cmake"
+  "/root/repo/build/src/ripe/CMakeFiles/satnet_ripe.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/satnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/orbit/CMakeFiles/satnet_orbit.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/satnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/satnet_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/satnet_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/satnet_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripe_test.dir/ripe_test.cpp.o"
+  "CMakeFiles/ripe_test.dir/ripe_test.cpp.o.d"
+  "ripe_test"
+  "ripe_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

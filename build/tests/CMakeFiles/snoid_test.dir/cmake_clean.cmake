@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snoid_test.dir/snoid_test.cpp.o"
+  "CMakeFiles/snoid_test.dir/snoid_test.cpp.o.d"
+  "snoid_test"
+  "snoid_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snoid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

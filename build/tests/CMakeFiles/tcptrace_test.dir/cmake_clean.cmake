@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcptrace_test.dir/tcptrace_test.cpp.o"
+  "CMakeFiles/tcptrace_test.dir/tcptrace_test.cpp.o.d"
+  "tcptrace_test"
+  "tcptrace_test.pdb"
+  "tcptrace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcptrace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
