@@ -10,13 +10,37 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "mlab/campaign.hpp"
 #include "ripe/atlas.hpp"
+#include "runtime/thread_pool.hpp"
 #include "snoid/pipeline.hpp"
 #include "synth/world.hpp"
 
 namespace satnet::bench {
+
+/// Worker threads for campaign construction (--threads N; 0 = one per
+/// hardware thread). Output is identical for every value — the knob only
+/// moves wall-clock.
+inline unsigned& threads() {
+  static unsigned t = 0;
+  return t;
+}
+
+/// Strips "--threads N" from argv (google-benchmark rejects unknown
+/// flags) and stores the value behind threads().
+inline void parse_threads_flag(int* argc, char** argv) {
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < *argc) {
+      threads() = static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10));
+      for (int j = i; j + 2 < *argc; ++j) argv[j] = argv[j + 2];
+      *argc -= 2;
+      return;
+    }
+  }
+}
 
 /// The world every bench shares.
 inline const synth::World& world() {
@@ -31,6 +55,7 @@ inline const mlab::NdtDataset& mlab_dataset() {
     mlab::CampaignConfig cfg;
     cfg.volume_scale = 0.002;
     cfg.min_tests_per_sno = 30;
+    cfg.threads = threads();
     return mlab::run_campaign(world(), cfg);
   }();
   return ds;
@@ -38,7 +63,11 @@ inline const mlab::NdtDataset& mlab_dataset() {
 
 /// Pipeline result over the standard dataset.
 inline const snoid::PipelineResult& pipeline() {
-  static const snoid::PipelineResult r = snoid::run_pipeline(mlab_dataset());
+  static const snoid::PipelineResult r = [] {
+    snoid::PipelineConfig cfg;
+    cfg.threads = threads();
+    return snoid::run_pipeline(mlab_dataset(), cfg);
+  }();
   return r;
 }
 
@@ -48,6 +77,7 @@ inline const ripe::AtlasDataset& atlas_dataset() {
     ripe::AtlasConfig cfg;
     cfg.duration_days = 366.0;
     cfg.round_interval_hours = 8.0;
+    cfg.threads = threads();
     return ripe::run_atlas_campaign(cfg);
   }();
   return ds;
@@ -66,6 +96,7 @@ inline void note(const char* text) { std::printf("  %s\n", text); }
 /// Prints the figure, then runs the registered benchmark kernels.
 #define SATNET_BENCH_MAIN(print_fn)                      \
   int main(int argc, char** argv) {                      \
+    ::satnet::bench::parse_threads_flag(&argc, argv);    \
     ::benchmark::Initialize(&argc, argv);                \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
     print_fn();                                          \

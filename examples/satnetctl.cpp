@@ -7,7 +7,12 @@
 //   satnetctl pipeline [--scale S]                identification summary
 //   satnetctl atlas [--days D] [--out FILE]       RIPE campaign -> CSV
 //   satnetctl census                              Prolific census funnel
+//
+// Every campaign-running command accepts --threads N (0 = one worker per
+// hardware thread, the default). Output is identical for every value —
+// the sharded runtime is deterministic in (seed, config) only.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -32,12 +37,24 @@ const char* flag_value(int argc, char** argv, const char* name, const char* fall
   return fallback;
 }
 
+unsigned threads_flag(int argc, char** argv) {
+  const char* raw = flag_value(argc, argv, "--threads", "0");
+  char* end = nullptr;
+  const unsigned long n = std::strtoul(raw, &end, 10);
+  if (end == raw || *end != '\0') {
+    std::fprintf(stderr, "satnetctl: --threads expects a number, got '%s'\n", raw);
+    std::exit(2);
+  }
+  return static_cast<unsigned>(n);
+}
+
 int cmd_campaign(int argc, char** argv) {
   const double scale = std::stod(flag_value(argc, argv, "--scale", "0.0005"));
   const std::string out_path = flag_value(argc, argv, "--out", "ndt.csv");
   synth::World world;
   mlab::CampaignConfig cfg;
   cfg.volume_scale = scale;
+  cfg.threads = threads_flag(argc, argv);
   const auto dataset = mlab::run_campaign(world, cfg);
   std::ofstream out(out_path);
   if (!out) {
@@ -55,8 +72,11 @@ int cmd_pipeline(int argc, char** argv) {
   synth::World world;
   mlab::CampaignConfig cfg;
   cfg.volume_scale = scale;
+  cfg.threads = threads_flag(argc, argv);
   const auto dataset = mlab::run_campaign(world, cfg);
-  const auto result = snoid::run_pipeline(dataset);
+  snoid::PipelineConfig pcfg;
+  pcfg.threads = cfg.threads;
+  const auto result = snoid::run_pipeline(dataset, pcfg);
   std::printf("%s", snoid::describe(result).c_str());
   if (!out_path.empty()) {
     std::ofstream out(out_path);
@@ -76,6 +96,7 @@ int cmd_atlas(int argc, char** argv) {
   ripe::AtlasConfig cfg;
   cfg.duration_days = days;
   cfg.round_interval_hours = 24.0;
+  cfg.threads = threads_flag(argc, argv);
   const auto dataset = ripe::run_atlas_campaign(cfg);
   std::ofstream out(out_path);
   if (!out) {
@@ -94,11 +115,15 @@ int cmd_report(int argc, char** argv) {
   synth::World world;
   mlab::CampaignConfig mc;
   mc.volume_scale = scale;
+  mc.threads = threads_flag(argc, argv);
   const auto dataset = mlab::run_campaign(world, mc);
-  const auto result = snoid::run_pipeline(dataset);
+  snoid::PipelineConfig pcfg;
+  pcfg.threads = mc.threads;
+  const auto result = snoid::run_pipeline(dataset, pcfg);
   ripe::AtlasConfig ac;
   ac.duration_days = 366.0;
   ac.round_interval_hours = 24.0;
+  ac.threads = mc.threads;
   const auto atlas = ripe::run_atlas_campaign(ac);
   std::ofstream out(out_path);
   if (!out) {
@@ -130,11 +155,13 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: satnetctl <campaign|pipeline|atlas|census|report> [flags]\n"
-                 "  campaign [--scale S] [--out FILE]\n"
-                 "  pipeline [--scale S] [--out FILE]\n"
-                 "  atlas    [--days D]  [--out FILE]\n"
+                 "  campaign [--scale S] [--out FILE] [--threads N]\n"
+                 "  pipeline [--scale S] [--out FILE] [--threads N]\n"
+                 "  atlas    [--days D]  [--out FILE] [--threads N]\n"
                  "  census\n"
-                 "  report   [--scale S] [--out FILE]\n");
+                 "  report   [--scale S] [--out FILE] [--threads N]\n"
+                 "--threads 0 (default) uses one worker per hardware thread;\n"
+                 "output is identical for every thread count\n");
     return 2;
   }
   const std::string cmd = argv[1];

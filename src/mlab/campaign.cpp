@@ -2,8 +2,23 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+
+#include "runtime/sharded.hpp"
+#include "sim/event_queue.hpp"
 
 namespace satnet::mlab {
+
+namespace {
+
+/// One unit of campaign work: a contiguous chunk of one operator's tests.
+struct CampaignShard {
+  std::size_t spec_index = 0;
+  std::size_t k_begin = 0;  ///< test indices [k_begin, k_end) of the operator
+  std::size_t k_end = 0;
+};
+
+}  // namespace
 
 std::size_t scheduled_tests(const synth::SnoSpec& spec, const CampaignConfig& config) {
   if (!spec.in_mlab || spec.kind != synth::EntityKind::sno) return 0;
@@ -15,40 +30,61 @@ std::size_t scheduled_tests(const synth::SnoSpec& spec, const CampaignConfig& co
 }
 
 NdtDataset run_campaign(const synth::World& world, const CampaignConfig& config) {
-  NdtDataset dataset;
-  stats::Rng rng(config.seed);
-  sim::EventQueue queue;
   const double horizon_sec = config.duration_days * 86400.0;
 
-  // Group subscribers by operator once.
+  // Group subscribers by operator once (shared, read-only across shards).
   std::map<std::size_t, std::vector<const synth::Subscriber*>> by_spec;
   for (const auto& sub : world.subscribers()) by_spec[sub.spec_index].push_back(&sub);
 
+  // Shard plan: each operator's tests split into chunks. The plan depends
+  // only on the config, never on thread count.
+  std::vector<CampaignShard> shards;
   for (const auto& [spec_index, subs] : by_spec) {
     const synth::SnoSpec& spec = world.specs()[spec_index];
     const std::size_t n_tests = scheduled_tests(spec, config);
     if (n_tests == 0 || subs.empty()) continue;
-
-    stats::Rng spec_rng = rng.fork(spec.name);
-    dataset.reserve(dataset.size() + n_tests);
-    for (std::size_t k = 0; k < n_tests; ++k) {
-      // Users run speed tests at arbitrary times across the window; a
-      // heavy-tailed share of tests comes from a few repeat testers,
-      // which is what makes per-prefix filtering meaningful.
-      const auto* sub = subs[static_cast<std::size_t>(std::floor(
-          std::pow(spec_rng.uniform(), 1.6) * static_cast<double>(subs.size())))];
-      const double t = spec_rng.uniform(0.0, horizon_sec);
-      stats::Rng test_rng = spec_rng.fork(k);
-      queue.schedule_at(t, [&dataset, &world, sub, test_rng,
-                            &config](sim::Time now) mutable {
-        if (auto rec = run_ndt(world, *sub, now, test_rng, config.ndt)) {
-          dataset.add(std::move(*rec));
-        }
-      });
+    for (const auto& [begin, end] : runtime::shard_ranges(n_tests, config.shard_chunk)) {
+      shards.push_back({spec_index, begin, end});
     }
   }
 
-  queue.run();
+  // Every stream below keys off stable identity: the operator stream off
+  // (seed, operator name), the per-test stream off (operator stream, test
+  // index k). A test draws the same numbers no matter which shard or
+  // thread runs it.
+  const stats::Rng master(config.seed);
+  runtime::ShardedCampaign<NdtDataset> campaign(
+      shards.size(), [&](std::size_t shard_index) {
+        const CampaignShard& shard = shards[shard_index];
+        const synth::SnoSpec& spec = world.specs()[shard.spec_index];
+        const auto& subs = by_spec.find(shard.spec_index)->second;
+        const stats::Rng spec_rng = master.fork_stable(spec.name);
+
+        NdtDataset local;
+        local.reserve(shard.k_end - shard.k_begin);
+        sim::EventQueue queue;
+        for (std::size_t k = shard.k_begin; k < shard.k_end; ++k) {
+          stats::Rng test_rng = spec_rng.fork_stable(k);
+          // Users run speed tests at arbitrary times across the window; a
+          // heavy-tailed share of tests comes from a few repeat testers,
+          // which is what makes per-prefix filtering meaningful.
+          const auto* sub = subs[static_cast<std::size_t>(std::floor(
+              std::pow(test_rng.uniform(), 1.6) * static_cast<double>(subs.size())))];
+          const double t = test_rng.uniform(0.0, horizon_sec);
+          queue.schedule_at(t, [&local, &world, sub, test_rng,
+                                &config](sim::Time now) mutable {
+            if (auto rec = run_ndt(world, *sub, now, test_rng, config.ndt)) {
+              local.add(std::move(*rec));
+            }
+          });
+        }
+        queue.run();
+        return local;
+      });
+
+  // Canonical merge: shard-plan order, event-time order within a shard.
+  NdtDataset dataset;
+  for (auto& piece : campaign.run(config.threads)) dataset.append(std::move(piece));
   return dataset;
 }
 

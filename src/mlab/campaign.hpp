@@ -17,14 +17,24 @@ struct CampaignConfig {
   double volume_scale = 0.002;   ///< fraction of the paper's test volume
   std::size_t min_tests_per_sno = 30;
   std::uint64_t seed = 7;
+  /// Worker threads for the sharded runtime; 0 = hardware_concurrency.
+  /// The dataset is bit-identical for every value (see src/runtime).
+  unsigned threads = 0;
+  /// Max tests per shard; big operators (Starlink is ~98% of the paper's
+  /// volume) split into several shards so the pool stays balanced.
+  std::size_t shard_chunk = 1024;
   NdtOptions ndt;
 };
 
 /// Number of tests the campaign schedules for one operator.
 std::size_t scheduled_tests(const synth::SnoSpec& spec, const CampaignConfig& config);
 
-/// Runs the whole campaign on the discrete-event engine and returns the
-/// accumulated dataset. Deterministic in (world seed, campaign seed).
+/// Runs the whole campaign sharded across the runtime thread pool and
+/// returns the accumulated dataset. Each shard (one chunk of one
+/// operator's tests) runs its own EventQueue with an Rng forked by the
+/// stable key (operator name, test index); shard outputs merge in
+/// canonical (operator, chunk, event-time) order. Deterministic in
+/// (world seed, campaign seed) — never in thread count.
 NdtDataset run_campaign(const synth::World& world, const CampaignConfig& config);
 
 }  // namespace satnet::mlab

@@ -1,8 +1,63 @@
 #include "mlab/dataset.hpp"
 
+#include <bit>
 #include <numeric>
 
 namespace satnet::mlab {
+
+namespace {
+
+void mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ull;
+  }
+}
+
+void mix(std::uint64_t& h, double v) { mix(h, std::bit_cast<std::uint64_t>(v)); }
+
+void mix(std::uint64_t& h, const std::string& s) {
+  mix(h, static_cast<std::uint64_t>(s.size()));
+  for (const char c : s) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ull;
+  }
+}
+
+}  // namespace
+
+void NdtDataset::append(NdtDataset&& other) {
+  if (records_.empty()) {
+    records_ = std::move(other.records_);
+    return;
+  }
+  records_.reserve(records_.size() + other.records_.size());
+  for (auto& r : other.records_) records_.push_back(std::move(r));
+  other.records_.clear();
+}
+
+std::uint64_t NdtDataset::hash() const {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  mix(h, static_cast<std::uint64_t>(records_.size()));
+  for (const auto& r : records_) {
+    mix(h, r.t_sec);
+    mix(h, static_cast<std::uint64_t>(r.asn));
+    mix(h, static_cast<std::uint64_t>(r.client_ip.value()));
+    mix(h, static_cast<std::uint64_t>(r.prefix.network().value()));
+    mix(h, r.country);
+    mix(h, r.latency_p5_ms);
+    mix(h, r.latency_median_ms);
+    mix(h, r.jitter_p95_ms);
+    mix(h, r.download_mbps);
+    mix(h, r.upload_mbps);
+    mix(h, r.retrans_frac);
+    mix(h, static_cast<std::uint64_t>(r.n_handoffs));
+    mix(h, r.truth_operator);
+    mix(h, static_cast<std::uint64_t>(r.truth_satellite));
+    mix(h, static_cast<std::uint64_t>(r.truth_orbit));
+  }
+  return h;
+}
 
 std::map<bgp::Asn, std::vector<std::size_t>> NdtDataset::by_asn() const {
   std::map<bgp::Asn, std::vector<std::size_t>> out;

@@ -2,6 +2,7 @@
 // by the identification pipeline and the benches.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
@@ -15,6 +16,14 @@ class NdtDataset {
  public:
   void add(NdtRecord record) { records_.push_back(std::move(record)); }
   void reserve(std::size_t n) { records_.reserve(n); }
+  /// Appends another dataset's records (shard merge). Order-preserving.
+  void append(NdtDataset&& other);
+
+  /// Order-sensitive FNV-1a fingerprint over every field of every
+  /// record. Two datasets hash equal iff they are bit-identical, which
+  /// is what the runtime's determinism tests assert across thread
+  /// counts.
+  std::uint64_t hash() const;
 
   const std::vector<NdtRecord>& records() const { return records_; }
   std::size_t size() const { return records_.size(); }

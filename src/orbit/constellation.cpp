@@ -72,9 +72,73 @@ std::vector<VisibleSat> Constellation::visible(const geo::GeoPoint& ground, doub
 std::optional<VisibleSat> Constellation::best_visible(const geo::GeoPoint& ground,
                                                       double t_sec,
                                                       double min_elevation_deg) const {
+  // Hot path for campaign simulation: a full-trig sweep of every satellite
+  // costs ~1 ms per query for a Starlink-sized constellation. Instead,
+  // prefilter with a central-angle cone test on ECEF unit vectors. On a
+  // spherical Earth, elevation >= E_min is exactly theta <= theta_max with
+  //   cos(E_min + theta_max) = (R / (R + h)) * cos(E_min),
+  // so dot(n_ground, n_sat) >= cos(theta_max) admits every visible
+  // satellite. Unit vectors come from incremental plane rotations (no
+  // per-satellite trig); the exact position/elevation path runs only for
+  // the few candidates inside the cone, preserving the sweep's selection
+  // order and values bit-for-bit.
+  const double glat = geo::deg_to_rad(ground.lat_deg);
+  const double glon = geo::deg_to_rad(ground.lon_deg);
+  const double gx = std::cos(glat) * std::cos(glon);
+  const double gy = std::cos(glat) * std::sin(glon);
+  const double gz = std::sin(glat);
+  const double e_min = geo::deg_to_rad(min_elevation_deg);
+
   std::optional<VisibleSat> best;
-  for (auto& v : visible(ground, t_sec, min_elevation_deg)) {
-    if (!best || v.elevation_deg > best->elevation_deg) best = v;
+  for (std::size_t s = 0; s < shells_.size(); ++s) {
+    const Shell& shell = shells_[s];
+    const double ratio = geo::kEarthRadiusKm / (geo::kEarthRadiusKm + shell.altitude_km);
+    const double theta_max =
+        std::acos(std::clamp(ratio * std::cos(e_min), -1.0, 1.0)) - e_min;
+    // Small slack absorbs rotation-recurrence rounding so the cone never
+    // rejects a satellite the exact test would accept.
+    const double cos_gate = std::cos(theta_max + 1e-6);
+
+    const double inc = geo::deg_to_rad(shell.inclination_deg);
+    const double sin_i = std::sin(inc);
+    const double cos_i = std::cos(inc);
+    const double du = kTwoPi / static_cast<double>(shell.sats_per_plane);
+    const double cos_du = std::cos(du);
+    const double sin_du = std::sin(du);
+    const double motion = shell.mean_motion_rad_per_sec() * t_sec;
+    const double phase_step = kTwoPi * static_cast<double>(shell.phase_factor) /
+                              static_cast<double>(shell.total_sats());
+
+    for (std::size_t p = 0; p < shell.planes; ++p) {
+      const double phi = kTwoPi * static_cast<double>(p) /
+                             static_cast<double>(shell.planes) -
+                         kEarthRotationRadPerSec * t_sec;
+      const double cos_phi = std::cos(phi);
+      const double sin_phi = std::sin(phi);
+      const double u0 = phase_step * static_cast<double>(p) + motion;
+      double cu = std::cos(u0);
+      double su = std::sin(u0);
+      for (std::size_t i = 0; i < shell.sats_per_plane; ++i) {
+        const double w = cos_i * su;
+        const double x = cu * cos_phi - w * sin_phi;
+        const double y = cu * sin_phi + w * cos_phi;
+        const double z = sin_i * su;
+        if (gx * x + gy * y + gz * z >= cos_gate) {
+          const SatId id{s, p, i};
+          const geo::GeoPoint pos = position(id, t_sec);
+          const double elev = geo::elevation_deg(ground, pos);
+          if (elev >= min_elevation_deg &&
+              (!best || elev > best->elevation_deg)) {
+            best = VisibleSat{id, pos, elev,
+                              geo::slant_range_km(
+                                  {ground.lat_deg, ground.lon_deg, 0.0}, pos)};
+          }
+        }
+        const double cu_next = cu * cos_du - su * sin_du;
+        su = su * cos_du + cu * sin_du;
+        cu = cu_next;
+      }
+    }
   }
   return best;
 }

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <map>
 
 #include "geo/places.hpp"
+#include "runtime/sharded.hpp"
 #include "sim/event_queue.hpp"
 
 namespace satnet::ripe {
@@ -86,13 +88,22 @@ AtlasDataset run_atlas_campaign(const AtlasConfig& config) {
       orbit::make_starlink_access(std::make_shared<orbit::Constellation>(
           orbit::starlink_shells()));
   const net::Backbone backbone;
-  stats::Rng rng(config.seed);
-  sim::EventQueue queue;
+  const stats::Rng master(config.seed);
   const double horizon = config.duration_days * 86400.0;
   const double interval = config.round_interval_hours * 3600.0;
 
-  for (const auto& probe : dataset.probes) {
-    stats::Rng probe_rng = rng.fork(probe.id);
+  // One shard per probe: a probe's whole schedule is a pure function of
+  // (seed, probe id), so shards can run on any worker in any order.
+  struct ProbeRecords {
+    std::vector<TracerouteRecord> traceroutes;
+    std::vector<SslCertRecord> sslcerts;
+  };
+  runtime::ShardedCampaign<ProbeRecords> campaign(
+      dataset.probes.size(), [&](std::size_t probe_index) {
+    const Probe& probe = dataset.probes[probe_index];
+    ProbeRecords local;
+    sim::EventQueue queue;
+    stats::Rng probe_rng = master.fork_stable(static_cast<std::uint64_t>(probe.id));
     for (double t = probe.start_day * 86400.0; t < horizon; t += interval) {
       // Stagger rounds so probes do not fire in lockstep.
       const double jittered = t + probe_rng.uniform(0.0, interval * 0.5);
@@ -110,7 +121,7 @@ AtlasDataset run_atlas_campaign(const AtlasConfig& config) {
 
         // SSLCert built-in runs each round and exposes the public IP.
         if (access.reachable) {
-          dataset.sslcerts.push_back(
+          local.sslcerts.push_back(
               {probe.id, now, probe_public_ip(probe, access.pop_index)});
         }
 
@@ -146,13 +157,23 @@ AtlasDataset run_atlas_campaign(const AtlasConfig& config) {
             rec.hop_count = 3 + backbone.expected_hops(inst.surface_km) + 1;
             rec.instance_city = std::string(inst.city);
           }
-          dataset.traceroutes.push_back(std::move(rec));
+          local.traceroutes.push_back(std::move(rec));
         }
       });
     }
-  }
+    queue.run();
+    return local;
+  });
 
-  queue.run();
+  // Canonical merge: probe order, event-time order within a probe.
+  for (auto& piece : campaign.run(config.threads)) {
+    dataset.traceroutes.insert(dataset.traceroutes.end(),
+                               std::make_move_iterator(piece.traceroutes.begin()),
+                               std::make_move_iterator(piece.traceroutes.end()));
+    dataset.sslcerts.insert(dataset.sslcerts.end(),
+                            std::make_move_iterator(piece.sslcerts.begin()),
+                            std::make_move_iterator(piece.sslcerts.end()));
+  }
   return dataset;
 }
 

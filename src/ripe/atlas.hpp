@@ -49,10 +49,16 @@ struct AtlasConfig {
   double duration_days = 365.0;
   double round_interval_hours = 12.0;  ///< one round = 13 root traceroutes
   std::uint64_t seed = 11;
+  /// Worker threads for the sharded runtime; 0 = hardware_concurrency.
+  /// The dataset is identical for every value (see src/runtime).
+  unsigned threads = 0;
 };
 
-/// Runs the campaign. The Starlink access network is built internally
-/// (make_starlink_access) so the scripted PoP migrations apply.
+/// Runs the campaign sharded per probe: each probe's schedule runs on its
+/// own EventQueue with an Rng forked by the stable key (probe id), and
+/// per-probe records merge in probe order. The Starlink access network is
+/// built internally (make_starlink_access) so the scripted PoP
+/// migrations apply. Deterministic in the seed — never in thread count.
 AtlasDataset run_atlas_campaign(const AtlasConfig& config);
 
 /// Public address a probe holds while attached to PoP `pop_index`

@@ -1,0 +1,19 @@
+#include "runtime/sharded.hpp"
+
+#include <algorithm>
+
+namespace satnet::runtime {
+
+std::vector<std::pair<std::size_t, std::size_t>> shard_ranges(
+    std::size_t n_items, std::size_t max_chunk) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  if (n_items == 0) return out;
+  const std::size_t chunk = std::max<std::size_t>(max_chunk, 1);
+  out.reserve((n_items + chunk - 1) / chunk);
+  for (std::size_t begin = 0; begin < n_items; begin += chunk) {
+    out.emplace_back(begin, std::min(begin + chunk, n_items));
+  }
+  return out;
+}
+
+}  // namespace satnet::runtime

@@ -1,0 +1,92 @@
+// ShardedCampaign: deterministic fan-out/fan-in for campaign and analysis
+// layers.
+//
+// A campaign is split into independent shards; each shard derives all of
+// its randomness from a stable key (never from "how many shards ran
+// before me"), runs to completion on a worker, and produces a value. The
+// values are merged in shard-index order, so the overall result is a pure
+// function of (seed, config) — bit-identical for any thread count,
+// including 1 (which runs inline, with no threads spawned).
+//
+// Discipline for shard authors:
+//   * derive the shard's Rng with Rng::fork_stable(shard key), keyed by
+//     stable identity (operator name, probe id, chunk index) — never by
+//     loop position;
+//   * share only immutable inputs across shards (the World, datasets,
+//     configs);
+//   * accumulate into shard-local state, returned as the shard value.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+
+namespace satnet::runtime {
+
+/// Splits `n_items` into contiguous [begin, end) ranges of at most
+/// `max_chunk` items. Used to shard one big operator into several shards.
+std::vector<std::pair<std::size_t, std::size_t>> shard_ranges(
+    std::size_t n_items, std::size_t max_chunk);
+
+template <typename Result>
+class ShardedCampaign {
+ public:
+  using ShardFn = std::function<Result(std::size_t shard)>;
+
+  ShardedCampaign(std::size_t n_shards, ShardFn fn)
+      : n_shards_(n_shards), fn_(std::move(fn)) {}
+
+  /// Runs every shard and returns the results in shard-index order.
+  /// `threads` resolves via resolve_threads; 1 runs inline. If shards
+  /// throw, the exception of the lowest-indexed failing shard is
+  /// rethrown (deterministic, independent of scheduling).
+  std::vector<Result> run(unsigned threads = 0) const {
+    const unsigned n_threads = resolve_threads(threads);
+    std::vector<std::optional<Result>> slots(n_shards_);
+
+    if (n_threads <= 1 || n_shards_ <= 1) {
+      for (std::size_t i = 0; i < n_shards_; ++i) slots[i].emplace(fn_(i));
+      return collect(std::move(slots), {});
+    }
+
+    std::vector<std::exception_ptr> errors(n_shards_);
+    {
+      ThreadPool pool(n_threads);
+      for (std::size_t i = 0; i < n_shards_; ++i) {
+        pool.submit([this, i, &slots, &errors] {
+          try {
+            slots[i].emplace(fn_(i));
+          } catch (...) {
+            errors[i] = std::current_exception();
+          }
+        });
+      }
+      pool.wait_idle();
+    }
+    return collect(std::move(slots), errors);
+  }
+
+  std::size_t shards() const { return n_shards_; }
+
+ private:
+  static std::vector<Result> collect(std::vector<std::optional<Result>> slots,
+                                     const std::vector<std::exception_ptr>& errors) {
+    for (const auto& err : errors) {
+      if (err) std::rethrow_exception(err);
+    }
+    std::vector<Result> out;
+    out.reserve(slots.size());
+    for (auto& s : slots) out.push_back(std::move(*s));
+    return out;
+  }
+
+  std::size_t n_shards_;
+  ShardFn fn_;
+};
+
+}  // namespace satnet::runtime

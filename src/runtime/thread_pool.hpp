@@ -1,0 +1,54 @@
+// Fixed-size worker pool for the sharded campaign runtime.
+//
+// The pool is deliberately minimal: FIFO task queue, no work stealing, no
+// priorities. Campaign determinism never depends on scheduling order —
+// shards are independent and results are merged by shard index — so the
+// pool only has to be correct, not clever.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace satnet::runtime {
+
+/// Resolves a thread-count knob: 0 means "one per hardware thread"
+/// (never less than 1).
+unsigned resolve_threads(unsigned requested);
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (resolved via resolve_threads).
+  explicit ThreadPool(unsigned threads = 0);
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues a task. Tasks must not throw (wrap and capture instead;
+  /// ShardedCampaign does this for shard bodies).
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every worker is idle.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;   ///< signalled when work arrives / stop
+  std::condition_variable cv_idle_;   ///< signalled when a task finishes
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace satnet::runtime

@@ -6,6 +6,7 @@
 #include <map>
 #include <set>
 
+#include "runtime/sharded.hpp"
 #include "stats/summary.hpp"
 #include "synth/asdb.hpp"
 
@@ -98,7 +99,11 @@ PipelineResult run_pipeline(const mlab::NdtDataset& dataset,
     if (rec.truth_satellite) ++truth_totals[rec.truth_operator];
   }
 
-  for (const auto& cand : candidates) {
+  // ---- Steps 3 + 3b per operator: embarrassingly parallel (each shard
+  // reads the shared dataset/index and writes only its own result). ----
+  runtime::ShardedCampaign<OperatorResult> validation(
+      candidates.size(), [&](std::size_t cand_index) {
+    const Candidate& cand = candidates[cand_index];
     OperatorResult op;
     op.name = cand.name;
     op.declared_orbit = cand.declared;
@@ -133,8 +138,7 @@ PipelineResult run_pipeline(const mlab::NdtDataset& dataset,
     if (!cand.multi_orbit && cand.declared != orbit::OrbitClass::geo) {
       op.retained = clean_only;
       op.covered_by_strict = false;
-      result.operators.push_back(std::move(op));
-      continue;
+      return op;
     }
 
     // ---- Step 3b: strict prefix filtering. ----
@@ -167,10 +171,11 @@ PipelineResult run_pipeline(const mlab::NdtDataset& dataset,
 
     // Retention happens in the second pass (needs the fallback threshold).
     op.retained = std::move(usable);
-    result.operators.push_back(std::move(op));
-  }
+    return op;
+  });
+  result.operators = validation.run(cfg.threads);
 
-  // ---- Step 3c: relaxation thresholds. ----
+  // ---- Step 3c: relaxation thresholds (cross-operator, serial). ----
   double fallback = std::numeric_limits<double>::max();
   for (const auto& op : result.operators) {
     if (op.covered_by_strict) fallback = std::min(fallback, op.relax_threshold_ms);

@@ -47,6 +47,9 @@ struct PipelineConfig {
   std::size_t min_tests_per_prefix = 10;
   /// KDE settings for validation.
   std::size_t kde_grid_points = 256;
+  /// Worker threads for the per-operator validation/filtering shards;
+  /// 0 = hardware_concurrency. Results are identical for every value.
+  unsigned threads = 0;
 };
 
 /// Decision about one /24 during strict filtering.
@@ -96,7 +99,11 @@ struct PipelineResult {
   double fallback_threshold_ms = 0;       ///< relaxation fallback (527-ish)
 };
 
-/// Runs the full pipeline over an M-Lab-style dataset.
+/// Runs the full pipeline over an M-Lab-style dataset. The per-ASN KDE
+/// validation and per-/24 strict filtering (steps 3/3b) are independent
+/// per operator and run sharded on the runtime thread pool; the
+/// cross-operator relaxation (step 3c) stays serial. Deterministic in
+/// the dataset — never in thread count.
 PipelineResult run_pipeline(const mlab::NdtDataset& dataset,
                             const PipelineConfig& config = PipelineConfig{});
 

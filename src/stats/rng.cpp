@@ -20,14 +20,31 @@ Rng Rng::fork(std::uint64_t salt) {
   return child;
 }
 
-Rng Rng::fork(std::string_view name) {
+Rng Rng::fork(std::string_view name) { return fork(hash_name(name)); }
+
+Rng Rng::fork_stable(std::uint64_t salt) const {
+  // Draw the base from a *copy* of the engine so the parent's state is
+  // untouched: any set of salts forked from the same parent state yields
+  // the same children in any order.
+  std::mt19937_64 probe = engine_;
+  const std::uint64_t base = probe();
+  Rng child(0);
+  child.engine_.seed(splitmix(base ^ splitmix(salt)));
+  return child;
+}
+
+Rng Rng::fork_stable(std::string_view name) const {
+  return fork_stable(hash_name(name));
+}
+
+std::uint64_t Rng::hash_name(std::string_view name) {
   // FNV-1a over the name gives a stable salt independent of call order.
   std::uint64_t h = 0xcbf29ce484222325ull;
   for (const char c : name) {
     h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
     h *= 0x100000001b3ull;
   }
-  return fork(h);
+  return h;
 }
 
 double Rng::uniform(double lo, double hi) {
@@ -63,10 +80,30 @@ bool Rng::chance(double p) {
 
 int Rng::poisson(double mean) {
   if (mean <= 0.0) return 0;
-  return std::poisson_distribution<int>(mean)(engine_);
+  // Not std::poisson_distribution: libstdc++ initializes its parameters
+  // with lgamma(), and glibc's lgamma writes the legacy `signgam` global
+  // — a data race when campaign shards draw concurrently. Knuth's
+  // product-of-uniforms sampler is exact and touches no shared state;
+  // large means split recursively (Poisson(m) = Poisson(a) + Poisson(m-a)
+  // for independent draws) to keep exp(-mean) away from underflow.
+  if (mean > 12.0) {
+    const double half = mean / 2.0;
+    return poisson(half) + poisson(mean - half);
+  }
+  const double limit = std::exp(-mean);
+  int k = 0;
+  for (double prod = uniform(); prod > limit; prod *= uniform()) ++k;
+  return k;
 }
 
 std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  // An empty list or an all-zero total leaves discrete_distribution with
+  // no valid probability mass (division by zero in normalization).
+  double total = 0.0;
+  for (const double w : weights) total += w;
+  if (weights.empty() || total <= 0.0) {
+    throw std::invalid_argument("Rng::weighted_index: no positive weight");
+  }
   std::discrete_distribution<std::size_t> dist(weights.begin(), weights.end());
   return dist(engine_);
 }

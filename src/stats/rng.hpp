@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <random>
+#include <stdexcept>
 #include <string_view>
 #include <vector>
 
@@ -19,10 +20,23 @@ class Rng {
   explicit Rng(std::uint64_t seed = 0x5a7e11e7ull) : engine_(splitmix(seed)) {}
 
   /// Derives an independent child stream; `salt` decorrelates children
-  /// forked from the same parent state.
+  /// forked from the same parent state. Advances the parent, so the
+  /// child depends on how many draws/forks the parent made before.
   Rng fork(std::uint64_t salt);
   /// Derives a child stream keyed by a name (stable across runs).
   Rng fork(std::string_view name);
+
+  /// Like fork(), but does NOT advance the parent: the child is a pure
+  /// function of (parent state, salt), independent of how many other
+  /// fork_stable calls the parent served and in what order. This is the
+  /// forking discipline of the sharded campaign runtime — every shard
+  /// keys its stream off a stable identity (operator name, probe id,
+  /// chunk index), never off loop position.
+  Rng fork_stable(std::uint64_t salt) const;
+  Rng fork_stable(std::string_view name) const;
+
+  /// FNV-1a hash of a name; the salt behind the string fork overloads.
+  static std::uint64_t hash_name(std::string_view name);
 
   /// Uniform double in [lo, hi).
   double uniform(double lo = 0.0, double hi = 1.0);
@@ -43,9 +57,11 @@ class Rng {
   /// Index in [0, weights.size()) with probability proportional to weight.
   std::size_t weighted_index(const std::vector<double>& weights);
 
-  /// Uniformly chosen element of a non-empty container.
+  /// Uniformly chosen element of a non-empty container; throws
+  /// std::out_of_range on an empty one (uniform_int(0, -1) is UB).
   template <typename Container>
   const typename Container::value_type& pick(const Container& c) {
+    if (c.empty()) throw std::out_of_range("Rng::pick: empty container");
     return c[static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(c.size()) - 1))];
   }
 

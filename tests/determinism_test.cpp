@@ -1,0 +1,137 @@
+// Shard-merge determinism: a seeded campaign is a pure function of
+// (seed, config), never of thread count or scheduling order. These tests
+// run the same campaigns at 1, 2, and 8 threads and require byte-equal
+// outputs. They are also the workload for the ThreadSanitizer preset
+// (scripts/verify.sh builds with -DSATNET_TSAN=ON and runs this binary).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+
+#include "mlab/campaign.hpp"
+#include "ripe/atlas.hpp"
+#include "snoid/pipeline.hpp"
+#include "synth/world.hpp"
+
+namespace satnet {
+namespace {
+
+const synth::World& world() {
+  static const synth::World w;
+  return w;
+}
+
+mlab::CampaignConfig campaign_config(unsigned threads) {
+  mlab::CampaignConfig cfg;
+  cfg.volume_scale = 0.0005;
+  cfg.min_tests_per_sno = 25;
+  cfg.threads = threads;
+  return cfg;
+}
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ull;
+  }
+}
+
+std::uint64_t atlas_hash(const ripe::AtlasDataset& ds) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  fnv_mix(h, ds.traceroutes.size());
+  for (const auto& t : ds.traceroutes) {
+    fnv_mix(h, static_cast<std::uint64_t>(t.probe_id));
+    fnv_mix(h, std::bit_cast<std::uint64_t>(t.t_sec));
+    fnv_mix(h, static_cast<std::uint64_t>(t.root));
+    fnv_mix(h, static_cast<std::uint64_t>(t.via_cgnat));
+    fnv_mix(h, stats::Rng::hash_name(t.pop_name));
+    fnv_mix(h, std::bit_cast<std::uint64_t>(t.cgnat_rtt_ms));
+    fnv_mix(h, std::bit_cast<std::uint64_t>(t.dest_rtt_ms));
+    fnv_mix(h, static_cast<std::uint64_t>(t.hop_count));
+    fnv_mix(h, stats::Rng::hash_name(t.instance_city));
+  }
+  fnv_mix(h, ds.sslcerts.size());
+  for (const auto& s : ds.sslcerts) {
+    fnv_mix(h, static_cast<std::uint64_t>(s.probe_id));
+    fnv_mix(h, std::bit_cast<std::uint64_t>(s.t_sec));
+    fnv_mix(h, static_cast<std::uint64_t>(s.src_addr.value()));
+  }
+  return h;
+}
+
+TEST(DeterminismTest, NdtDatasetHashIdenticalAcrossThreadCounts) {
+  const auto one = mlab::run_campaign(world(), campaign_config(1));
+  const auto two = mlab::run_campaign(world(), campaign_config(2));
+  const auto eight = mlab::run_campaign(world(), campaign_config(8));
+  ASSERT_GT(one.size(), 0u);
+  EXPECT_EQ(one.hash(), two.hash());
+  EXPECT_EQ(one.hash(), eight.hash());
+}
+
+TEST(DeterminismTest, NdtRecordsByteIdenticalAcrossThreadCounts) {
+  const auto one = mlab::run_campaign(world(), campaign_config(1));
+  const auto eight = mlab::run_campaign(world(), campaign_config(8));
+  ASSERT_EQ(one.size(), eight.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    const auto& a = one.records()[i];
+    const auto& b = eight.records()[i];
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(a.t_sec),
+              std::bit_cast<std::uint64_t>(b.t_sec)) << "record " << i;
+    ASSERT_EQ(a.asn, b.asn) << "record " << i;
+    ASSERT_EQ(a.client_ip, b.client_ip) << "record " << i;
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(a.latency_p5_ms),
+              std::bit_cast<std::uint64_t>(b.latency_p5_ms)) << "record " << i;
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(a.download_mbps),
+              std::bit_cast<std::uint64_t>(b.download_mbps)) << "record " << i;
+    ASSERT_EQ(a.truth_operator, b.truth_operator) << "record " << i;
+    ASSERT_EQ(a.truth_satellite, b.truth_satellite) << "record " << i;
+  }
+}
+
+TEST(DeterminismTest, PipelineResultsIdenticalAcrossThreadCounts) {
+  const auto dataset = mlab::run_campaign(world(), campaign_config(1));
+  snoid::PipelineConfig serial;
+  serial.threads = 1;
+  snoid::PipelineConfig sharded;
+  sharded.threads = 8;
+  const auto a = snoid::run_pipeline(dataset, serial);
+  const auto b = snoid::run_pipeline(dataset, sharded);
+  ASSERT_EQ(a.operators.size(), b.operators.size());
+  EXPECT_EQ(a.identified_operators, b.identified_operators);
+  EXPECT_DOUBLE_EQ(a.fallback_threshold_ms, b.fallback_threshold_ms);
+  for (std::size_t i = 0; i < a.operators.size(); ++i) {
+    const auto& x = a.operators[i];
+    const auto& y = b.operators[i];
+    EXPECT_EQ(x.name, y.name);
+    EXPECT_EQ(x.retained, y.retained) << x.name;
+    EXPECT_DOUBLE_EQ(x.relax_threshold_ms, y.relax_threshold_ms) << x.name;
+    EXPECT_DOUBLE_EQ(x.precision(), y.precision()) << x.name;
+    EXPECT_DOUBLE_EQ(x.recall(), y.recall()) << x.name;
+  }
+}
+
+TEST(DeterminismTest, AtlasDatasetIdenticalAcrossThreadCounts) {
+  ripe::AtlasConfig cfg;
+  cfg.duration_days = 60.0;
+  cfg.round_interval_hours = 24.0;
+  std::uint64_t hashes[3] = {};
+  int i = 0;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    cfg.threads = threads;
+    const auto ds = ripe::run_atlas_campaign(cfg);
+    ASSERT_GT(ds.traceroutes.size(), 0u);
+    hashes[i++] = atlas_hash(ds);
+  }
+  EXPECT_EQ(hashes[0], hashes[1]);
+  EXPECT_EQ(hashes[0], hashes[2]);
+}
+
+TEST(DeterminismTest, RepeatedRunsIdentical) {
+  // Same thread count twice: guards against any residual global state.
+  const auto a = mlab::run_campaign(world(), campaign_config(4));
+  const auto b = mlab::run_campaign(world(), campaign_config(4));
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+}  // namespace
+}  // namespace satnet

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+#include "runtime/sharded.hpp"
+#include "runtime/thread_pool.hpp"
+#include "stats/rng.hpp"
+
+namespace satnet::runtime {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIdleBlocksUntilDrained) {
+  ThreadPool pool(2);
+  std::atomic<int> sum{0};
+  for (int i = 1; i <= 50; ++i) {
+    pool.submit([&sum, i] { sum.fetch_add(i); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(sum.load(), 50 * 51 / 2);
+  // Idle pool: wait_idle returns immediately.
+  pool.wait_idle();
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPoolTest, ResolveThreads) {
+  EXPECT_EQ(resolve_threads(3), 3u);
+  EXPECT_GE(resolve_threads(0), 1u);
+}
+
+TEST(ShardRangesTest, CoversAllItemsWithoutOverlap) {
+  const auto ranges = shard_ranges(10, 3);
+  ASSERT_EQ(ranges.size(), 4u);
+  std::size_t expected_begin = 0;
+  for (const auto& [begin, end] : ranges) {
+    EXPECT_EQ(begin, expected_begin);
+    EXPECT_GT(end, begin);
+    EXPECT_LE(end - begin, 3u);
+    expected_begin = end;
+  }
+  EXPECT_EQ(expected_begin, 10u);
+}
+
+TEST(ShardRangesTest, EdgeCases) {
+  EXPECT_TRUE(shard_ranges(0, 8).empty());
+  EXPECT_EQ(shard_ranges(5, 100).size(), 1u);
+  EXPECT_EQ(shard_ranges(5, 0).size(), 5u);  // clamped to chunks of 1
+}
+
+TEST(ShardedCampaignTest, ResultsInShardOrderForAnyThreadCount) {
+  ShardedCampaign<std::size_t> campaign(64, [](std::size_t i) { return i * i; });
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    const auto out = campaign.run(threads);
+    ASSERT_EQ(out.size(), 64u);
+    for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+  }
+}
+
+TEST(ShardedCampaignTest, ShardExceptionPropagates) {
+  ShardedCampaign<int> campaign(8, [](std::size_t i) -> int {
+    if (i == 5) throw std::runtime_error("shard 5 failed");
+    return static_cast<int>(i);
+  });
+  EXPECT_THROW(campaign.run(1), std::runtime_error);
+  EXPECT_THROW(campaign.run(4), std::runtime_error);
+}
+
+TEST(ShardedCampaignTest, LowestIndexExceptionWins) {
+  // Two failing shards: the rethrown exception is shard 2's regardless
+  // of which worker hit its failure first.
+  ShardedCampaign<int> campaign(8, [](std::size_t i) -> int {
+    if (i == 2) throw std::runtime_error("two");
+    if (i == 6) throw std::runtime_error("six");
+    return 0;
+  });
+  for (const unsigned threads : {1u, 4u}) {
+    try {
+      campaign.run(threads);
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "two");
+    }
+  }
+}
+
+TEST(ShardedCampaignTest, ZeroShards) {
+  ShardedCampaign<int> campaign(0, [](std::size_t) { return 1; });
+  EXPECT_TRUE(campaign.run(4).empty());
+}
+
+// The RNG forking discipline the runtime depends on: fork_stable is a
+// pure function of (parent state, salt).
+TEST(ForkStableTest, OrderIndependent) {
+  const stats::Rng parent(123);
+  stats::Rng a_first = parent.fork_stable(7);
+  stats::Rng b_then = parent.fork_stable(9);
+  stats::Rng b_first = parent.fork_stable(9);
+  stats::Rng a_then = parent.fork_stable(7);
+  EXPECT_DOUBLE_EQ(a_first.uniform(), a_then.uniform());
+  EXPECT_DOUBLE_EQ(b_first.uniform(), b_then.uniform());
+}
+
+TEST(ForkStableTest, DoesNotAdvanceParent) {
+  stats::Rng a(42);
+  stats::Rng b(42);
+  (void)a.fork_stable(1);
+  (void)a.fork_stable(2);
+  EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(ForkStableTest, DistinctSaltsDecorrelate) {
+  const stats::Rng parent(5);
+  std::set<std::int64_t> firsts;
+  for (std::uint64_t salt = 0; salt < 32; ++salt) {
+    stats::Rng child = parent.fork_stable(salt);
+    firsts.insert(child.uniform_int(0, 1'000'000'000));
+  }
+  EXPECT_GE(firsts.size(), 31u);  // collisions astronomically unlikely
+}
+
+TEST(ForkStableTest, NameKeyMatchesHash) {
+  const stats::Rng parent(77);
+  stats::Rng by_name = parent.fork_stable("starlink");
+  stats::Rng by_salt = parent.fork_stable(stats::Rng::hash_name("starlink"));
+  EXPECT_DOUBLE_EQ(by_name.uniform(), by_salt.uniform());
+}
+
+}  // namespace
+}  // namespace satnet::runtime

@@ -93,6 +93,28 @@ TEST(EventQueueTest, RunReturnsExecutedCount) {
   EXPECT_TRUE(q.empty());
 }
 
+TEST(EventQueueTest, ReentrantSameTimeEventsFireInSeqOrder) {
+  // A handler that schedules new events at the *current* time during
+  // run_until: they must fire within the same run, after already-queued
+  // same-time events, in scheduling order — no skips, no reordering.
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(1.0, [&](Time now) {
+    order.push_back(0);
+    q.schedule_at(now, [&](Time inner_now) {
+      order.push_back(2);
+      q.schedule_at(inner_now, [&](Time) { order.push_back(4); });
+    });
+    q.schedule_at(now, [&](Time) { order.push_back(3); });
+  });
+  q.schedule_at(1.0, [&](Time) { order.push_back(1); });
+  const std::size_t executed = q.run_until(1.0);
+  EXPECT_EQ(executed, 5u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_TRUE(q.empty());
+  EXPECT_DOUBLE_EQ(q.now(), 1.0);
+}
+
 TEST(EventQueueTest, PeriodicSelfRescheduling) {
   EventQueue q;
   int ticks = 0;

@@ -99,6 +99,25 @@ TEST(RngTest, WeightedIndexZeroWeightNeverPicked) {
   }
 }
 
+TEST(RngTest, WeightedIndexRejectsNoPositiveMass) {
+  // All-zero weights leave discrete_distribution with no valid mass;
+  // must throw rather than return an arbitrary index.
+  Rng rng(4);
+  EXPECT_THROW(rng.weighted_index({0.0, 0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(rng.weighted_index({}), std::invalid_argument);
+  EXPECT_EQ(rng.weighted_index({0.0, 2.0, 0.0}), 1u);
+}
+
+TEST(RngTest, PickEmptyContainerThrows) {
+  // Regression: pick on an empty container used to call
+  // uniform_int(0, -1), which is undefined behaviour.
+  Rng rng(5);
+  const std::vector<int> empty;
+  EXPECT_THROW(rng.pick(empty), std::out_of_range);
+  const std::vector<int> one{42};
+  EXPECT_EQ(rng.pick(one), 42);
+}
+
 TEST(RngTest, PoissonMeanRoughlyCorrect) {
   Rng rng(8);
   double sum = 0;
