@@ -5,15 +5,25 @@
 // where the paper gives numbers) and then times its computational kernels
 // with google-benchmark. Heavy inputs (world, campaigns, pipeline) are
 // built once per binary and shared.
+//
+// Observability: every bench accepts --metrics-out PATH and
+// --trace-out PATH ("-" = stdout). When either is given, the binary
+// writes the export at exit and prints a human-readable metrics
+// summary; --trace-out also enables span collection for the run.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "mlab/campaign.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "ripe/atlas.hpp"
 #include "runtime/thread_pool.hpp"
 #include "snoid/pipeline.hpp"
@@ -29,17 +39,107 @@ inline unsigned& threads() {
   return t;
 }
 
-/// Strips "--threads N" from argv (google-benchmark rejects unknown
-/// flags) and stores the value behind threads().
-inline void parse_threads_flag(int* argc, char** argv) {
-  for (int i = 1; i < *argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < *argc) {
-      threads() = static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10));
-      for (int j = i; j + 2 < *argc; ++j) argv[j] = argv[j + 2];
-      *argc -= 2;
-      return;
+/// Removes every occurrence of `--name value` / `--name=value` from
+/// argv (google-benchmark rejects unknown flags). Returns 1 when found
+/// (last occurrence's value wins, stored in *value), 0 when absent, -1
+/// when the flag is present with no value.
+inline int strip_flag(int* argc, char** argv, const char* name, std::string* value) {
+  const std::size_t name_len = std::strlen(name);
+  int found = 0;
+  for (int i = 1; i < *argc;) {
+    const char* arg = argv[i];
+    int consumed = 0;
+    if (std::strcmp(arg, name) == 0) {
+      if (i + 1 >= *argc) return -1;  // trailing flag, no value
+      *value = argv[i + 1];
+      consumed = 2;
+    } else if (std::strncmp(arg, name, name_len) == 0 && arg[name_len] == '=') {
+      *value = arg + name_len + 1;
+      consumed = 1;
     }
+    if (consumed == 0) {
+      ++i;
+      continue;
+    }
+    for (int j = i; j + consumed < *argc; ++j) argv[j] = argv[j + consumed];
+    *argc -= consumed;
+    found = 1;  // keep scanning: strip every occurrence
   }
+  return found;
+}
+
+/// Parses and strips --threads. Accepts "--threads N" and
+/// "--threads=N"; a non-numeric or missing value is a hard error.
+inline void parse_threads_flag(int* argc, char** argv) {
+  std::string raw;
+  const int found = strip_flag(argc, argv, "--threads", &raw);
+  if (found == 0) return;
+  char* end = nullptr;
+  const unsigned long n = found < 0 ? 0 : std::strtoul(raw.c_str(), &end, 10);
+  if (found < 0 || end == raw.c_str() || *end != '\0') {
+    std::fprintf(stderr, "%s: --threads expects a non-negative integer, got '%s'\n",
+                 argv[0], raw.c_str());
+    std::exit(2);
+  }
+  threads() = static_cast<unsigned>(n);
+}
+
+struct ObsSession {
+  std::string tool;
+  std::string command;
+  std::string metrics_out;
+  std::string trace_out;
+  std::chrono::steady_clock::time_point start;
+};
+
+inline ObsSession& obs_session() {
+  static ObsSession s;
+  return s;
+}
+
+/// Captures the command line (before flags are stripped) and starts the
+/// wall clock for the run manifest. Call first in main().
+inline void obs_init(int argc, char** argv) {
+  ObsSession& s = obs_session();
+  s.start = std::chrono::steady_clock::now();
+  const char* slash = std::strrchr(argv[0], '/');
+  s.tool = slash ? slash + 1 : argv[0];
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0) s.command += ' ';
+    s.command += argv[i];
+  }
+}
+
+/// Strips --metrics-out / --trace-out; --trace-out enables the tracer.
+inline void parse_obs_flags(int* argc, char** argv) {
+  ObsSession& s = obs_session();
+  if (strip_flag(argc, argv, "--metrics-out", &s.metrics_out) < 0 ||
+      strip_flag(argc, argv, "--trace-out", &s.trace_out) < 0) {
+    std::fprintf(stderr, "%s: --metrics-out/--trace-out expect a path ('-' = stdout)\n",
+                 argv[0]);
+    std::exit(2);
+  }
+  if (!s.trace_out.empty()) obs::Tracer::global().set_enabled(true);
+}
+
+/// Writes requested exports and prints the metrics summary. No-op when
+/// neither obs flag was given.
+inline void obs_finish() {
+  const ObsSession& s = obs_session();
+  if (s.metrics_out.empty() && s.trace_out.empty()) return;
+  obs::RunManifest manifest;
+  manifest.tool = s.tool;
+  manifest.command = s.command;
+  manifest.threads = runtime::resolve_threads(threads());
+  manifest.wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - s.start)
+                         .count();
+  const obs::Snapshot snap = obs::MetricsRegistry::global().scrape();
+  if (!s.metrics_out.empty()) obs::write_metrics_file(s.metrics_out, snap, manifest);
+  if (!s.trace_out.empty()) {
+    obs::write_trace_file(s.trace_out, snap, obs::Tracer::global().drain(), manifest);
+  }
+  std::fputs(obs::summary_text(snap, manifest).c_str(), stdout);
 }
 
 /// The world every bench shares.
@@ -93,14 +193,18 @@ inline void note(const char* text) { std::printf("  %s\n", text); }
 
 }  // namespace satnet::bench
 
-/// Prints the figure, then runs the registered benchmark kernels.
+/// Prints the figure, then runs the registered benchmark kernels, then
+/// emits observability exports when requested.
 #define SATNET_BENCH_MAIN(print_fn)                      \
   int main(int argc, char** argv) {                      \
+    ::satnet::bench::obs_init(argc, argv);               \
     ::satnet::bench::parse_threads_flag(&argc, argv);    \
+    ::satnet::bench::parse_obs_flags(&argc, argv);       \
     ::benchmark::Initialize(&argc, argv);                \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
     print_fn();                                          \
     ::benchmark::RunSpecifiedBenchmarks();               \
     ::benchmark::Shutdown();                             \
+    ::satnet::bench::obs_finish();                       \
     return 0;                                            \
   }

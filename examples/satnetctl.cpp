@@ -11,6 +11,14 @@
 // Every campaign-running command accepts --threads N (0 = one worker per
 // hardware thread, the default). Output is identical for every value —
 // the sharded runtime is deterministic in (seed, config) only.
+//
+// Observability: every command additionally accepts
+//   --metrics-out PATH   Prometheus text export ("-" = stdout)
+//   --trace-out PATH     JSON-lines manifest + metrics + spans
+// When either is given a human-readable metrics summary is printed at
+// the end of the run. Exports are wall-clock telemetry only; simulation
+// output stays byte-identical with or without them.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,8 +29,12 @@
 #include "io/csv.hpp"
 #include "io/report.hpp"
 #include "mlab/campaign.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "prolific/census.hpp"
 #include "ripe/atlas.hpp"
+#include "runtime/thread_pool.hpp"
 #include "snoid/pipeline.hpp"
 #include "synth/world.hpp"
 
@@ -149,6 +161,16 @@ int cmd_census(int, char**) {
   return 0;
 }
 
+int run_command(const std::string& cmd, int argc, char** argv) {
+  if (cmd == "campaign") return cmd_campaign(argc, argv);
+  if (cmd == "pipeline") return cmd_pipeline(argc, argv);
+  if (cmd == "atlas") return cmd_atlas(argc, argv);
+  if (cmd == "census") return cmd_census(argc, argv);
+  if (cmd == "report") return cmd_report(argc, argv);
+  std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -160,16 +182,38 @@ int main(int argc, char** argv) {
                  "  atlas    [--days D]  [--out FILE] [--threads N]\n"
                  "  census\n"
                  "  report   [--scale S] [--out FILE] [--threads N]\n"
+                 "every command also accepts --metrics-out PATH (Prometheus\n"
+                 "text) and --trace-out PATH (JSON lines); '-' = stdout\n"
                  "--threads 0 (default) uses one worker per hardware thread;\n"
                  "output is identical for every thread count\n");
     return 2;
   }
   const std::string cmd = argv[1];
-  if (cmd == "campaign") return cmd_campaign(argc, argv);
-  if (cmd == "pipeline") return cmd_pipeline(argc, argv);
-  if (cmd == "atlas") return cmd_atlas(argc, argv);
-  if (cmd == "census") return cmd_census(argc, argv);
-  if (cmd == "report") return cmd_report(argc, argv);
-  std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
-  return 2;
+  const std::string metrics_out = flag_value(argc, argv, "--metrics-out", "");
+  const std::string trace_out = flag_value(argc, argv, "--trace-out", "");
+  if (!trace_out.empty()) obs::Tracer::global().set_enabled(true);
+  const auto start = std::chrono::steady_clock::now();
+
+  const int rc = run_command(cmd, argc, argv);
+
+  if (rc == 0 && (!metrics_out.empty() || !trace_out.empty())) {
+    obs::RunManifest manifest;
+    manifest.tool = "satnetctl " + cmd;
+    for (int i = 0; i < argc; ++i) {
+      if (i > 0) manifest.command += ' ';
+      manifest.command += argv[i];
+    }
+    manifest.threads = runtime::resolve_threads(threads_flag(argc, argv));
+    manifest.wall_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+    const obs::Snapshot snap = obs::MetricsRegistry::global().scrape();
+    if (!metrics_out.empty()) obs::write_metrics_file(metrics_out, snap, manifest);
+    if (!trace_out.empty()) {
+      obs::write_trace_file(trace_out, snap, obs::Tracer::global().drain(),
+                            manifest);
+    }
+    std::printf("%s", obs::summary_text(snap, manifest).c_str());
+  }
+  return rc;
 }

@@ -2,26 +2,30 @@
 # Tier-1 verification plus the ThreadSanitizer pass over the sharded
 # campaign runtime. Run from the repo root:
 #
-#   scripts/verify.sh            # full: tier-1 + TSan determinism
+#   scripts/verify.sh            # full: tier-1 + TSan determinism + obs
 #   scripts/verify.sh --tier1    # tier-1 only
+#   scripts/verify.sh --tsan     # TSan pass only (CI's second job)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-echo "== tier-1: build + ctest =="
-cmake -B build -S .
-cmake --build build -j "${jobs}"
-ctest --test-dir build --output-on-failure -j "${jobs}"
+if [[ "${1:-}" != "--tsan" ]]; then
+  echo "== tier-1: build + ctest =="
+  cmake -B build -S .
+  cmake --build build -j "${jobs}"
+  ctest --test-dir build --output-on-failure -j "${jobs}"
 
-if [[ "${1:-}" == "--tier1" ]]; then
-  exit 0
+  if [[ "${1:-}" == "--tier1" ]]; then
+    exit 0
+  fi
 fi
 
-echo "== TSan: determinism tests under ThreadSanitizer =="
+echo "== TSan: determinism + runtime + obs tests under ThreadSanitizer =="
 cmake -B build-tsan -S . -DSATNET_TSAN=ON
-cmake --build build-tsan -j "${jobs}" --target determinism_test runtime_test
+cmake --build build-tsan -j "${jobs}" --target determinism_test runtime_test obs_test
 ./build-tsan/tests/runtime_test
+./build-tsan/tests/obs_test
 ./build-tsan/tests/determinism_test
 
 echo "verify: OK"

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <map>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/sharded.hpp"
 #include "sim/event_queue.hpp"
 
@@ -52,11 +54,26 @@ NdtDataset run_campaign(const synth::World& world, const CampaignConfig& config)
   // (seed, operator name), the per-test stream off (operator stream, test
   // index k). A test draws the same numbers no matter which shard or
   // thread runs it.
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  obs::Counter& tests_generated =
+      reg.counter("mlab.tests_generated", "NDT tests scheduled by the campaign");
+  obs::Counter& records_kept =
+      reg.counter("mlab.records", "NDT records produced (test ran to completion)");
+  obs::Counter& outages =
+      reg.counter("mlab.outages", "tests dropped because the link was in outage");
+  obs::Counter& tests_with_retrans = reg.counter(
+      "mlab.tests_with_retrans", "records with a nonzero retransmit fraction");
+
   const stats::Rng master(config.seed);
   runtime::ShardedCampaign<NdtDataset> campaign(
-      shards.size(), [&](std::size_t shard_index) {
+      shards.size(),
+      [&](std::size_t shard_index) {
         const CampaignShard& shard = shards[shard_index];
         const synth::SnoSpec& spec = world.specs()[shard.spec_index];
+        // Per-operator shard timing: spans are keyed by shard index (the
+        // canonical order) and named after the operator they simulate.
+        obs::ScopedSpan span("mlab.operator", spec.name,
+                             static_cast<std::uint64_t>(shard_index));
         const auto& subs = by_spec.find(shard.spec_index)->second;
         const stats::Rng spec_rng = master.fork_stable(spec.name);
 
@@ -79,8 +96,16 @@ NdtDataset run_campaign(const synth::World& world, const CampaignConfig& config)
           });
         }
         queue.run();
+        const std::size_t scheduled = shard.k_end - shard.k_begin;
+        tests_generated.add(scheduled);
+        records_kept.add(local.size());
+        outages.add(scheduled - local.size());
+        std::uint64_t retrans = 0;
+        for (const auto& rec : local.records()) retrans += rec.retrans_frac > 0;
+        tests_with_retrans.add(retrans);
         return local;
-      });
+      },
+      "mlab.campaign");
 
   // Canonical merge: shard-plan order, event-time order within a shard.
   NdtDataset dataset;

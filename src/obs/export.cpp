@@ -1,0 +1,404 @@
+#include "obs/export.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+namespace satnet::obs {
+
+namespace {
+
+/// "mlab.tests_generated" -> "satnet_mlab_tests_generated".
+std::string wire_name(const std::string& name) {
+  std::string out = "satnet_";
+  for (const char c : name) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_';
+  }
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// ---- minimal JSON field extraction (parses only our own flat output:
+// string / number / numeric-array values, no nesting). ----
+
+bool json_string(const std::string& line, const char* key, std::string* out) {
+  const std::string pat = "\"" + std::string(key) + "\":\"";
+  const auto pos = line.find(pat);
+  if (pos == std::string::npos) return false;
+  std::string value;
+  for (std::size_t i = pos + pat.size(); i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '\\' && i + 1 < line.size()) {
+      const char n = line[++i];
+      value += n == 'n' ? '\n' : n == 't' ? '\t' : n;
+    } else if (c == '"') {
+      *out = std::move(value);
+      return true;
+    } else {
+      value += c;
+    }
+  }
+  return false;
+}
+
+bool json_number(const std::string& line, const char* key, double* out) {
+  const std::string pat = "\"" + std::string(key) + "\":";
+  const auto pos = line.find(pat);
+  if (pos == std::string::npos) return false;
+  const char* start = line.c_str() + pos + pat.size();
+  char* end = nullptr;
+  const double v = std::strtod(start, &end);
+  if (end == start) return false;
+  *out = v;
+  return true;
+}
+
+bool json_array(const std::string& line, const char* key, std::vector<double>* out) {
+  const std::string pat = "\"" + std::string(key) + "\":[";
+  const auto pos = line.find(pat);
+  if (pos == std::string::npos) return false;
+  out->clear();
+  const char* p = line.c_str() + pos + pat.size();
+  while (*p != '\0' && *p != ']') {
+    char* end = nullptr;
+    const double v = std::strtod(p, &end);
+    if (end == p) break;
+    out->push_back(v);
+    p = end;
+    while (*p == ',' || *p == ' ') ++p;
+  }
+  return true;
+}
+
+std::string metric_jsonl_line(const MetricValue& m) {
+  std::string line = "{\"type\":\"" + to_string(m.kind) + "\",\"name\":\"" +
+                     json_escape(m.name) + "\"";
+  if (!m.help.empty()) line += ",\"help\":\"" + json_escape(m.help) + "\"";
+  if (m.kind == MetricKind::histogram) {
+    line += ",\"bounds\":[";
+    for (std::size_t i = 0; i < m.bounds.size(); ++i) {
+      if (i > 0) line += ",";
+      line += fmt_double(m.bounds[i]);
+    }
+    line += "],\"counts\":[";
+    for (std::size_t i = 0; i < m.counts.size(); ++i) {
+      if (i > 0) line += ",";
+      line += std::to_string(m.counts[i]);
+    }
+    line += "],\"sum\":" + fmt_double(m.sum) +
+            ",\"count\":" + std::to_string(m.count);
+  } else {
+    line += ",\"value\":" + fmt_double(m.value);
+  }
+  line += "}";
+  return line;
+}
+
+/// Approximate quantile from per-bucket counts: the upper bound of the
+/// bucket where the cumulative count crosses q (reported as "<= X").
+double approx_quantile(const MetricValue& m, double q) {
+  const double target = q * static_cast<double>(m.count);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < m.counts.size(); ++i) {
+    cum += m.counts[i];
+    if (static_cast<double>(cum) >= target) {
+      return i < m.bounds.size() ? m.bounds[i] : m.bounds.empty()
+                 ? 0.0
+                 : m.bounds.back();
+    }
+  }
+  return m.bounds.empty() ? 0.0 : m.bounds.back();
+}
+
+bool open_out(const std::string& path, std::ofstream* file, std::ostream** out) {
+  if (path == "-") {
+    *out = &std::cout;
+    return true;
+  }
+  file->open(path);
+  if (!*file) {
+    std::fprintf(stderr, "obs: cannot open %s\n", path.c_str());
+    return false;
+  }
+  *out = file;
+  return true;
+}
+
+}  // namespace
+
+std::string manifest_json(const RunManifest& manifest) {
+  std::string line = "{\"type\":\"manifest\",\"tool\":\"" +
+                     json_escape(manifest.tool) + "\",\"command\":\"" +
+                     json_escape(manifest.command) +
+                     "\",\"threads\":" + std::to_string(manifest.threads) +
+                     ",\"wall_ms\":" + fmt_double(manifest.wall_ms);
+  for (const auto& [key, value] : manifest.notes) {
+    line += ",\"" + json_escape(key) + "\":\"" + json_escape(value) + "\"";
+  }
+  line += "}";
+  return line;
+}
+
+std::string to_prometheus(const Snapshot& snapshot, const RunManifest& manifest) {
+  std::string out = "# manifest: " + manifest_json(manifest) + "\n";
+  for (const auto& m : snapshot.metrics) {
+    const std::string wire = wire_name(m.name);
+    // "# NAME" maps the wire name back to the registry name so our
+    // parser (and humans) can round-trip without guessing at '_' vs '.'.
+    out += "# NAME " + wire + " " + m.name + "\n";
+    out += "# TYPE " + wire + " " + to_string(m.kind) + "\n";
+    if (!m.help.empty()) out += "# HELP " + wire + " " + m.help + "\n";
+    if (m.kind == MetricKind::histogram) {
+      std::uint64_t cum = 0;
+      for (std::size_t i = 0; i < m.counts.size(); ++i) {
+        cum += m.counts[i];
+        const std::string le =
+            i < m.bounds.size() ? fmt_double(m.bounds[i]) : "+Inf";
+        out += wire + "_bucket{le=\"" + le + "\"} " + std::to_string(cum) + "\n";
+      }
+      out += wire + "_sum " + fmt_double(m.sum) + "\n";
+      out += wire + "_count " + std::to_string(m.count) + "\n";
+    } else {
+      out += wire + " " + fmt_double(m.value) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string to_jsonl(const Snapshot& snapshot, const RunManifest& manifest) {
+  std::string out = manifest_json(manifest) + "\n";
+  for (const auto& m : snapshot.metrics) out += metric_jsonl_line(m) + "\n";
+  return out;
+}
+
+std::string spans_jsonl(const std::vector<SpanRecord>& spans) {
+  std::string out;
+  for (const auto& s : spans) {
+    out += "{\"type\":\"span\",\"phase\":\"" + json_escape(s.phase) +
+           "\",\"name\":\"" + json_escape(s.name) +
+           "\",\"shard\":" + std::to_string(s.shard_key) +
+           ",\"seq\":" + std::to_string(s.seq) +
+           ",\"start_ms\":" + fmt_double(s.start_ms) +
+           ",\"duration_ms\":" + fmt_double(s.duration_ms) + "}\n";
+  }
+  return out;
+}
+
+Snapshot parse_prometheus(const std::string& text) {
+  Snapshot snap;
+  std::map<std::string, std::string> wire_to_name;
+  std::map<std::string, MetricValue> metrics;  // keyed by wire name
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream ls(line);
+      std::string hash, kind, wire, rest;
+      ls >> hash >> kind >> wire >> rest;
+      if (kind == "NAME") {
+        wire_to_name[wire] = rest;
+      } else if (kind == "TYPE") {
+        MetricValue m;
+        const auto it = wire_to_name.find(wire);
+        m.name = it == wire_to_name.end() ? wire : it->second;
+        m.kind = rest == "gauge"       ? MetricKind::gauge
+                 : rest == "histogram" ? MetricKind::histogram
+                                       : MetricKind::counter;
+        metrics[wire] = std::move(m);
+      } else if (kind == "HELP") {
+        const auto pos = line.find(wire);
+        if (auto it = metrics.find(wire); it != metrics.end()) {
+          it->second.help = line.substr(pos + wire.size() + 1);
+        } else {
+          // HELP precedes TYPE in the wild; ours doesn't, but tolerate.
+          wire_to_name.emplace(wire, wire);
+        }
+      }
+      continue;
+    }
+    // Sample line: "<wire>[_bucket{le=\"X\"}|_sum|_count] <value>".
+    const auto space = line.rfind(' ');
+    if (space == std::string::npos) continue;
+    const std::string key = line.substr(0, space);
+    const double value = std::strtod(line.c_str() + space + 1, nullptr);
+    const auto brace = key.find('{');
+    const std::string base = brace == std::string::npos ? key : key.substr(0, brace);
+    if (auto it = metrics.find(base); it != metrics.end()) {
+      it->second.value = value;
+      continue;
+    }
+    auto ends_with = [&](const char* suffix) {
+      const std::size_t n = std::strlen(suffix);
+      return base.size() > n && base.compare(base.size() - n, n, suffix) == 0;
+    };
+    if (ends_with("_bucket")) {
+      const std::string parent = base.substr(0, base.size() - 7);
+      if (auto it = metrics.find(parent); it != metrics.end()) {
+        const auto le_pos = key.find("le=\"");
+        const std::string le = key.substr(le_pos + 4, key.find('"', le_pos + 4) -
+                                                          (le_pos + 4));
+        if (le != "+Inf") it->second.bounds.push_back(std::strtod(le.c_str(), nullptr));
+        it->second.counts.push_back(static_cast<std::uint64_t>(value));
+      }
+    } else if (ends_with("_sum")) {
+      const std::string parent = base.substr(0, base.size() - 4);
+      if (auto it = metrics.find(parent); it != metrics.end()) it->second.sum = value;
+    } else if (ends_with("_count")) {
+      const std::string parent = base.substr(0, base.size() - 6);
+      if (auto it = metrics.find(parent); it != metrics.end()) {
+        it->second.count = static_cast<std::uint64_t>(value);
+      }
+    }
+  }
+  for (auto& [wire, m] : metrics) {
+    if (m.kind == MetricKind::histogram) {
+      // De-cumulate the le-buckets back into per-bucket counts.
+      for (std::size_t i = m.counts.size(); i-- > 1;) m.counts[i] -= m.counts[i - 1];
+    }
+    snap.metrics.push_back(std::move(m));
+  }
+  return snap;  // std::map iteration: already sorted by wire name ~ name order
+}
+
+Snapshot parse_jsonl(const std::string& text) {
+  Snapshot snap;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string type;
+    if (!json_string(line, "type", &type)) continue;
+    if (type != "counter" && type != "gauge" && type != "histogram") continue;
+    MetricValue m;
+    m.kind = type == "gauge"       ? MetricKind::gauge
+             : type == "histogram" ? MetricKind::histogram
+                                   : MetricKind::counter;
+    if (!json_string(line, "name", &m.name)) continue;
+    json_string(line, "help", &m.help);
+    if (m.kind == MetricKind::histogram) {
+      std::vector<double> counts;
+      json_array(line, "bounds", &m.bounds);
+      json_array(line, "counts", &counts);
+      for (const double c : counts) m.counts.push_back(static_cast<std::uint64_t>(c));
+      json_number(line, "sum", &m.sum);
+      double count = 0;
+      json_number(line, "count", &count);
+      m.count = static_cast<std::uint64_t>(count);
+    } else {
+      json_number(line, "value", &m.value);
+    }
+    snap.metrics.push_back(std::move(m));
+  }
+  return snap;
+}
+
+std::vector<SpanRecord> parse_spans_jsonl(const std::string& text) {
+  std::vector<SpanRecord> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string type;
+    if (!json_string(line, "type", &type) || type != "span") continue;
+    SpanRecord s;
+    json_string(line, "phase", &s.phase);
+    json_string(line, "name", &s.name);
+    double shard = 0, seq = 0;
+    json_number(line, "shard", &shard);
+    json_number(line, "seq", &seq);
+    s.shard_key = static_cast<std::uint64_t>(shard);
+    s.seq = static_cast<std::uint64_t>(seq);
+    json_number(line, "start_ms", &s.start_ms);
+    json_number(line, "duration_ms", &s.duration_ms);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string summary_text(const Snapshot& snapshot, const RunManifest& manifest) {
+  char line[256];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "== observability summary: %s (%u threads, %.0f ms wall) ==\n",
+                manifest.tool.empty() ? "run" : manifest.tool.c_str(),
+                manifest.threads, manifest.wall_ms);
+  out += line;
+  for (const auto& m : snapshot.metrics) {
+    switch (m.kind) {
+      case MetricKind::counter:
+        std::snprintf(line, sizeof(line), "  %-36s %14.0f\n", m.name.c_str(),
+                      m.value);
+        break;
+      case MetricKind::gauge:
+        std::snprintf(line, sizeof(line), "  %-36s %14.0f (gauge)\n",
+                      m.name.c_str(), m.value);
+        break;
+      case MetricKind::histogram:
+        std::snprintf(line, sizeof(line),
+                      "  %-36s n=%-10" PRIu64 " mean=%-9.3g p50<=%-9.3g "
+                      "p95<=%-9.3g\n",
+                      m.name.c_str(), m.count,
+                      m.count == 0 ? 0.0 : m.sum / static_cast<double>(m.count),
+                      approx_quantile(m, 0.50), approx_quantile(m, 0.95));
+        break;
+    }
+    out += line;
+  }
+  // Derived: the cone prefilter's continuously-observable speedup claim.
+  const MetricValue* swept = snapshot.find("orbit.best_visible.sats_swept");
+  const MetricValue* exact = snapshot.find("orbit.best_visible.exact_evals");
+  if (swept && exact && exact->value > 0) {
+    std::snprintf(line, sizeof(line),
+                  "  cone prefilter: %.0f swept / %.0f exact evals "
+                  "(%.1fx reduction)\n",
+                  swept->value, exact->value, swept->value / exact->value);
+    out += line;
+  }
+  return out;
+}
+
+bool write_metrics_file(const std::string& path, const Snapshot& snapshot,
+                        const RunManifest& manifest) {
+  std::ofstream file;
+  std::ostream* out = nullptr;
+  if (!open_out(path, &file, &out)) return false;
+  *out << to_prometheus(snapshot, manifest);
+  return true;
+}
+
+bool write_trace_file(const std::string& path, const Snapshot& snapshot,
+                      const std::vector<SpanRecord>& spans,
+                      const RunManifest& manifest) {
+  std::ofstream file;
+  std::ostream* out = nullptr;
+  if (!open_out(path, &file, &out)) return false;
+  *out << to_jsonl(snapshot, manifest) << spans_jsonl(spans);
+  return true;
+}
+
+}  // namespace satnet::obs

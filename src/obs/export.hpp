@@ -1,0 +1,80 @@
+// Exporters for metric snapshots and span traces, plus the run
+// manifest that stamps every export with what produced it.
+//
+// Two formats:
+//   * Prometheus text exposition — counters/gauges as single samples,
+//     histograms as cumulative le-buckets + _sum/_count. Metric names
+//     are dot-separated internally ("mlab.tests_generated") and become
+//     "satnet_mlab_tests_generated" on the wire. The manifest rides
+//     along as "# manifest:" comment lines.
+//   * JSON lines — one object per line, first line the manifest
+//     ({"type":"manifest",...}), then one line per metric and one per
+//     span. This is the machine-readable trace format (--trace-out).
+//
+// Both formats have parsers good enough to round-trip our own output;
+// the unit tests feed exports back through them and require every
+// registered metric to survive.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace satnet::obs {
+
+/// What produced an export: the tool, its full command line, and the
+/// knobs that matter for reproducing the run. Wall-clock only — the
+/// manifest never feeds back into simulation state.
+struct RunManifest {
+  std::string tool;     ///< e.g. "satnetctl campaign"
+  std::string command;  ///< full argv, space-joined
+  unsigned threads = 0;
+  double wall_ms = 0;   ///< end-to-end run wall-clock
+  /// Free-form extras (seed, scale, ...), exported verbatim.
+  std::vector<std::pair<std::string, std::string>> notes;
+};
+
+/// Manifest as a single JSON object (one JSONL line, no trailing \n).
+std::string manifest_json(const RunManifest& manifest);
+
+/// Prometheus text exposition of a snapshot, manifest as comments.
+std::string to_prometheus(const Snapshot& snapshot, const RunManifest& manifest);
+
+/// JSONL: manifest line, then one line per metric.
+std::string to_jsonl(const Snapshot& snapshot, const RunManifest& manifest);
+
+/// JSONL span lines (no manifest; append after to_jsonl or write with
+/// write_trace_file which adds its own manifest line).
+std::string spans_jsonl(const std::vector<SpanRecord>& spans);
+
+/// Parses Prometheus text produced by to_prometheus back into a
+/// Snapshot (metrics sorted by name; manifest comments ignored).
+Snapshot parse_prometheus(const std::string& text);
+
+/// Parses JSONL produced by to_jsonl / write_trace_file. Span and
+/// manifest lines are ignored; metric lines are recovered.
+Snapshot parse_jsonl(const std::string& text);
+
+/// Parses span lines out of a JSONL document.
+std::vector<SpanRecord> parse_spans_jsonl(const std::string& text);
+
+/// Human-readable summary of a snapshot: counters, gauges, histogram
+/// count/mean, plus derived lines (cone-prefilter ratio) when the
+/// underlying counters are present.
+std::string summary_text(const Snapshot& snapshot, const RunManifest& manifest);
+
+/// Writes Prometheus text to `path` ("-" = stdout). Returns false and
+/// prints to stderr when the file cannot be opened.
+bool write_metrics_file(const std::string& path, const Snapshot& snapshot,
+                        const RunManifest& manifest);
+
+/// Writes JSONL (manifest + metrics + spans) to `path` ("-" = stdout).
+bool write_trace_file(const std::string& path, const Snapshot& snapshot,
+                      const std::vector<SpanRecord>& spans,
+                      const RunManifest& manifest);
+
+}  // namespace satnet::obs

@@ -1,0 +1,165 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace satnet::obs {
+
+std::size_t this_thread_stripe() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return stripe;
+}
+
+std::string to_string(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::counter: return "counter";
+    case MetricKind::gauge: return "gauge";
+    case MetricKind::histogram: return "histogram";
+  }
+  return "counter";
+}
+
+const MetricValue* Snapshot::find(std::string_view name) const {
+  for (const auto& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  for (auto& s : stripes_) {
+    s.buckets = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
+  }
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t bucket = static_cast<std::size_t>(it - bounds_.begin());
+  Stripe& s = stripes_[this_thread_stripe()];
+  s.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(s.sum, v);
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1, 0);
+  for (const auto& s : stripes_) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] += s.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+double Histogram::sum() const {
+  double total = 0;
+  for (const auto& s : stripes_) total += s.sum.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& c : counts()) total += c;
+  return total;
+}
+
+void Histogram::reset() {
+  for (auto& s : stripes_) {
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+  }
+}
+
+const std::vector<double>& latency_buckets_ms() {
+  static const std::vector<double> b = {0.5,  1.0,   2.0,   5.0,   10.0,
+                                        20.0, 50.0,  100.0, 200.0, 500.0,
+                                        1000.0, 2000.0, 5000.0};
+  return b;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry reg;
+  return reg;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::entry(std::string_view name,
+                                               MetricKind kind,
+                                               std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry e;
+    e.kind = kind;
+    e.help = std::string(help);
+    it = metrics_.emplace(std::string(name), std::move(e)).first;
+  } else if (it->second.kind != kind) {
+    throw std::logic_error("metric '" + std::string(name) +
+                           "' already registered as " +
+                           to_string(it->second.kind));
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, std::string_view help) {
+  Entry& e = entry(name, MetricKind::counter, help);
+  if (!e.counter) e.counter = std::make_unique<Counter>();
+  return *e.counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help) {
+  Entry& e = entry(name, MetricKind::gauge, help);
+  if (!e.gauge) e.gauge = std::make_unique<Gauge>();
+  return *e.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      const std::vector<double>& bounds,
+                                      std::string_view help) {
+  Entry& e = entry(name, MetricKind::histogram, help);
+  if (!e.histogram) e.histogram = std::make_unique<Histogram>(bounds);
+  return *e.histogram;
+}
+
+Snapshot MetricsRegistry::scrape() const {
+  Snapshot snap;
+  if (!enabled()) return snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.metrics.reserve(metrics_.size());
+  for (const auto& [name, e] : metrics_) {
+    MetricValue v;
+    v.name = name;
+    v.help = e.help;
+    v.kind = e.kind;
+    switch (e.kind) {
+      case MetricKind::counter:
+        v.value = static_cast<double>(e.counter->value());
+        break;
+      case MetricKind::gauge:
+        v.value = static_cast<double>(e.gauge->value());
+        break;
+      case MetricKind::histogram:
+        v.bounds = e.histogram->bounds();
+        v.counts = e.histogram->counts();
+        v.sum = e.histogram->sum();
+        v.count = 0;
+        for (const auto c : v.counts) v.count += c;
+        break;
+    }
+    snap.metrics.push_back(std::move(v));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset_values() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, e] : metrics_) {
+    if (e.counter) e.counter->reset();
+    if (e.gauge) e.gauge->reset();
+    if (e.histogram) e.histogram->reset();
+  }
+}
+
+}  // namespace satnet::obs

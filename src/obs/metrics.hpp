@@ -1,0 +1,186 @@
+// Process-wide metrics registry for the campaign runtime.
+//
+// Hot-path discipline: incrementing a Counter or observing into a
+// Histogram is one relaxed atomic add on a thread-striped cell — no
+// locks, no allocation, no contention between workers pinned to
+// different stripes. A scrape merges the stripes under the registry
+// mutex and returns an immutable Snapshot; exporters (obs/export.hpp)
+// render snapshots as Prometheus text or JSON lines.
+//
+// Determinism contract: metrics are observation-only. Nothing in the
+// simulation may read a metric back, so enabling/disabling the registry
+// (or racing scrapes against a running campaign) can never perturb
+// simulation output. The determinism suite asserts this byte-for-byte.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace satnet::obs {
+
+/// Number of thread stripes per metric. Each thread is assigned one
+/// stripe for its lifetime; two threads sharing a stripe is correct
+/// (atomic adds), merely contended.
+inline constexpr std::size_t kStripes = 16;
+
+/// Stable stripe index of the calling thread in [0, kStripes).
+std::size_t this_thread_stripe();
+
+/// Portable lock-free add for atomic<double> (fetch_add on floating
+/// atomics is C++20; the CAS loop keeps us independent of libstdc++
+/// feature level).
+inline void atomic_add_double(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+enum class MetricKind { counter, gauge, histogram };
+
+std::string to_string(MetricKind kind);
+
+/// Merged value of one metric at scrape time.
+struct MetricValue {
+  std::string name;
+  std::string help;
+  MetricKind kind = MetricKind::counter;
+  double value = 0;  ///< counter total or gauge level
+  // Histogram-only fields. `counts` has bounds.size() + 1 entries; the
+  // last is the overflow (+Inf) bucket. Counts are per-bucket, not
+  // cumulative (exporters cumulate for Prometheus).
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;
+  double sum = 0;
+  std::uint64_t count = 0;
+};
+
+/// Immutable merged view of every registered metric, sorted by name.
+struct Snapshot {
+  std::vector<MetricValue> metrics;
+
+  const MetricValue* find(std::string_view name) const;
+};
+
+struct alignas(64) StripedCell {
+  std::atomic<std::uint64_t> v{0};
+};
+
+/// Monotonic counter. add() is a relaxed fetch_add on the caller's
+/// stripe.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    cells_[this_thread_stripe()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const auto& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
+  }
+  void reset() {
+    for (auto& c : cells_) c.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<StripedCell, kStripes> cells_;
+};
+
+/// Instantaneous level (queue depth, workers alive). Last write wins;
+/// set/add are relaxed atomics on a single cell — gauges are not hot
+/// enough to stripe.
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { set(0); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-bucket histogram: bucket upper bounds are set at registration
+/// and never change, so observe() is a search over a small immutable
+/// array plus one relaxed add on the caller's stripe.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts (bounds.size() + 1 entries, last = overflow).
+  std::vector<std::uint64_t> counts() const;
+  double sum() const;
+  std::uint64_t count() const;
+  void reset();
+
+ private:
+  struct alignas(64) Stripe {
+    std::vector<std::atomic<std::uint64_t>> buckets;
+    std::atomic<double> sum{0};
+  };
+
+  std::vector<double> bounds_;  ///< sorted upper bounds
+  std::array<Stripe, kStripes> stripes_;
+};
+
+/// Default latency buckets (ms): 0.5, 1, 2, 5, ..., 5000 — wide enough
+/// for per-shard wall-clock and per-flow RTT alike.
+const std::vector<double>& latency_buckets_ms();
+
+/// Registry of named metrics. Registration is find-or-create under a
+/// mutex and returns a reference that stays valid for the registry's
+/// lifetime — call sites cache it (static local or member) so the hot
+/// path never touches the map. Metric names are dot-separated
+/// ("mlab.tests_generated"); exporters translate per format.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every instrumented layer uses.
+  static MetricsRegistry& global();
+
+  /// Kill switch: while disabled, add/observe through the returned
+  /// handles still execute (handles are plain objects), but scrape()
+  /// reports disabled and exporters emit nothing. Simulation results
+  /// are identical either way — metrics never feed back.
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Throws std::logic_error if `name` is registered with another kind.
+  Counter& counter(std::string_view name, std::string_view help = "");
+  Gauge& gauge(std::string_view name, std::string_view help = "");
+  /// `bounds` only applies on first registration.
+  Histogram& histogram(std::string_view name, const std::vector<double>& bounds,
+                       std::string_view help = "");
+
+  /// Merged view of every metric; safe to call while workers are
+  /// incrementing (relaxed reads may trail in-flight adds by design).
+  Snapshot scrape() const;
+
+  /// Zeroes every value; registrations (and cached references) survive.
+  void reset_values();
+
+ private:
+  struct Entry {
+    MetricKind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& entry(std::string_view name, MetricKind kind, std::string_view help);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry, std::less<>> metrics_;
+  std::atomic<bool> enabled_{true};
+};
+
+}  // namespace satnet::obs

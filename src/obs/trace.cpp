@@ -1,0 +1,107 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace satnet::obs {
+
+namespace {
+
+/// Each tracer instance gets a unique id so the thread-local buffer
+/// cache can tell tracers apart even across destruction/reuse of the
+/// same address (test tracers come and go; the cache must never hand a
+/// dead tracer's buffer to a new one).
+std::uint64_t next_tracer_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+struct TlsSlot {
+  std::uint64_t tracer_id = 0;
+  std::shared_ptr<void> buf;  ///< type-erased LocalBuf keepalive
+  void* raw = nullptr;
+};
+
+thread_local TlsSlot tls_slot;
+
+}  // namespace
+
+Tracer::Tracer()
+    : tracer_id_(next_tracer_id()), epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer& Tracer::global() {
+  static Tracer t;
+  return t;
+}
+
+double Tracer::now_ms() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+Tracer::LocalBuf& Tracer::local_buf() {
+  if (tls_slot.tracer_id != tracer_id_) {
+    auto buf = std::make_shared<LocalBuf>();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      bufs_.push_back(buf);
+    }
+    tls_slot.tracer_id = tracer_id_;
+    tls_slot.raw = buf.get();
+    tls_slot.buf = std::move(buf);
+  }
+  return *static_cast<LocalBuf*>(tls_slot.raw);
+}
+
+void Tracer::record(SpanRecord span) {
+  if (!enabled()) return;
+  LocalBuf& buf = local_buf();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  span.seq = buf.next_seq++;
+  buf.spans.push_back(std::move(span));
+}
+
+std::vector<SpanRecord> Tracer::drain() {
+  std::vector<std::shared_ptr<LocalBuf>> bufs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bufs = bufs_;
+  }
+  std::vector<SpanRecord> out;
+  for (const auto& buf : bufs) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    out.insert(out.end(), std::make_move_iterator(buf->spans.begin()),
+               std::make_move_iterator(buf->spans.end()));
+    buf->spans.clear();
+  }
+  std::sort(out.begin(), out.end(), [](const SpanRecord& a, const SpanRecord& b) {
+    return std::tie(a.phase, a.shard_key, a.seq) <
+           std::tie(b.phase, b.shard_key, b.seq);
+  });
+  return out;
+}
+
+ScopedSpan::ScopedSpan(std::string phase, std::string name,
+                       std::uint64_t shard_key, Tracer* tracer) {
+  Tracer* t = tracer ? tracer : &Tracer::global();
+  if (!t->enabled()) return;
+  tracer_ = t;
+  phase_ = std::move(phase);
+  name_ = std::move(name);
+  shard_key_ = shard_key;
+  start_ms_ = t->now_ms();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!tracer_) return;
+  SpanRecord span;
+  span.phase = std::move(phase_);
+  span.name = std::move(name_);
+  span.shard_key = shard_key_;
+  span.start_ms = start_ms_;
+  span.duration_ms = tracer_->now_ms() - start_ms_;
+  tracer_->record(std::move(span));
+}
+
+}  // namespace satnet::obs

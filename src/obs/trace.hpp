@@ -1,0 +1,98 @@
+// Shard-aware tracing for the campaign runtime.
+//
+// A ScopedSpan times one unit of work (a shard body, a pipeline stage)
+// and appends a SpanRecord to the calling thread's buffer when it goes
+// out of scope. Buffers are thread-local, so recording never contends
+// with other workers; drain() collects every buffer and merges the
+// spans in canonical (phase, shard_key, seq) order — the merged trace
+// has the same span set and order for any thread count, only the
+// wall-clock fields differ run to run.
+//
+// Tracing is off by default: a disabled tracer makes ScopedSpan a pair
+// of relaxed atomic loads and nothing more. Like metrics, spans are
+// observation-only — simulation state never reads them back.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace satnet::obs {
+
+/// One completed span. `phase` groups spans of the same fan-out (e.g.
+/// "mlab.campaign"); `shard_key` orders spans within the phase;
+/// `seq` breaks ties for multiple spans of one shard (recorded in
+/// completion order by the single thread that ran the shard).
+struct SpanRecord {
+  std::string phase;
+  std::string name;
+  std::uint64_t shard_key = 0;
+  double start_ms = 0;     ///< since tracer epoch (wall-clock, non-deterministic)
+  double duration_ms = 0;  ///< wall-clock, non-deterministic
+  std::uint64_t seq = 0;
+};
+
+class Tracer {
+ public:
+  Tracer();
+  ~Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The process-wide tracer ScopedSpan uses by default.
+  static Tracer& global();
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Appends to the calling thread's buffer (registering it on first
+  /// use). Ignored while disabled.
+  void record(SpanRecord span);
+
+  /// Collects every thread's spans, empties the buffers, and returns
+  /// the merged trace sorted by (phase, shard_key, seq).
+  std::vector<SpanRecord> drain();
+
+  /// Milliseconds since the tracer's epoch (steady clock).
+  double now_ms() const;
+
+ private:
+  struct LocalBuf {
+    std::mutex mu;  ///< uncontended except against a concurrent drain
+    std::vector<SpanRecord> spans;
+    std::uint64_t next_seq = 0;
+  };
+
+  LocalBuf& local_buf();
+
+  const std::uint64_t tracer_id_;
+  std::atomic<bool> enabled_{false};
+  std::mutex mu_;  ///< guards bufs_
+  std::vector<std::shared_ptr<LocalBuf>> bufs_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII span: times construction-to-destruction and records into the
+/// tracer (global() unless one is passed). Cheap no-op when disabled.
+class ScopedSpan {
+ public:
+  ScopedSpan(std::string phase, std::string name, std::uint64_t shard_key = 0,
+             Tracer* tracer = nullptr);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* tracer_ = nullptr;  ///< null when tracing was disabled at entry
+  std::string phase_;
+  std::string name_;
+  std::uint64_t shard_key_ = 0;
+  double start_ms_ = 0;
+};
+
+}  // namespace satnet::obs

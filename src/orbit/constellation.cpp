@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+
 namespace satnet::orbit {
 
 namespace {
@@ -89,6 +91,18 @@ std::optional<VisibleSat> Constellation::best_visible(const geo::GeoPoint& groun
   const double gz = std::sin(glat);
   const double e_min = geo::deg_to_rad(min_elevation_deg);
 
+  // Cone-prefilter accounting: counted locally in the sweep and flushed
+  // as three relaxed adds at the end, keeping PR 1's ~8x claim
+  // continuously observable without taxing the per-satellite loop.
+  static obs::Counter& queries = obs::MetricsRegistry::global().counter(
+      "orbit.best_visible.queries", "best_visible calls");
+  static obs::Counter& sats_swept = obs::MetricsRegistry::global().counter(
+      "orbit.best_visible.sats_swept", "satellites tested against the cone gate");
+  static obs::Counter& exact_evals = obs::MetricsRegistry::global().counter(
+      "orbit.best_visible.exact_evals",
+      "satellites inside the cone that ran the exact ephemeris");
+  std::uint64_t swept = 0, evals = 0;
+
   std::optional<VisibleSat> best;
   for (std::size_t s = 0; s < shells_.size(); ++s) {
     const Shell& shell = shells_[s];
@@ -123,7 +137,9 @@ std::optional<VisibleSat> Constellation::best_visible(const geo::GeoPoint& groun
         const double x = cu * cos_phi - w * sin_phi;
         const double y = cu * sin_phi + w * cos_phi;
         const double z = sin_i * su;
+        ++swept;
         if (gx * x + gy * y + gz * z >= cos_gate) {
+          ++evals;
           const SatId id{s, p, i};
           const geo::GeoPoint pos = position(id, t_sec);
           const double elev = geo::elevation_deg(ground, pos);
@@ -140,6 +156,9 @@ std::optional<VisibleSat> Constellation::best_visible(const geo::GeoPoint& groun
       }
     }
   }
+  queries.add(1);
+  sats_swept.add(swept);
+  exact_evals.add(evals);
   return best;
 }
 

@@ -6,6 +6,8 @@
 #include <map>
 
 #include "geo/places.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/sharded.hpp"
 #include "sim/event_queue.hpp"
 
@@ -98,9 +100,22 @@ AtlasDataset run_atlas_campaign(const AtlasConfig& config) {
     std::vector<TracerouteRecord> traceroutes;
     std::vector<SslCertRecord> sslcerts;
   };
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  obs::Counter& probes_simulated =
+      reg.counter("ripe.probes_simulated", "Atlas probes whose schedule ran");
+  obs::Counter& traceroutes_total =
+      reg.counter("ripe.traceroutes", "traceroute records produced");
+  obs::Counter& hops_total =
+      reg.counter("ripe.traceroute_hops", "hops across all traceroutes");
+  obs::Counter& sslcerts_total =
+      reg.counter("ripe.sslcerts", "SSLCert built-in runs recorded");
+
   runtime::ShardedCampaign<ProbeRecords> campaign(
-      dataset.probes.size(), [&](std::size_t probe_index) {
+      dataset.probes.size(),
+      [&](std::size_t probe_index) {
     const Probe& probe = dataset.probes[probe_index];
+    obs::ScopedSpan span("ripe.probe", "probe-" + std::to_string(probe.id),
+                         static_cast<std::uint64_t>(probe_index));
     ProbeRecords local;
     sim::EventQueue queue;
     stats::Rng probe_rng = master.fork_stable(static_cast<std::uint64_t>(probe.id));
@@ -162,8 +177,17 @@ AtlasDataset run_atlas_campaign(const AtlasConfig& config) {
       });
     }
     queue.run();
+    probes_simulated.add(1);
+    traceroutes_total.add(local.traceroutes.size());
+    std::uint64_t hops = 0;
+    for (const auto& t : local.traceroutes) {
+      hops += static_cast<std::uint64_t>(t.hop_count);
+    }
+    hops_total.add(hops);
+    sslcerts_total.add(local.sslcerts.size());
     return local;
-  });
+  },
+      "ripe.atlas");
 
   // Canonical merge: probe order, event-time order within a probe.
   for (auto& piece : campaign.run(config.threads)) {

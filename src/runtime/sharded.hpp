@@ -15,15 +15,25 @@
 //   * share only immutable inputs across shards (the World, datasets,
 //     configs);
 //   * accumulate into shard-local state, returned as the shard value.
+//
+// Observability: every run records each shard's wall-clock into the
+// runtime.shard.latency_ms histogram, the fan-in (slot collection) into
+// runtime.shard.merge_us, and — when tracing is enabled — one span per
+// shard under the campaign's phase name. All of it is wall-clock-only
+// telemetry; shard results never depend on it.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <exception>
 #include <functional>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace satnet::runtime {
@@ -38,8 +48,10 @@ class ShardedCampaign {
  public:
   using ShardFn = std::function<Result(std::size_t shard)>;
 
-  ShardedCampaign(std::size_t n_shards, ShardFn fn)
-      : n_shards_(n_shards), fn_(std::move(fn)) {}
+  /// `phase` labels this campaign's spans and groups them in trace
+  /// exports ("mlab.campaign", "ripe.atlas", ...).
+  ShardedCampaign(std::size_t n_shards, ShardFn fn, std::string phase = "campaign")
+      : n_shards_(n_shards), fn_(std::move(fn)), phase_(std::move(phase)) {}
 
   /// Runs every shard and returns the results in shard-index order.
   /// `threads` resolves via resolve_threads; 1 runs inline. If shards
@@ -49,18 +61,38 @@ class ShardedCampaign {
     const unsigned n_threads = resolve_threads(threads);
     std::vector<std::optional<Result>> slots(n_shards_);
 
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    obs::Counter& shards_run =
+        reg.counter("runtime.shard.count", "campaign shards executed");
+    obs::Counter& merge_us =
+        reg.counter("runtime.shard.merge_us", "fan-in time collecting shard slots");
+    obs::Histogram& latency = reg.histogram(
+        "runtime.shard.latency_ms", obs::latency_buckets_ms(),
+        "per-shard wall-clock");
+
+    const auto timed_shard = [&](std::size_t i) {
+      obs::ScopedSpan span(phase_, "shard", static_cast<std::uint64_t>(i));
+      const auto t0 = std::chrono::steady_clock::now();
+      Result r = fn_(i);
+      latency.observe(std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count());
+      shards_run.add(1);
+      return r;
+    };
+
     if (n_threads <= 1 || n_shards_ <= 1) {
-      for (std::size_t i = 0; i < n_shards_; ++i) slots[i].emplace(fn_(i));
-      return collect(std::move(slots), {});
+      for (std::size_t i = 0; i < n_shards_; ++i) slots[i].emplace(timed_shard(i));
+      return collect(std::move(slots), {}, merge_us);
     }
 
     std::vector<std::exception_ptr> errors(n_shards_);
     {
       ThreadPool pool(n_threads);
       for (std::size_t i = 0; i < n_shards_; ++i) {
-        pool.submit([this, i, &slots, &errors] {
+        pool.submit([i, &slots, &errors, &timed_shard] {
           try {
-            slots[i].emplace(fn_(i));
+            slots[i].emplace(timed_shard(i));
           } catch (...) {
             errors[i] = std::current_exception();
           }
@@ -68,25 +100,33 @@ class ShardedCampaign {
       }
       pool.wait_idle();
     }
-    return collect(std::move(slots), errors);
+    return collect(std::move(slots), errors, merge_us);
   }
 
   std::size_t shards() const { return n_shards_; }
+  const std::string& phase() const { return phase_; }
 
  private:
   static std::vector<Result> collect(std::vector<std::optional<Result>> slots,
-                                     const std::vector<std::exception_ptr>& errors) {
+                                     const std::vector<std::exception_ptr>& errors,
+                                     obs::Counter& merge_us) {
     for (const auto& err : errors) {
       if (err) std::rethrow_exception(err);
     }
+    const auto t0 = std::chrono::steady_clock::now();
     std::vector<Result> out;
     out.reserve(slots.size());
     for (auto& s : slots) out.push_back(std::move(*s));
+    merge_us.add(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
     return out;
   }
 
   std::size_t n_shards_;
   ShardFn fn_;
+  std::string phase_;
 };
 
 }  // namespace satnet::runtime

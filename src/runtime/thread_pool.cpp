@@ -1,35 +1,70 @@
 #include "runtime/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <stdexcept>
 
 namespace satnet::runtime {
+
+namespace {
+
+std::uint64_t elapsed_us(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+}  // namespace
 
 unsigned resolve_threads(unsigned requested) {
   if (requested > 0) return requested;
   return std::max(1u, std::thread::hardware_concurrency());
 }
 
-ThreadPool::ThreadPool(unsigned threads) {
+ThreadPool::ThreadPool(unsigned threads)
+    : tasks_executed_(obs::MetricsRegistry::global().counter(
+          "runtime.pool.tasks_executed", "tasks run to completion")),
+      busy_us_(obs::MetricsRegistry::global().counter(
+          "runtime.pool.busy_us", "worker time spent inside tasks")),
+      idle_us_(obs::MetricsRegistry::global().counter(
+          "runtime.pool.idle_us", "worker time spent waiting for work")),
+      queue_depth_(obs::MetricsRegistry::global().gauge(
+          "runtime.pool.queue_depth", "tasks waiting in the FIFO queue")),
+      workers_gauge_(obs::MetricsRegistry::global().gauge(
+          "runtime.pool.workers", "worker threads alive")) {
   const unsigned n = resolve_threads(threads);
   workers_.reserve(n);
   for (unsigned i = 0; i < n; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+  workers_gauge_.add(static_cast<std::int64_t>(n));
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
+    if (joined_) return;
+    joined_ = true;
   }
   cv_task_.notify_all();
   for (auto& w : workers_) w.join();
+  workers_gauge_.add(-static_cast<std::int64_t>(workers_.size()));
 }
 
 void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      throw std::logic_error(
+          "ThreadPool::submit called after shutdown began; the task would "
+          "never run");
+    }
     tasks_.push_back(std::move(task));
+    queue_depth_.set(static_cast<std::int64_t>(tasks_.size()));
   }
   cv_task_.notify_one();
 }
@@ -43,14 +78,20 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
+      const auto wait_start = std::chrono::steady_clock::now();
       std::unique_lock<std::mutex> lock(mu_);
       cv_task_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      idle_us_.add(elapsed_us(wait_start));
       if (tasks_.empty()) return;  // stop_ and drained
       task = std::move(tasks_.front());
       tasks_.pop_front();
+      queue_depth_.set(static_cast<std::int64_t>(tasks_.size()));
       ++active_;
     }
+    const auto run_start = std::chrono::steady_clock::now();
     task();
+    busy_us_.add(elapsed_us(run_start));
+    tasks_executed_.add(1);
     {
       std::lock_guard<std::mutex> lock(mu_);
       --active_;

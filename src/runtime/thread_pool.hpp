@@ -4,6 +4,11 @@
 // priorities. Campaign determinism never depends on scheduling order —
 // shards are independent and results are merged by shard index — so the
 // pool only has to be correct, not clever.
+//
+// Observability: the pool reports queue depth, tasks executed, and
+// worker busy/idle time into obs::MetricsRegistry::global()
+// (runtime.pool.*). Metrics are observation-only and never influence
+// scheduling.
 #pragma once
 
 #include <condition_variable>
@@ -13,6 +18,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace satnet::runtime {
 
@@ -24,7 +31,7 @@ class ThreadPool {
  public:
   /// Spawns `threads` workers (resolved via resolve_threads).
   explicit ThreadPool(unsigned threads = 0);
-  /// Drains the queue, then joins all workers.
+  /// Drains the queue, then joins all workers (via shutdown()).
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -33,11 +40,17 @@ class ThreadPool {
   unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
   /// Enqueues a task. Tasks must not throw (wrap and capture instead;
-  /// ShardedCampaign does this for shard bodies).
+  /// ShardedCampaign does this for shard bodies). Throws
+  /// std::logic_error once shutdown has begun — a submit that would
+  /// otherwise be silently dropped or deadlock.
   void submit(std::function<void()> task);
 
   /// Blocks until the queue is empty and every worker is idle.
   void wait_idle();
+
+  /// Drains the queue, joins all workers, and rejects further submits.
+  /// Idempotent; the destructor calls it.
+  void shutdown();
 
  private:
   void worker_loop();
@@ -49,6 +62,15 @@ class ThreadPool {
   std::condition_variable cv_idle_;   ///< signalled when a task finishes
   std::size_t active_ = 0;
   bool stop_ = false;
+  bool joined_ = false;
+
+  // Cached metric handles (registration is find-or-create; handles are
+  // stable for the registry's lifetime).
+  obs::Counter& tasks_executed_;
+  obs::Counter& busy_us_;
+  obs::Counter& idle_us_;
+  obs::Gauge& queue_depth_;
+  obs::Gauge& workers_gauge_;
 };
 
 }  // namespace satnet::runtime

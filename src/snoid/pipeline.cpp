@@ -6,6 +6,8 @@
 #include <map>
 #include <set>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/sharded.hpp"
 #include "stats/summary.hpp"
 #include "synth/asdb.hpp"
@@ -89,9 +91,29 @@ std::vector<Candidate> curate(PipelineResult& result) {
 
 PipelineResult run_pipeline(const mlab::NdtDataset& dataset,
                             const PipelineConfig& cfg) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  obs::Counter& kde_clean =
+      reg.counter("snoid.kde.clean", "ASNs whose KDE profile matched the declared tech");
+  obs::Counter& kde_mixed =
+      reg.counter("snoid.kde.mixed", "ASNs with mixed-access KDE profiles");
+  obs::Counter& kde_incompatible = reg.counter(
+      "snoid.kde.incompatible", "ASNs whose KDE profile contradicts the declared tech");
+  obs::Counter& kde_no_data =
+      reg.counter("snoid.kde.no_data", "ASNs with too few tests to judge");
+  obs::Counter& prefixes_retained =
+      reg.counter("snoid.prefixes_retained", "/24s surviving strict filtering");
+  obs::Counter& prefixes_dropped =
+      reg.counter("snoid.prefixes_dropped", "/24s rejected by strict filtering");
+
   PipelineResult result;
-  const std::vector<Candidate> candidates = curate(result);
-  const auto by_asn = dataset.by_asn();
+  const std::vector<Candidate> candidates = [&] {
+    obs::ScopedSpan span("snoid.pipeline", "curate", 0);
+    return curate(result);
+  }();
+  const auto by_asn = [&] {
+    obs::ScopedSpan span("snoid.pipeline", "index", 1);
+    return dataset.by_asn();
+  }();
 
   // Ground-truth totals per operator (scoring only).
   std::map<std::string, std::size_t> truth_totals;
@@ -102,8 +124,11 @@ PipelineResult run_pipeline(const mlab::NdtDataset& dataset,
   // ---- Steps 3 + 3b per operator: embarrassingly parallel (each shard
   // reads the shared dataset/index and writes only its own result). ----
   runtime::ShardedCampaign<OperatorResult> validation(
-      candidates.size(), [&](std::size_t cand_index) {
+      candidates.size(),
+      [&](std::size_t cand_index) {
     const Candidate& cand = candidates[cand_index];
+    obs::ScopedSpan span("snoid.validation", cand.name,
+                         static_cast<std::uint64_t>(cand_index));
     OperatorResult op;
     op.name = cand.name;
     op.declared_orbit = cand.declared;
@@ -121,6 +146,12 @@ PipelineResult run_pipeline(const mlab::NdtDataset& dataset,
       }
       const AsnVerdict verdict =
           classify_asn(asn, latencies, window, cfg.min_tests_per_prefix);
+      switch (verdict.cls) {
+        case AsnClass::clean: kde_clean.add(1); break;
+        case AsnClass::mixed: kde_mixed.add(1); break;
+        case AsnClass::incompatible: kde_incompatible.add(1); break;
+        case AsnClass::no_data: kde_no_data.add(1); break;
+      }
       op.asn_verdicts.push_back(verdict);
       if (it == by_asn.end()) continue;
       if (verdict.cls == AsnClass::clean || verdict.cls == AsnClass::mixed ||
@@ -164,6 +195,9 @@ PipelineResult run_pipeline(const mlab::NdtDataset& dataset,
       if (d.retained_strict) {
         op.covered_by_strict = true;
         strict_min = std::min(strict_min, d.min_latency_ms);
+        prefixes_retained.add(1);
+      } else {
+        prefixes_dropped.add(1);
       }
       op.prefixes.push_back(std::move(d));
     }
@@ -172,10 +206,12 @@ PipelineResult run_pipeline(const mlab::NdtDataset& dataset,
     // Retention happens in the second pass (needs the fallback threshold).
     op.retained = std::move(usable);
     return op;
-  });
+  },
+      "snoid.validation");
   result.operators = validation.run(cfg.threads);
 
   // ---- Step 3c: relaxation thresholds (cross-operator, serial). ----
+  obs::ScopedSpan relax_span("snoid.pipeline", "relaxation", 2);
   double fallback = std::numeric_limits<double>::max();
   for (const auto& op : result.operators) {
     if (op.covered_by_strict) fallback = std::min(fallback, op.relax_threshold_ms);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "stats/summary.hpp"
 
 namespace satnet::transport {
@@ -192,6 +193,25 @@ FlowResult TcpFlow::finish() {
   r.n_handoffs = n_handoffs_;
   r.n_rtos = n_rtos_;
   r.snapshots = std::move(snapshots_);
+
+  // Flow accounting flushes once per flow (the per-round loop stays
+  // metric-free): retransmit and timeout totals across every NDT test,
+  // HTTP transfer, and video segment in the campaign.
+  static obs::Counter& flows = obs::MetricsRegistry::global().counter(
+      "transport.tcp.flows", "TCP flows completed");
+  static obs::Counter& sent = obs::MetricsRegistry::global().counter(
+      "transport.tcp.bytes_sent", "bytes sent across all flows");
+  static obs::Counter& retrans = obs::MetricsRegistry::global().counter(
+      "transport.tcp.bytes_retrans", "bytes retransmitted across all flows");
+  static obs::Counter& rtos = obs::MetricsRegistry::global().counter(
+      "transport.tcp.rtos", "retransmission timeouts fired");
+  static obs::Counter& handoffs = obs::MetricsRegistry::global().counter(
+      "transport.tcp.handoffs", "satellite handoffs observed by flows");
+  flows.add(1);
+  sent.add(bytes_sent_);
+  retrans.add(bytes_retrans_);
+  rtos.add(n_rtos_);
+  handoffs.add(n_handoffs_);
   return r;
 }
 

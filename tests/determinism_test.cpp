@@ -9,6 +9,8 @@
 #include <cstdint>
 
 #include "mlab/campaign.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "ripe/atlas.hpp"
 #include "snoid/pipeline.hpp"
 #include "synth/world.hpp"
@@ -124,6 +126,44 @@ TEST(DeterminismTest, AtlasDatasetIdenticalAcrossThreadCounts) {
   }
   EXPECT_EQ(hashes[0], hashes[1]);
   EXPECT_EQ(hashes[0], hashes[2]);
+}
+
+TEST(DeterminismTest, ObservabilityNeverPerturbsResults) {
+  // The obs contract: metrics and spans are wall-clock telemetry that
+  // never feeds back into simulation state. Campaign output must be
+  // byte-identical with observability fully off and fully on, at every
+  // thread count.
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  obs::Tracer& tracer = obs::Tracer::global();
+
+  reg.set_enabled(false);
+  tracer.set_enabled(false);
+  const auto baseline = mlab::run_campaign(world(), campaign_config(1));
+  snoid::PipelineConfig pcfg;
+  pcfg.threads = 1;
+  const auto baseline_pipeline = snoid::run_pipeline(baseline, pcfg);
+  ASSERT_GT(baseline.size(), 0u);
+
+  reg.set_enabled(true);
+  tracer.set_enabled(true);
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    const auto ds = mlab::run_campaign(world(), campaign_config(threads));
+    EXPECT_EQ(baseline.hash(), ds.hash()) << threads << " threads";
+    snoid::PipelineConfig cfg;
+    cfg.threads = threads;
+    const auto pipe = snoid::run_pipeline(ds, cfg);
+    ASSERT_EQ(baseline_pipeline.operators.size(), pipe.operators.size());
+    EXPECT_EQ(baseline_pipeline.identified_operators, pipe.identified_operators);
+    for (std::size_t i = 0; i < pipe.operators.size(); ++i) {
+      const auto& a = baseline_pipeline.operators[i];
+      const auto& b = pipe.operators[i];
+      EXPECT_DOUBLE_EQ(a.precision(), b.precision()) << b.name;
+      EXPECT_DOUBLE_EQ(a.recall(), b.recall()) << b.name;
+    }
+  }
+  // Instrumentation did observe the runs (sanity: spans were recorded).
+  EXPECT_FALSE(tracer.drain().empty());
+  tracer.set_enabled(false);  // restore defaults for other tests
 }
 
 TEST(DeterminismTest, RepeatedRunsIdentical) {

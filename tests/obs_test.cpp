@@ -1,0 +1,253 @@
+// The observability layer's own contract: lock-free metric updates that
+// survive a concurrent hammer + scrape, deterministic span merge order,
+// and exporters that round-trip every registered metric. The whole
+// binary also runs under the TSan preset (scripts/verify.sh).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace satnet::obs {
+namespace {
+
+TEST(MetricsTest, CounterConcurrentHammerIsExact) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("hammer.count");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 200000;
+  std::atomic<bool> stop_scraping{false};
+  // Scrape concurrently with the hammer: must never crash or tear, and
+  // intermediate totals must never exceed the final one.
+  std::thread scraper([&] {
+    while (!stop_scraping.load()) {
+      const Snapshot snap = reg.scrape();
+      const MetricValue* m = snap.find("hammer.count");
+      ASSERT_NE(m, nullptr);
+      ASSERT_LE(m->value, static_cast<double>(kThreads * kPerThread));
+    }
+  });
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add(1);
+    });
+  }
+  for (auto& w : workers) w.join();
+  stop_scraping.store(true);
+  scraper.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(MetricsTest, HistogramConcurrentObserveIsExact) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("hammer.lat", {1.0, 10.0, 100.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::atomic<bool> stop_scraping{false};
+  std::thread scraper([&] {
+    while (!stop_scraping.load()) (void)reg.scrape();
+  });
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.observe(static_cast<double>(t % 4) * 40.0);  // 0, 40, 80, 120
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  stop_scraping.store(true);
+  scraper.join();
+
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  const auto counts = h.counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 100000u);  // two of eight threads observed 0 (<=1)
+  EXPECT_EQ(counts[1], 0u);       // nothing lands in (1, 10]
+  EXPECT_EQ(counts[2], 200000u);  // 40 and 80 fall in (10, 100]
+  EXPECT_EQ(counts[3], 100000u);  // 120 overflows
+  // Integer-valued observations: the striped sums add exactly.
+  EXPECT_DOUBLE_EQ(h.sum(), 100000.0 * (40.0 + 80.0 + 120.0));
+}
+
+TEST(MetricsTest, GaugeSetAndAdd) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("depth");
+  g.set(7);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 4);
+  const Snapshot snap = reg.scrape();
+  EXPECT_EQ(snap.find("depth")->value, 4.0);
+}
+
+TEST(MetricsTest, RegistrationIsFindOrCreateAndKindChecked) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  EXPECT_THROW(reg.gauge("x"), std::logic_error);
+  EXPECT_THROW(reg.histogram("x", {1.0}), std::logic_error);
+}
+
+TEST(MetricsTest, DisabledRegistryScrapesEmpty) {
+  MetricsRegistry reg;
+  reg.counter("x").add(3);
+  reg.set_enabled(false);
+  EXPECT_TRUE(reg.scrape().metrics.empty());
+  reg.set_enabled(true);
+  EXPECT_EQ(reg.scrape().metrics.size(), 1u);
+}
+
+TEST(MetricsTest, ResetValuesKeepsRegistrations) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("x");
+  c.add(5);
+  reg.reset_values();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(&c, &reg.counter("x"));
+}
+
+RunManifest test_manifest() {
+  RunManifest m;
+  m.tool = "obs_test";
+  m.command = "obs_test --flag \"quoted\"";
+  m.threads = 4;
+  m.wall_ms = 123.5;
+  m.notes.emplace_back("seed", "7");
+  return m;
+}
+
+MetricsRegistry& populated_registry() {
+  static MetricsRegistry reg;
+  static bool done = [] {
+    reg.counter("alpha.count", "a counter").add(42);
+    reg.gauge("beta.depth", "a gauge").set(-3);
+    Histogram& h = reg.histogram("gamma.lat_ms", {0.5, 1.0, 2.5}, "a histogram");
+    h.observe(0.25);
+    h.observe(0.75);
+    h.observe(2.0);
+    h.observe(99.0);
+    return true;
+  }();
+  (void)done;
+  return reg;
+}
+
+void expect_snapshots_equal(const Snapshot& want, const Snapshot& got) {
+  ASSERT_EQ(want.metrics.size(), got.metrics.size());
+  for (const auto& w : want.metrics) {
+    const MetricValue* g = got.find(w.name);
+    ASSERT_NE(g, nullptr) << w.name << " lost in round-trip";
+    EXPECT_EQ(w.kind, g->kind) << w.name;
+    EXPECT_DOUBLE_EQ(w.value, g->value) << w.name;
+    EXPECT_EQ(w.bounds, g->bounds) << w.name;
+    EXPECT_EQ(w.counts, g->counts) << w.name;
+    EXPECT_DOUBLE_EQ(w.sum, g->sum) << w.name;
+    EXPECT_EQ(w.count, g->count) << w.name;
+  }
+}
+
+TEST(ExportTest, PrometheusRoundTripRecoversEveryMetric) {
+  const Snapshot snap = populated_registry().scrape();
+  ASSERT_EQ(snap.metrics.size(), 3u);
+  const std::string text = to_prometheus(snap, test_manifest());
+  EXPECT_NE(text.find("satnet_alpha_count 42"), std::string::npos);
+  EXPECT_NE(text.find("# manifest:"), std::string::npos);
+  EXPECT_NE(text.find("satnet_gamma_lat_ms_bucket{le=\"+Inf\"} 4"),
+            std::string::npos);
+  expect_snapshots_equal(snap, parse_prometheus(text));
+}
+
+TEST(ExportTest, JsonlRoundTripRecoversEveryMetric) {
+  const Snapshot snap = populated_registry().scrape();
+  const std::string text = to_jsonl(snap, test_manifest());
+  EXPECT_EQ(text.find("{\"type\":\"manifest\""), 0u);  // manifest first
+  expect_snapshots_equal(snap, parse_jsonl(text));
+}
+
+TEST(ExportTest, ManifestJsonCarriesRunMetadata) {
+  const std::string json = manifest_json(test_manifest());
+  EXPECT_NE(json.find("\"tool\":\"obs_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"threads\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"seed\":\"7\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);  // escaping
+}
+
+TEST(ExportTest, SummaryTextDerivesConeRatio) {
+  MetricsRegistry reg;
+  reg.counter("orbit.best_visible.sats_swept").add(8000);
+  reg.counter("orbit.best_visible.exact_evals").add(1000);
+  const std::string text = summary_text(reg.scrape(), test_manifest());
+  EXPECT_NE(text.find("8.0x reduction"), std::string::npos);
+}
+
+TEST(TracerTest, SpansMergeInPhaseShardSeqOrder) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  // Record from multiple threads in scrambled shard order: drain must
+  // come back sorted by (phase, shard, seq) regardless.
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&tracer, t] {
+      for (int i = 0; i < 3; ++i) {
+        ScopedSpan span("phase-" + std::to_string(t % 2), "work",
+                        static_cast<std::uint64_t>(10 - i), &tracer);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const auto spans = tracer.drain();
+  ASSERT_EQ(spans.size(), 12u);
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    const bool ordered =
+        std::tie(spans[i - 1].phase, spans[i - 1].shard_key, spans[i - 1].seq) <=
+        std::tie(spans[i].phase, spans[i].shard_key, spans[i].seq);
+    EXPECT_TRUE(ordered) << "span " << i << " out of order";
+  }
+  // Drain emptied the buffers.
+  EXPECT_TRUE(tracer.drain().empty());
+}
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  Tracer tracer;  // disabled by default
+  {
+    ScopedSpan span("p", "n", 0, &tracer);
+  }
+  EXPECT_TRUE(tracer.drain().empty());
+}
+
+TEST(TracerTest, SpanRoundTripThroughJsonl) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    ScopedSpan span("mlab.campaign", "starlink", 3, &tracer);
+  }
+  const auto spans = tracer.drain();
+  ASSERT_EQ(spans.size(), 1u);
+  const auto parsed = parse_spans_jsonl(spans_jsonl(spans));
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].phase, "mlab.campaign");
+  EXPECT_EQ(parsed[0].name, "starlink");
+  EXPECT_EQ(parsed[0].shard_key, 3u);
+  EXPECT_DOUBLE_EQ(parsed[0].start_ms, spans[0].start_ms);
+  EXPECT_DOUBLE_EQ(parsed[0].duration_ms, spans[0].duration_ms);
+}
+
+TEST(TracerTest, GlobalRegistryAndTracerCoexist) {
+  // The global objects are what the instrumented layers use; make sure
+  // the singletons are stable across calls.
+  EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
+  EXPECT_EQ(&Tracer::global(), &Tracer::global());
+}
+
+}  // namespace
+}  // namespace satnet::obs

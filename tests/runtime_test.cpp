@@ -45,6 +45,20 @@ TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
   EXPECT_EQ(count.load(), 20);
 }
 
+TEST(ThreadPoolTest, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.shutdown();
+  EXPECT_EQ(count.load(), 1);  // shutdown drains pending work first
+  // A post-shutdown submit would never run (workers are gone); it must
+  // fail loudly instead of deadlocking or dropping the task silently.
+  EXPECT_THROW(pool.submit([&count] { count.fetch_add(1); }),
+               std::logic_error);
+  EXPECT_EQ(count.load(), 1);
+  pool.shutdown();  // idempotent
+}
+
 TEST(ThreadPoolTest, ResolveThreads) {
   EXPECT_EQ(resolve_threads(3), 3u);
   EXPECT_GE(resolve_threads(0), 1u);
