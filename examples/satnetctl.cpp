@@ -192,6 +192,7 @@ int main(int argc, char** argv) {
   const std::string metrics_out = flag_value(argc, argv, "--metrics-out", "");
   const std::string trace_out = flag_value(argc, argv, "--trace-out", "");
   if (!trace_out.empty()) obs::Tracer::global().set_enabled(true);
+  // satlint:allow(nondet-source): run-manifest wall-clock; results never read it
   const auto start = std::chrono::steady_clock::now();
 
   const int rc = run_command(cmd, argc, argv);
@@ -205,6 +206,7 @@ int main(int argc, char** argv) {
     }
     manifest.threads = runtime::resolve_threads(threads_flag(argc, argv));
     manifest.wall_ms = std::chrono::duration<double, std::milli>(
+                           // satlint:allow(nondet-source): run-manifest wall-clock; results never read it
                            std::chrono::steady_clock::now() - start)
                            .count();
     const obs::Snapshot snap = obs::MetricsRegistry::global().scrape();

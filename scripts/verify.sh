@@ -1,31 +1,70 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus the ThreadSanitizer pass over the sharded
-# campaign runtime. Run from the repo root:
+# Local verification matching CI, mode by mode. Modes compose: pass any
+# subset and they run in gate order (lint first, like CI). Run from the
+# repo root:
 #
-#   scripts/verify.sh            # full: tier-1 + TSan determinism + obs
-#   scripts/verify.sh --tier1    # tier-1 only
-#   scripts/verify.sh --tsan     # TSan pass only (CI's second job)
+#   scripts/verify.sh                  # everything: lint + tier-1 + tsan + asan
+#   scripts/verify.sh --lint           # satlint + format check (CI job 1)
+#   scripts/verify.sh --tier1          # build + full ctest (CI job 2)
+#   scripts/verify.sh --tsan           # ThreadSanitizer pass (CI job 3)
+#   scripts/verify.sh --asan           # ASan+UBSan full ctest (CI job 4)
+#   scripts/verify.sh --lint --tier1   # compose any subset
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-if [[ "${1:-}" != "--tsan" ]]; then
+run_lint=0 run_tier1=0 run_tsan=0 run_asan=0
+if [[ $# -eq 0 ]]; then
+  run_lint=1 run_tier1=1 run_tsan=1 run_asan=1
+fi
+for arg in "$@"; do
+  case "$arg" in
+    --lint)  run_lint=1 ;;
+    --tier1) run_tier1=1 ;;
+    --tsan)  run_tsan=1 ;;
+    --asan)  run_asan=1 ;;
+    --all)   run_lint=1 run_tier1=1 run_tsan=1 run_asan=1 ;;
+    -h|--help)
+      grep '^#' "$0" | sed 's/^# \{0,1\}//'
+      exit 0
+      ;;
+    *)
+      echo "verify.sh: unknown mode '$arg' (try --lint, --tier1, --tsan, --asan)" >&2
+      exit 2
+      ;;
+  esac
+done
+
+if [[ "$run_lint" == 1 ]]; then
+  echo "== lint: satlint determinism/concurrency gate + format check =="
+  cmake -B build -S .
+  cmake --build build -j "${jobs}" --target satlint
+  ./build/tools/satlint/satlint --root . --json build/satlint-report.json
+  scripts/format.sh --check
+fi
+
+if [[ "$run_tier1" == 1 ]]; then
   echo "== tier-1: build + ctest =="
   cmake -B build -S .
   cmake --build build -j "${jobs}"
   ctest --test-dir build --output-on-failure -j "${jobs}"
-
-  if [[ "${1:-}" == "--tier1" ]]; then
-    exit 0
-  fi
 fi
 
-echo "== TSan: determinism + runtime + obs tests under ThreadSanitizer =="
-cmake -B build-tsan -S . -DSATNET_TSAN=ON
-cmake --build build-tsan -j "${jobs}" --target determinism_test runtime_test obs_test
-./build-tsan/tests/runtime_test
-./build-tsan/tests/obs_test
-./build-tsan/tests/determinism_test
+if [[ "$run_tsan" == 1 ]]; then
+  echo "== TSan: determinism + runtime + obs tests under ThreadSanitizer =="
+  cmake -B build-tsan -S . -DSATNET_TSAN=ON
+  cmake --build build-tsan -j "${jobs}" --target determinism_test runtime_test obs_test
+  ./build-tsan/tests/runtime_test
+  ./build-tsan/tests/obs_test
+  ./build-tsan/tests/determinism_test
+fi
+
+if [[ "$run_asan" == 1 ]]; then
+  echo "== ASan+UBSan: full ctest under AddressSanitizer + UBSan =="
+  cmake -B build-asan -S . -DSATNET_ASAN_UBSAN=ON
+  cmake --build build-asan -j "${jobs}"
+  ctest --test-dir build-asan --output-on-failure -j "${jobs}"
+fi
 
 echo "verify: OK"

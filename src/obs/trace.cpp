@@ -27,15 +27,18 @@ thread_local TlsSlot tls_slot;
 }  // namespace
 
 Tracer::Tracer()
+    // satlint:allow(nondet-source): span timestamps are telemetry; exports order by (phase,shard,seq), never by time
     : tracer_id_(next_tracer_id()), epoch_(std::chrono::steady_clock::now()) {}
 
 Tracer& Tracer::global() {
+  // satlint:allow(shared-state): the process-wide tracer singleton; spans land in thread-local buffers, drain() merges deterministically
   static Tracer t;
   return t;
 }
 
 double Tracer::now_ms() const {
   return std::chrono::duration<double, std::milli>(
+             // satlint:allow(nondet-source): span timestamps are telemetry; exports order by (phase,shard,seq), never by time
              std::chrono::steady_clock::now() - epoch_)
       .count();
 }

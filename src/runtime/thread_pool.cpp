@@ -11,6 +11,7 @@ namespace {
 std::uint64_t elapsed_us(std::chrono::steady_clock::time_point since) {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
+          // satlint:allow(nondet-source): pool idle/busy telemetry; task results never read the clock
           std::chrono::steady_clock::now() - since)
           .count());
 }
@@ -78,6 +79,7 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
+      // satlint:allow(nondet-source): pool idle/busy telemetry; task results never read the clock
       const auto wait_start = std::chrono::steady_clock::now();
       std::unique_lock<std::mutex> lock(mu_);
       cv_task_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
@@ -88,6 +90,7 @@ void ThreadPool::worker_loop() {
       queue_depth_.set(static_cast<std::int64_t>(tasks_.size()));
       ++active_;
     }
+    // satlint:allow(nondet-source): pool idle/busy telemetry; task results never read the clock
     const auto run_start = std::chrono::steady_clock::now();
     task();
     busy_us_.add(elapsed_us(run_start));

@@ -51,7 +51,9 @@ AsnVerdict classify_asn(bgp::Asn asn, std::span<const double> latencies,
   double in_mass = 0;
   double total_mass = 0;
   for (const auto& p : peaks) {
+    // satlint: deterministic-merge: peaks is a sorted vector walked sequentially; order is fixed
     total_mass += p.mass;
+    // satlint: deterministic-merge: peaks is a sorted vector walked sequentially; order is fixed
     if (window.contains(p.location)) in_mass += p.mass;
   }
   v.in_window_mass = total_mass > 0 ? in_mass / total_mass : 0.0;

@@ -197,14 +197,19 @@ FlowResult TcpFlow::finish() {
   // Flow accounting flushes once per flow (the per-round loop stays
   // metric-free): retransmit and timeout totals across every NDT test,
   // HTTP transfer, and video segment in the campaign.
+  // satlint:allow(shared-state): cached reference to a thread-safe striped counter; magic-static init is synchronized
   static obs::Counter& flows = obs::MetricsRegistry::global().counter(
       "transport.tcp.flows", "TCP flows completed");
+  // satlint:allow(shared-state): cached reference to a thread-safe striped counter; magic-static init is synchronized
   static obs::Counter& sent = obs::MetricsRegistry::global().counter(
       "transport.tcp.bytes_sent", "bytes sent across all flows");
+  // satlint:allow(shared-state): cached reference to a thread-safe striped counter; magic-static init is synchronized
   static obs::Counter& retrans = obs::MetricsRegistry::global().counter(
       "transport.tcp.bytes_retrans", "bytes retransmitted across all flows");
+  // satlint:allow(shared-state): cached reference to a thread-safe striped counter; magic-static init is synchronized
   static obs::Counter& rtos = obs::MetricsRegistry::global().counter(
       "transport.tcp.rtos", "retransmission timeouts fired");
+  // satlint:allow(shared-state): cached reference to a thread-safe striped counter; magic-static init is synchronized
   static obs::Counter& handoffs = obs::MetricsRegistry::global().counter(
       "transport.tcp.handoffs", "satellite handoffs observed by flows");
   flows.add(1);

@@ -178,12 +178,16 @@ TEST(IntegrationTest, ScalingUpCampaignPreservesFindings) {
   const auto result = snoid::run_pipeline(big);
   EXPECT_EQ(result.identified_operators, 18u);
   for (const auto& op : result.operators) {
-    if (op.identified()) EXPECT_GT(op.precision(), 0.9) << op.name;
+    if (op.identified()) {
+      EXPECT_GT(op.precision(), 0.9) << op.name;
+    }
   }
   // At this volume Viasat's clean prefixes surface and it is covered by
   // the strict filter (Fig 3a lists Viasat among the 6 covered SNOs).
   for (const auto& op : result.operators) {
-    if (op.name == "viasat") EXPECT_TRUE(op.covered_by_strict);
+    if (op.name == "viasat") {
+      EXPECT_TRUE(op.covered_by_strict);
+    }
   }
 }
 

@@ -56,8 +56,12 @@ TEST(ProbesTest, StartDaysFollowTable2) {
   EXPECT_DOUBLE_EQ(start_day_for("23/03"), 305.0);
   EXPECT_THROW(start_day_for("24/01"), std::invalid_argument);
   for (const auto& p : starlink_probe_candidates()) {
-    if (p.country == "PH") EXPECT_DOUBLE_EQ(p.start_day, 305.0);
-    if (p.country == "FR") EXPECT_DOUBLE_EQ(p.start_day, 180.0);
+    if (p.country == "PH") {
+      EXPECT_DOUBLE_EQ(p.start_day, 305.0);
+    }
+    if (p.country == "FR") {
+      EXPECT_DOUBLE_EQ(p.start_day, 180.0);
+    }
   }
 }
 
@@ -151,8 +155,12 @@ TEST(AtlasTest, SixtySevenValidProbesEventually) {
   // The multihomed (LTE failover) probe survives the majority rule.
   const std::set<int> valid_set(valid.begin(), valid.end());
   for (const auto& p : ds.probes) {
-    if (p.lte_failover) EXPECT_TRUE(valid_set.count(p.id));
-    if (p.stale_asn) EXPECT_FALSE(valid_set.count(p.id));
+    if (p.lte_failover) {
+      EXPECT_TRUE(valid_set.count(p.id));
+    }
+    if (p.stale_asn) {
+      EXPECT_FALSE(valid_set.count(p.id));
+    }
   }
 }
 
@@ -173,7 +181,9 @@ TEST(AtlasTest, PopNamesAreKnownPops) {
   std::set<std::string> known;
   for (const auto& pop : starlink().config().pops) known.insert(pop.name);
   for (const auto& t : ds.traceroutes) {
-    if (t.via_cgnat) EXPECT_TRUE(known.count(t.pop_name)) << t.pop_name;
+    if (t.via_cgnat) {
+      EXPECT_TRUE(known.count(t.pop_name)) << t.pop_name;
+    }
   }
 }
 

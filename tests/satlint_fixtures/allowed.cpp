@@ -1,0 +1,20 @@
+// Fixture: the escape hatch. A justified allow suppresses; an allow with
+// no justification is itself a violation (bad-allow) and does NOT
+// suppress the underlying finding.
+#include <chrono>
+#include <cstdlib>
+
+long telemetry_ok() {
+  // satlint:allow(nondet-source): wall-clock telemetry only; asserted never to reach results
+  const auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count();
+}
+
+int trailing_ok() {
+  return std::rand();  // satlint:allow(nondet-source): fixture exercising trailing allows
+}
+
+int unjustified_bad() {
+  // satlint:allow(nondet-source)
+  return std::rand();
+}

@@ -1,0 +1,11 @@
+// Fixture: violation-free file; satlint must report nothing under any
+// virtual path. Mentions of rand() or clock reads inside string literals
+// and comments must not trigger.
+#include <string>
+
+std::string describe() {
+  return "call rand() or steady_clock::now() — as text, not code";
+}
+
+// A comment saying std::random_device must also stay silent.
+int answer() { return 42; }

@@ -1,0 +1,23 @@
+// Fixture: every D1 nondeterminism source fires once. Never compiled —
+// this file is linter input only (and whitelisted from the tree scan).
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+int seed_from_wall_clock() {
+  std::srand(static_cast<unsigned>(time(nullptr)));  // two hits: srand + time seed
+  return std::rand();                                // hit: rand()
+}
+
+double entropy_sample() {
+  std::random_device rd;  // hit: random_device
+  return static_cast<double>(rd());
+}
+
+long stamp_ms() {
+  const auto t = std::chrono::system_clock::now();  // hit: clock read
+  return std::chrono::duration_cast<std::chrono::milliseconds>(t.time_since_epoch())
+      .count();
+}
+
+const char* build_stamp() { return __DATE__ " " __TIME__; }  // hit: build stamp

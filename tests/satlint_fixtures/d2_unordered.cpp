@@ -1,0 +1,27 @@
+// Fixture: unordered-container iteration flowing into report output.
+// Linted under a virtual src/io/ path so the ordered-output rule applies.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+std::string render_report(const std::unordered_map<std::string, double>& by_operator) {
+  std::string out;
+  for (const auto& [name, value] : by_operator) {  // hit: bucket-order iteration
+    out += name + "," + std::to_string(value) + "\n";
+  }
+  return out;
+}
+
+std::size_t walk_prefixes() {
+  std::unordered_set<std::string> prefixes;
+  std::size_t n = 0;
+  for (auto it = prefixes.begin(); it != prefixes.end(); ++it) ++n;  // hit: iterator walk
+  return n;
+}
+
+double sum_ordered(const std::vector<double>& values) {
+  double total = 0;
+  for (const double v : values) total += v;  // clean: vector order is fixed
+  return total;
+}

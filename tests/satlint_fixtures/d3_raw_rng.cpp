@@ -1,0 +1,21 @@
+// Fixture: Rng discipline inside sharded code. Linted under a virtual
+// src/runtime/ path so the raw-rng rule applies.
+#include <cstdint>
+
+#include "stats/rng.hpp"
+
+using satnet::stats::Rng;
+
+double shard_body_bad(std::uint64_t shard_index) {
+  Rng rng(shard_index);  // hit: seed construction inside sharded code
+  return rng.uniform();
+}
+
+double shard_body_good(const Rng& master, std::uint64_t shard_index) {
+  Rng rng = master.fork_stable(shard_index);  // clean: stable fork
+  return rng.uniform();
+}
+
+double shard_body_temp(std::uint64_t seed) {
+  return Rng(seed).uniform();  // hit: temporary seeded in place
+}

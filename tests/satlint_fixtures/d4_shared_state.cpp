@@ -1,0 +1,30 @@
+// Fixture: mutable static state in worker-executed code. Linted under a
+// virtual src/mlab/ path so the shared-state rule applies.
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+// Namespace-scope const table: fine.
+const std::vector<int> kTable = {1, 2, 3};
+
+std::uint64_t run_shard(std::uint64_t shard) {
+  static std::uint64_t calls = 0;  // hit: shared mutable counter
+  ++calls;
+  static const double kScale = 2.0;          // clean: const
+  static constexpr int kChunk = 64;          // clean: constexpr
+  static std::atomic<std::uint64_t> n{0};    // clean: atomic
+  n.fetch_add(1);
+  return shard * static_cast<std::uint64_t>(kScale) * kChunk + calls;
+}
+
+class Worker {
+ public:
+  static int helper();  // clean: static member declaration, not a local
+
+ private:
+  int state_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// Fixture: floating-point accumulation in a merge path. Linted under a
+// virtual src/runtime/ path so the float-accum rule applies.
+#include <cstddef>
+#include <vector>
+
+double merge_unannotated(const std::vector<double>& shard_values) {
+  double total = 0;
+  for (const double v : shard_values) {
+    total += v;  // hit: order-sensitive accumulation, not annotated
+  }
+  return total;
+}
+
+double merge_annotated(const std::vector<double>& shard_values) {
+  double total = 0;
+  for (const double v : shard_values) {
+    // satlint: deterministic-merge: slots fold in shard-index order
+    total += v;
+  }
+  return total;
+}
+
+double time_stepper(double horizon, double interval) {
+  double last = 0;
+  for (double t = 0; t < horizon; t += interval) last = t;  // clean: for-header step
+  return last;
+}
+
+std::size_t integer_merge(const std::vector<std::size_t>& counts) {
+  std::size_t total = 0;
+  for (const std::size_t c : counts) total += c;  // clean: integer accumulation
+  return total;
+}

@@ -1,0 +1,260 @@
+// Unit tests for satlint, the determinism & concurrency linter.
+//
+// Each fixture file under tests/satlint_fixtures/ seeds known violations
+// (or known-clean look-alikes); the tests lint them under *virtual*
+// paths so every classification branch (io/, runtime/, mlab/, ...) is
+// exercised without touching the real tree. The corpus itself is
+// whitelisted from tree scans — which is also the whitelist test.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "satlint.hpp"
+
+namespace {
+
+using satlint::Diagnostic;
+using satlint::FileReport;
+using satlint::LintOptions;
+using satlint::TreeReport;
+
+std::string fixture(const std::string& name) {
+  const std::string path = std::string(SATLINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::vector<std::string> rules_hit(const FileReport& report) {
+  std::vector<std::string> out;
+  out.reserve(report.violations.size());
+  for (const Diagnostic& d : report.violations) out.push_back(d.rule);
+  return out;
+}
+
+std::size_t count_rule(const std::vector<Diagnostic>& diags, std::string_view rule) {
+  return static_cast<std::size_t>(
+      std::count_if(diags.begin(), diags.end(),
+                    [&](const Diagnostic& d) { return d.rule == rule; }));
+}
+
+// ------------------------------------------------------------ rule D1
+
+TEST(SatlintD1, FlagsEveryNondeterminismSource) {
+  const FileReport r =
+      satlint::lint_source("src/sim/d1_nondet.cpp", fixture("d1_nondet.cpp"));
+  // srand + time-seed share a line; rand, random_device, clock read and
+  // the build stamp fire once each.
+  EXPECT_EQ(count_rule(r.violations, "nondet-source"), 6u);
+  EXPECT_TRUE(r.suppressed.empty());
+}
+
+TEST(SatlintD1, AppliesToBenchAndExamplesToo) {
+  const FileReport r =
+      satlint::lint_source("bench/d1_nondet.cpp", fixture("d1_nondet.cpp"));
+  EXPECT_EQ(count_rule(r.violations, "nondet-source"), 6u);
+}
+
+// ------------------------------------------------------------ rule D2
+
+TEST(SatlintD2, FlagsUnorderedIterationInReportPaths) {
+  const FileReport r =
+      satlint::lint_source("src/io/d2_unordered.cpp", fixture("d2_unordered.cpp"));
+  ASSERT_EQ(count_rule(r.violations, "unordered-iter"), 2u);
+  // Range-for over the map and the explicit iterator walk; the vector
+  // loop in the same file stays clean.
+  EXPECT_EQ(r.violations[0].rule, "unordered-iter");
+  EXPECT_EQ(count_rule(r.violations, "float-accum"), 0u);
+}
+
+TEST(SatlintD2, SilentOutsideReportPaths) {
+  const FileReport r =
+      satlint::lint_source("src/geo/d2_unordered.cpp", fixture("d2_unordered.cpp"));
+  EXPECT_EQ(count_rule(r.violations, "unordered-iter"), 0u);
+}
+
+// ------------------------------------------------------------ rule D3
+
+TEST(SatlintD3, FlagsRawRngOnlyInShardedCode) {
+  const FileReport sharded =
+      satlint::lint_source("src/runtime/d3_raw_rng.cpp", fixture("d3_raw_rng.cpp"));
+  // The seeded local and the seeded temporary; the fork_stable copy is
+  // clean.
+  EXPECT_EQ(count_rule(sharded.violations, "raw-rng"), 2u);
+
+  const FileReport unsharded =
+      satlint::lint_source("src/synth/d3_raw_rng.cpp", fixture("d3_raw_rng.cpp"));
+  EXPECT_EQ(count_rule(unsharded.violations, "raw-rng"), 0u);
+}
+
+// ------------------------------------------------------------ rule D4
+
+TEST(SatlintD4, FlagsMutableFunctionLocalStatics) {
+  const FileReport r = satlint::lint_source("src/mlab/d4_shared_state.cpp",
+                                            fixture("d4_shared_state.cpp"));
+  // Only the mutable counter: const/constexpr/atomic locals, the
+  // namespace-scope table, and the static member declaration are clean.
+  ASSERT_EQ(count_rule(r.violations, "shared-state"), 1u);
+  EXPECT_EQ(r.violations[0].line, 13);
+}
+
+TEST(SatlintD4, SilentOutsideWorkerCode) {
+  const FileReport r = satlint::lint_source("src/synth/d4_shared_state.cpp",
+                                            fixture("d4_shared_state.cpp"));
+  EXPECT_EQ(count_rule(r.violations, "shared-state"), 0u);
+}
+
+// ------------------------------------------------------------ rule D5
+
+TEST(SatlintD5, FlagsUnannotatedFloatMerges) {
+  const FileReport r = satlint::lint_source("src/runtime/d5_float_accum.cpp",
+                                            fixture("d5_float_accum.cpp"));
+  // One unannotated accumulation; the annotated one is recorded as a
+  // suppression, the for-header step and the integer merge are clean.
+  EXPECT_EQ(count_rule(r.violations, "float-accum"), 1u);
+  EXPECT_EQ(count_rule(r.suppressed, "float-accum"), 1u);
+}
+
+// ------------------------------------------- allow annotations & meta
+
+TEST(SatlintAllow, JustifiedAllowsSuppressAndAreReported) {
+  const FileReport r =
+      satlint::lint_source("src/sim/allowed.cpp", fixture("allowed.cpp"));
+  // Two justified allows (own-line and trailing) suppress their
+  // findings; the justification text rides along in the message.
+  EXPECT_EQ(count_rule(r.suppressed, "nondet-source"), 2u);
+  ASSERT_FALSE(r.suppressed.empty());
+  EXPECT_NE(r.suppressed[0].message.find("allowed:"), std::string::npos);
+}
+
+TEST(SatlintAllow, UnjustifiedAllowIsAViolationAndDoesNotSuppress) {
+  const FileReport r =
+      satlint::lint_source("src/sim/allowed.cpp", fixture("allowed.cpp"));
+  EXPECT_EQ(count_rule(r.violations, "bad-allow"), 1u);
+  // The rand() under the empty allow still fires.
+  EXPECT_EQ(count_rule(r.violations, "nondet-source"), 1u);
+}
+
+TEST(SatlintClean, CommentsAndStringsNeverTrigger) {
+  for (const char* vpath :
+       {"src/io/clean.cpp", "src/runtime/clean.cpp", "src/mlab/clean.cpp"}) {
+    const FileReport r = satlint::lint_source(vpath, fixture("clean.cpp"));
+    EXPECT_TRUE(r.violations.empty()) << vpath << ": " << rules_hit(r).size();
+    EXPECT_TRUE(r.suppressed.empty()) << vpath;
+  }
+}
+
+// ------------------------------------------------------ classification
+
+TEST(SatlintClassify, ModulesDriveRuleApplicability) {
+  const satlint::FileClass io = satlint::classify("src/io/report.cpp");
+  EXPECT_TRUE(io.report_path);
+  EXPECT_FALSE(io.sharded);
+
+  const satlint::FileClass runtime = satlint::classify("src/runtime/sharded.hpp");
+  EXPECT_TRUE(runtime.sharded);
+  EXPECT_TRUE(runtime.worker);
+  EXPECT_TRUE(runtime.merge_path);
+
+  const satlint::FileClass campaign = satlint::classify("src/mlab/campaign.cpp");
+  EXPECT_TRUE(campaign.report_path);  // campaign result path by filename
+  EXPECT_TRUE(campaign.sharded);
+
+  const satlint::FileClass geo = satlint::classify("src/geo/geodesy.cpp");
+  EXPECT_FALSE(geo.report_path);
+  EXPECT_FALSE(geo.sharded);
+  EXPECT_FALSE(geo.worker);
+}
+
+// ----------------------------------------------------- whitelisted file
+
+TEST(SatlintWhitelist, FixtureCorpusIsExemptByDefault) {
+  const FileReport r = satlint::lint_source("tests/satlint_fixtures/d1_nondet.cpp",
+                                            fixture("d1_nondet.cpp"));
+  EXPECT_TRUE(r.violations.empty());
+  EXPECT_TRUE(r.suppressed.empty());
+}
+
+TEST(SatlintWhitelist, CustomWhitelistSkipsMatchingPaths) {
+  LintOptions options;
+  options.whitelist = {"vendored/"};
+  const FileReport skipped = satlint::lint_source(
+      "src/vendored/d1_nondet.cpp", fixture("d1_nondet.cpp"), options);
+  EXPECT_TRUE(skipped.violations.empty());
+  const FileReport scanned =
+      satlint::lint_source("src/sim/d1_nondet.cpp", fixture("d1_nondet.cpp"), options);
+  EXPECT_FALSE(scanned.violations.empty());
+}
+
+// -------------------------------------------------- JSON report round-trip
+
+TEST(SatlintJson, ReportRoundTripsThroughJson) {
+  TreeReport tree;
+  tree.files_scanned = 3;
+  tree.files_whitelisted = 1;
+  FileReport bad = satlint::lint_source("src/sim/d1_nondet.cpp", fixture("d1_nondet.cpp"));
+  FileReport mixed =
+      satlint::lint_source("src/runtime/d5_float_accum.cpp", fixture("d5_float_accum.cpp"));
+  tree.files.push_back(bad);
+  tree.files.push_back(mixed);
+
+  const std::string json = satlint::to_json(tree);
+  const auto parsed = satlint::from_json(json);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->files_scanned, tree.files_scanned);
+  EXPECT_EQ(parsed->files_whitelisted, tree.files_whitelisted);
+  EXPECT_EQ(parsed->violation_count(), tree.violation_count());
+  EXPECT_EQ(parsed->suppressed_count(), tree.suppressed_count());
+  ASSERT_EQ(parsed->files.size(), tree.files.size());
+  for (std::size_t i = 0; i < tree.files.size(); ++i) {
+    EXPECT_EQ(parsed->files[i].path, tree.files[i].path);
+    EXPECT_EQ(parsed->files[i].violations, tree.files[i].violations);
+    EXPECT_EQ(parsed->files[i].suppressed, tree.files[i].suppressed);
+  }
+}
+
+TEST(SatlintJson, MalformedInputIsRejected) {
+  EXPECT_FALSE(satlint::from_json("").has_value());
+  EXPECT_FALSE(satlint::from_json("{\"violations\": [{]}").has_value());
+  EXPECT_FALSE(satlint::from_json("[1,2,3]").has_value());
+}
+
+// --------------------------------------------------------- tree scans
+
+TEST(SatlintTree, LintTreeIsDeterministicAndWhitelistsFixtures) {
+  // Scan the fixture corpus as a subtree of the repo root: every file
+  // under tests/satlint_fixtures/ is whitelisted by default, so the scan
+  // is clean but counts the skipped files.
+  const std::string repo_root = std::string(SATLINT_FIXTURE_DIR) + "/../..";
+  const std::vector<std::string> subdir = {"tests/satlint_fixtures"};
+  const TreeReport tree = satlint::lint_tree(repo_root, subdir);
+  EXPECT_EQ(tree.violation_count(), 0u);
+  EXPECT_GE(tree.files_whitelisted, 6u);
+  EXPECT_EQ(tree.files_scanned, 0u);
+
+  // With the whitelist cleared the same corpus yields findings — and two
+  // scans agree exactly (satlint's own output is deterministic).
+  LintOptions open;
+  open.whitelist.clear();
+  const TreeReport a = satlint::lint_tree(repo_root, subdir, open);
+  const TreeReport b = satlint::lint_tree(repo_root, subdir, open);
+  EXPECT_GT(a.violation_count(), 0u);
+  EXPECT_EQ(satlint::to_json(a), satlint::to_json(b));
+}
+
+TEST(SatlintRules, EveryRuleIsDocumented) {
+  const auto& rules = satlint::rules();
+  ASSERT_EQ(rules.size(), 6u);
+  for (const satlint::RuleInfo& r : rules) {
+    EXPECT_FALSE(r.id.empty());
+    EXPECT_FALSE(r.summary.empty());
+  }
+}
+
+}  // namespace

@@ -128,11 +128,18 @@ class WorldTest : public ::testing::Test {
     static const World w;
     return w;
   }
+
+  static WorldConfig config(std::uint64_t seed, double subscriber_scale = 1.0) {
+    WorldConfig cfg;
+    cfg.seed = seed;
+    cfg.subscriber_scale = subscriber_scale;
+    return cfg;
+  }
 };
 
 TEST_F(WorldTest, DeterministicAcrossConstructions) {
-  const World a({.seed = 5});
-  const World b({.seed = 5});
+  const World a(config(5));
+  const World b(config(5));
   ASSERT_EQ(a.subscribers().size(), b.subscribers().size());
   for (std::size_t i = 0; i < a.subscribers().size(); i += 97) {
     EXPECT_EQ(a.subscribers()[i].ip, b.subscribers()[i].ip);
@@ -288,7 +295,7 @@ TEST_F(WorldTest, MakeSubscriberUsable) {
 }
 
 TEST_F(WorldTest, SubscriberScaleChangesPopulation) {
-  const World small({.seed = 1, .subscriber_scale = 0.3});
+  const World small(config(1, 0.3));
   EXPECT_LT(small.subscribers().size(), world().subscribers().size());
 }
 

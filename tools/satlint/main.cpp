@@ -1,0 +1,90 @@
+// satlint CLI: scans src/, bench/, examples/, tests/ and exits nonzero
+// on any determinism/concurrency contract violation.
+//
+//   satlint --root <repo>              lint the whole tree
+//   satlint --root <repo> --json r.json  also write the JSON report
+//   satlint file.cpp ...               lint explicit files
+//   satlint --list-rules               print every rule with its summary
+//
+// Diagnostics are GCC-style (file:line: error[rule]: message) so editors
+// and CI annotate them natively.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "satlint.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--root DIR] [--json FILE] [--quiet] [--list-rules] "
+               "[files...]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string json_path;
+  bool quiet = false;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--list-rules") {
+      for (const satlint::RuleInfo& r : satlint::rules()) {
+        std::printf("%-16s %s\n", std::string(r.id).c_str(),
+                    std::string(r.summary).c_str());
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  const satlint::TreeReport report =
+      files.empty()
+          ? satlint::lint_tree(root, {"src", "bench", "examples", "tests"})
+          : satlint::lint_files(files);
+
+  for (const satlint::FileReport& f : report.files) {
+    for (const satlint::Diagnostic& d : f.violations) {
+      std::fprintf(stderr, "%s:%d: error[%s]: %s\n", d.file.c_str(), d.line,
+                   d.rule.c_str(), d.message.c_str());
+    }
+  }
+
+  if (!json_path.empty()) {
+    const std::string json = satlint::to_json(report);
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "satlint: cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    std::fwrite(json.data(), 1, json.size(), out);
+    std::fclose(out);
+  }
+
+  if (!quiet) {
+    std::printf(
+        "satlint: %zu file(s) scanned, %zu whitelisted, %zu violation(s), "
+        "%zu suppression(s)\n",
+        report.files_scanned, report.files_whitelisted, report.violation_count(),
+        report.suppressed_count());
+  }
+  return report.clean() ? 0 : 1;
+}

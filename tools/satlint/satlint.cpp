@@ -1,0 +1,862 @@
+#include "satlint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace satlint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rule table
+// ---------------------------------------------------------------------------
+
+const std::vector<RuleInfo> kRules = {
+    {"nondet-source",
+     "banned nondeterminism source (rand/srand, std::random_device, "
+     "*_clock::now, time(nullptr) seeds, __DATE__/__TIME__)"},
+    {"unordered-iter",
+     "iteration over std::unordered_{map,set} in a report/export path; "
+     "bucket order is implementation-defined and leaks into output"},
+    {"raw-rng",
+     "Rng constructed from a seed inside sharded code; derive shard "
+     "streams with Rng::fork_stable(stable key) instead"},
+    {"shared-state",
+     "function-local static (non-const, non-atomic) in worker-executed "
+     "code; workers on different threads would share it"},
+    {"float-accum",
+     "+=/-= on a floating-point accumulator in a merge path without a "
+     "deterministic-merge annotation; float addition is order-sensitive"},
+    {"bad-allow",
+     "satlint:allow()/deterministic-merge annotation without a one-line "
+     "justification"},
+};
+
+// ---------------------------------------------------------------------------
+// Source sanitizer: blank comments and literals out of the code stream,
+// keep the comment text in a parallel stream (for allow annotations).
+// ---------------------------------------------------------------------------
+
+struct Sanitized {
+  std::vector<std::string> code;     ///< per line, literals/comments blanked
+  std::vector<std::string> comment;  ///< per line, comment text only
+};
+
+Sanitized sanitize(std::string_view src) {
+  enum class St { code, line_comment, block_comment, str, chr, raw_str };
+  St st = St::code;
+  std::string raw_delim;  // for raw strings: the ")delim" terminator
+  std::string code_line, comment_line;
+  Sanitized out;
+
+  const auto flush = [&] {
+    out.code.push_back(code_line);
+    out.comment.push_back(comment_line);
+    code_line.clear();
+    comment_line.clear();
+  };
+
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    if (c == '\n') {
+      if (st == St::line_comment) st = St::code;
+      flush();
+      continue;
+    }
+    switch (st) {
+      case St::code:
+        if (c == '/' && next == '/') {
+          st = St::line_comment;
+          code_line += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          st = St::block_comment;
+          code_line += "  ";
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (code_line.empty() || (!std::isalnum(static_cast<unsigned char>(
+                                              code_line.back())) &&
+                                          code_line.back() != '_'))) {
+          // Raw string literal: find the delimiter up to '('.
+          std::size_t p = i + 2;
+          std::string delim;
+          while (p < src.size() && src[p] != '(') delim += src[p++];
+          raw_delim = ")" + delim + "\"";
+          st = St::raw_str;
+          code_line += "\"\"";
+          i = p;  // at '(' (or end)
+        } else if (c == '"') {
+          st = St::str;
+          code_line += '"';
+        } else if (c == '\'') {
+          // Digit separator (1'000) is not a char literal.
+          const bool sep = !code_line.empty() &&
+                           std::isdigit(static_cast<unsigned char>(code_line.back())) &&
+                           std::isalnum(static_cast<unsigned char>(next));
+          if (sep) {
+            code_line += ' ';
+          } else {
+            st = St::chr;
+            code_line += '\'';
+          }
+        } else {
+          code_line += c;
+        }
+        comment_line += ' ';
+        break;
+      case St::line_comment:
+        comment_line += c;
+        code_line += ' ';
+        break;
+      case St::block_comment:
+        if (c == '*' && next == '/') {
+          st = St::code;
+          comment_line += ' ';
+          code_line += "  ";
+          ++i;
+        } else {
+          comment_line += c;
+          code_line += ' ';
+        }
+        break;
+      case St::str:
+        if (c == '\\') {
+          code_line += "  ";
+          if (next != '\0' && next != '\n') ++i;
+        } else if (c == '"') {
+          st = St::code;
+          code_line += '"';
+        } else {
+          code_line += ' ';
+        }
+        comment_line += ' ';
+        break;
+      case St::chr:
+        if (c == '\\') {
+          code_line += "  ";
+          if (next != '\0' && next != '\n') ++i;
+        } else if (c == '\'') {
+          st = St::code;
+          code_line += '\'';
+        } else {
+          code_line += ' ';
+        }
+        comment_line += ' ';
+        break;
+      case St::raw_str:
+        if (src.compare(i, raw_delim.size(), raw_delim) == 0) {
+          st = St::code;
+          i += raw_delim.size() - 1;
+        }
+        code_line += ' ';
+        comment_line += ' ';
+        break;
+    }
+  }
+  flush();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Scope tracking: classify each '{' so we know, per line, whether we are
+// inside a function body (where D4's static-local rule applies).
+// ---------------------------------------------------------------------------
+
+enum class Scope { ns, type, fn, block, init };
+
+std::string_view rstrip(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool ends_with_token(std::string_view s, std::string_view tok) {
+  s = rstrip(s);
+  if (s.size() < tok.size() || s.substr(s.size() - tok.size()) != tok) return false;
+  if (s.size() == tok.size()) return true;
+  const char before = s[s.size() - tok.size() - 1];
+  return !(std::isalnum(static_cast<unsigned char>(before)) || before == '_');
+}
+
+/// Classifies the '{' that follows `ctx` (the trailing significant code).
+Scope classify_brace(std::string_view ctx, bool in_function) {
+  std::string t(rstrip(ctx));
+
+  // Trailing return type / qualifiers between ')' and '{'.
+  static const std::regex kQualifiers(
+      R"((\)\s*)((const|noexcept|override|final|mutable)\b\s*)*(->\s*[\w:<>,\s&*]+)?$)");
+  std::smatch m;
+  if (std::regex_search(t, m, kQualifiers)) {
+    t = t.substr(0, static_cast<std::size_t>(m.position(0)) + 1);
+  }
+
+  if (t.empty()) return in_function ? Scope::block : Scope::init;
+  const char last = t.back();
+  if (last == '=' || last == ',' || last == '(' || last == '{') return Scope::init;
+  if (ends_with_token(t, "return")) return Scope::init;
+  if (ends_with_token(t, "else") || ends_with_token(t, "do") ||
+      ends_with_token(t, "try")) {
+    return Scope::block;
+  }
+  static const std::regex kNamespace(R"(namespace(\s+[\w:]+)?$)");
+  if (std::regex_search(t, kNamespace)) return Scope::ns;
+
+  if (last == ')') {
+    // Find the matching '(' and look at the token before it.
+    int depth = 0;
+    std::size_t p = t.size();
+    while (p > 0) {
+      --p;
+      if (t[p] == ')') ++depth;
+      if (t[p] == '(') {
+        if (--depth == 0) break;
+      }
+    }
+    std::string_view before = rstrip(std::string_view(t).substr(0, p));
+    if (!before.empty() && before.back() == ']') return Scope::fn;  // lambda
+    for (std::string_view kw : {"if", "for", "while", "switch", "catch"}) {
+      if (ends_with_token(before, kw)) return Scope::block;
+    }
+    return Scope::fn;
+  }
+
+  // "class X : public Y", "struct Foo", "enum class E" — only look past
+  // the last statement boundary so earlier code can't bleed in.
+  const std::size_t bound = t.find_last_of(";}{");
+  const std::string tail = bound == std::string::npos ? t : t.substr(bound + 1);
+  static const std::regex kType(R"(\b(class|struct|union|enum)\b)");
+  if (std::regex_search(tail, kType)) return Scope::type;
+
+  return in_function ? Scope::block : Scope::init;
+}
+
+bool stack_in_function(const std::vector<Scope>& stack) {
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    if (*it == Scope::fn) return true;
+    if (*it == Scope::ns || *it == Scope::type) return false;
+  }
+  return false;
+}
+
+/// in_function[i] == true when line i *starts* inside a function body.
+std::vector<bool> function_lines(const std::vector<std::string>& code) {
+  std::vector<bool> in_fn(code.size(), false);
+  std::vector<Scope> stack;
+  std::string recent;  // trailing significant code before the next '{'
+  for (std::size_t li = 0; li < code.size(); ++li) {
+    in_fn[li] = stack_in_function(stack);
+    for (const char c : code[li]) {
+      if (c == '{') {
+        stack.push_back(classify_brace(recent, stack_in_function(stack)));
+        recent.clear();
+      } else if (c == '}') {
+        if (!stack.empty()) stack.pop_back();
+        recent.clear();
+      } else if (c == ';') {
+        recent.clear();
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        if (!recent.empty() && recent.back() != ' ') recent += ' ';
+      } else {
+        recent += c;
+      }
+      if (recent.size() > 240) recent.erase(0, recent.size() - 240);
+    }
+    if (!recent.empty() && recent.back() != ' ') recent += ' ';
+  }
+  return in_fn;
+}
+
+// ---------------------------------------------------------------------------
+// Declaration tracking (pragmatic, per file)
+// ---------------------------------------------------------------------------
+
+/// Names declared with an unordered container type anywhere in the file.
+std::set<std::string> unordered_names(const std::vector<std::string>& code) {
+  std::set<std::string> names;
+  static const std::regex kDecl(R"(\bunordered_(map|set|multimap|multiset)\s*<)");
+  for (const std::string& line : code) {
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), kDecl);
+         it != std::sregex_iterator(); ++it) {
+      // Walk the template argument list to its closing '>'.
+      std::size_t p = static_cast<std::size_t>(it->position(0)) + it->length(0);
+      int depth = 1;
+      while (p < line.size() && depth > 0) {
+        if (line[p] == '<') ++depth;
+        if (line[p] == '>') --depth;
+        ++p;
+      }
+      static const std::regex kName(R"(^\s*&?\s*(\w+))");
+      std::smatch nm;
+      const std::string rest = line.substr(p);
+      if (std::regex_search(rest, nm, kName)) names.insert(nm[1].str());
+    }
+  }
+  return names;
+}
+
+/// Tracks double/float declarations with function-level scoping: names
+/// declared at namespace/class scope persist for the whole file, names
+/// declared inside a function (including its parameter list) are dropped
+/// when the function ends, so a `double t` in one function does not taint
+/// an integer `t` in the next. Single-declarator only — pragmatic.
+class FloatNames {
+ public:
+  /// Scans line i for declarations. `in_fn` is whether the line starts
+  /// inside a function body; a false edge after a true clears locals.
+  void observe_line(const std::string& line, bool in_fn) {
+    if (was_in_fn_ && !in_fn) local_.clear();
+    was_in_fn_ = in_fn;
+    static const std::regex kDecl(R"(\b(double|float)\s+(\w+)\s*[=;,{])");
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), kDecl);
+         it != std::sregex_iterator(); ++it) {
+      // A declaration inside an unbalanced '(' is a parameter — local to
+      // the function whose body follows.
+      int depth = 0;
+      for (std::size_t p = 0; p < static_cast<std::size_t>(it->position(0)); ++p) {
+        if (line[p] == '(') ++depth;
+        if (line[p] == ')') --depth;
+      }
+      (in_fn || depth > 0 ? local_ : global_).insert((*it)[2].str());
+    }
+  }
+
+  bool contains(const std::string& name) const {
+    return local_.count(name) != 0 || global_.count(name) != 0;
+  }
+
+ private:
+  std::set<std::string> local_, global_;
+  bool was_in_fn_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Allow annotations
+// ---------------------------------------------------------------------------
+
+struct Allow {
+  std::string rule;           ///< rule id, or "deterministic-merge" alias
+  std::string justification;  ///< required, one line
+};
+
+/// Parses the allow annotations of one comment line.
+std::vector<Allow> parse_allows(const std::string& comment) {
+  std::vector<Allow> out;
+  static const std::regex kAllow(R"(satlint:allow\(([\w-]+)\)\s*:?\s*([^/]*))");
+  for (auto it = std::sregex_iterator(comment.begin(), comment.end(), kAllow);
+       it != std::sregex_iterator(); ++it) {
+    out.push_back({(*it)[1].str(), std::string(rstrip((*it)[2].str()))});
+  }
+  static const std::regex kMerge(R"(deterministic-merge\s*[-:]*\s*([^/]*))");
+  std::smatch m;
+  if (std::regex_search(comment, m, kMerge)) {
+    out.push_back({"float-accum", std::string(rstrip(m[1].str()))});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Classification
+// ---------------------------------------------------------------------------
+
+bool path_has_dir(std::string_view path, std::string_view dir) {
+  const std::string needle = "/" + std::string(dir) + "/";
+  const std::string prefix = std::string(dir) + "/";
+  return path.find(needle) != std::string_view::npos ||
+         path.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rules() { return kRules; }
+
+FileClass classify(std::string_view path) {
+  FileClass fc;
+  // Module = directory under src/, or the top-level tree for bench/
+  // examples/tests.
+  static const std::vector<std::string> kModules = {
+      "stats", "geo",  "obs",   "runtime", "sim",   "orbit", "net",
+      "transport", "bgp", "weather", "dns", "http", "video", "synth",
+      "mlab", "ripe", "prolific", "snoid", "io"};
+  for (const std::string& m : kModules) {
+    if (path_has_dir(path, m)) fc.module = m;
+  }
+  if (fc.module.empty()) {
+    for (std::string_view top : {"bench", "examples", "tests"}) {
+      if (path_has_dir(path, top)) fc.module = std::string(top);
+    }
+  }
+
+  const auto is = [&](std::initializer_list<std::string_view> mods) {
+    for (std::string_view m : mods) {
+      if (fc.module == m) return true;
+    }
+    return false;
+  };
+  // D2: report/export paths — where container order becomes output order.
+  static const std::regex kReportFile(
+      R"((campaign|report|export|pipeline|analysis)[^/]*\.(cpp|hpp|h)$)");
+  fc.report_path = is({"io", "obs"}) ||
+                   std::regex_search(std::string(path), kReportFile);
+  // D3: the sharded campaign layers.
+  fc.sharded = is({"runtime", "mlab", "ripe", "snoid"});
+  // D4: anything executed on ThreadPool workers (shard bodies call into
+  // these modules), plus the obs layer they all report to.
+  fc.worker = fc.sharded || is({"sim", "orbit", "transport", "http", "dns",
+                                "video", "weather", "stats", "obs"});
+  // D5: where shard results are merged or cross-thread values folded.
+  fc.merge_path = fc.sharded || is({"obs"});
+  return fc;
+}
+
+FileReport lint_source(std::string_view path, std::string_view content,
+                       const LintOptions& options) {
+  FileReport report;
+  report.path = std::string(path);
+  for (const std::string& w : options.whitelist) {
+    if (report.path.find(w) != std::string::npos) return report;
+  }
+
+  const FileClass fc = classify(path);
+  const Sanitized s = sanitize(content);
+  const std::vector<bool> in_fn = function_lines(s.code);
+  const std::set<std::string> unordered = unordered_names(s.code);
+  FloatNames floats;
+
+  // Allows per line; "own line" allows (comment-only lines) also cover
+  // the next line.
+  std::vector<std::vector<Allow>> allows(s.code.size());
+  for (std::size_t i = 0; i < s.code.size(); ++i) {
+    std::vector<Allow> line_allows = parse_allows(s.comment[i]);
+    if (line_allows.empty()) continue;
+    for (const Allow& a : line_allows) {
+      if (a.justification.empty()) {
+        report.violations.push_back(
+            {report.path, static_cast<int>(i + 1), "bad-allow",
+             "suppression of '" + a.rule +
+                 "' needs a one-line justification: // satlint:allow(" + a.rule +
+                 "): <why this is safe>"});
+      }
+    }
+    allows[i].insert(allows[i].end(), line_allows.begin(), line_allows.end());
+    const bool own_line = rstrip(s.code[i]).empty();
+    if (own_line && i + 1 < s.code.size()) {
+      allows[i + 1].insert(allows[i + 1].end(), line_allows.begin(),
+                           line_allows.end());
+    }
+  }
+
+  const auto emit = [&](std::size_t i, std::string_view rule, std::string message) {
+    for (const Allow& a : allows[i]) {
+      if (a.rule == rule && !a.justification.empty()) {
+        report.suppressed.push_back(
+            {report.path, static_cast<int>(i + 1), std::string(rule),
+             std::move(message) + " [allowed: " + a.justification + "]"});
+        return;
+      }
+    }
+    report.violations.push_back(
+        {report.path, static_cast<int>(i + 1), std::string(rule), std::move(message)});
+  };
+
+  static const std::regex kRand(R"(\b(rand|srand)\s*\()");
+  static const std::regex kRandomDevice(R"(\brandom_device\b)");
+  static const std::regex kClockNow(R"(\b\w*_clock::now\b)");
+  static const std::regex kTimeSeed(R"(\btime\s*\(\s*(nullptr|NULL|0)\s*\))");
+  static const std::regex kDateTime(R"(__DATE__|__TIME__|__TIMESTAMP__)");
+  static const std::regex kRangeFor(R"(\bfor\s*\(([^;)]*):([^)]+)\))");
+  static const std::regex kBeginCall(R"((\w+)\s*\.\s*c?begin\s*\(\))");
+  static const std::regex kRawRng(R"((^|[^:\w])Rng\s+\w+\s*[({=])");
+  static const std::regex kRngTemp(R"((^|[^:\w])Rng\s*\()");
+  static const std::regex kStaticLocal(R"(^\s*static\s+)");
+  static const std::regex kStaticExempt(
+      R"(^\s*static\s+(const\b|constexpr\b|thread_local\b)|static_assert|std::atomic)");
+  static const std::regex kCompoundAdd(R"((\w+)\s*[+-]=[^=])");
+
+  for (std::size_t i = 0; i < s.code.size(); ++i) {
+    const std::string& cl = s.code[i];
+    floats.observe_line(cl, in_fn[i]);
+    if (rstrip(cl).empty()) continue;
+
+    // D1 — nondet-source (all scanned files).
+    if (std::regex_search(cl, kRand)) {
+      emit(i, "nondet-source",
+           "rand()/srand() draws from hidden global state; use stats::Rng "
+           "seeded from the config");
+    }
+    if (std::regex_search(cl, kRandomDevice)) {
+      emit(i, "nondet-source",
+           "std::random_device is nondeterministic by design; campaigns must "
+           "be a pure function of their seed");
+    }
+    if (std::regex_search(cl, kClockNow)) {
+      emit(i, "nondet-source",
+           "clock reads differ across runs; results must never depend on "
+           "wall-clock (telemetry-only reads need an allow)");
+    }
+    if (std::regex_search(cl, kTimeSeed)) {
+      emit(i, "nondet-source",
+           "time(...) as a seed makes every run different; seed from the "
+           "config instead");
+    }
+    if (std::regex_search(cl, kDateTime)) {
+      emit(i, "nondet-source",
+           "__DATE__/__TIME__ bake the build time into the binary; output "
+           "would differ across rebuilds");
+    }
+
+    // D2 — unordered-iter (report/export paths).
+    if (fc.report_path) {
+      std::smatch m;
+      if (std::regex_search(cl, m, kRangeFor)) {
+        std::string expr = m[2].str();
+        expr = std::string(rstrip(expr));
+        const std::size_t ws = expr.find_last_of(" \t");
+        const std::string ident = ws == std::string::npos ? expr : expr.substr(ws + 1);
+        if (unordered.count(ident) != 0 ||
+            expr.find("unordered_") != std::string::npos) {
+          emit(i, "unordered-iter",
+               "range-for over unordered container '" + ident +
+                   "' in a report path; bucket order is implementation-"
+                   "defined — copy to a sorted container first");
+        }
+      }
+      for (auto it = std::sregex_iterator(cl.begin(), cl.end(), kBeginCall);
+           it != std::sregex_iterator(); ++it) {
+        const std::string ident = (*it)[1].str();
+        if (unordered.count(ident) != 0) {
+          emit(i, "unordered-iter",
+               "iterator walk of unordered container '" + ident +
+                   "' in a report path; bucket order is implementation-"
+                   "defined — copy to a sorted container first");
+        }
+      }
+    }
+
+    // D3 — raw-rng (sharded code).
+    if (fc.sharded && cl.find("fork") == std::string::npos) {
+      if (std::regex_search(cl, kRawRng) || std::regex_search(cl, kRngTemp)) {
+        emit(i, "raw-rng",
+             "Rng constructed from a raw seed in sharded code; derive the "
+             "stream with fork_stable(stable shard key) so results don't "
+             "depend on shard scheduling");
+      }
+    }
+
+    // D4 — shared-state (worker-executed code).
+    if (fc.worker && in_fn[i] && std::regex_search(cl, kStaticLocal) &&
+        !std::regex_search(cl, kStaticExempt)) {
+      emit(i, "shared-state",
+           "function-local static in worker-executed code is mutable state "
+           "shared across threads; hoist it into shard-local state or make "
+           "it const/atomic");
+    }
+
+    // D5 — float-accum (merge paths).
+    if (fc.merge_path) {
+      for (auto it = std::sregex_iterator(cl.begin(), cl.end(), kCompoundAdd);
+           it != std::sregex_iterator(); ++it) {
+        const std::string ident = (*it)[1].str();
+        // A step expression in a for-header ("t += interval") is a loop
+        // counter, not a cross-item accumulation.
+        static const std::regex kForHeader(R"(\bfor\s*\()");
+        std::smatch fh;
+        if (std::regex_search(cl, fh, kForHeader)) {
+          int depth = 0;
+          bool in_header = false;
+          for (std::size_t p = static_cast<std::size_t>(fh.position(0));
+               p < static_cast<std::size_t>(it->position(0)) && p < cl.size(); ++p) {
+            if (cl[p] == '(') ++depth;
+            if (cl[p] == ')') --depth;
+          }
+          in_header = depth > 0;
+          if (in_header) continue;
+        }
+        if (floats.contains(ident)) {
+          emit(i, "float-accum",
+               "'" + ident +
+                   "' accumulates floating-point values in a merge path; "
+                   "float addition is order-sensitive — annotate the fixed "
+                   "iteration order with // satlint: deterministic-merge: "
+                   "<why>");
+        }
+      }
+    }
+  }
+
+  std::sort(report.violations.begin(), report.violations.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+            });
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Tree walking
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool lintable(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h";
+}
+
+std::string read_file(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TreeReport lint_paths(const std::vector<std::pair<std::string, std::filesystem::path>>&
+                          virtual_and_real,
+                      const LintOptions& options) {
+  TreeReport tree;
+  for (const auto& [vpath, rpath] : virtual_and_real) {
+    bool whitelisted = false;
+    for (const std::string& w : options.whitelist) {
+      if (vpath.find(w) != std::string::npos) whitelisted = true;
+    }
+    if (whitelisted) {
+      ++tree.files_whitelisted;
+      continue;
+    }
+    ++tree.files_scanned;
+    FileReport fr = lint_source(vpath, read_file(rpath), options);
+    if (!fr.violations.empty() || !fr.suppressed.empty()) {
+      tree.files.push_back(std::move(fr));
+    }
+  }
+  return tree;
+}
+
+}  // namespace
+
+TreeReport lint_tree(const std::string& root, const std::vector<std::string>& subdirs,
+                     const LintOptions& options) {
+  namespace fs = std::filesystem;
+  std::vector<std::pair<std::string, fs::path>> files;
+  for (const std::string& sub : subdirs) {
+    const fs::path dir = fs::path(root) / sub;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (entry.is_regular_file() && lintable(entry.path())) {
+        files.emplace_back(fs::relative(entry.path(), root).generic_string(),
+                           entry.path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return lint_paths(files, options);
+}
+
+TreeReport lint_files(const std::vector<std::string>& paths,
+                      const LintOptions& options) {
+  std::vector<std::pair<std::string, std::filesystem::path>> files;
+  files.reserve(paths.size());
+  for (const std::string& p : paths) files.emplace_back(p, p);
+  return lint_paths(files, options);
+}
+
+std::size_t TreeReport::violation_count() const {
+  std::size_t n = 0;
+  for (const FileReport& f : files) n += f.violations.size();
+  return n;
+}
+
+std::size_t TreeReport::suppressed_count() const {
+  std::size_t n = 0;
+  for (const FileReport& f : files) n += f.suppressed.size();
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// JSON report (emit + parse, round-trippable)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void emit_diags(std::ostringstream& out, const TreeReport& report,
+                const std::vector<Diagnostic> FileReport::*member) {
+  bool first = true;
+  for (const FileReport& f : report.files) {
+    for (const Diagnostic& d : f.*member) {
+      if (!first) out << ",";
+      first = false;
+      out << "\n    {\"file\":\"" << json_escape(d.file) << "\",\"line\":" << d.line
+          << ",\"rule\":\"" << json_escape(d.rule) << "\",\"message\":\""
+          << json_escape(d.message) << "\"}";
+    }
+  }
+  if (!first) out << "\n  ";
+}
+
+/// Minimal JSON reader for the report schema (objects, arrays, strings,
+/// non-negative integers). Not a general-purpose parser.
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view text) : text_(text) {}
+
+  bool ok() const { return ok_; }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    ok_ = false;
+    return false;
+  }
+
+  bool peek_is(char c) {
+    skip_ws();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  std::string string() {
+    skip_ws();
+    std::string out;
+    if (!consume('"')) return out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char n = text_[pos_++];
+        c = n == 'n' ? '\n' : n == 't' ? '\t' : n;
+      }
+      out += c;
+    }
+    if (!consume('"')) ok_ = false;
+    return out;
+  }
+
+  long integer() {
+    skip_ws();
+    long v = 0;
+    bool any = false;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      v = v * 10 + (text_[pos_++] - '0');
+      any = true;
+    }
+    if (!any) ok_ = false;
+    return v;
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+std::string to_json(const TreeReport& report) {
+  std::ostringstream out;
+  out << "{\n  \"satlint_version\": 1,\n  \"files_scanned\": " << report.files_scanned
+      << ",\n  \"files_whitelisted\": " << report.files_whitelisted
+      << ",\n  \"violations\": [";
+  emit_diags(out, report, &FileReport::violations);
+  out << "],\n  \"suppressed\": [";
+  emit_diags(out, report, &FileReport::suppressed);
+  out << "]\n}\n";
+  return out.str();
+}
+
+std::optional<TreeReport> from_json(std::string_view json) {
+  JsonReader r(json);
+  TreeReport tree;
+  if (!r.consume('{')) return std::nullopt;
+
+  // file path -> report, in first-seen order via index map.
+  std::map<std::string, std::size_t> index;
+  const auto file_report = [&](const std::string& path) -> FileReport& {
+    const auto it = index.find(path);
+    if (it != index.end()) return tree.files[it->second];
+    index.emplace(path, tree.files.size());
+    tree.files.push_back({path, {}, {}});
+    return tree.files.back();
+  };
+
+  bool first_key = true;
+  while (r.ok() && !r.peek_is('}')) {
+    if (!first_key && !r.consume(',')) return std::nullopt;
+    first_key = false;
+    const std::string key = r.string();
+    if (!r.consume(':')) return std::nullopt;
+    if (key == "satlint_version") {
+      r.integer();
+    } else if (key == "files_scanned") {
+      tree.files_scanned = static_cast<std::size_t>(r.integer());
+    } else if (key == "files_whitelisted") {
+      tree.files_whitelisted = static_cast<std::size_t>(r.integer());
+    } else if (key == "violations" || key == "suppressed") {
+      if (!r.consume('[')) return std::nullopt;
+      bool first = true;
+      while (r.ok() && !r.peek_is(']')) {
+        if (!first && !r.consume(',')) return std::nullopt;
+        first = false;
+        if (!r.consume('{')) return std::nullopt;
+        Diagnostic d;
+        bool first_field = true;
+        while (r.ok() && !r.peek_is('}')) {
+          if (!first_field && !r.consume(',')) return std::nullopt;
+          first_field = false;
+          const std::string field = r.string();
+          if (!r.consume(':')) return std::nullopt;
+          if (field == "file") {
+            d.file = r.string();
+          } else if (field == "line") {
+            d.line = static_cast<int>(r.integer());
+          } else if (field == "rule") {
+            d.rule = r.string();
+          } else if (field == "message") {
+            d.message = r.string();
+          } else {
+            return std::nullopt;
+          }
+        }
+        if (!r.consume('}')) return std::nullopt;
+        FileReport& fr = file_report(d.file);
+        (key == "violations" ? fr.violations : fr.suppressed).push_back(std::move(d));
+      }
+      if (!r.consume(']')) return std::nullopt;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!r.consume('}') || !r.ok()) return std::nullopt;
+  return tree;
+}
+
+}  // namespace satlint

@@ -1,0 +1,125 @@
+// satlint: the repo's determinism & concurrency contract, as a linter.
+//
+// The whole value of this reproduction over the paper's real-hardware
+// study is known ground truth, which only holds while every campaign is
+// bit-deterministic at any thread count. PR 1/PR 2 defend that contract
+// with runtime tests; satlint turns it into a static gate that fails the
+// build the moment a nondeterminism source, an unordered-iteration
+// export, a raw Rng in sharded code, a mutable static in worker code, or
+// an unannotated parallel float accumulation lands in the tree.
+//
+// It is deliberately a pragmatic lexer/line-scanner, not a compiler
+// plugin: comments and string literals are blanked, brace nesting is
+// classified (namespace / type / function), per-file declarations are
+// tracked well enough to know which identifiers are unordered containers
+// or floating-point accumulators, and everything else is regular
+// expressions over the sanitized code. False positives are handled with
+// an inline escape hatch that *requires* a one-line justification:
+//
+//   // satlint:allow(<rule-id>): <why this use is safe>
+//
+// on the offending line or on its own line immediately above. For the
+// float-accum rule the domain-specific spelling
+//
+//   // satlint: deterministic-merge: <why the order is fixed>
+//
+// is accepted as an equivalent suppression.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace satlint {
+
+/// Rule identifiers, used in diagnostics, allow() annotations, and JSON.
+///   D1 nondet-source : rand()/srand(), std::random_device, *_clock::now,
+///                      time(nullptr)-style seeds, __DATE__/__TIME__.
+///   D2 unordered-iter: iteration over std::unordered_{map,set} in report
+///                      or export paths (io/, obs/, campaign results).
+///   D3 raw-rng       : Rng constructed from a seed inside sharded code
+///                      (runtime/, mlab/, ripe/, snoid/) instead of being
+///                      derived with fork_stable.
+///   D4 shared-state  : function-local static (non-const, non-atomic) in
+///                      worker-executed code.
+///   D5 float-accum   : += / -= on a double/float accumulator in a merge
+///                      path without a deterministic-merge annotation.
+/// Plus the meta-rule:
+///   bad-allow        : a satlint:allow() with no justification text.
+struct RuleInfo {
+  std::string_view id;
+  std::string_view summary;
+};
+
+/// All rules satlint knows, in diagnostic-id order.
+const std::vector<RuleInfo>& rules();
+
+struct Diagnostic {
+  std::string file;     ///< path as scanned (virtual path in tests)
+  int line = 0;         ///< 1-based
+  std::string rule;     ///< rule id, e.g. "nondet-source"
+  std::string message;  ///< human-readable explanation
+
+  bool operator==(const Diagnostic&) const = default;
+};
+
+struct LintOptions {
+  /// Path substrings exempt from every rule (reported as whitelisted,
+  /// never scanned). Defaults cover the linter's own fixture corpus.
+  std::vector<std::string> whitelist = {"tests/satlint_fixtures/"};
+};
+
+/// Result of scanning one file.
+struct FileReport {
+  std::string path;
+  std::vector<Diagnostic> violations;  ///< failures (exit nonzero)
+  std::vector<Diagnostic> suppressed;  ///< matched by a justified allow
+};
+
+/// Result of scanning a tree (or an explicit file list).
+struct TreeReport {
+  std::vector<FileReport> files;      ///< only files with findings
+  std::size_t files_scanned = 0;      ///< files actually rule-checked
+  std::size_t files_whitelisted = 0;  ///< files skipped via whitelist
+
+  std::size_t violation_count() const;
+  std::size_t suppressed_count() const;
+  bool clean() const { return violation_count() == 0; }
+};
+
+/// How a path is classified decides which rules apply to it. Exposed for
+/// tests and for the --explain CLI mode.
+struct FileClass {
+  std::string module;     ///< "runtime", "io", "bench", "tests", ...
+  bool report_path = false;  ///< D2 applies
+  bool sharded = false;      ///< D3 applies
+  bool worker = false;       ///< D4 applies
+  bool merge_path = false;   ///< D5 applies
+};
+
+FileClass classify(std::string_view path);
+
+/// Lints one file's content under a (possibly virtual) path. The path
+/// only drives classification; no filesystem access happens here.
+FileReport lint_source(std::string_view path, std::string_view content,
+                       const LintOptions& options = {});
+
+/// Lints every .cpp/.hpp/.h under root/<subdir> for each subdir, in
+/// sorted path order (satlint's own output is deterministic). Missing
+/// subdirs are skipped. Paths in the report are relative to `root`.
+TreeReport lint_tree(const std::string& root, const std::vector<std::string>& subdirs,
+                     const LintOptions& options = {});
+
+/// Lints an explicit list of files (paths reported as given).
+TreeReport lint_files(const std::vector<std::string>& paths,
+                      const LintOptions& options = {});
+
+/// JSON report, stable field order, one violation object per finding.
+std::string to_json(const TreeReport& report);
+
+/// Parses a report produced by to_json (round-trip for tooling that
+/// consumes the JSON artifact). Returns nullopt on malformed input.
+std::optional<TreeReport> from_json(std::string_view json);
+
+}  // namespace satlint
