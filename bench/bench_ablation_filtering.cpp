@@ -94,6 +94,7 @@ void print_ablation() {
   std::printf("\n  GEO strict-threshold sweep:\n");
   for (const double thr : {300.0, 400.0, 500.0, 600.0, 700.0}) {
     snoid::PipelineConfig cfg;
+    cfg.retry = runtime::degrade_under_faults();
     cfg.geo_strict_ms = thr;
     char label[48];
     std::snprintf(label, sizeof(label), "geo_strict = %.0f ms", thr);
@@ -103,6 +104,7 @@ void print_ablation() {
   std::printf("\n  min-tests-per-prefix sweep:\n");
   for (const std::size_t n : {3ul, 10ul, 30ul, 100ul}) {
     snoid::PipelineConfig cfg;
+    cfg.retry = runtime::degrade_under_faults();
     cfg.min_tests_per_prefix = n;
     char label[48];
     std::snprintf(label, sizeof(label), "min tests per /24 = %zu", n);
@@ -112,6 +114,7 @@ void print_ablation() {
   std::printf("\n  KDE-validation LEO floor sweep (corporate-ASN rejection):\n");
   for (const double floor_ms : {20.0, 35.0, 50.0, 80.0}) {
     snoid::PipelineConfig cfg;
+    cfg.retry = runtime::degrade_under_faults();
     cfg.leo_min_peak_ms = floor_ms;
     const auto result = snoid::run_pipeline(ds, cfg);
     const snoid::OperatorResult* starlink = nullptr;
@@ -132,6 +135,7 @@ void print_ablation() {
 void BM_pipeline_sweep(benchmark::State& state) {
   const auto& ds = bench::mlab_dataset();
   snoid::PipelineConfig cfg;
+  cfg.retry = runtime::degrade_under_faults();
   cfg.geo_strict_ms = 400.0 + 100.0 * static_cast<double>(state.range(0));
   for (auto _ : state) {
     benchmark::DoNotOptimize(snoid::run_pipeline(ds, cfg).identified_operators);

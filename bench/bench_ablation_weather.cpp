@@ -2,72 +2,17 @@
 // strong weather sensitivity of satellite access; this bench quantifies
 // it in the reproduction by re-running the NDT campaign with the weather
 // overlay enabled and splitting results by sky condition and orbit.
-#include <map>
-
 #include "bench/bench_common.hpp"
-#include "stats/summary.hpp"
-#include "transport/tcp.hpp"
+#include "io/golden.hpp"
 #include "weather/weather.hpp"
 
 namespace {
 
 using namespace satnet;
 
-void print_weather() {
-  bench::header("Ablation", "Rain fade: throughput/latency by sky condition");
-
-  synth::WorldConfig cfg;
-  cfg.enable_weather = true;
-  const synth::World world(cfg);
-  const weather::WeatherField field(cfg.weather);
-  stats::Rng rng(17);
-
-  // Sample NDT-style flows per (orbit, condition).
-  struct Cell {
-    std::vector<double> goodput_frac;  ///< goodput / plan
-    std::vector<double> retrans;
-    int outages = 0;
-    int n = 0;
-  };
-  std::map<std::pair<orbit::OrbitClass, weather::Condition>, Cell> cells;
-
-  std::map<orbit::OrbitClass, int> sampled;
-  for (const auto& sub : world.subscribers()) {
-    if (sub.tech != synth::AccessTech::satellite) continue;
-    if (++sampled[sub.orbit] > 150) continue;  // per-orbit quota
-    for (int k = 0; k < 4; ++k) {
-      const double t = k * 86400.0 * 13 + 3600.0 * k;
-      const weather::Condition sky = field.at(sub.location, t);
-      auto& cell = cells[{sub.orbit, sky}];
-      ++cell.n;
-      const auto path = world.sample_path(sub, t, rng);
-      if (!path.ok) {
-        ++cell.outages;
-        continue;
-      }
-      transport::TcpFlow flow(path.download, transport::TcpOptions{},
-                              rng.fork(sub.ip.value() + k));
-      const auto r = flow.run_for(8000.0);
-      cell.goodput_frac.push_back(r.goodput_mbps / sub.plan_down_mbps);
-      cell.retrans.push_back(r.retrans_fraction);
-    }
-  }
-
-  std::printf("  %-5s %-11s %5s %18s %14s %8s\n", "orbit", "sky", "n",
-              "goodput/plan (med)", "retrans (med)", "outages");
-  for (const auto& [key, cell] : cells) {
-    if (cell.goodput_frac.empty() && cell.outages == 0) continue;
-    std::printf("  %-5s %-11s %5d %18.2f %14.3f %8d\n",
-                orbit::to_string(key.first).c_str(),
-                std::string(weather::to_string(key.second)).c_str(), cell.n,
-                cell.goodput_frac.empty() ? 0.0 : stats::median(cell.goodput_frac),
-                cell.retrans.empty() ? 0.0 : stats::median(cell.retrans),
-                cell.outages);
-  }
-  bench::note("expected shape (per Kassem/Ma et al.): GEO capacity collapses "
-              "under rain; LEO degrades mildly; only GEO heavy rain causes "
-              "outages");
-}
+// The table lives in io::ablation_weather_report so the golden
+// regression suite (tests/golden_test.cpp) can pin it byte-for-byte.
+void print_weather() { std::fputs(io::ablation_weather_report().c_str(), stdout); }
 
 void BM_weather_field(benchmark::State& state) {
   const weather::WeatherField field;

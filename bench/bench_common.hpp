@@ -20,6 +20,7 @@
 #include <cstring>
 #include <string>
 
+#include "fault/hook.hpp"
 #include "mlab/campaign.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
@@ -89,6 +90,8 @@ struct ObsSession {
   std::string command;
   std::string metrics_out;
   std::string trace_out;
+  std::string fault_plan_path;
+  std::string fault_plan_summary;
   std::chrono::steady_clock::time_point start;
 };
 
@@ -123,6 +126,28 @@ inline void parse_obs_flags(int* argc, char** argv) {
   if (!s.trace_out.empty()) obs::Tracer::global().set_enabled(true);
 }
 
+/// Strips --fault-plan PATH and installs the plan for the whole run.
+/// A malformed plan (or unreadable file) is a hard error.
+inline void parse_fault_flag(int* argc, char** argv) {
+  ObsSession& s = obs_session();
+  const int found = strip_flag(argc, argv, "--fault-plan", &s.fault_plan_path);
+  if (found == 0) return;
+  if (found < 0) {
+    std::fprintf(stderr, "%s: --fault-plan expects a path\n", argv[0]);
+    std::exit(2);
+  }
+  try {
+    fault::FaultPlan plan = fault::FaultPlan::load_file(s.fault_plan_path);
+    s.fault_plan_summary = plan.summary();
+    fault::Hook::install(std::move(plan));
+    std::printf("fault plan %s: %s\n", s.fault_plan_path.c_str(),
+                s.fault_plan_summary.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+    std::exit(2);
+  }
+}
+
 /// Writes requested exports and prints the metrics summary. No-op when
 /// neither obs flag was given.
 inline void obs_finish() {
@@ -132,6 +157,10 @@ inline void obs_finish() {
   manifest.tool = s.tool;
   manifest.command = s.command;
   manifest.threads = runtime::resolve_threads(threads());
+  if (!s.fault_plan_path.empty()) {
+    manifest.notes.emplace_back("fault_plan", s.fault_plan_path);
+    manifest.notes.emplace_back("fault_events", s.fault_plan_summary);
+  }
   manifest.wall_ms = std::chrono::duration<double, std::milli>(
                          // satlint:allow(nondet-source): run-manifest wall-clock; results never read it
                          std::chrono::steady_clock::now() - s.start)
@@ -158,6 +187,7 @@ inline const mlab::NdtDataset& mlab_dataset() {
     cfg.volume_scale = 0.002;
     cfg.min_tests_per_sno = 30;
     cfg.threads = threads();
+    cfg.retry = runtime::degrade_under_faults();
     return mlab::run_campaign(world(), cfg);
   }();
   return ds;
@@ -168,6 +198,7 @@ inline const snoid::PipelineResult& pipeline() {
   static const snoid::PipelineResult r = [] {
     snoid::PipelineConfig cfg;
     cfg.threads = threads();
+    cfg.retry = runtime::degrade_under_faults();
     return snoid::run_pipeline(mlab_dataset(), cfg);
   }();
   return r;
@@ -180,6 +211,7 @@ inline const ripe::AtlasDataset& atlas_dataset() {
     cfg.duration_days = 366.0;
     cfg.round_interval_hours = 8.0;
     cfg.threads = threads();
+    cfg.retry = runtime::degrade_under_faults();
     return ripe::run_atlas_campaign(cfg);
   }();
   return ds;
@@ -202,6 +234,7 @@ inline void note(const char* text) { std::printf("  %s\n", text); }
     ::satnet::bench::obs_init(argc, argv);               \
     ::satnet::bench::parse_threads_flag(&argc, argv);    \
     ::satnet::bench::parse_obs_flags(&argc, argv);       \
+    ::satnet::bench::parse_fault_flag(&argc, argv);      \
     ::benchmark::Initialize(&argc, argv);                \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
     print_fn();                                          \

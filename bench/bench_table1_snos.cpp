@@ -53,8 +53,10 @@ void print_table1() {
 
 void BM_pipeline(benchmark::State& state) {
   const auto& ds = bench::mlab_dataset();
+  snoid::PipelineConfig cfg;
+  cfg.retry = runtime::degrade_under_faults();
   for (auto _ : state) {
-    const auto result = snoid::run_pipeline(ds);
+    const auto result = snoid::run_pipeline(ds, cfg);
     benchmark::DoNotOptimize(result.identified_operators);
   }
   state.counters["records"] = static_cast<double>(ds.size());
@@ -65,6 +67,7 @@ void BM_campaign_small(benchmark::State& state) {
   mlab::CampaignConfig cfg;
   cfg.volume_scale = 0.0001;
   cfg.min_tests_per_sno = 10;
+  cfg.retry = runtime::degrade_under_faults();
   for (auto _ : state) {
     const auto ds = mlab::run_campaign(bench::world(), cfg);
     benchmark::DoNotOptimize(ds.size());

@@ -55,6 +55,7 @@ void BM_atlas_month(benchmark::State& state) {
   ripe::AtlasConfig cfg;
   cfg.duration_days = 30.0;
   cfg.round_interval_hours = 24.0;
+  cfg.retry = runtime::degrade_under_faults();
   for (auto _ : state) {
     const auto ds = ripe::run_atlas_campaign(cfg);
     benchmark::DoNotOptimize(ds.traceroutes.size());

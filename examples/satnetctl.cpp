@@ -18,6 +18,13 @@
 // When either is given a human-readable metrics summary is printed at
 // the end of the run. Exports are wall-clock telemetry only; simulation
 // output stays byte-identical with or without them.
+//
+// Fault injection: every campaign-running command accepts
+//   --fault-plan PATH    install a fault plan (see src/fault) for the run
+//   --retries N          attempts per shard before quarantine (default 1)
+//   --degrade            complete the campaign with degraded accounting
+//                        instead of aborting on shard failure
+// The active plan and its event summary land in the run manifest.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +33,7 @@
 #include <iostream>
 #include <string>
 
+#include "fault/hook.hpp"
 #include "io/csv.hpp"
 #include "io/report.hpp"
 #include "mlab/campaign.hpp"
@@ -60,6 +68,37 @@ unsigned threads_flag(int argc, char** argv) {
   return static_cast<unsigned>(n);
 }
 
+bool has_flag(int argc, char** argv, const char* name) {
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+runtime::RetryPolicy retry_flags(int argc, char** argv) {
+  runtime::RetryPolicy policy;
+  const char* raw = flag_value(argc, argv, "--retries", "1");
+  char* end = nullptr;
+  const unsigned long n = std::strtoul(raw, &end, 10);
+  if (end == raw || *end != '\0' || n == 0) {
+    std::fprintf(stderr, "satnetctl: --retries expects a number >= 1, got '%s'\n", raw);
+    std::exit(2);
+  }
+  policy.max_attempts = static_cast<std::size_t>(n);
+  policy.degrade = has_flag(argc, argv, "--degrade");
+  return policy;
+}
+
+void print_campaign_report(const runtime::CampaignReport& report) {
+  if (report.clean()) return;
+  std::printf("campaign '%s': %zu shards, %zu retries, %zu degraded\n",
+              report.phase.c_str(), report.shards, report.retries, report.degraded);
+  for (std::size_t i = 0; i < report.degraded_shards.size(); ++i) {
+    std::printf("  degraded shard %zu: %s\n", report.degraded_shards[i],
+                report.degraded_errors[i].c_str());
+  }
+}
+
 int cmd_campaign(int argc, char** argv) {
   const double scale = std::stod(flag_value(argc, argv, "--scale", "0.0005"));
   const std::string out_path = flag_value(argc, argv, "--out", "ndt.csv");
@@ -67,7 +106,10 @@ int cmd_campaign(int argc, char** argv) {
   mlab::CampaignConfig cfg;
   cfg.volume_scale = scale;
   cfg.threads = threads_flag(argc, argv);
-  const auto dataset = mlab::run_campaign(world, cfg);
+  cfg.retry = retry_flags(argc, argv);
+  runtime::CampaignReport report;
+  const auto dataset = mlab::run_campaign(world, cfg, &report);
+  print_campaign_report(report);
   std::ofstream out(out_path);
   if (!out) {
     std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
@@ -85,9 +127,13 @@ int cmd_pipeline(int argc, char** argv) {
   mlab::CampaignConfig cfg;
   cfg.volume_scale = scale;
   cfg.threads = threads_flag(argc, argv);
-  const auto dataset = mlab::run_campaign(world, cfg);
+  cfg.retry = retry_flags(argc, argv);
+  runtime::CampaignReport report;
+  const auto dataset = mlab::run_campaign(world, cfg, &report);
+  print_campaign_report(report);
   snoid::PipelineConfig pcfg;
   pcfg.threads = cfg.threads;
+  pcfg.retry = cfg.retry;
   const auto result = snoid::run_pipeline(dataset, pcfg);
   std::printf("%s", snoid::describe(result).c_str());
   if (!out_path.empty()) {
@@ -109,6 +155,7 @@ int cmd_atlas(int argc, char** argv) {
   cfg.duration_days = days;
   cfg.round_interval_hours = 24.0;
   cfg.threads = threads_flag(argc, argv);
+  cfg.retry = retry_flags(argc, argv);
   const auto dataset = ripe::run_atlas_campaign(cfg);
   std::ofstream out(out_path);
   if (!out) {
@@ -128,14 +175,19 @@ int cmd_report(int argc, char** argv) {
   mlab::CampaignConfig mc;
   mc.volume_scale = scale;
   mc.threads = threads_flag(argc, argv);
-  const auto dataset = mlab::run_campaign(world, mc);
+  mc.retry = retry_flags(argc, argv);
+  runtime::CampaignReport report;
+  const auto dataset = mlab::run_campaign(world, mc, &report);
+  print_campaign_report(report);
   snoid::PipelineConfig pcfg;
   pcfg.threads = mc.threads;
+  pcfg.retry = mc.retry;
   const auto result = snoid::run_pipeline(dataset, pcfg);
   ripe::AtlasConfig ac;
   ac.duration_days = 366.0;
   ac.round_interval_hours = 24.0;
   ac.threads = mc.threads;
+  ac.retry = mc.retry;
   const auto atlas = ripe::run_atlas_campaign(ac);
   std::ofstream out(out_path);
   if (!out) {
@@ -183,7 +235,9 @@ int main(int argc, char** argv) {
                  "  census\n"
                  "  report   [--scale S] [--out FILE] [--threads N]\n"
                  "every command also accepts --metrics-out PATH (Prometheus\n"
-                 "text) and --trace-out PATH (JSON lines); '-' = stdout\n"
+                 "text) and --trace-out PATH (JSON lines); '-' = stdout,\n"
+                 "and --fault-plan PATH [--retries N] [--degrade] to inject\n"
+                 "a deterministic fault schedule (see README, src/fault)\n"
                  "--threads 0 (default) uses one worker per hardware thread;\n"
                  "output is identical for every thread count\n");
     return 2;
@@ -191,6 +245,20 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   const std::string metrics_out = flag_value(argc, argv, "--metrics-out", "");
   const std::string trace_out = flag_value(argc, argv, "--trace-out", "");
+  const std::string fault_plan_path = flag_value(argc, argv, "--fault-plan", "");
+  std::string fault_plan_summary;
+  if (!fault_plan_path.empty()) {
+    try {
+      fault::FaultPlan plan = fault::FaultPlan::load_file(fault_plan_path);
+      fault_plan_summary = plan.summary();
+      fault::Hook::install(std::move(plan));
+      std::printf("fault plan %s: %s\n", fault_plan_path.c_str(),
+                  fault_plan_summary.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "satnetctl: %s\n", e.what());
+      return 2;
+    }
+  }
   if (!trace_out.empty()) obs::Tracer::global().set_enabled(true);
   // satlint:allow(nondet-source): run-manifest wall-clock; results never read it
   const auto start = std::chrono::steady_clock::now();
@@ -205,6 +273,10 @@ int main(int argc, char** argv) {
       manifest.command += argv[i];
     }
     manifest.threads = runtime::resolve_threads(threads_flag(argc, argv));
+    if (!fault_plan_path.empty()) {
+      manifest.notes.emplace_back("fault_plan", fault_plan_path);
+      manifest.notes.emplace_back("fault_events", fault_plan_summary);
+    }
     manifest.wall_ms = std::chrono::duration<double, std::milli>(
                            // satlint:allow(nondet-source): run-manifest wall-clock; results never read it
                            std::chrono::steady_clock::now() - start)

@@ -3,34 +3,36 @@
 # subset and they run in gate order (lint first, like CI). Run from the
 # repo root:
 #
-#   scripts/verify.sh                  # everything: lint + tier-1 + tsan + asan
+#   scripts/verify.sh                  # everything: lint + tier-1 + golden + tsan + asan
 #   scripts/verify.sh --lint           # satlint + format check (CI job 1)
 #   scripts/verify.sh --tier1          # build + full ctest (CI job 2)
-#   scripts/verify.sh --tsan           # ThreadSanitizer pass (CI job 3)
-#   scripts/verify.sh --asan           # ASan+UBSan full ctest (CI job 4)
+#   scripts/verify.sh --golden         # golden snapshots + determinism/fault repeat (CI job 3)
+#   scripts/verify.sh --tsan           # ThreadSanitizer pass (CI job 4)
+#   scripts/verify.sh --asan           # ASan+UBSan full ctest (CI job 5)
 #   scripts/verify.sh --lint --tier1   # compose any subset
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-run_lint=0 run_tier1=0 run_tsan=0 run_asan=0
+run_lint=0 run_tier1=0 run_golden=0 run_tsan=0 run_asan=0
 if [[ $# -eq 0 ]]; then
-  run_lint=1 run_tier1=1 run_tsan=1 run_asan=1
+  run_lint=1 run_tier1=1 run_golden=1 run_tsan=1 run_asan=1
 fi
 for arg in "$@"; do
   case "$arg" in
-    --lint)  run_lint=1 ;;
-    --tier1) run_tier1=1 ;;
-    --tsan)  run_tsan=1 ;;
-    --asan)  run_asan=1 ;;
-    --all)   run_lint=1 run_tier1=1 run_tsan=1 run_asan=1 ;;
+    --lint)   run_lint=1 ;;
+    --tier1)  run_tier1=1 ;;
+    --golden) run_golden=1 ;;
+    --tsan)   run_tsan=1 ;;
+    --asan)   run_asan=1 ;;
+    --all)    run_lint=1 run_tier1=1 run_golden=1 run_tsan=1 run_asan=1 ;;
     -h|--help)
       grep '^#' "$0" | sed 's/^# \{0,1\}//'
       exit 0
       ;;
     *)
-      echo "verify.sh: unknown mode '$arg' (try --lint, --tier1, --tsan, --asan)" >&2
+      echo "verify.sh: unknown mode '$arg' (try --lint, --tier1, --golden, --tsan, --asan)" >&2
       exit 2
       ;;
   esac
@@ -51,12 +53,28 @@ if [[ "$run_tier1" == 1 ]]; then
   ctest --test-dir build --output-on-failure -j "${jobs}"
 fi
 
+if [[ "$run_golden" == 1 ]]; then
+  echo "== golden: snapshot suite + determinism/fault repeat at varying threads =="
+  cmake -B build -S .
+  cmake --build build -j "${jobs}" --target golden_test determinism_test fault_test
+  # The flake gate: the determinism-sensitive suites run 3x, golden_test
+  # additionally asserting one more thread count each round. Snapshots
+  # regenerate only via `golden_test --update-golden`, never here.
+  for threads in 1 2 8; do
+    echo "-- repeat round: golden_test --threads ${threads} --"
+    ./build/tests/golden_test --threads "${threads}"
+    ./build/tests/fault_test
+    ./build/tests/determinism_test
+  done
+fi
+
 if [[ "$run_tsan" == 1 ]]; then
-  echo "== TSan: determinism + runtime + obs tests under ThreadSanitizer =="
+  echo "== TSan: determinism + runtime + obs + fault tests under ThreadSanitizer =="
   cmake -B build-tsan -S . -DSATNET_TSAN=ON
-  cmake --build build-tsan -j "${jobs}" --target determinism_test runtime_test obs_test
+  cmake --build build-tsan -j "${jobs}" --target determinism_test runtime_test obs_test fault_test
   ./build-tsan/tests/runtime_test
   ./build-tsan/tests/obs_test
+  ./build-tsan/tests/fault_test
   ./build-tsan/tests/determinism_test
 fi
 

@@ -1,0 +1,127 @@
+#include "fault/hook.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "stats/rng.hpp"
+
+namespace satnet::fault {
+
+namespace {
+
+// Installed hook + retired predecessors. Hooks are immutable, so a
+// reader holding a stale pointer is always safe; the retired list just
+// keeps replaced hooks alive for the process lifetime (installs happen
+// per run, not per sample — the leak is bounded and TSan-clean).
+std::atomic<const Hook*> g_active{nullptr};
+std::mutex g_retired_mu;
+std::vector<std::unique_ptr<const Hook>>& retired_hooks() {
+  static std::vector<std::unique_ptr<const Hook>> list;
+  return list;
+}
+
+obs::Counter& hit_counter(EventKind kind) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  switch (kind) {
+    case EventKind::gateway_outage:
+      return reg.counter("fault.hit.gateway_outage", "gateway eligibility denials");
+    case EventKind::handoff_storm:
+      return reg.counter("fault.hit.handoff_storm", "storm-scaled reconfig samples");
+    case EventKind::weather_escalation:
+      return reg.counter("fault.hit.weather_escalation", "weather severity floors applied");
+    case EventKind::burst_loss:
+      return reg.counter("fault.hit.burst_loss", "space-segment loss boosts applied");
+    case EventKind::shard_failure:
+      return reg.counter("fault.hit.shard_failure", "injected shard-task failures");
+  }
+  return reg.counter("fault.hit.unknown", "unreachable");
+}
+
+}  // namespace
+
+Hook::Hook(FaultPlan plan) : plan_(std::move(plan)) { plan_.validate(); }
+
+bool Hook::gateway_down(std::string_view gateway, double t_sec) const {
+  for (const FaultEvent& ev : plan_.events()) {
+    if (ev.kind == EventKind::gateway_outage && ev.matches(gateway) &&
+        ev.active_at(t_sec)) {
+      hit_counter(ev.kind).add(1);
+      return true;
+    }
+  }
+  return false;
+}
+
+double Hook::reconfig_interval_scale(std::string_view network, double t_sec) const {
+  double scale = 1.0;
+  for (const FaultEvent& ev : plan_.events()) {
+    if (ev.kind == EventKind::handoff_storm && ev.matches(network) &&
+        ev.active_at(t_sec)) {
+      scale = std::max(scale, ev.magnitude);
+    }
+  }
+  if (scale > 1.0) hit_counter(EventKind::handoff_storm).add(1);
+  return scale;
+}
+
+int Hook::weather_severity_floor(const geo::GeoPoint& where, double t_sec) const {
+  int floor = 0;
+  for (const FaultEvent& ev : plan_.events()) {
+    if (ev.kind == EventKind::weather_escalation && ev.active_at(t_sec) &&
+        ev.covers(where)) {
+      floor = std::max(floor, static_cast<int>(ev.magnitude));
+    }
+  }
+  if (floor > 0) hit_counter(EventKind::weather_escalation).add(1);
+  return floor;
+}
+
+double Hook::extra_space_loss(std::string_view operator_name, double t_sec) const {
+  double extra = 0.0;
+  for (const FaultEvent& ev : plan_.events()) {
+    if (ev.kind == EventKind::burst_loss && ev.matches(operator_name) &&
+        ev.active_at(t_sec)) {
+      extra += ev.magnitude;
+    }
+  }
+  if (extra > 0) hit_counter(EventKind::burst_loss).add(1);
+  return std::min(extra, 1.0);
+}
+
+bool Hook::fail_shard(std::string_view phase, std::size_t shard,
+                      std::size_t attempt) const {
+  for (const FaultEvent& ev : plan_.events()) {
+    if (ev.kind != EventKind::shard_failure || !ev.matches(phase)) continue;
+    // Decision = pure hash of (phase, shard, attempt) against the
+    // event's probability; no Rng state, no thread identity.
+    const std::uint64_t h =
+        stats::Rng::hash_name(std::string(phase) + "#" + std::to_string(shard) + "#" +
+                              std::to_string(attempt));
+    const double u = static_cast<double>(h % 1000003ull) / 1000003.0;
+    if (u < ev.magnitude) {
+      hit_counter(ev.kind).add(1);
+      return true;
+    }
+  }
+  return false;
+}
+
+const Hook* Hook::active() { return g_active.load(std::memory_order_acquire); }
+
+void Hook::install(FaultPlan plan) {
+  auto next = std::make_unique<const Hook>(std::move(plan));
+  const Hook* prev = g_active.exchange(next.get(), std::memory_order_acq_rel);
+  std::lock_guard<std::mutex> lock(g_retired_mu);
+  retired_hooks().push_back(std::move(next));
+  if (prev) {
+    // prev already lives in the retired list; nothing to free.
+    (void)prev;
+  }
+}
+
+void Hook::clear() { g_active.store(nullptr, std::memory_order_release); }
+
+}  // namespace satnet::fault

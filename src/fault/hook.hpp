@@ -1,0 +1,107 @@
+// The single gate every fault-injection point goes through.
+//
+// Injection sites in src/ never grow ad-hoc `if (inject_...)` flags
+// (satlint D6 enforces this): they ask the process-wide Hook, which
+// answers from the installed FaultPlan and counts every hit into the
+// fault.hit.* metrics. With no hook installed every query returns its
+// neutral answer at the cost of one relaxed atomic load, so production
+// paths pay nothing for the capability.
+//
+// Installation is an atomic pointer swap. Replaced hooks are retired,
+// not deleted, so a reader that loaded the old pointer mid-campaign can
+// finish its query safely (hooks are immutable after construction, and
+// plans are plan-lifetime objects, not per-sample ones). ScopedHook is
+// the RAII shape tests and CLI entry points use.
+//
+// Determinism: every answer is a pure function of (plan, query args).
+// The shard-failure decision hashes (phase, shard, attempt) — never a
+// thread id or clock — so injected failures land on the same shards at
+// any thread count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "fault/plan.hpp"
+
+namespace satnet::fault {
+
+/// Thrown by the campaign runtime when the hook injects a shard-task
+/// failure; also usable by tests as a recognizable worker error.
+class InjectedShardFailure : public std::runtime_error {
+ public:
+  InjectedShardFailure(std::string_view phase, std::size_t shard, std::size_t attempt)
+      : std::runtime_error("injected shard failure: phase=" + std::string(phase) +
+                           " shard=" + std::to_string(shard) +
+                           " attempt=" + std::to_string(attempt)),
+        shard_(shard),
+        attempt_(attempt) {}
+
+  std::size_t shard() const { return shard_; }
+  std::size_t attempt() const { return attempt_; }
+
+ private:
+  std::size_t shard_;
+  std::size_t attempt_;
+};
+
+/// Immutable query interface over an installed FaultPlan. All queries
+/// are const, thread-safe, and increment fault.hit.* counters when an
+/// event applies.
+class Hook {
+ public:
+  explicit Hook(FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// orbit: is this gateway inside an outage window at time t?
+  bool gateway_down(std::string_view gateway, double t_sec) const;
+
+  /// orbit: >= 1; divide the access network's reconfig interval by this
+  /// during a handoff storm (magnitude = how many times faster epochs
+  /// roll). Returns 1 outside storm windows.
+  double reconfig_interval_scale(std::string_view network, double t_sec) const;
+
+  /// weather: severity floor at this location/time — 0 none, 1 cloudy,
+  /// 2 rain, 3 heavy rain. The strongest covering escalation wins.
+  int weather_severity_floor(const geo::GeoPoint& where, double t_sec) const;
+
+  /// transport: extra post-FEC loss fraction on the space segment for
+  /// this operator at time t (sum of active burst_loss events).
+  double extra_space_loss(std::string_view operator_name, double t_sec) const;
+
+  /// runtime: should this (phase, shard, attempt) fail? Pure hash
+  /// decision against the per-attempt failure probability of a matching
+  /// shard_failure event — stable across shard/thread counts.
+  bool fail_shard(std::string_view phase, std::size_t shard, std::size_t attempt) const;
+
+  /// The installed hook, or nullptr. One relaxed-ish (acquire) load.
+  static const Hook* active();
+
+  /// Replaces the installed hook. The previous hook is retired (kept
+  /// alive for the process lifetime), never deleted under readers.
+  static void install(FaultPlan plan);
+
+  /// Uninstalls; queries return neutral answers again.
+  static void clear();
+
+ private:
+  FaultPlan plan_;
+};
+
+/// Installs a plan for a scope (a CLI run, a test body); restores the
+/// empty state on exit. Scopes don't nest meaningfully — the last one
+/// destroyed clears the hook.
+class ScopedHook {
+ public:
+  explicit ScopedHook(FaultPlan plan) { Hook::install(std::move(plan)); }
+  ~ScopedHook() { Hook::clear(); }
+
+  ScopedHook(const ScopedHook&) = delete;
+  ScopedHook& operator=(const ScopedHook&) = delete;
+};
+
+}  // namespace satnet::fault

@@ -1,0 +1,289 @@
+#include "fault/plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+
+namespace satnet::fault {
+
+namespace {
+
+constexpr std::string_view kKindNames[] = {
+    "gateway_outage", "handoff_storm", "weather_escalation", "burst_loss",
+    "shard_failure",
+};
+
+/// Canonical event order: (kind, target, t_start). to_spec() emits it,
+/// the constructor restores it, so plans compare structurally.
+bool event_less(const FaultEvent& a, const FaultEvent& b) {
+  if (a.kind != b.kind) return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+  if (a.target != b.target) return a.target < b.target;
+  return a.t_start_sec < b.t_start_sec;
+}
+
+/// Doubles in the spec print with enough digits to round-trip exactly.
+std::string num(double v) {
+  std::ostringstream ss;
+  ss.precision(17);
+  ss << v;
+  return ss.str();
+}
+
+double parse_num(const std::string& field, int line_no) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(field, &used);
+    if (used != field.size()) throw std::invalid_argument(field);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("fault spec line " + std::to_string(line_no) +
+                                ": not a number: '" + field + "'");
+  }
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string_view to_string(EventKind kind) {
+  return kKindNames[static_cast<std::size_t>(kind)];
+}
+
+EventKind parse_kind(std::string_view name) {
+  for (std::size_t i = 0; i < std::size(kKindNames); ++i) {
+    if (kKindNames[i] == name) return static_cast<EventKind>(i);
+  }
+  throw std::invalid_argument("unknown fault event kind: '" + std::string(name) + "'");
+}
+
+FaultPlan::FaultPlan(std::vector<FaultEvent> events) : events_(std::move(events)) {
+  std::stable_sort(events_.begin(), events_.end(), event_less);
+}
+
+FaultPlan FaultPlan::parse_spec(std::string_view text) {
+  std::vector<FaultEvent> events;
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = std::min(text.find('\n', pos), text.size());
+    std::string_view line = trim(text.substr(pos, eol - pos));
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty() || line.front() == '#') {
+      if (eol == text.size()) break;
+      continue;
+    }
+
+    std::vector<std::string> fields;
+    std::size_t fpos = 0;
+    while (fpos <= line.size()) {
+      const std::size_t comma = std::min(line.find(',', fpos), line.size());
+      fields.emplace_back(trim(line.substr(fpos, comma - fpos)));
+      fpos = comma + 1;
+      if (comma == line.size()) break;
+    }
+    if (fields.size() != 5 && fields.size() != 8) {
+      throw std::invalid_argument(
+          "fault spec line " + std::to_string(line_no) +
+          ": expected kind,target,start,end,magnitude[,lat,lon,radius_km], got " +
+          std::to_string(fields.size()) + " field(s)");
+    }
+
+    FaultEvent ev;
+    try {
+      ev.kind = parse_kind(fields[0]);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("fault spec line " + std::to_string(line_no) + ": " +
+                                  e.what());
+    }
+    ev.target = fields[1];
+    if (ev.target.empty()) {
+      throw std::invalid_argument("fault spec line " + std::to_string(line_no) +
+                                  ": empty target");
+    }
+    ev.t_start_sec = parse_num(fields[2], line_no);
+    ev.t_end_sec = parse_num(fields[3], line_no);
+    ev.magnitude = parse_num(fields[4], line_no);
+    if (fields.size() == 8) {
+      ev.center = {parse_num(fields[5], line_no), parse_num(fields[6], line_no), 0.0};
+      ev.radius_km = parse_num(fields[7], line_no);
+    }
+    events.push_back(std::move(ev));
+    if (eol == text.size()) break;
+  }
+  FaultPlan plan(std::move(events));
+  plan.validate();
+  return plan;
+}
+
+FaultPlan FaultPlan::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read fault plan: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_spec(ss.str());
+}
+
+std::string FaultPlan::to_spec() const {
+  std::ostringstream out;
+  out << "# fault plan: kind,target,start_sec,end_sec,magnitude[,lat,lon,radius_km]\n";
+  for (const FaultEvent& ev : events_) {
+    out << to_string(ev.kind) << ',' << ev.target << ',' << num(ev.t_start_sec) << ','
+        << num(ev.t_end_sec) << ',' << num(ev.magnitude);
+    if (ev.kind == EventKind::weather_escalation) {
+      out << ',' << num(ev.center.lat_deg) << ',' << num(ev.center.lon_deg) << ','
+          << num(ev.radius_km);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+void FaultPlan::validate() const {
+  const auto describe = [](const FaultEvent& ev) {
+    return std::string(to_string(ev.kind)) + " on '" + ev.target + "' at [" +
+           num(ev.t_start_sec) + ", " + num(ev.t_end_sec) + ")";
+  };
+  for (const FaultEvent& ev : events_) {
+    if (!(ev.t_end_sec > ev.t_start_sec)) {
+      throw std::invalid_argument("fault event has an empty window: " + describe(ev));
+    }
+    if (ev.magnitude <= 0) {
+      throw std::invalid_argument("fault event needs magnitude > 0: " + describe(ev));
+    }
+    if ((ev.kind == EventKind::burst_loss || ev.kind == EventKind::shard_failure) &&
+        ev.magnitude > 1.0) {
+      throw std::invalid_argument("loss/failure magnitude is a fraction <= 1: " +
+                                  describe(ev));
+    }
+    if (ev.kind == EventKind::weather_escalation &&
+        (ev.magnitude > 3.0 || ev.radius_km <= 0)) {
+      throw std::invalid_argument(
+          "weather escalation needs severity 1..3 and radius_km > 0: " + describe(ev));
+    }
+  }
+  // Events are sorted by (kind, target, t_start); overlap on one target
+  // is therefore always between neighbours.
+  for (std::size_t i = 1; i < events_.size(); ++i) {
+    const FaultEvent& prev = events_[i - 1];
+    const FaultEvent& cur = events_[i];
+    if (prev.kind == cur.kind && prev.target == cur.target &&
+        cur.t_start_sec < prev.t_end_sec) {
+      throw std::invalid_argument("fault events overlap on one target: " +
+                                  describe(prev) + " and " + describe(cur));
+    }
+  }
+}
+
+FaultPlan FaultPlan::generate(const GenerateConfig& config, std::uint64_t seed) {
+  std::vector<FaultEvent> events;
+  const stats::Rng master(seed);
+
+  // Slot construction: the k events of one (kind, target) stream land in
+  // k equal slots of the horizon, each window inside its slot, so
+  // same-target windows cannot overlap by construction. Every draw comes
+  // from a stream forked by the stable key (kind, index) — never by how
+  // many events other kinds produced.
+  const auto window_in_slot = [&](EventKind kind, std::size_t index,
+                                  std::size_t slot, std::size_t n_slots,
+                                  FaultEvent& ev) {
+    stats::Rng rng =
+        master.fork_stable(to_string(kind)).fork_stable(static_cast<std::uint64_t>(index));
+    const double slot_len = config.horizon_sec / static_cast<double>(n_slots);
+    const double begin = static_cast<double>(slot) * slot_len;
+    ev.t_start_sec = begin + rng.uniform(0.0, 0.4) * slot_len;
+    ev.t_end_sec = ev.t_start_sec + rng.uniform(0.2, 0.5) * slot_len;
+    return rng;  // for kind-specific magnitude draws
+  };
+
+  if (config.gateway_outages > 0) {
+    // Round-robin over the target gateways; per-target slot index keeps
+    // one gateway's outages disjoint.
+    const std::size_t n_targets = std::max<std::size_t>(config.gateway_names.size(), 1);
+    const std::size_t per_target = (config.gateway_outages + n_targets - 1) / n_targets;
+    std::map<std::string, std::size_t> next_slot;
+    for (std::size_t i = 0; i < config.gateway_outages; ++i) {
+      FaultEvent ev;
+      ev.kind = EventKind::gateway_outage;
+      ev.target = config.gateway_names.empty()
+                      ? "*"
+                      : config.gateway_names[i % config.gateway_names.size()];
+      window_in_slot(ev.kind, i, next_slot[ev.target]++, per_target, ev);
+      ev.magnitude = 1.0;
+      events.push_back(std::move(ev));
+    }
+  }
+
+  for (std::size_t i = 0; i < config.handoff_storms; ++i) {
+    FaultEvent ev;
+    ev.kind = EventKind::handoff_storm;
+    ev.target = config.storm_network;
+    stats::Rng rng = window_in_slot(ev.kind, i, i, config.handoff_storms, ev);
+    // Epochs roll 3x-8x faster during a storm.
+    ev.magnitude = std::floor(rng.uniform(3.0, 8.0));
+    events.push_back(std::move(ev));
+  }
+
+  for (std::size_t i = 0; i < config.weather_escalations; ++i) {
+    FaultEvent ev;
+    ev.kind = EventKind::weather_escalation;
+    ev.target = "region" + std::to_string(i);
+    stats::Rng rng = window_in_slot(ev.kind, i, i, config.weather_escalations, ev);
+    ev.center = config.weather_centers.empty()
+                    ? geo::GeoPoint{rng.uniform(-55.0, 55.0), rng.uniform(-180.0, 180.0),
+                                    0.0}
+                    : config.weather_centers[i % config.weather_centers.size()];
+    ev.radius_km = rng.uniform(300.0, 1200.0);
+    ev.magnitude = std::floor(rng.uniform(2.0, 4.0));  // rain or heavy rain
+    events.push_back(std::move(ev));
+  }
+
+  for (std::size_t i = 0; i < config.loss_bursts; ++i) {
+    FaultEvent ev;
+    ev.kind = EventKind::burst_loss;
+    ev.target = config.loss_operator;
+    window_in_slot(ev.kind, i, i, config.loss_bursts, ev);
+    ev.magnitude = config.loss_fraction;
+    events.push_back(std::move(ev));
+  }
+
+  if (config.shard_failure_prob > 0) {
+    FaultEvent ev;
+    ev.kind = EventKind::shard_failure;
+    ev.target = config.shard_phase;
+    ev.t_start_sec = 0;
+    ev.t_end_sec = std::max(config.horizon_sec, 1.0);
+    ev.magnitude = config.shard_failure_prob;
+    events.push_back(std::move(ev));
+  }
+
+  FaultPlan plan(std::move(events));
+  plan.validate();
+  return plan;
+}
+
+std::string FaultPlan::summary() const {
+  std::map<std::string, std::size_t> by_kind;
+  for (const FaultEvent& ev : events_) ++by_kind[std::string(to_string(ev.kind))];
+  std::string out;
+  for (const auto& [kind, n] : by_kind) {
+    if (!out.empty()) out += ' ';
+    out += kind + ":" + std::to_string(n);
+  }
+  return out.empty() ? "empty" : out;
+}
+
+}  // namespace satnet::fault

@@ -1,0 +1,142 @@
+// Deterministic fault plans: the disruption scenarios behind the paper's
+// latency/loss story, as replayable schedules.
+//
+// The paper's tail behaviour is driven by discrete events — 15-second
+// reconfiguration handoffs (§5.1), PoP detours, and rain fade that takes
+// Ka links into outright outage (§5.2). Related work (Mohan et al.;
+// Ottens et al.'s trace-driven Hypatia emulation) argues such disruption
+// traces must be *replayable* to be credible. A FaultPlan is exactly
+// that: a list of time-windowed fault events, parsed from a small text
+// spec or synthesized deterministically from a seed, that the injection
+// hooks (fault/hook.hpp) consult during a campaign. A plan is a pure
+// value — the same plan produces the same campaign output at any thread
+// count.
+//
+// Event taxonomy (see DESIGN.md §10):
+//   gateway_outage      a ground station drops out; target = gateway name
+//   handoff_storm       forced reconfiguration burst; target = access
+//                       network name ("starlink", ...; "*" = all LEO/MEO);
+//                       magnitude = how many times faster epochs roll
+//   weather_escalation  regional sky-condition floor; target = region
+//                       label, center/radius give the area, magnitude =
+//                       severity (1 cloudy, 2 rain, 3 heavy rain)
+//   burst_loss          extra post-FEC loss on the space segment; target
+//                       = operator name ("*" = all), magnitude = added
+//                       loss fraction
+//   shard_failure       injected shard-task failures in the campaign
+//                       runtime; target = campaign phase ("mlab.campaign",
+//                       "*" = all), magnitude = per-attempt failure
+//                       probability
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geo/geodesy.hpp"
+
+namespace satnet::fault {
+
+enum class EventKind {
+  gateway_outage,
+  handoff_storm,
+  weather_escalation,
+  burst_loss,
+  shard_failure,
+};
+
+std::string_view to_string(EventKind kind);
+/// Parses a kind name; throws std::invalid_argument on an unknown one.
+EventKind parse_kind(std::string_view name);
+
+/// One scheduled fault. Which fields matter depends on `kind` (see the
+/// taxonomy above); unused fields keep their defaults and round-trip
+/// through the spec untouched.
+struct FaultEvent {
+  EventKind kind = EventKind::gateway_outage;
+  std::string target = "*";   ///< gateway / network / operator / phase
+  double t_start_sec = 0;
+  double t_end_sec = 0;
+  double magnitude = 1.0;
+  /// weather_escalation only: affected region.
+  geo::GeoPoint center{0, 0, 0};
+  double radius_km = 0;
+
+  bool active_at(double t_sec) const {
+    return t_sec >= t_start_sec && t_sec < t_end_sec;
+  }
+  bool covers(const geo::GeoPoint& where) const {
+    return geo::surface_distance_km(center, where) <= radius_km;
+  }
+  bool matches(std::string_view name) const { return target == "*" || target == name; }
+
+  bool operator==(const FaultEvent& o) const {
+    return kind == o.kind && target == o.target && t_start_sec == o.t_start_sec &&
+           t_end_sec == o.t_end_sec && magnitude == o.magnitude &&
+           center.lat_deg == o.center.lat_deg && center.lon_deg == o.center.lon_deg &&
+           radius_km == o.radius_km;
+  }
+};
+
+/// Deterministic synthesis knobs for FaultPlan::generate. Events are
+/// derived with Rng::fork_stable keyed by (kind, index), so a plan is a
+/// pure function of (config, seed) — never of shard or thread count.
+struct GenerateConfig {
+  double horizon_sec = 86400.0;  ///< events land inside [0, horizon)
+  std::size_t gateway_outages = 0;
+  std::vector<std::string> gateway_names;  ///< outage targets, round-robin
+  std::size_t handoff_storms = 0;
+  std::string storm_network = "*";
+  std::size_t weather_escalations = 0;
+  std::vector<geo::GeoPoint> weather_centers;  ///< escalation anchors
+  std::size_t loss_bursts = 0;
+  std::string loss_operator = "*";
+  double loss_fraction = 0.02;
+  double shard_failure_prob = 0.0;  ///< > 0 adds one whole-run shard_failure event
+  std::string shard_phase = "*";
+};
+
+/// A replayable fault schedule. Events are kept sorted by
+/// (kind, target, t_start) — the canonical order to_spec() emits.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(std::vector<FaultEvent> events);
+
+  /// Parses the text spec format (one event per line):
+  ///   kind,target,start_sec,end_sec,magnitude[,lat,lon,radius_km]
+  /// '#' starts a comment; blank lines are skipped. Throws
+  /// std::invalid_argument with line context on malformed input.
+  static FaultPlan parse_spec(std::string_view text);
+
+  /// Reads and parses a spec file; throws std::runtime_error when the
+  /// file cannot be read.
+  static FaultPlan load_file(const std::string& path);
+
+  /// Deterministic synthesis via Rng::fork_stable(kind, index). Windows
+  /// for the same target never overlap (slot construction).
+  static FaultPlan generate(const GenerateConfig& config, std::uint64_t seed);
+
+  /// Serializes back to the spec format; parse_spec(to_spec()) == *this.
+  std::string to_spec() const;
+
+  /// Enforces invariants: t_end > t_start, sane magnitudes, and no two
+  /// same-kind events with overlapping windows on one target. Throws
+  /// std::invalid_argument naming the offending event.
+  void validate() const;
+
+  /// "gateway_outage:2 handoff_storm:1 ..." — for run manifests.
+  std::string summary() const;
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+
+  bool operator==(const FaultPlan&) const = default;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace satnet::fault

@@ -32,6 +32,11 @@ std::size_t scheduled_tests(const synth::SnoSpec& spec, const CampaignConfig& co
 }
 
 NdtDataset run_campaign(const synth::World& world, const CampaignConfig& config) {
+  return run_campaign(world, config, nullptr);
+}
+
+NdtDataset run_campaign(const synth::World& world, const CampaignConfig& config,
+                        runtime::CampaignReport* report) {
   const double horizon_sec = config.duration_days * 86400.0;
 
   // Group subscribers by operator once (shared, read-only across shards).
@@ -108,8 +113,13 @@ NdtDataset run_campaign(const synth::World& world, const CampaignConfig& config)
       "mlab.campaign");
 
   // Canonical merge: shard-plan order, event-time order within a shard.
+  // Under a degrade policy a quarantined shard contributes an empty
+  // dataset piece — the merge order (and so the output bytes) is the
+  // same at every thread count.
   NdtDataset dataset;
-  for (auto& piece : campaign.run(config.threads)) dataset.append(std::move(piece));
+  for (auto& piece : campaign.run_with_report(config.threads, config.retry, report)) {
+    dataset.append(std::move(piece));
+  }
   return dataset;
 }
 

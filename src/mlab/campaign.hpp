@@ -7,6 +7,7 @@
 #pragma once
 
 #include "mlab/dataset.hpp"
+#include "runtime/sharded.hpp"
 #include "sim/event_queue.hpp"
 #include "synth/world.hpp"
 
@@ -23,6 +24,9 @@ struct CampaignConfig {
   /// Max tests per shard; big operators (Starlink is ~98% of the paper's
   /// volume) split into several shards so the pool stays balanced.
   std::size_t shard_chunk = 1024;
+  /// Failure policy for the sharded runtime (retry/degrade; see
+  /// runtime::RetryPolicy). Defaults to abort-on-error, no retries.
+  runtime::RetryPolicy retry;
   NdtOptions ndt;
 };
 
@@ -36,5 +40,10 @@ std::size_t scheduled_tests(const synth::SnoSpec& spec, const CampaignConfig& co
 /// canonical (operator, chunk, event-time) order. Deterministic in
 /// (world seed, campaign seed) — never in thread count.
 NdtDataset run_campaign(const synth::World& world, const CampaignConfig& config);
+
+/// run_campaign() that also reports what happened to the shards
+/// (retries, quarantined/degraded shards) under config.retry.
+NdtDataset run_campaign(const synth::World& world, const CampaignConfig& config,
+                        runtime::CampaignReport* report);
 
 }  // namespace satnet::mlab

@@ -379,6 +379,24 @@ std::string summary_text(const Snapshot& snapshot, const RunManifest& manifest) 
                   swept->value, exact->value, swept->value / exact->value);
     out += line;
   }
+  // Derived: fault-injection roll-up when any fault.hit.* counter fired.
+  double fault_hits = 0;
+  for (const auto& m : snapshot.metrics) {
+    if (m.kind == MetricKind::counter && m.name.rfind("fault.hit.", 0) == 0) {
+      // satlint: deterministic-merge: snapshot.metrics is sorted by name
+      fault_hits += m.value;
+    }
+  }
+  if (fault_hits > 0) {
+    const MetricValue* degraded = snapshot.find("runtime.shard.degraded");
+    const MetricValue* retries = snapshot.find("runtime.shard.retry");
+    std::snprintf(line, sizeof(line),
+                  "  fault injection: %.0f hits, %.0f retries, %.0f degraded "
+                  "shards\n",
+                  fault_hits, retries ? retries->value : 0.0,
+                  degraded ? degraded->value : 0.0);
+    out += line;
+  }
   return out;
 }
 

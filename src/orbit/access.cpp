@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "fault/hook.hpp"
 #include "geo/places.hpp"
 
 namespace satnet::orbit {
@@ -58,26 +59,39 @@ std::optional<VisibleSat> AccessNetwork::serving_sat_at_epoch(const geo::GeoPoin
   return constellation_->best_visible(user, epoch_sec, config_.min_elevation_deg);
 }
 
-std::size_t AccessNetwork::best_gateway(const geo::GeoPoint& user,
-                                        const VisibleSat& sat) const {
+double AccessNetwork::effective_reconfig_interval(double t_sec) const {
+  double interval = config_.reconfig_interval_sec;
+  if (interval <= 0) return interval;
+  if (const fault::Hook* hook = fault::Hook::active()) {
+    interval /= hook->reconfig_interval_scale(config_.name, t_sec);
+  }
+  return interval;
+}
+
+std::size_t AccessNetwork::best_gateway(const geo::GeoPoint& user, const VisibleSat& sat,
+                                        double t_sec) const {
   // Bent-pipe scheduling: the terminal's traffic lands at the gateway
   // serving its cell — the one nearest the *terminal* among gateways the
   // serving satellite can see. The (possibly long) fiber backhaul to the
   // assigned PoP is paid afterwards; this is exactly the mechanism behind
   // the paper's Alaska-via-Seattle and Manila-via-Tokyo latencies.
+  // Gateways inside a fault-plan outage window are ineligible, so traffic
+  // spills to the next-nearest site (or, with none left, to outage).
+  const fault::Hook* hook = fault::Hook::active();
   std::size_t best = config_.gateways.size();
   double best_km = std::numeric_limits<double>::max();
   constexpr double kGatewayMinElevationDeg = 10.0;
   for (std::size_t i = 0; i < config_.gateways.size(); ++i) {
     const auto& gw = config_.gateways[i];
     if (geo::elevation_deg(gw.location, sat.position) < kGatewayMinElevationDeg) continue;
+    if (hook && hook->gateway_down(gw.name, t_sec)) continue;
     const double km = geo::surface_distance_km(user, gw.location);
     if (km < best_km) {
       best_km = km;
       best = i;
     }
   }
-  return best;  // == gateways.size() when no gateway sees the satellite
+  return best;  // == gateways.size() when no eligible gateway sees the satellite
 }
 
 AccessSample AccessNetwork::build_sample(const geo::GeoPoint& user, double t_sec,
@@ -85,7 +99,7 @@ AccessSample AccessNetwork::build_sample(const geo::GeoPoint& user, double t_sec
   AccessSample s;
   if (!sat) return s;  // terminal cannot see any satellite: outage
   const std::size_t pop = assigned_pop(user, t_sec);
-  const std::size_t gw_idx = best_gateway(user, *sat);
+  const std::size_t gw_idx = best_gateway(user, *sat, t_sec);
   if (gw_idx >= config_.gateways.size()) return s;  // satellite sees no gateway
 
   const auto& gw = config_.gateways[gw_idx];
@@ -104,8 +118,9 @@ AccessSample AccessNetwork::build_sample(const geo::GeoPoint& user, double t_sec
 
 AccessSample AccessNetwork::sample(const geo::GeoPoint& user, double t_sec) const {
   double epoch = t_sec;
-  if (config_.reconfig_interval_sec > 0) {
-    epoch = std::floor(t_sec / config_.reconfig_interval_sec) * config_.reconfig_interval_sec;
+  const double interval = effective_reconfig_interval(t_sec);
+  if (interval > 0) {
+    epoch = std::floor(t_sec / interval) * interval;
   }
   return build_sample(user, t_sec, serving_sat_at_epoch(user, epoch));
 }
@@ -117,7 +132,7 @@ AccessSample AccessNetwork::sample_with_handoff(const geo::GeoPoint& user,
       config_.orbit == OrbitClass::geo) {
     return s;
   }
-  const double interval = config_.reconfig_interval_sec;
+  const double interval = effective_reconfig_interval(t_sec);
   const double epoch = std::floor(t_sec / interval) * interval;
   if (epoch - interval < 0) return s;
   const auto prev = serving_sat_at_epoch(user, epoch - interval);
@@ -147,6 +162,7 @@ Gateway make_gateway(std::string city, std::size_t pop_index) {
 
 AccessNetwork make_starlink_access(std::shared_ptr<const Constellation> constellation) {
   AccessConfig cfg;
+  cfg.name = "starlink";
   cfg.orbit = OrbitClass::leo;
   cfg.min_elevation_deg = 25.0;
   cfg.scheduling_overhead_ms = 12.0;  // uplink request/grant + frame alignment
@@ -231,6 +247,7 @@ AccessNetwork make_starlink_access(std::shared_ptr<const Constellation> constell
 AccessNetwork make_oneweb_access(std::shared_ptr<const Constellation> constellation,
                                  double scheduling_overhead_ms) {
   AccessConfig cfg;
+  cfg.name = "oneweb";
   cfg.orbit = OrbitClass::leo;
   cfg.min_elevation_deg = 30.0;
   cfg.scheduling_overhead_ms = scheduling_overhead_ms;
@@ -256,6 +273,7 @@ AccessNetwork make_oneweb_access(std::shared_ptr<const Constellation> constellat
 AccessNetwork make_o3b_access(std::shared_ptr<const Constellation> constellation,
                               double scheduling_overhead_ms) {
   AccessConfig cfg;
+  cfg.name = "o3b";
   cfg.orbit = OrbitClass::meo;
   cfg.min_elevation_deg = 15.0;
   cfg.scheduling_overhead_ms = scheduling_overhead_ms;
@@ -324,6 +342,7 @@ HandoffStats measure_handoffs(const AccessNetwork& net, const geo::GeoPoint& use
 AccessNetwork make_geo_access(const std::string& teleport_city, double slot_lon_deg,
                               double scheduling_overhead_ms) {
   AccessConfig cfg;
+  cfg.name = "geo-" + teleport_city;
   cfg.orbit = OrbitClass::geo;
   cfg.min_elevation_deg = 10.0;
   cfg.scheduling_overhead_ms = scheduling_overhead_ms;

@@ -51,6 +51,9 @@ struct PopOverride {
 
 /// Configuration of one operator's access network.
 struct AccessConfig {
+  /// Network name fault plans target ("starlink", "oneweb", "o3b",
+  /// "geo-<city>"); "*" events match every network.
+  std::string name = "*";
   OrbitClass orbit = OrbitClass::leo;
   double min_elevation_deg = 25.0;
   /// Fixed per-direction MAC/scheduling overhead (TDMA frames, request
@@ -107,7 +110,11 @@ class AccessNetwork {
  private:
   std::optional<VisibleSat> serving_sat_at_epoch(const geo::GeoPoint& user,
                                                  double epoch_sec) const;
-  std::size_t best_gateway(const geo::GeoPoint& user, const VisibleSat& sat) const;
+  /// Reconfiguration interval at time t: the configured interval, divided
+  /// by the fault hook's handoff-storm scale when a storm window covers t.
+  double effective_reconfig_interval(double t_sec) const;
+  std::size_t best_gateway(const geo::GeoPoint& user, const VisibleSat& sat,
+                           double t_sec) const;
   AccessSample build_sample(const geo::GeoPoint& user, double t_sec,
                             const std::optional<VisibleSat>& sat) const;
 

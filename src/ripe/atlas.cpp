@@ -190,7 +190,7 @@ AtlasDataset run_atlas_campaign(const AtlasConfig& config) {
       "ripe.atlas");
 
   // Canonical merge: probe order, event-time order within a probe.
-  for (auto& piece : campaign.run(config.threads)) {
+  for (auto& piece : campaign.run_with_report(config.threads, config.retry, nullptr)) {
     dataset.traceroutes.insert(dataset.traceroutes.end(),
                                std::make_move_iterator(piece.traceroutes.begin()),
                                std::make_move_iterator(piece.traceroutes.end()));

@@ -14,6 +14,7 @@
 #include "net/route.hpp"
 #include "orbit/access.hpp"
 #include "ripe/probes.hpp"
+#include "runtime/sharded.hpp"
 #include "stats/rng.hpp"
 
 namespace satnet::ripe {
@@ -52,6 +53,8 @@ struct AtlasConfig {
   /// Worker threads for the sharded runtime; 0 = hardware_concurrency.
   /// The dataset is identical for every value (see src/runtime).
   unsigned threads = 0;
+  /// Failure policy for the sharded runtime (retry/degrade).
+  runtime::RetryPolicy retry;
 };
 
 /// Runs the campaign sharded per probe: each probe's schedule runs on its

@@ -16,22 +16,39 @@
 //     configs);
 //   * accumulate into shard-local state, returned as the shard value.
 //
+// Failure semantics (RetryPolicy): a throwing shard is retried up to
+// max_attempts times with deterministic exponential backoff (wall-clock
+// only — the retry schedule never feeds the results). A shard that
+// exhausts its attempts is either quarantined — degrade mode: its slot
+// is filled with a default-constructed Result, the campaign completes,
+// and the CampaignReport records exactly which shards degraded and why —
+// or, in abort mode, the error of the lowest-indexed failing shard is
+// rethrown (deterministic, independent of scheduling) *after* every
+// shard has run, so no completed shard's work is silently lost by an
+// early unwind. The fault::Hook's shard_failure events inject failures
+// here, keyed by (phase, shard, attempt) so they land identically at any
+// thread count.
+//
 // Observability: every run records each shard's wall-clock into the
 // runtime.shard.latency_ms histogram, the fan-in (slot collection) into
-// runtime.shard.merge_us, and — when tracing is enabled — one span per
-// shard under the campaign's phase name. All of it is wall-clock-only
-// telemetry; shard results never depend on it.
+// runtime.shard.merge_us, retries and quarantines into
+// runtime.shard.retry / runtime.shard.degraded, and — when tracing is
+// enabled — one span per attempt under the campaign's phase name. All of
+// it is wall-clock-only telemetry; shard results never depend on it.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <exception>
 #include <functional>
 #include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "fault/hook.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
@@ -43,37 +60,101 @@ namespace satnet::runtime {
 std::vector<std::pair<std::size_t, std::size_t>> shard_ranges(
     std::size_t n_items, std::size_t max_chunk);
 
+/// How a campaign treats throwing shards.
+struct RetryPolicy {
+  /// Total attempts per shard (first run included). 1 = no retry.
+  std::size_t max_attempts = 1;
+  /// Backoff before attempt k (k >= 1): backoff_base_ms * 2^(k-1).
+  /// Wall-clock only; 0 disables sleeping (tests, CI).
+  double backoff_base_ms = 0.0;
+  /// true: quarantine shards that exhaust attempts (slot becomes a
+  /// default-constructed Result, campaign completes, report says which).
+  /// false: rethrow the lowest-indexed shard error after all shards ran.
+  bool degrade = false;
+};
+
+/// The conventional policy for tools that should survive an injected
+/// fault plan: under an active fault::Hook, one retry then degrade
+/// (quarantined shards become default results, counted in the report
+/// and fault.hit.* metrics); with no hook, the abort default. Benches
+/// and report generators use this as-is; satnetctl overrides it with
+/// its explicit --retries/--degrade flags.
+inline RetryPolicy degrade_under_faults() {
+  RetryPolicy policy;
+  if (fault::Hook::active() != nullptr) {
+    policy.max_attempts = 2;
+    policy.degrade = true;
+  }
+  return policy;
+}
+
+/// What actually happened to a campaign's shards. Deterministic for a
+/// given (seed, config, plan): vectors are in shard-index order.
+struct CampaignReport {
+  std::string phase;
+  std::size_t shards = 0;
+  std::size_t retries = 0;   ///< re-attempts across all shards
+  std::size_t degraded = 0;  ///< shards quarantined with default results
+  std::vector<std::size_t> degraded_shards;
+  std::vector<std::string> degraded_errors;  ///< what() per degraded shard
+
+  bool clean() const { return degraded == 0 && retries == 0; }
+};
+
 template <typename Result>
 class ShardedCampaign {
  public:
   using ShardFn = std::function<Result(std::size_t shard)>;
 
-  /// `phase` labels this campaign's spans and groups them in trace
-  /// exports ("mlab.campaign", "ripe.atlas", ...).
+  /// `phase` labels this campaign's spans, groups them in trace exports
+  /// ("mlab.campaign", "ripe.atlas", ...), and is the target fault-plan
+  /// shard_failure events match against.
   ShardedCampaign(std::size_t n_shards, ShardFn fn, std::string phase = "campaign")
       : n_shards_(n_shards), fn_(std::move(fn)), phase_(std::move(phase)) {}
 
   /// Runs every shard and returns the results in shard-index order.
-  /// `threads` resolves via resolve_threads; 1 runs inline. If shards
-  /// throw, the exception of the lowest-indexed failing shard is
-  /// rethrown (deterministic, independent of scheduling).
+  /// `threads` resolves via resolve_threads; 1 runs inline. Abort-mode
+  /// failure semantics (see RetryPolicy) with no retries.
   std::vector<Result> run(unsigned threads = 0) const {
+    return run_with_report(threads, RetryPolicy{}, nullptr);
+  }
+
+  /// run() with explicit failure policy and optional accounting.
+  /// `report` (when non-null) is overwritten with what happened; in
+  /// degrade mode Result must be default-constructible.
+  std::vector<Result> run_with_report(unsigned threads, const RetryPolicy& policy,
+                                      CampaignReport* report) const {
     const unsigned n_threads = resolve_threads(threads);
+    const std::size_t max_attempts = policy.max_attempts > 0 ? policy.max_attempts : 1;
     std::vector<std::optional<Result>> slots(n_shards_);
+    std::vector<std::exception_ptr> errors(n_shards_);
 
     obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
     obs::Counter& shards_run =
         reg.counter("runtime.shard.count", "campaign shards executed");
+    obs::Counter& retries_total =
+        reg.counter("runtime.shard.retry", "shard attempts after a failure");
     obs::Counter& merge_us =
         reg.counter("runtime.shard.merge_us", "fan-in time collecting shard slots");
     obs::Histogram& latency = reg.histogram(
         "runtime.shard.latency_ms", obs::latency_buckets_ms(),
         "per-shard wall-clock");
 
-    const auto timed_shard = [&](std::size_t i) {
-      obs::ScopedSpan span(phase_, "shard", static_cast<std::uint64_t>(i));
+    // Retry accounting is written by workers; an atomic keeps it
+    // race-free, and the total is scheduling-independent because the
+    // attempt schedule is deterministic per shard.
+    std::atomic<std::size_t> run_retries{0};
+
+    const auto timed_attempt = [&](std::size_t i, std::size_t attempt) {
+      obs::ScopedSpan span(phase_, attempt == 0 ? "shard" : "retry",
+                           static_cast<std::uint64_t>(i));
       // satlint:allow(nondet-source): shard latency telemetry; shard results never read the clock
       const auto t0 = std::chrono::steady_clock::now();
+      if (const fault::Hook* hook = fault::Hook::active()) {
+        if (hook->fail_shard(phase_, i, attempt)) {
+          throw fault::InjectedShardFailure(phase_, i, attempt);
+        }
+      }
       Result r = fn_(i);
       latency.observe(std::chrono::duration<double, std::milli>(
                           // satlint:allow(nondet-source): shard latency telemetry; shard results never read the clock
@@ -83,26 +164,51 @@ class ShardedCampaign {
       return r;
     };
 
-    if (n_threads <= 1 || n_shards_ <= 1) {
-      for (std::size_t i = 0; i < n_shards_; ++i) slots[i].emplace(timed_shard(i));
-      return collect(std::move(slots), {}, merge_us);
-    }
+    // One shard, all attempts. Errors are captured, never thrown across
+    // the worker boundary, so every shard runs to a verdict regardless
+    // of what other shards did — the inline and pooled paths share
+    // exactly this code and therefore exactly these semantics.
+    const auto guarded_shard = [&](std::size_t i) {
+      for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+        if (attempt > 0) {
+          retries_total.add(1);
+          run_retries.fetch_add(1, std::memory_order_relaxed);
+          if (policy.backoff_base_ms > 0) {
+            const double ms =
+                policy.backoff_base_ms * static_cast<double>(1ull << (attempt - 1));
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(ms));
+          }
+        }
+        try {
+          slots[i].emplace(timed_attempt(i, attempt));
+          errors[i] = nullptr;
+          return;
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      }
+    };
 
-    std::vector<std::exception_ptr> errors(n_shards_);
-    {
+    if (n_threads <= 1 || n_shards_ <= 1) {
+      for (std::size_t i = 0; i < n_shards_; ++i) guarded_shard(i);
+    } else {
       ThreadPool pool(n_threads);
       for (std::size_t i = 0; i < n_shards_; ++i) {
-        pool.submit([i, &slots, &errors, &timed_shard] {
-          try {
-            slots[i].emplace(timed_shard(i));
-          } catch (...) {
-            errors[i] = std::current_exception();
-          }
-        });
+        pool.submit([i, &guarded_shard] { guarded_shard(i); });
       }
       pool.wait_idle();
     }
-    return collect(std::move(slots), errors, merge_us);
+
+    if (report) {
+      report->phase = phase_;
+      report->shards = n_shards_;
+      report->retries = run_retries.load(std::memory_order_relaxed);
+      report->degraded = 0;
+      report->degraded_shards.clear();
+      report->degraded_errors.clear();
+    }
+    return collect(std::move(slots), errors, policy, report, merge_us);
   }
 
   std::size_t shards() const { return n_shards_; }
@@ -111,15 +217,40 @@ class ShardedCampaign {
  private:
   static std::vector<Result> collect(std::vector<std::optional<Result>> slots,
                                      const std::vector<std::exception_ptr>& errors,
+                                     const RetryPolicy& policy, CampaignReport* report,
                                      obs::Counter& merge_us) {
-    for (const auto& err : errors) {
-      if (err) std::rethrow_exception(err);
+    if (!policy.degrade) {
+      for (const auto& err : errors) {
+        if (err) std::rethrow_exception(err);
+      }
     }
+    obs::Counter& degraded_total = obs::MetricsRegistry::global().counter(
+        "runtime.shard.degraded", "shards quarantined with default results");
     // satlint:allow(nondet-source): fan-in timing telemetry; merged values never read the clock
     const auto t0 = std::chrono::steady_clock::now();
     std::vector<Result> out;
     out.reserve(slots.size());
-    for (auto& s : slots) out.push_back(std::move(*s));
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (errors[i]) {
+        // Quarantined: a default slot keeps the merge shard-count stable
+        // and the accounting explicit.
+        out.emplace_back();
+        degraded_total.add(1);
+        if (report) {
+          ++report->degraded;
+          report->degraded_shards.push_back(i);
+          try {
+            std::rethrow_exception(errors[i]);
+          } catch (const std::exception& e) {
+            report->degraded_errors.emplace_back(e.what());
+          } catch (...) {
+            report->degraded_errors.emplace_back("unknown error");
+          }
+        }
+      } else {
+        out.push_back(std::move(*slots[i]));
+      }
+    }
     merge_us.add(static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(
             // satlint:allow(nondet-source): fan-in timing telemetry; merged values never read the clock

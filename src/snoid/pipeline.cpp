@@ -208,7 +208,7 @@ PipelineResult run_pipeline(const mlab::NdtDataset& dataset,
     return op;
   },
       "snoid.validation");
-  result.operators = validation.run(cfg.threads);
+  result.operators = validation.run_with_report(cfg.threads, cfg.retry, nullptr);
 
   // ---- Step 3c: relaxation thresholds (cross-operator, serial). ----
   obs::ScopedSpan relax_span("snoid.pipeline", "relaxation", 2);

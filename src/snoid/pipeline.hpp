@@ -28,6 +28,7 @@
 
 #include "mlab/dataset.hpp"
 #include "orbit/shell.hpp"
+#include "runtime/sharded.hpp"
 #include "snoid/validation.hpp"
 
 namespace satnet::snoid {
@@ -50,6 +51,8 @@ struct PipelineConfig {
   /// Worker threads for the per-operator validation/filtering shards;
   /// 0 = hardware_concurrency. Results are identical for every value.
   unsigned threads = 0;
+  /// Failure policy for the sharded runtime (retry/degrade).
+  runtime::RetryPolicy retry;
 };
 
 /// Decision about one /24 during strict filtering.

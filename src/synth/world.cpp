@@ -310,12 +310,13 @@ PathSample World::sample_path(const Subscriber& sub, double t_sec,
       out.ok = false;
       return out;
     }
-    for (transport::PathProfile* p : {&out.download, &out.upload}) {
-      p->bottleneck_mbps *= hit.capacity_factor;
-      p->sat_loss += hit.extra_sat_loss;
-      p->jitter_ms += hit.extra_jitter_ms;
-    }
+    transport::apply_impairment(out.download, hit);
+    transport::apply_impairment(out.upload, hit);
   }
+  // Fault-plan burst loss on the space segment applies with or without
+  // the weather overlay.
+  transport::apply_link_faults(out.download, spec.name, t_sec);
+  transport::apply_link_faults(out.upload, spec.name, t_sec);
   return out;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "fault/hook.hpp"
+
 namespace satnet::transport {
 
 namespace {
@@ -44,6 +46,24 @@ PathProfile build_upload_profile(const orbit::AccessSample& access,
   // Uplink MAC scheduling (request/grant cycles) adds noise.
   p.jitter_ms *= 1.5;
   return p;
+}
+
+void apply_impairment(PathProfile& profile, const weather::LinkImpact& impact) {
+  if (impact.outage || impact.capacity_factor <= 0.0) {
+    profile.bottleneck_mbps = 0.0;
+  } else {
+    profile.bottleneck_mbps *= impact.capacity_factor;
+  }
+  profile.sat_loss = std::min(1.0, profile.sat_loss + impact.extra_sat_loss);
+  profile.jitter_ms += impact.extra_jitter_ms;
+}
+
+void apply_link_faults(PathProfile& profile, std::string_view operator_name,
+                       double t_sec) {
+  if (const fault::Hook* hook = fault::Hook::active()) {
+    profile.sat_loss =
+        std::min(1.0, profile.sat_loss + hook->extra_space_loss(operator_name, t_sec));
+  }
 }
 
 }  // namespace satnet::transport

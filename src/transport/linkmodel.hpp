@@ -4,9 +4,12 @@
 // PathProfile a flow runs over.
 #pragma once
 
+#include <string_view>
+
 #include "orbit/access.hpp"
 #include "stats/rng.hpp"
 #include "transport/path.hpp"
+#include "weather/weather.hpp"
 
 namespace satnet::transport {
 
@@ -49,5 +52,17 @@ PathProfile build_download_profile(const orbit::AccessSample& access,
 PathProfile build_upload_profile(const orbit::AccessSample& access,
                                  const LinkTraits& traits,
                                  double server_rtt_extra_ms, stats::Rng& rng);
+
+/// Applies a weather impairment to a built profile: scales capacity,
+/// adds space-segment loss and jitter. An outage (or a capacity factor
+/// of zero) zeroes the bottleneck *exactly* — the build-time 0.1 Mbps
+/// floor is a sampling guard, not a promise that dead links trickle.
+void apply_impairment(PathProfile& profile, const weather::LinkImpact& impact);
+
+/// Applies active fault-plan burst_loss events for this operator at time
+/// t to the profile's space-segment loss. No-op without an installed
+/// fault::Hook.
+void apply_link_faults(PathProfile& profile, std::string_view operator_name,
+                       double t_sec);
 
 }  // namespace satnet::transport

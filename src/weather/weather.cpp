@@ -1,6 +1,9 @@
 #include "weather/weather.hpp"
 
+#include <algorithm>
 #include <cmath>
+
+#include "fault/hook.hpp"
 
 namespace satnet::weather {
 
@@ -47,10 +50,21 @@ Condition WeatherField::at(const geo::GeoPoint& location, double t_sec) const {
   const double heavy = config_.heavy_rain_prob * w;
   const double rain = config_.rain_prob * w;
   const double cloudy = config_.cloudy_prob;
-  if (u < heavy) return Condition::heavy_rain;
-  if (u < heavy + rain) return Condition::rain;
-  if (u < heavy + rain + cloudy) return Condition::cloudy;
-  return Condition::clear;
+  Condition c = Condition::clear;
+  if (u < heavy) {
+    c = Condition::heavy_rain;
+  } else if (u < heavy + rain) {
+    c = Condition::rain;
+  } else if (u < heavy + rain + cloudy) {
+    c = Condition::cloudy;
+  }
+  // A fault-plan weather escalation floors the condition in its region:
+  // the sky can be worse than scheduled, never better.
+  if (const fault::Hook* hook = fault::Hook::active()) {
+    const int floor = hook->weather_severity_floor(location, t_sec);
+    c = std::max(c, static_cast<Condition>(std::min(floor, 3)));
+  }
+  return c;
 }
 
 LinkImpact WeatherField::impact(Condition condition, orbit::OrbitClass orbit,
@@ -76,6 +90,10 @@ LinkImpact WeatherField::impact(Condition condition, orbit::OrbitClass orbit,
         // Deterministic sub-cell draw: some heavy cells black the link out.
         const std::uint64_t h = cell_hash(location, t_sec) ^ 0xabcdefull;
         out.outage = static_cast<double>(h % 997ull) / 997.0 < config_.geo_outage_prob;
+        // An outage means zero deliverable capacity — not 22% of it.
+        // transport::apply_impairment relies on this to kill the link
+        // exactly instead of applying its capacity floor.
+        if (out.outage) out.capacity_factor = 0.0;
       }
       return out;
   }

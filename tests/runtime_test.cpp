@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <numeric>
 #include <set>
@@ -122,6 +123,66 @@ TEST(ShardedCampaignTest, LowestIndexExceptionWins) {
 TEST(ShardedCampaignTest, ZeroShards) {
   ShardedCampaign<int> campaign(0, [](std::size_t) { return 1; });
   EXPECT_TRUE(campaign.run(4).empty());
+}
+
+// Regression: a worker exception must not discard the other shards'
+// completed work. In degrade mode the failing (last) shard is
+// quarantined and every earlier result survives.
+TEST(ShardedCampaignTest, LastShardFailureKeepsEarlierResults) {
+  constexpr std::size_t kShards = 8;
+  ShardedCampaign<int> campaign(kShards, [](std::size_t i) -> int {
+    if (i == kShards - 1) throw std::runtime_error("last shard down");
+    return static_cast<int>(i) + 1;
+  });
+  RetryPolicy policy;
+  policy.degrade = true;
+  for (const unsigned threads : {1u, 4u}) {
+    CampaignReport report;
+    const auto out = campaign.run_with_report(threads, policy, &report);
+    ASSERT_EQ(out.size(), kShards);
+    for (std::size_t i = 0; i + 1 < kShards; ++i) EXPECT_EQ(out[i], static_cast<int>(i) + 1);
+    EXPECT_EQ(out.back(), 0) << "quarantined slot carries the default value";
+    EXPECT_EQ(report.degraded, 1u);
+    ASSERT_EQ(report.degraded_shards, std::vector<std::size_t>{kShards - 1});
+    ASSERT_EQ(report.degraded_errors.size(), 1u);
+    EXPECT_EQ(report.degraded_errors.front(), "last shard down");
+  }
+}
+
+// Regression: abort mode rethrows only after every shard has run, so no
+// shard's execution is skipped by an early unwind.
+TEST(ShardedCampaignTest, AbortRunsEveryShardBeforeRethrow) {
+  constexpr std::size_t kShards = 8;
+  std::atomic<std::size_t> executed{0};
+  ShardedCampaign<int> campaign(kShards, [&executed](std::size_t i) -> int {
+    executed.fetch_add(1);
+    if (i == 0) throw std::runtime_error("zero");
+    return 0;
+  });
+  for (const unsigned threads : {1u, 4u}) {
+    executed.store(0);
+    EXPECT_THROW(campaign.run(threads), std::runtime_error);
+    EXPECT_EQ(executed.load(), kShards);
+  }
+}
+
+TEST(ShardedCampaignTest, RetryRecoversTransientFailures) {
+  constexpr std::size_t kShards = 6;
+  std::array<std::atomic<int>, kShards> attempts{};
+  ShardedCampaign<int> campaign(kShards, [&attempts](std::size_t i) -> int {
+    if (attempts[i].fetch_add(1) == 0 && i % 2 == 0) {
+      throw std::runtime_error("transient");
+    }
+    return static_cast<int>(i) * 10;
+  });
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  CampaignReport report;
+  const auto out = campaign.run_with_report(4, policy, &report);
+  ASSERT_EQ(out.size(), kShards);
+  for (std::size_t i = 0; i < kShards; ++i) EXPECT_EQ(out[i], static_cast<int>(i) * 10);
+  EXPECT_EQ(report.retries, 3u) << "shards 0, 2, 4 each retried once";
+  EXPECT_EQ(report.degraded, 0u);
 }
 
 // The RNG forking discipline the runtime depends on: fork_stable is a

@@ -121,6 +121,31 @@ TEST(SatlintD5, FlagsUnannotatedFloatMerges) {
   EXPECT_EQ(count_rule(r.suppressed, "float-accum"), 1u);
 }
 
+// ------------------------------------------------------------ rule D6
+
+TEST(SatlintD6, FlagsAdhocInjectTogglesInSrcModules) {
+  const FileReport r = satlint::lint_source("src/transport/d6_adhoc_inject.cpp",
+                                            fixture("d6_adhoc_inject.cpp"));
+  // The member declaration and the branch both fire; the string literal
+  // and the CamelCase exception type are clean, and the annotated legacy
+  // shim is recorded as a suppression.
+  EXPECT_EQ(count_rule(r.violations, "adhoc-inject"), 2u);
+  EXPECT_EQ(count_rule(r.suppressed, "adhoc-inject"), 1u);
+  ASSERT_FALSE(r.violations.empty());
+  EXPECT_NE(r.violations[0].message.find("fault::Hook"), std::string::npos);
+}
+
+TEST(SatlintD6, SilentInFaultModuleAndOutsideSrc) {
+  // fault/ implements the hook — inject_* names are its vocabulary.
+  const FileReport in_fault = satlint::lint_source("src/fault/d6_adhoc_inject.cpp",
+                                                   fixture("d6_adhoc_inject.cpp"));
+  EXPECT_EQ(count_rule(in_fault.violations, "adhoc-inject"), 0u);
+  // bench/examples/tests may name their knobs freely.
+  const FileReport in_bench = satlint::lint_source("bench/d6_adhoc_inject.cpp",
+                                                   fixture("d6_adhoc_inject.cpp"));
+  EXPECT_EQ(count_rule(in_bench.violations, "adhoc-inject"), 0u);
+}
+
 // ------------------------------------------- allow annotations & meta
 
 TEST(SatlintAllow, JustifiedAllowsSuppressAndAreReported) {
@@ -170,6 +195,14 @@ TEST(SatlintClassify, ModulesDriveRuleApplicability) {
   EXPECT_FALSE(geo.report_path);
   EXPECT_FALSE(geo.sharded);
   EXPECT_FALSE(geo.worker);
+  EXPECT_TRUE(geo.injection_scope);
+
+  const satlint::FileClass fault = satlint::classify("src/fault/hook.cpp");
+  EXPECT_EQ(fault.module, "fault");
+  EXPECT_FALSE(fault.injection_scope);
+
+  const satlint::FileClass bench = satlint::classify("bench/bench_fig9_speedtest.cpp");
+  EXPECT_FALSE(bench.injection_scope);
 }
 
 // ----------------------------------------------------- whitelisted file
@@ -250,7 +283,7 @@ TEST(SatlintTree, LintTreeIsDeterministicAndWhitelistsFixtures) {
 
 TEST(SatlintRules, EveryRuleIsDocumented) {
   const auto& rules = satlint::rules();
-  ASSERT_EQ(rules.size(), 6u);
+  ASSERT_EQ(rules.size(), 7u);
   for (const satlint::RuleInfo& r : rules) {
     EXPECT_FALSE(r.id.empty());
     EXPECT_FALSE(r.summary.empty());

@@ -1,7 +1,10 @@
 // Edge cases of the transport models: option plumbing, the spurious-RTO
-// machinery, go-back-N accounting, and degenerate paths.
+// machinery, go-back-N accounting, degenerate paths, and the weather /
+// fault impairment plumbing.
 #include <gtest/gtest.h>
 
+#include "fault/hook.hpp"
+#include "transport/linkmodel.hpp"
 #include "transport/quic.hpp"
 #include "transport/tcp.hpp"
 
@@ -14,6 +17,57 @@ PathProfile base_path() {
   p.jitter_ms = 1;
   p.bottleneck_mbps = 50;
   return p;
+}
+
+// Regression: an outage (or zero capacity factor) must zero the
+// bottleneck *exactly* — the 0.1 Mbps build-time floor is a sampling
+// guard, not a promise that dead links trickle.
+TEST(TransportEdgeTest, ImpairmentOutageZeroesBottleneckExactly) {
+  weather::LinkImpact outage;
+  outage.outage = true;
+  outage.capacity_factor = 0.3;  // inconsistent pair: outage must win
+  PathProfile p = base_path();
+  apply_impairment(p, outage);
+  EXPECT_DOUBLE_EQ(p.bottleneck_mbps, 0.0);
+
+  weather::LinkImpact dead;
+  dead.capacity_factor = 0.0;
+  p = base_path();
+  apply_impairment(p, dead);
+  EXPECT_DOUBLE_EQ(p.bottleneck_mbps, 0.0);
+
+  weather::LinkImpact halved;
+  halved.capacity_factor = 0.5;
+  halved.extra_sat_loss = 0.01;
+  halved.extra_jitter_ms = 2.0;
+  p = base_path();
+  apply_impairment(p, halved);
+  EXPECT_DOUBLE_EQ(p.bottleneck_mbps, 25.0);
+  EXPECT_DOUBLE_EQ(p.sat_loss, 0.01);
+  EXPECT_DOUBLE_EQ(p.jitter_ms, 3.0);
+}
+
+TEST(TransportEdgeTest, LinkFaultsAddBurstLossThroughHook) {
+  fault::FaultPlan plan(std::vector<fault::FaultEvent>{
+      {fault::EventKind::burst_loss, "starlink", 0, 100, 0.6, {0, 0, 0}, 0}});
+  fault::ScopedHook scoped(std::move(plan));
+
+  PathProfile p = base_path();
+  p.sat_loss = 0.7;
+  apply_link_faults(p, "starlink", 50.0);
+  EXPECT_DOUBLE_EQ(p.sat_loss, 1.0) << "loss clamps at 1.0";
+
+  p = base_path();
+  p.sat_loss = 0.001;
+  apply_link_faults(p, "starlink", 50.0);
+  EXPECT_DOUBLE_EQ(p.sat_loss, 0.601);
+
+  p = base_path();
+  p.sat_loss = 0.001;
+  apply_link_faults(p, "viasat", 50.0);
+  EXPECT_DOUBLE_EQ(p.sat_loss, 0.001) << "other operators untouched";
+  apply_link_faults(p, "starlink", 150.0);
+  EXPECT_DOUBLE_EQ(p.sat_loss, 0.001) << "outside the window";
 }
 
 TEST(TransportEdgeTest, SnapshotCadenceConfigurable) {

@@ -98,6 +98,28 @@ TEST(WeatherFieldTest, OnlyGeoHeavyRainCausesOutages) {
   EXPECT_TRUE(geo_outage);
 }
 
+// Regression: an outage impact must also zero the capacity factor —
+// transport::apply_impairment relies on the pair being consistent, and
+// a dead link that still advertised fractional capacity once produced
+// trickling flows on "down" GEO paths.
+TEST(WeatherFieldTest, OutageAlwaysZeroesCapacity) {
+  const WeatherField field;
+  bool saw_outage = false;
+  for (double lon = -180; lon < 180; lon += 1.7) {
+    for (double lat : {-30.0, 0.0, 10.0, 45.0}) {
+      const LinkImpact i =
+          field.impact(Condition::heavy_rain, orbit::OrbitClass::geo, 0.0, {lat, lon, 0});
+      if (i.outage) {
+        saw_outage = true;
+        EXPECT_DOUBLE_EQ(i.capacity_factor, 0.0)
+            << "outage at lat=" << lat << " lon=" << lon
+            << " advertised capacity_factor=" << i.capacity_factor;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_outage);
+}
+
 TEST(WeatherWorldTest, DisabledByDefault) {
   const synth::World world;
   stats::Rng rng(1);

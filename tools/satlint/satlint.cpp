@@ -33,6 +33,10 @@ const std::vector<RuleInfo> kRules = {
     {"float-accum",
      "+=/-= on a floating-point accumulator in a merge path without a "
      "deterministic-merge annotation; float addition is order-sensitive"},
+    {"adhoc-inject",
+     "ad-hoc fault toggle (inject_* identifier) in a src/ module; every "
+     "injection point must go through fault::Hook so fault plans stay "
+     "replayable and hits are counted"},
     {"bad-allow",
      "satlint:allow()/deterministic-merge annotation without a one-line "
      "justification"},
@@ -384,7 +388,7 @@ FileClass classify(std::string_view path) {
   static const std::vector<std::string> kModules = {
       "stats", "geo",  "obs",   "runtime", "sim",   "orbit", "net",
       "transport", "bgp", "weather", "dns", "http", "video", "synth",
-      "mlab", "ripe", "prolific", "snoid", "io"};
+      "mlab", "ripe", "prolific", "snoid", "io", "fault"};
   for (const std::string& m : kModules) {
     if (path_has_dir(path, m)) fc.module = m;
   }
@@ -413,6 +417,11 @@ FileClass classify(std::string_view path) {
                                 "video", "weather", "stats", "obs"});
   // D5: where shard results are merged or cross-thread values folded.
   fc.merge_path = fc.sharded || is({"obs"});
+  // D6: every src/ module except fault itself (which implements the
+  // hook) — bench/examples/tests may name injection knobs freely.
+  fc.injection_scope =
+      !fc.module.empty() && fc.module != "fault" &&
+      !is({"bench", "examples", "tests"});
   return fc;
 }
 
@@ -479,6 +488,7 @@ FileReport lint_source(std::string_view path, std::string_view content,
   static const std::regex kStaticExempt(
       R"(^\s*static\s+(const\b|constexpr\b|thread_local\b)|static_assert|std::atomic)");
   static const std::regex kCompoundAdd(R"((\w+)\s*[+-]=[^=])");
+  static const std::regex kAdhocInject(R"((^|[^\w])(inject_\w+))");
 
   for (std::size_t i = 0; i < s.code.size(); ++i) {
     const std::string& cl = s.code[i];
@@ -557,6 +567,18 @@ FileReport lint_source(std::string_view path, std::string_view content,
            "function-local static in worker-executed code is mutable state "
            "shared across threads; hoist it into shard-local state or make "
            "it const/atomic");
+    }
+
+    // D6 — adhoc-inject (src/ modules outside fault/).
+    if (fc.injection_scope) {
+      std::smatch m;
+      if (std::regex_search(cl, m, kAdhocInject)) {
+        emit(i, "adhoc-inject",
+             "ad-hoc fault toggle '" + m[2].str() +
+                 "'; injection points must query fault::Hook (gateway_down, "
+                 "extra_space_loss, fail_shard, ...) so the active FaultPlan "
+                 "stays the single replayable source of faults");
+      }
     }
 
     // D5 — float-accum (merge paths).

@@ -45,6 +45,10 @@ namespace satlint {
 ///                      worker-executed code.
 ///   D5 float-accum   : += / -= on a double/float accumulator in a merge
 ///                      path without a deterministic-merge annotation.
+///   D6 adhoc-inject  : ad-hoc fault toggles (`inject_*` identifiers) in
+///                      src/ modules outside src/fault; every injection
+///                      point must query fault::Hook so plans stay
+///                      replayable and hits are counted.
 /// Plus the meta-rule:
 ///   bad-allow        : a satlint:allow() with no justification text.
 struct RuleInfo {
@@ -96,6 +100,7 @@ struct FileClass {
   bool sharded = false;      ///< D3 applies
   bool worker = false;       ///< D4 applies
   bool merge_path = false;   ///< D5 applies
+  bool injection_scope = false;  ///< D6 applies (src/ modules except fault)
 };
 
 FileClass classify(std::string_view path);
