@@ -25,6 +25,7 @@
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "orbit/access_index.hpp"
 #include "ripe/atlas.hpp"
 #include "runtime/thread_pool.hpp"
 #include "snoid/pipeline.hpp"
@@ -67,6 +68,31 @@ inline int strip_flag(int* argc, char** argv, const char* name, std::string* val
     found = 1;  // keep scanning: strip every occurrence
   }
   return found;
+}
+
+/// Removes every occurrence of the valueless flag `name` from argv.
+/// Returns true when it appeared at least once.
+inline bool strip_bare_flag(int* argc, char** argv, const char* name) {
+  bool found = false;
+  for (int i = 1; i < *argc;) {
+    if (std::strcmp(argv[i], name) != 0) {
+      ++i;
+      continue;
+    }
+    for (int j = i; j + 1 < *argc; ++j) argv[j] = argv[j + 1];
+    --*argc;
+    found = true;
+  }
+  return found;
+}
+
+/// Strips --no-access-cache; when present the run ablates the access
+/// index and every sample falls back to the cone-prefilter sweep.
+/// Output is identical either way — the golden suite enforces it.
+inline void parse_access_cache_flag(int* argc, char** argv) {
+  if (strip_bare_flag(argc, argv, "--no-access-cache")) {
+    orbit::set_access_cache_enabled(false);
+  }
 }
 
 /// Parses and strips --threads. Accepts "--threads N" and
@@ -235,6 +261,7 @@ inline void note(const char* text) { std::printf("  %s\n", text); }
     ::satnet::bench::parse_threads_flag(&argc, argv);    \
     ::satnet::bench::parse_obs_flags(&argc, argv);       \
     ::satnet::bench::parse_fault_flag(&argc, argv);      \
+    ::satnet::bench::parse_access_cache_flag(&argc, argv); \
     ::benchmark::Initialize(&argc, argv);                \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
     print_fn();                                          \

@@ -48,6 +48,11 @@ int main() {
               "(max %.0f s), outage fraction %.3f\n",
               hs.handoffs, hs.epochs, hs.mean_dwell_sec, hs.max_dwell_sec,
               hs.outage_fraction);
+  if (hs.censored) {
+    std::printf("(final dwell right-censored at %.0f s — still serving when the "
+                "window closed, excluded from mean/max)\n",
+                hs.censored_dwell_sec);
+  }
 
   std::printf("\nGEO comparison (Viasat-style bent pipe from Denver teleport):\n");
   const auto geo_net = orbit::make_geo_access("denver", -101.0, 45.0);

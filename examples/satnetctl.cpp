@@ -25,6 +25,10 @@
 //   --degrade            complete the campaign with degraded accounting
 //                        instead of aborting on shard failure
 // The active plan and its event summary land in the run manifest.
+//
+// Ablation: --no-access-cache disables the access-interval visibility
+// index (src/orbit/access_index.*) so every sample re-runs the full
+// cone-prefilter sweep. Output is byte-identical either way.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -40,6 +44,7 @@
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "orbit/access_index.hpp"
 #include "prolific/census.hpp"
 #include "ripe/atlas.hpp"
 #include "runtime/thread_pool.hpp"
@@ -238,11 +243,16 @@ int main(int argc, char** argv) {
                  "text) and --trace-out PATH (JSON lines); '-' = stdout,\n"
                  "and --fault-plan PATH [--retries N] [--degrade] to inject\n"
                  "a deterministic fault schedule (see README, src/fault)\n"
+                 "--no-access-cache ablates the access-interval index\n"
+                 "(byte-identical output, slower sampling)\n"
                  "--threads 0 (default) uses one worker per hardware thread;\n"
                  "output is identical for every thread count\n");
     return 2;
   }
   const std::string cmd = argv[1];
+  if (has_flag(argc, argv, "--no-access-cache")) {
+    orbit::set_access_cache_enabled(false);
+  }
   const std::string metrics_out = flag_value(argc, argv, "--metrics-out", "");
   const std::string trace_out = flag_value(argc, argv, "--trace-out", "");
   const std::string fault_plan_path = flag_value(argc, argv, "--fault-plan", "");

@@ -56,7 +56,8 @@ fi
 if [[ "$run_golden" == 1 ]]; then
   echo "== golden: snapshot suite + determinism/fault repeat at varying threads =="
   cmake -B build -S .
-  cmake --build build -j "${jobs}" --target golden_test determinism_test fault_test
+  cmake --build build -j "${jobs}" --target golden_test determinism_test fault_test \
+    bench_ablation_access_cache
   # The flake gate: the determinism-sensitive suites run 3x, golden_test
   # additionally asserting one more thread count each round. Snapshots
   # regenerate only via `golden_test --update-golden`, never here.
@@ -66,6 +67,15 @@ if [[ "$run_golden" == 1 ]]; then
     ./build/tests/fault_test
     ./build/tests/determinism_test
   done
+  # Ablation round: the whole snapshot suite must be byte-identical with
+  # the access-interval index disabled (the cache's equivalence oracle).
+  echo "-- ablation round: golden_test --no-access-cache --"
+  ./build/tests/golden_test --no-access-cache
+  # Cache speedup + byte-identity report (exits 1 on divergence); the
+  # JSON lands in the repo root for CI artifact upload / trend tracking.
+  echo "-- ablation bench: bench_ablation_access_cache --"
+  ./build/bench/bench_ablation_access_cache --benchmark_filter='measure_handoffs'
+  test -s BENCH_access_cache.json
 fi
 
 if [[ "$run_tsan" == 1 ]]; then

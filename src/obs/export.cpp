@@ -379,6 +379,19 @@ std::string summary_text(const Snapshot& snapshot, const RunManifest& manifest) 
                   swept->value, exact->value, swept->value / exact->value);
     out += line;
   }
+  // Derived: access-index cache effectiveness (PR 5's amortization claim).
+  const MetricValue* cache_hit = snapshot.find("access.cache.hit");
+  const MetricValue* cache_miss = snapshot.find("access.cache.miss");
+  if (cache_hit && cache_miss && cache_hit->value + cache_miss->value > 0) {
+    const MetricValue* inval = snapshot.find("access.cache.invalidation");
+    std::snprintf(line, sizeof(line),
+                  "  access cache: %.0f hits / %.0f misses (%.1f%% hit ratio, "
+                  "%.0f invalidated)\n",
+                  cache_hit->value, cache_miss->value,
+                  100.0 * cache_hit->value / (cache_hit->value + cache_miss->value),
+                  inval ? inval->value : 0.0);
+    out += line;
+  }
   // Derived: fault-injection roll-up when any fault.hit.* counter fired.
   double fault_hits = 0;
   for (const auto& m : snapshot.metrics) {

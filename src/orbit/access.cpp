@@ -6,6 +6,7 @@
 
 #include "fault/hook.hpp"
 #include "geo/places.hpp"
+#include "orbit/access_index.hpp"
 
 namespace satnet::orbit {
 
@@ -19,6 +20,7 @@ AccessNetwork::AccessNetwork(AccessConfig config,
   if (config_.pops.empty() || config_.gateways.empty()) {
     throw std::invalid_argument("access network needs PoPs and gateways");
   }
+  index_ = std::make_shared<const AccessIndex>(config_, constellation_);
 }
 
 AccessNetwork::AccessNetwork(AccessConfig config, GeoFleet fleet)
@@ -56,6 +58,7 @@ std::optional<VisibleSat> AccessNetwork::serving_sat_at_epoch(const geo::GeoPoin
   if (config_.orbit == OrbitClass::geo) {
     return fleet_.best_visible(user, config_.min_elevation_deg);
   }
+  if (index_ && access_cache_enabled()) return index_->serving(user, epoch_sec);
   return constellation_->best_visible(user, epoch_sec, config_.min_elevation_deg);
 }
 
@@ -122,6 +125,7 @@ AccessSample AccessNetwork::sample(const geo::GeoPoint& user, double t_sec) cons
   if (interval > 0) {
     epoch = std::floor(t_sec / interval) * interval;
   }
+  if (index_ && access_cache_enabled()) return index_->sample(*this, user, t_sec, epoch);
   return build_sample(user, t_sec, serving_sat_at_epoch(user, epoch));
 }
 
@@ -305,7 +309,14 @@ HandoffStats measure_handoffs(const AccessNetwork& net, const geo::GeoPoint& use
   std::vector<double> dwells;
   std::size_t outages = 0;
 
-  for (double t = t_start_sec; t < t_start_sec + duration_sec; t += interval) {
+  // Integer epoch stepping: accumulating `t += interval` compounds one
+  // rounding error per epoch, so at large t_start_sec the loop gains or
+  // loses epochs against the [t_start, t_start + duration) window. Each
+  // epoch time is instead derived directly from its index, making the
+  // epoch count exactly floor(duration / interval) at any start offset.
+  const auto n_epochs = static_cast<std::size_t>(duration_sec / interval);
+  for (std::size_t i = 0; i < n_epochs; ++i) {
+    const double t = t_start_sec + static_cast<double>(i) * interval;
     ++out.epochs;
     const AccessSample s = net.sample(user, t);
     if (!s.reachable) {
@@ -324,7 +335,13 @@ HandoffStats measure_handoffs(const AccessNetwork& net, const geo::GeoPoint& use
       dwell_start = t;
     }
   }
-  if (current) dwells.push_back(t_start_sec + duration_sec - dwell_start);
+  // The last dwell is right-censored: the window closed while the
+  // satellite was still serving. Report it separately instead of mixing
+  // the truncated value into the completed-dwell statistics.
+  if (current) {
+    out.censored = 1;
+    out.censored_dwell_sec = t_start_sec + duration_sec - dwell_start;
+  }
 
   if (!dwells.empty()) {
     double sum = 0;

@@ -24,6 +24,8 @@
 
 namespace satnet::orbit {
 
+class AccessIndex;
+
 /// A point of presence: where the operator hands traffic to the Internet.
 struct Pop {
   std::string name;       ///< rDNS-style code, e.g. "sttlwax1"
@@ -107,7 +109,13 @@ class AccessNetwork {
   /// only, best epoch alignment) — used by analytics as the "floor".
   double floor_one_way_ms(const geo::GeoPoint& user, double t_sec) const;
 
+  /// The network's visibility index (null for GEO) — exposed so tests
+  /// can assert the candidate-superset property directly.
+  const AccessIndex* access_index() const { return index_.get(); }
+
  private:
+  friend class AccessIndex;  ///< memoizes build_sample on cache misses
+
   std::optional<VisibleSat> serving_sat_at_epoch(const geo::GeoPoint& user,
                                                  double epoch_sec) const;
   /// Reconfiguration interval at time t: the configured interval, divided
@@ -121,6 +129,10 @@ class AccessNetwork {
   AccessConfig config_;
   std::shared_ptr<const Constellation> constellation_;  ///< null for GEO
   GeoFleet fleet_;                                      ///< empty for LEO/MEO
+  /// Visibility index + epoch memo (LEO/MEO only; null for GEO). Shared
+  /// across copies: the index holds only immutable derived data, and its
+  /// caches are value-transparent (see access_index.hpp).
+  std::shared_ptr<const AccessIndex> index_;
 };
 
 /// Builds the Starlink-like access network used across benches: PoPs and
@@ -143,12 +155,20 @@ AccessNetwork make_o3b_access(std::shared_ptr<const Constellation> constellation
 struct HandoffStats {
   std::size_t epochs = 0;        ///< reconfiguration epochs observed
   std::size_t handoffs = 0;      ///< epochs where the satellite changed
-  double mean_dwell_sec = 0;     ///< mean serving time per satellite
-  double max_dwell_sec = 0;
+  double mean_dwell_sec = 0;     ///< mean over *completed* dwells only
+  double max_dwell_sec = 0;      ///< longest completed dwell
   double outage_fraction = 0;    ///< epochs with no serving satellite
+  /// Right-censored final dwell: the satellite was still serving when the
+  /// observation window closed, so its true dwell is unknown. Counted
+  /// here (0 or 1) and excluded from mean/max — folding the truncated
+  /// value in biases mean_dwell_sec low for short windows.
+  std::size_t censored = 0;
+  double censored_dwell_sec = 0;  ///< observed (truncated) length of it
 };
 
 /// Measures handoff behaviour over [t_start, t_start + duration).
+/// Exactly floor(duration / reconfig_interval) epochs are sampled at
+/// t_start + i * interval, whatever the magnitude of t_start.
 HandoffStats measure_handoffs(const AccessNetwork& net, const geo::GeoPoint& user,
                               double t_start_sec, double duration_sec);
 

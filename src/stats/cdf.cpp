@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <limits>
 
+#include "stats/summary.hpp"
+
 namespace satnet::stats {
 
 Cdf::Cdf(std::span<const double> sample) : sorted_(sample.begin(), sample.end()) {
@@ -18,12 +20,10 @@ double Cdf::at(double x) const {
 }
 
 double Cdf::quantile(double q) const {
-  if (sorted_.empty()) return std::numeric_limits<double>::quiet_NaN();
-  const double clamped = std::clamp(q, 0.0, 1.0);
-  const auto idx = static_cast<std::size_t>(
-      std::ceil(clamped * static_cast<double>(sorted_.size())) );
-  if (idx == 0) return sorted_.front();
-  return sorted_[std::min(idx - 1, sorted_.size() - 1)];
+  // Delegates to percentile_sorted so the whole stats layer shares one
+  // quantile convention: quantile(0.05) == percentile(sample, 5). The
+  // previous ceil-index rule disagreed with it on every non-grid q.
+  return percentile_sorted(sorted_, std::clamp(q, 0.0, 1.0) * 100.0);
 }
 
 std::vector<Cdf::Point> Cdf::grid(std::size_t points) const {

@@ -17,7 +17,9 @@ class Cdf {
 
   /// P(X <= x).
   double at(double x) const;
-  /// Inverse CDF: smallest sample value v with P(X <= v) >= q, q in (0,1].
+  /// Inverse CDF under the same linear-interpolation convention as
+  /// percentile_sorted: quantile(q) == percentile(sample, 100 * q).
+  /// q is clamped to [0, 1]; returns NaN for an empty sample.
   double quantile(double q) const;
 
   std::size_t size() const { return sorted_.size(); }

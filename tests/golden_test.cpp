@@ -9,6 +9,12 @@
 //
 // then review the diff of tests/golden/ like any other code change.
 // SATNET_UPDATE_GOLDEN=1 in the environment does the same.
+//
+// Ablation: --no-access-cache runs the whole suite with the
+// access-interval index disabled (every orbital sample falls back to the
+// full cone-prefilter sweep). The snapshots must still match byte-for-
+// byte — that run is the equivalence oracle for the cache
+// (scripts/verify.sh --golden exercises it).
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -17,7 +23,10 @@
 #include <sstream>
 #include <string>
 
+#include "fault/hook.hpp"
+#include "fault/plan.hpp"
 #include "io/golden.hpp"
+#include "orbit/access_index.hpp"
 #include "synth/world.hpp"
 
 namespace {
@@ -110,6 +119,27 @@ TEST(Golden, AblationWeather) {
   expect_golden("bench_ablation_weather.txt", io::ablation_weather_report());
 }
 
+// The access index must stay invisible in report text even while a
+// fault plan rewrites gateway availability and reconfig cadence
+// mid-campaign: outage/storm windows partition the memo key space into
+// eras instead of corrupting (or flushing) cached samples. Compares the
+// identify_snos walkthrough cache-on vs cache-off under the shipped
+// example plan at every snapshot thread count.
+TEST(Golden, AccessCacheAblationUnderFaultPlan) {
+  const bool cache_was_enabled = orbit::access_cache_enabled();
+  fault::ScopedHook scoped(fault::FaultPlan::load_file(FAULTPLAN_PATH));
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    orbit::set_access_cache_enabled(true);
+    const std::string cached = io::identify_snos_report(threads);
+    orbit::set_access_cache_enabled(false);
+    const std::string uncached = io::identify_snos_report(threads);
+    EXPECT_EQ(cached, uncached)
+        << "identify_snos diverges cache-on vs cache-off at " << threads
+        << " threads under " << FAULTPLAN_PATH;
+  }
+  orbit::set_access_cache_enabled(cache_was_enabled);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -117,6 +147,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--update-golden") update_mode() = true;
+    if (arg == "--no-access-cache") satnet::orbit::set_access_cache_enabled(false);
     if (arg == "--threads" && i + 1 < argc) {
       extra_threads() = static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10));
     }

@@ -1,10 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <memory>
 
+#include "fault/hook.hpp"
+#include "fault/plan.hpp"
 #include "geo/geodesy.hpp"
 #include "orbit/access.hpp"
+#include "orbit/access_index.hpp"
 #include "orbit/constellation.hpp"
 #include "orbit/shell.hpp"
 
@@ -322,6 +328,181 @@ TEST(HandoffStatsTest, GeoNeverHandsOff) {
   const auto stats = measure_handoffs(net, {39.0, -98.0, 0}, 0.0, 3600.0);
   EXPECT_EQ(stats.epochs, 0u);  // no reconfiguration epochs at all
   EXPECT_EQ(stats.handoffs, 0u);
+}
+
+// The loop measure_handoffs used before PR 5: `t += interval`
+// accumulates one rounding error per epoch, so the epoch count depends
+// on the magnitude of t_start_sec. Reproduced here as plain arithmetic
+// to document the failure the integer-stepping fix removes.
+std::size_t old_accumulation_loop_epochs(double t_start, double duration,
+                                         double interval) {
+  std::size_t n = 0;
+  // satlint:allow(float-accum): deliberately reproduces the pre-fix buggy accumulation for the regression test
+  for (double t = t_start; t < t_start + duration; t += interval) ++n;
+  return n;
+}
+
+/// Minimal 0.1 s-interval MEO network over the 20-satellite O3b shell —
+/// cheap enough to sample a thousand epochs per measure_handoffs call.
+AccessNetwork make_fast_epoch_net() {
+  AccessConfig cfg;
+  cfg.name = "fast-epoch";
+  cfg.orbit = OrbitClass::meo;
+  cfg.min_elevation_deg = 15.0;
+  cfg.reconfig_interval_sec = 0.1;  // deliberately not representable in binary
+  const geo::GeoPoint lima{-12.05, -77.05, 0};
+  cfg.pops = {Pop{"p0", "lima", "PE", lima}};
+  cfg.gateways = {Gateway{"lima", lima, 0}};
+  return AccessNetwork(std::move(cfg),
+                       std::make_shared<const Constellation>(std::vector{o3b_shell()}));
+}
+
+TEST(HandoffStatsTest, OldAccumulationLoopDriftedWithStartOffset) {
+  // With a non-representable 0.1 s interval the old loop gains an epoch
+  // at t_start = 0 and sheds it again by t_start = 1e9 — the count was a
+  // function of where the window started, not how long it was.
+  EXPECT_EQ(old_accumulation_loop_epochs(0.0, 100.0, 0.1), 1001u);
+  EXPECT_EQ(old_accumulation_loop_epochs(1e9, 100.0, 0.1), 1000u);
+  // Even the stock 15 s Starlink interval loses epochs once t_start is
+  // large enough that t + 15 rounds: 225 instead of 240.
+  EXPECT_EQ(old_accumulation_loop_epochs(0.0, 3600.0, 15.0), 240u);
+  EXPECT_EQ(old_accumulation_loop_epochs(1e16, 3600.0, 15.0), 225u);
+}
+
+TEST(HandoffStatsTest, EpochCountInvariantToStartOffset) {
+  // Post-fix contract: exactly floor(duration / interval) epochs at any
+  // start offset, including ones where the old loop drifted.
+  const auto net = make_fast_epoch_net();
+  for (const double t_start : {0.0, 1e7, 1e9}) {
+    const auto stats = measure_handoffs(net, {-12.0, -77.0, 0}, t_start, 100.0);
+    EXPECT_EQ(stats.epochs, 1000u) << "t_start=" << t_start;
+  }
+  const auto leo = make_starlink_access(starlink());
+  for (const double t_start : {0.0, 1e7}) {
+    const auto stats = measure_handoffs(leo, {47.0, -122.0, 0}, t_start, 3600.0);
+    EXPECT_EQ(stats.epochs, 240u) << "t_start=" << t_start;
+  }
+}
+
+TEST(HandoffStatsTest, FinalDwellIsCensoredNotCompleted) {
+  // A window shorter than one natural dwell observes no handoff at all:
+  // the only dwell is cut off by the window edge. It must be reported as
+  // censored, not averaged in as if a handoff had ended it (that is what
+  // biased mean_dwell_sec low for short windows).
+  const auto net = make_starlink_access(starlink());
+  const geo::GeoPoint user{47.0, -122.0, 0};
+  const auto stats = measure_handoffs(net, user, 45.0, 30.0);
+  ASSERT_EQ(stats.epochs, 2u);
+  ASSERT_EQ(stats.handoffs, 0u);  // 30 s < one Starlink dwell
+  EXPECT_EQ(stats.censored, 1u);
+  EXPECT_DOUBLE_EQ(stats.censored_dwell_sec, 30.0);
+  EXPECT_DOUBLE_EQ(stats.mean_dwell_sec, 0.0);  // no *completed* dwells
+  EXPECT_DOUBLE_EQ(stats.max_dwell_sec, 0.0);
+}
+
+// ---------------------------------------------------------- access index
+
+/// Bitwise equality for doubles: the access index claims byte-identical
+/// results, so tests compare representations, not tolerances.
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+bool same_sample(const AccessSample& a, const AccessSample& b) {
+  return a.reachable == b.reachable && same_bits(a.one_way_ms, b.one_way_ms) &&
+         same_bits(a.up_ms, b.up_ms) && same_bits(a.down_ms, b.down_ms) &&
+         same_bits(a.backhaul_ms, b.backhaul_ms) &&
+         same_bits(a.scheduling_ms, b.scheduling_ms) &&
+         a.serving_sat == b.serving_sat && a.pop_index == b.pop_index &&
+         a.gateway_index == b.gateway_index && a.handoff == b.handoff;
+}
+
+/// RAII toggle so a test cannot leak a disabled cache into later tests.
+struct ScopedCacheDisabled {
+  ScopedCacheDisabled() { set_access_cache_enabled(false); }
+  ~ScopedCacheDisabled() { set_access_cache_enabled(true); }
+};
+
+TEST(AccessIndexTest, CandidateListIsSupersetOfVisibleSet) {
+  const auto c = starlink();
+  const auto net = make_starlink_access(c);
+  ASSERT_NE(net.access_index(), nullptr);
+  for (const double lat : {47.3, -36.9, 61.2}) {
+    for (double t = 0; t < 600.0; t += 45.0) {
+      const geo::GeoPoint user{lat, -122.3, 0};
+      const auto cands = net.access_index()->candidates_for_test(user, t);
+      const auto visible = c->visible(user, t, net.config().min_elevation_deg);
+      for (const auto& v : visible) {
+        EXPECT_TRUE(std::find(cands.begin(), cands.end(), v.id) != cands.end())
+            << "lat=" << lat << " t=" << t;
+      }
+      // The gate is tight enough to be useful, not a degenerate "all".
+      EXPECT_LT(cands.size(), c->total_sats() / 10);
+    }
+  }
+}
+
+TEST(AccessIndexTest, ServingMatchesFullSweepBitForBit) {
+  const auto c = starlink();
+  const auto net = make_starlink_access(c);
+  const double min_elev = net.config().min_elevation_deg;
+  for (const double lat : {47.61, 21.3, -33.87}) {
+    for (const double lon : {-122.33, -157.85, 151.2}) {
+      for (double epoch = 0; epoch < 900.0; epoch += 15.0) {
+        const geo::GeoPoint user{lat, lon, 0};
+        const auto via_index = net.access_index()->serving(user, epoch);
+        const auto via_sweep = c->best_visible(user, epoch, min_elev);
+        ASSERT_EQ(via_index.has_value(), via_sweep.has_value());
+        if (!via_index) continue;
+        EXPECT_TRUE(via_index->id == via_sweep->id);
+        EXPECT_TRUE(same_bits(via_index->elevation_deg, via_sweep->elevation_deg));
+        EXPECT_TRUE(same_bits(via_index->slant_km, via_sweep->slant_km));
+        EXPECT_TRUE(same_bits(via_index->position.lat_deg, via_sweep->position.lat_deg));
+        EXPECT_TRUE(same_bits(via_index->position.lon_deg, via_sweep->position.lon_deg));
+      }
+    }
+  }
+}
+
+TEST(AccessIndexTest, SamplesByteIdenticalCacheOnAndOff) {
+  const auto net = make_starlink_access(starlink());
+  const geo::GeoPoint user{47.61, -122.33, 0};
+  for (double t = 0; t < 1800.0; t += 7.5) {
+    const AccessSample cached = net.sample_with_handoff(user, t);
+    AccessSample uncached;
+    {
+      ScopedCacheDisabled off;
+      uncached = net.sample_with_handoff(user, t);
+    }
+    EXPECT_TRUE(same_sample(cached, uncached)) << "t=" << t;
+  }
+}
+
+TEST(AccessIndexTest, FaultWindowsPartitionErasWithoutFlushingIndex) {
+  const auto net = make_starlink_access(starlink());
+  const geo::GeoPoint user{47.61, -122.33, 0};  // Seattle: homed to the
+                                                // gateway the plan kills
+  fault::FaultEvent outage;
+  outage.kind = fault::EventKind::gateway_outage;
+  outage.target = "seattle";
+  outage.t_start_sec = 1000.0;  // deliberately mid-epoch: [990, 1005)
+  outage.t_end_sec = 2000.0;
+  fault::ScopedHook hook(fault::FaultPlan{{outage}});
+
+  // t = 995 and t = 1002 share the same reconfiguration epoch (990) and
+  // the same serving satellite, but straddle the outage edge. The era
+  // component of the memo key splits them, so warming the memo before
+  // the outage cannot replay a dead gateway into the window.
+  const AccessSample before = net.sample(user, 995.0);
+  const AccessSample inside = net.sample(user, 1002.0);
+  ASSERT_TRUE(before.reachable);
+  ASSERT_TRUE(inside.reachable);
+  EXPECT_TRUE(*before.serving_sat == *inside.serving_sat);
+  EXPECT_NE(before.gateway_index, inside.gateway_index);
+  // And both eras must agree with the uncached computation exactly.
+  ScopedCacheDisabled off;
+  EXPECT_TRUE(same_sample(before, net.sample(user, 995.0)));
+  EXPECT_TRUE(same_sample(inside, net.sample(user, 1002.0)));
 }
 
 // ------------------------------------------------- parameterized sweeps

@@ -290,9 +290,53 @@ TEST(CdfTest, QuantileInverseRoundTrip) {
   std::vector<double> sample;
   for (int i = 1; i <= 100; ++i) sample.push_back(i);
   const Cdf cdf(sample);
-  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 50.0);
+  // Linear interpolation over ranks 0..n-1: the 1..100 sample has
+  // quantile(q) = 1 + 99q.
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 50.5);
   EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 100.0);
-  EXPECT_DOUBLE_EQ(cdf.quantile(0.01), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.01), 1.99);
+}
+
+TEST(CdfTest, QuantileMatchesPercentileConvention) {
+  // The whole stats layer shares one quantile rule: Cdf::quantile(q)
+  // must equal percentile(sample, 100q) for any sample and any q. This
+  // is the PR 5 convention bugfix — the old ceil-index rule disagreed
+  // with percentile_sorted on every q off the 1/n grid.
+  Rng rng(23);
+  std::vector<double> sample;
+  for (int i = 0; i < 137; ++i) sample.push_back(rng.normal(50, 12));
+  const Cdf cdf(sample);
+  for (const double q : {0.0, 0.05, 0.17, 0.25, 0.5, 0.75, 0.95, 0.999, 1.0}) {
+    EXPECT_DOUBLE_EQ(cdf.quantile(q), percentile(sample, q * 100.0)) << "q=" << q;
+  }
+}
+
+TEST(CdfTest, QuantileAndPercentileEdgeCases) {
+  // p = 0 / p = 100 pin the extremes exactly.
+  const std::vector<double> v{3.0, 1.0, 7.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 7.0);
+  const Cdf cdf(v);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 7.0);
+  // Out-of-range q clamps rather than extrapolating.
+  EXPECT_DOUBLE_EQ(cdf.quantile(-0.5), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.5), 7.0);
+
+  // A single-element sample answers that element for every p.
+  const std::vector<double> one{42.0};
+  const Cdf cdf_one(one);
+  for (const double q : {0.0, 0.3, 1.0}) {
+    EXPECT_DOUBLE_EQ(percentile(one, q * 100.0), 42.0);
+    EXPECT_DOUBLE_EQ(cdf_one.quantile(q), 42.0);
+  }
+
+  // Empty samples answer NaN from both entry points.
+  const std::vector<double> empty;
+  EXPECT_TRUE(std::isnan(percentile(empty, 50.0)));
+  EXPECT_TRUE(std::isnan(percentile_sorted(empty, 50.0)));
+  EXPECT_TRUE(std::isnan(Cdf(empty).quantile(0.5)));
 }
 
 TEST(CdfTest, GridIsSortedInBothAxes) {
