@@ -21,11 +21,13 @@
 #include <string>
 
 #include "fault/hook.hpp"
+#include "io/timeline_io.hpp"
 #include "mlab/campaign.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "orbit/access_index.hpp"
+#include "orbit/timeline.hpp"
 #include "ripe/atlas.hpp"
 #include "runtime/thread_pool.hpp"
 #include "snoid/pipeline.hpp"
@@ -118,6 +120,7 @@ struct ObsSession {
   std::string trace_out;
   std::string fault_plan_path;
   std::string fault_plan_summary;
+  std::string timeline_out;
   std::chrono::steady_clock::time_point start;
 };
 
@@ -174,10 +177,48 @@ inline void parse_fault_flag(int* argc, char** argv) {
   }
 }
 
-/// Writes requested exports and prints the metrics summary. No-op when
-/// neither obs flag was given.
+/// Strips the timeline flags shared with satnetctl: --no-timeline
+/// ablates the epoch-timeline precompute (on-demand oracle path),
+/// --timeline-in PATH warm-starts from a saved file (a rejected file
+/// prints one diagnostic and the run builds in memory), and
+/// --timeline-out PATH saves the built timeline at exit. Output is
+/// byte-identical in every mode — the golden suite enforces it.
+inline void parse_timeline_flags(int* argc, char** argv) {
+  if (strip_bare_flag(argc, argv, "--no-timeline")) {
+    orbit::set_timeline_enabled(false);
+  }
+  ObsSession& s = obs_session();
+  std::string timeline_in;
+  if (strip_flag(argc, argv, "--timeline-in", &timeline_in) < 0 ||
+      strip_flag(argc, argv, "--timeline-out", &s.timeline_out) < 0) {
+    std::fprintf(stderr, "%s: --timeline-in/--timeline-out expect a path\n", argv[0]);
+    std::exit(2);
+  }
+  if (timeline_in.empty()) return;
+  io::TimelineFileInfo info;
+  const std::string err = io::load_timelines(timeline_in, &info);
+  if (err.empty()) {
+    std::printf("timeline %s: %zu networks, %zu bytes\n", timeline_in.c_str(),
+                info.networks, info.bytes);
+  } else {
+    std::fprintf(stderr, "%s: %s\n", argv[0], err.c_str());
+  }
+}
+
+/// Writes requested exports and prints the metrics summary. The
+/// timeline save + roll-up line run regardless of obs flags.
 inline void obs_finish() {
   const ObsSession& s = obs_session();
+  if (!s.timeline_out.empty()) {
+    const std::string err = io::save_timelines(s.timeline_out, s.command);
+    if (!err.empty()) {
+      std::fprintf(stderr, "%s: %s\n", s.tool.c_str(), err.c_str());
+    } else {
+      std::printf("saved timeline to %s\n", s.timeline_out.c_str());
+    }
+  }
+  const std::string tl = orbit::timeline_summary_line();
+  if (!tl.empty()) std::printf("%s\n", tl.c_str());
   if (s.metrics_out.empty() && s.trace_out.empty()) return;
   obs::RunManifest manifest;
   manifest.tool = s.tool;
@@ -262,6 +303,7 @@ inline void note(const char* text) { std::printf("  %s\n", text); }
     ::satnet::bench::parse_obs_flags(&argc, argv);       \
     ::satnet::bench::parse_fault_flag(&argc, argv);      \
     ::satnet::bench::parse_access_cache_flag(&argc, argv); \
+    ::satnet::bench::parse_timeline_flags(&argc, argv);  \
     ::benchmark::Initialize(&argc, argv);                \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
     print_fn();                                          \

@@ -1,0 +1,370 @@
+// Tentpole bench: the campaign-scoped epoch timeline (orbit/timeline,
+// io/timeline_io). Times the M-Lab campaign in all four modes —
+// on-demand (--no-timeline oracle), cold build (precompute included),
+// warm in-memory replay, and warm mmap replay from a saved file — and
+// asserts every mode produces a byte-identical dataset.
+//
+// Two further workloads isolate what the timeline actually replaces:
+//  * the campaign's own access schedule (planned_access_queries — the
+//    exact (terminal, t) set the shards will ask for), replayed from the
+//    warm snapshot vs derived on demand through the PR 5 index. This is
+//    the ≥2x acceptance workload: the campaign end to end is
+//    transport-simulation-bound (the TCP round loop dominates; see the
+//    Amdahl row printed below), so the honest place to demand 2x is the
+//    access layer the timeline removes from the hot path.
+//  * the handoff census rehomed from the PR 5 access-cache ablation:
+//    epoch-dense serving-satellite selection, the timeline's best case.
+//
+// Writes BENCH_timeline.json (cwd) with every timing, the speedups, the
+// replay counters, and the saved file's size for CI trend tracking. The
+// bench drives the timeline itself, so --no-timeline / --timeline-in /
+// --timeline-out have no effect on this binary; the timeline file it
+// saves (bench_timeline.tl, cwd) is a real warm-start artifact — CI's
+// repeat job feeds it back through satnetctl --timeline-in.
+#include "bench/bench_common.hpp"
+
+#include <bit>
+#include <cstdint>
+
+#include "orbit/access.hpp"
+
+namespace {
+
+using namespace satnet;
+
+constexpr const char* kTimelineFile = "bench_timeline.tl";
+
+mlab::CampaignConfig campaign_config() {
+  mlab::CampaignConfig cfg;
+  cfg.volume_scale = 0.002;
+  cfg.min_tests_per_sno = 30;
+  cfg.threads = bench::threads();
+  cfg.retry = runtime::degrade_under_faults();
+  return cfg;
+}
+
+double wall_ms_since(std::chrono::steady_clock::time_point t0) {
+  // satlint:allow(nondet-source): bench wall-clock; results never read it
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   t0)
+      .count();
+}
+
+/// FNV-1a over raw sample bits — byte-level fingerprint of a workload.
+struct Fingerprint {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  }
+  void mix(double d) { mix(std::bit_cast<std::uint64_t>(d)); }
+};
+
+std::uint64_t mix_sample(Fingerprint& fp, const orbit::AccessSample& s) {
+  fp.mix(static_cast<std::uint64_t>(s.reachable));
+  if (s.reachable) {
+    fp.mix(s.one_way_ms);
+    fp.mix(static_cast<std::uint64_t>(s.handoff));
+    fp.mix(static_cast<std::uint64_t>(s.gateway_index));
+    fp.mix(static_cast<std::uint64_t>(s.pop_index));
+  }
+  return fp.h;
+}
+
+// ----------------------------------------------------------------- mlab
+
+struct CampaignRound {
+  double wall_ms = 0;
+  std::uint64_t hash = 0;
+  std::size_t records = 0;
+};
+
+/// One campaign run over a fresh world, so per-network index memos and
+/// slab caches start cold and every mode pays its own honest cost.
+CampaignRound run_campaign_round() {
+  const synth::World world;
+  const mlab::CampaignConfig cfg = campaign_config();
+  // satlint:allow(nondet-source): bench wall-clock; results never read it
+  const auto t0 = std::chrono::steady_clock::now();
+  const mlab::NdtDataset ds = mlab::run_campaign(world, cfg);
+  CampaignRound round;
+  round.wall_ms = wall_ms_since(t0);
+  round.hash = ds.hash();
+  round.records = ds.size();
+  return round;
+}
+
+/// The campaign's access schedule, executed directly against the access
+/// layer (sample_with_handoff — what sample_path calls per test).
+struct ScheduleRound {
+  double wall_ms = 0;
+  std::uint64_t hash = 0;
+  std::size_t queries = 0;
+};
+
+ScheduleRound run_schedule_round(const synth::World& world) {
+  const auto plan = mlab::planned_access_queries(world, campaign_config());
+  Fingerprint fp;
+  ScheduleRound round;
+  // satlint:allow(nondet-source): bench wall-clock; results never read it
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& [net, queries] : plan) {
+    for (const auto& q : queries) {
+      mix_sample(fp, net->sample_with_handoff(q.terminal, q.t_sec));
+      ++round.queries;
+    }
+  }
+  round.wall_ms = wall_ms_since(t0);
+  round.hash = fp.h;
+  return round;
+}
+
+// --------------------------------------------------------------- census
+
+/// Terminal fleet spanning the Starlink service area (the PR 5 census
+/// fleet): four terminals per metro so ground cells are shared the way
+/// a real campaign shares them.
+const geo::GeoPoint kFleet[] = {
+    {47.61, -122.33, 0}, {61.22, -149.90, 0}, {34.05, -118.24, 0},
+    {40.71, -74.01, 0},  {29.76, -95.37, 0},  {45.50, -73.57, 0},
+    {19.43, -99.13, 0},  {51.51, -0.13, 0},   {48.86, 2.35, 0},
+    {52.52, 13.40, 0},   {-33.87, 151.21, 0}, {-36.85, 174.76, 0},
+    {-23.55, -46.63, 0}, {-33.45, -70.67, 0}, {35.68, 139.69, 0},
+    {14.60, 120.98, 0},
+};
+
+std::vector<orbit::TimelineQuery> census_queries() {
+  std::vector<orbit::TimelineQuery> queries;
+  for (const auto& city : kFleet) {
+    for (int j = 0; j < 4; ++j) {
+      const geo::GeoPoint user{city.lat_deg + 0.05 * j, city.lon_deg + 0.07 * j, 0};
+      for (int e = 1; e <= 240; ++e) queries.push_back({user, 15.0 * e});
+    }
+  }
+  return queries;
+}
+
+struct CensusRound {
+  double wall_ms = 0;
+  std::uint64_t hash = 0;
+};
+
+CensusRound run_census_round(const orbit::AccessNetwork& net) {
+  Fingerprint fp;
+  CensusRound round;
+  // satlint:allow(nondet-source): bench wall-clock; results never read it
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& q : census_queries()) {
+    mix_sample(fp, net.sample_with_handoff(q.terminal, q.t_sec));
+  }
+  round.wall_ms = wall_ms_since(t0);
+  round.hash = fp.h;
+  return round;
+}
+
+orbit::AccessNetwork fresh_starlink() {
+  return orbit::make_starlink_access(
+      std::make_shared<orbit::Constellation>(orbit::starlink_shells()));
+}
+
+// ----------------------------------------------------------------- main
+
+std::uint64_t counter_value(const char* name) {
+  return obs::MetricsRegistry::global().counter(name).value();
+}
+
+void die_on_divergence(const char* label, std::uint64_t expected, std::uint64_t got) {
+  if (expected == got) return;
+  std::fprintf(stderr,
+               "FATAL: %s output diverges under timeline replay "
+               "(expected %016llx, got %016llx) — the timeline broke its "
+               "byte-identity contract\n",
+               label, static_cast<unsigned long long>(expected),
+               static_cast<unsigned long long>(got));
+  std::exit(1);
+}
+
+void print_timeline_bench() {
+  bench::header("Tentpole: epoch timeline",
+                "precompute once, replay everywhere, persist for warm starts");
+
+  // --- mlab campaign, four modes -----------------------------------
+  orbit::EpochTimeline::clear_installed();
+  orbit::set_timeline_enabled(false);
+  const CampaignRound no_tl = run_campaign_round();
+
+  orbit::set_timeline_enabled(true);
+  const CampaignRound cold = run_campaign_round();  // build included
+  const std::string save_err = io::save_timelines(kTimelineFile, "bench_timeline");
+  if (!save_err.empty()) std::fprintf(stderr, "warning: %s\n", save_err.c_str());
+
+  const CampaignRound warm = run_campaign_round();  // snapshot installed
+
+  orbit::EpochTimeline::clear_installed();
+  io::TimelineFileInfo file_info;
+  const std::string load_err = io::load_timelines(kTimelineFile, &file_info);
+  if (!load_err.empty()) {
+    std::fprintf(stderr, "FATAL: cannot reload the timeline this bench just "
+                         "saved: %s\n", load_err.c_str());
+    std::exit(1);
+  }
+  const CampaignRound warm_mmap = run_campaign_round();
+
+  die_on_divergence("mlab campaign (cold)", no_tl.hash, cold.hash);
+  die_on_divergence("mlab campaign (warm)", no_tl.hash, warm.hash);
+  die_on_divergence("mlab campaign (warm mmap)", no_tl.hash, warm_mmap.hash);
+
+  const double e2e_speedup = warm_mmap.wall_ms > 0 ? no_tl.wall_ms / warm_mmap.wall_ms : 0;
+  std::printf("  %-34s %10s %9s\n", "mlab campaign (end to end)", "wall ms", "speedup");
+  std::printf("  %-34s %10.0f %8.2fx\n", "  on-demand (--no-timeline)", no_tl.wall_ms, 1.0);
+  std::printf("  %-34s %10.0f %8.2fx\n", "  cold build (precompute incl.)", cold.wall_ms,
+              cold.wall_ms > 0 ? no_tl.wall_ms / cold.wall_ms : 0);
+  std::printf("  %-34s %10.0f %8.2fx\n", "  warm replay (in memory)", warm.wall_ms,
+              warm.wall_ms > 0 ? no_tl.wall_ms / warm.wall_ms : 0);
+  std::printf("  %-34s %10.0f %8.2fx\n", "  warm replay (mmap file)", warm_mmap.wall_ms,
+              e2e_speedup);
+  bench::note("end to end is transport-simulation-bound (the TCP round loop");
+  bench::note("dominates), so the Amdahl ceiling caps this row well under the");
+  bench::note("access-layer speedups below — same honest split as BENCH_access_cache");
+
+  // --- the campaign's access schedule, replay vs on-demand ---------
+  // Fresh worlds per mode: the on-demand round pays the index slab
+  // builds a real campaign pays; the warm round replays the snapshot
+  // the campaign rounds above installed (same network identity).
+  orbit::set_timeline_enabled(false);
+  const synth::World ondemand_world;
+  const ScheduleRound sched_ondemand = run_schedule_round(ondemand_world);
+
+  orbit::set_timeline_enabled(true);
+  const std::uint64_t hits0 = counter_value("timeline.replay.hit");
+  const synth::World warm_world;
+  const ScheduleRound sched_warm = run_schedule_round(warm_world);
+  const std::uint64_t sched_hits = counter_value("timeline.replay.hit") - hits0;
+
+  die_on_divergence("mlab access schedule", sched_ondemand.hash, sched_warm.hash);
+  const double sched_speedup =
+      sched_warm.wall_ms > 0 ? sched_ondemand.wall_ms / sched_warm.wall_ms : 0;
+  std::printf("  %-34s %10s %9s\n", "mlab access schedule", "wall ms", "speedup");
+  std::printf("  %-34s %10.0f %8.2fx   (%zu queries)\n", "  on-demand (index)",
+              sched_ondemand.wall_ms, 1.0, sched_ondemand.queries);
+  std::printf("  %-34s %10.0f %8.2fx   (%llu replay hits)\n", "  warm replay",
+              sched_warm.wall_ms, sched_speedup,
+              static_cast<unsigned long long>(sched_hits));
+
+  // --- handoff census, replay vs on-demand -------------------------
+  orbit::set_timeline_enabled(false);
+  const orbit::AccessNetwork census_ondemand_net = fresh_starlink();
+  const CensusRound census_ondemand = run_census_round(census_ondemand_net);
+
+  orbit::set_timeline_enabled(true);
+  const orbit::AccessNetwork census_warm_net = fresh_starlink();
+  // satlint:allow(nondet-source): bench wall-clock; results never read it
+  const auto build_t0 = std::chrono::steady_clock::now();
+  orbit::EpochTimeline::ensure(census_warm_net, census_queries(), bench::threads());
+  const double census_build_ms = wall_ms_since(build_t0);
+  const CensusRound census_warm = run_census_round(census_warm_net);
+
+  die_on_divergence("handoff census", census_ondemand.hash, census_warm.hash);
+  const double census_speedup =
+      census_warm.wall_ms > 0 ? census_ondemand.wall_ms / census_warm.wall_ms : 0;
+  std::printf("  %-34s %10s %9s\n", "handoff census", "wall ms", "speedup");
+  std::printf("  %-34s %10.0f %8.2fx\n", "  on-demand (index)", census_ondemand.wall_ms,
+              1.0);
+  std::printf("  %-34s %10.0f %8.2fx   (build %.0f ms amortized out)\n",
+              "  warm replay", census_warm.wall_ms, census_speedup, census_build_ms);
+
+  const bool target_met = sched_speedup >= 2.0;
+  std::printf("  outputs byte-identical across all modes: yes (asserted)\n");
+  std::printf("  warm-replay speedup target >= 2x (campaign access schedule): %s\n",
+              target_met ? "met" : "NOT MET");
+  std::printf("  timeline file: %zu networks, %zu bytes (%s)\n", file_info.networks,
+              file_info.bytes, kTimelineFile);
+
+  std::FILE* out = std::fopen("BENCH_timeline.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "warning: cannot write BENCH_timeline.json\n");
+    return;
+  }
+  std::fprintf(
+      out,
+      "{\n"
+      "  \"bench\": \"bench_timeline\",\n"
+      "  \"mlab_campaign\": {\"no_timeline_ms\": %.1f, \"cold_ms\": %.1f, "
+      "\"warm_ms\": %.1f, \"warm_mmap_ms\": %.1f, \"warm_speedup\": %.2f, "
+      "\"records\": %zu},\n"
+      "  \"mlab_access_schedule\": {\"on_demand_ms\": %.1f, \"warm_ms\": %.1f, "
+      "\"warm_replay_speedup\": %.2f, \"queries\": %zu, \"replay_hits\": %llu},\n"
+      "  \"handoff_census\": {\"on_demand_ms\": %.1f, \"warm_ms\": %.1f, "
+      "\"build_ms\": %.1f, \"speedup\": %.2f},\n"
+      "  \"timeline_file\": {\"path\": \"%s\", \"networks\": %zu, \"bytes\": %zu},\n"
+      "  \"outputs_identical\": true,\n"
+      "  \"warm_speedup_target_2x_met\": %s\n"
+      "}\n",
+      no_tl.wall_ms, cold.wall_ms, warm.wall_ms, warm_mmap.wall_ms, e2e_speedup,
+      no_tl.records, sched_ondemand.wall_ms, sched_warm.wall_ms, sched_speedup,
+      sched_ondemand.queries, static_cast<unsigned long long>(sched_hits),
+      census_ondemand.wall_ms, census_warm.wall_ms, census_build_ms, census_speedup,
+      kTimelineFile, file_info.networks, file_info.bytes,
+      target_met ? "true" : "false");
+  std::fclose(out);
+  bench::note("wrote BENCH_timeline.json");
+}
+
+// Microbenches: one covered access sample, replayed vs derived.
+
+const orbit::AccessNetwork& kernel_net() {
+  static const orbit::AccessNetwork net = [] {
+    orbit::AccessNetwork n = fresh_starlink();
+    orbit::set_timeline_enabled(true);
+    orbit::EpochTimeline::ensure(n, census_queries(), bench::threads());
+    return n;
+  }();
+  return net;
+}
+
+void BM_sample_replay(benchmark::State& state) {
+  const orbit::AccessNetwork& net = kernel_net();
+  orbit::set_timeline_enabled(true);
+  int e = 0;
+  for (auto _ : state) {
+    e = e % 240 + 1;
+    benchmark::DoNotOptimize(net.sample(kFleet[0], 15.0 * e));
+  }
+}
+BENCHMARK(BM_sample_replay)->Unit(benchmark::kMicrosecond);
+
+// The index's best case: every epoch already memoized for this user.
+// Faster than the timeline's binary search per lookup, but the memo is
+// per-network warm state a fresh campaign pays to fill — the schedule
+// rows above price that honestly.
+void BM_sample_index_hot(benchmark::State& state) {
+  const orbit::AccessNetwork& net = kernel_net();
+  orbit::set_timeline_enabled(false);
+  int e = 0;
+  for (auto _ : state) {
+    e = e % 240 + 1;
+    benchmark::DoNotOptimize(net.sample(kFleet[0], 15.0 * e));
+  }
+  orbit::set_timeline_enabled(true);
+}
+BENCHMARK(BM_sample_index_hot)->Unit(benchmark::kMicrosecond);
+
+void BM_sample_sweep(benchmark::State& state) {
+  const orbit::AccessNetwork& net = kernel_net();
+  orbit::set_timeline_enabled(false);
+  orbit::set_access_cache_enabled(false);
+  int e = 0;
+  for (auto _ : state) {
+    e = e % 240 + 1;
+    benchmark::DoNotOptimize(net.sample(kFleet[0], 15.0 * e));
+  }
+  orbit::set_access_cache_enabled(true);
+  orbit::set_timeline_enabled(true);
+}
+BENCHMARK(BM_sample_sweep)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+SATNET_BENCH_MAIN(print_timeline_bench)

@@ -29,6 +29,14 @@
 // Ablation: --no-access-cache disables the access-interval visibility
 // index (src/orbit/access_index.*) so every sample re-runs the full
 // cone-prefilter sweep. Output is byte-identical either way.
+//
+// Timeline: campaign-running commands precompute the epoch timeline
+// before sharding (src/orbit/timeline.*) and replay it as pure lookups.
+//   --no-timeline        ablate the precompute (on-demand oracle path)
+//   --timeline-in PATH   warm-start from a saved timeline file
+//   --timeline-out PATH  save the built timeline for later warm starts
+// Output is byte-identical in every mode; a rejected --timeline-in file
+// prints one diagnostic and the run falls back to an in-memory build.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -40,11 +48,13 @@
 #include "fault/hook.hpp"
 #include "io/csv.hpp"
 #include "io/report.hpp"
+#include "io/timeline_io.hpp"
 #include "mlab/campaign.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "orbit/access_index.hpp"
+#include "orbit/timeline.hpp"
 #include "prolific/census.hpp"
 #include "ripe/atlas.hpp"
 #include "runtime/thread_pool.hpp"
@@ -245,6 +255,10 @@ int main(int argc, char** argv) {
                  "a deterministic fault schedule (see README, src/fault)\n"
                  "--no-access-cache ablates the access-interval index\n"
                  "(byte-identical output, slower sampling)\n"
+                 "--no-timeline ablates the epoch-timeline precompute;\n"
+                 "--timeline-in PATH warm-starts from a saved timeline and\n"
+                 "--timeline-out PATH saves the built one (byte-identical\n"
+                 "output in every mode)\n"
                  "--threads 0 (default) uses one worker per hardware thread;\n"
                  "output is identical for every thread count\n");
     return 2;
@@ -252,6 +266,23 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   if (has_flag(argc, argv, "--no-access-cache")) {
     orbit::set_access_cache_enabled(false);
+  }
+  if (has_flag(argc, argv, "--no-timeline")) {
+    orbit::set_timeline_enabled(false);
+  }
+  const std::string timeline_in = flag_value(argc, argv, "--timeline-in", "");
+  const std::string timeline_out = flag_value(argc, argv, "--timeline-out", "");
+  if (!timeline_in.empty()) {
+    io::TimelineFileInfo tinfo;
+    const std::string err = io::load_timelines(timeline_in, &tinfo);
+    if (err.empty()) {
+      std::printf("timeline %s: %zu networks, %zu bytes\n", timeline_in.c_str(),
+                  tinfo.networks, tinfo.bytes);
+    } else {
+      // Deliberately not fatal: the run builds in memory and produces
+      // the same bytes — the warm start is an optimisation only.
+      std::fprintf(stderr, "satnetctl: %s\n", err.c_str());
+    }
   }
   const std::string metrics_out = flag_value(argc, argv, "--metrics-out", "");
   const std::string trace_out = flag_value(argc, argv, "--trace-out", "");
@@ -274,6 +305,24 @@ int main(int argc, char** argv) {
   const auto start = std::chrono::steady_clock::now();
 
   const int rc = run_command(cmd, argc, argv);
+
+  if (rc == 0 && !timeline_out.empty()) {
+    std::string stamp = "satnetctl";
+    for (int i = 1; i < argc; ++i) {
+      stamp += ' ';
+      stamp += argv[i];
+    }
+    const std::string err = io::save_timelines(timeline_out, stamp);
+    if (!err.empty()) {
+      std::fprintf(stderr, "satnetctl: %s\n", err.c_str());
+    } else {
+      std::printf("saved timeline to %s\n", timeline_out.c_str());
+    }
+  }
+  if (rc == 0) {
+    const std::string tl = orbit::timeline_summary_line();
+    if (!tl.empty()) std::printf("%s\n", tl.c_str());
+  }
 
   if (rc == 0 && (!metrics_out.empty() || !trace_out.empty())) {
     obs::RunManifest manifest;

@@ -57,25 +57,40 @@ if [[ "$run_golden" == 1 ]]; then
   echo "== golden: snapshot suite + determinism/fault repeat at varying threads =="
   cmake -B build -S .
   cmake --build build -j "${jobs}" --target golden_test determinism_test fault_test \
-    bench_ablation_access_cache
+    bench_ablation_access_cache bench_timeline
   # The flake gate: the determinism-sensitive suites run 3x, golden_test
   # additionally asserting one more thread count each round. Snapshots
-  # regenerate only via `golden_test --update-golden`, never here.
+  # regenerate only via `golden_test --update-golden`, never here. The
+  # first round builds the epoch timeline cold and persists it; later
+  # rounds warm-start from the file — same snapshots either way, so the
+  # repeat gate doubles as the persistence equivalence oracle.
+  rm -f build/golden-timeline.bin
+  timeline_flag="--timeline-out"
   for threads in 1 2 8; do
-    echo "-- repeat round: golden_test --threads ${threads} --"
-    ./build/tests/golden_test --threads "${threads}"
+    echo "-- repeat round: golden_test --threads ${threads} (${timeline_flag}) --"
+    ./build/tests/golden_test --threads "${threads}" \
+      "${timeline_flag}" build/golden-timeline.bin
+    timeline_flag="--timeline-in"
     ./build/tests/fault_test
     ./build/tests/determinism_test
   done
-  # Ablation round: the whole snapshot suite must be byte-identical with
-  # the access-interval index disabled (the cache's equivalence oracle).
+  # Ablation rounds: the whole snapshot suite must be byte-identical with
+  # the access-interval index disabled (the cache's equivalence oracle)
+  # and with the epoch timeline disabled (the replay equivalence oracle).
   echo "-- ablation round: golden_test --no-access-cache --"
   ./build/tests/golden_test --no-access-cache
+  echo "-- ablation round: golden_test --no-timeline --"
+  ./build/tests/golden_test --no-timeline
   # Cache speedup + byte-identity report (exits 1 on divergence); the
   # JSON lands in the repo root for CI artifact upload / trend tracking.
   echo "-- ablation bench: bench_ablation_access_cache --"
   ./build/bench/bench_ablation_access_cache --benchmark_filter='measure_handoffs'
   test -s BENCH_access_cache.json
+  # Timeline cold/warm/no-timeline A/B (exits 1 on divergence) + the
+  # warm-replay speedup record.
+  echo "-- timeline bench: bench_timeline --"
+  ./build/bench/bench_timeline --benchmark_filter='sample_replay'
+  test -s BENCH_timeline.json
 fi
 
 if [[ "$run_tsan" == 1 ]]; then

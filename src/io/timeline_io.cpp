@@ -1,0 +1,341 @@
+#include "io/timeline_io.hpp"
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "obs/metrics.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SATNET_TIMELINE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace satnet::io {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'N', 'T', 'L'};
+constexpr std::uint16_t kByteOrderMark = 0xFEFF;
+
+/// Hash of the array layout; bump alongside kTimelineFormatVersion when
+/// the on-disk schema changes so stale files are rejected, not
+/// misparsed. (FNV-1a of the layout description below.)
+constexpr std::string_view kSchemaDescription =
+    "identity,interval,static_boundaries,boundaries,era_keys,"
+    "serving{lat,lon,epoch,sat},sample{lat,lon,epoch,era,sat,popgw,up,down,backhaul,sched,oneway}";
+
+std::uint64_t fnv1a(const void* data, std::size_t n,
+                    std::uint64_t h = 0xcbf29ce484222325ull) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t schema_hash() {
+  std::uint64_t h = fnv1a(kSchemaDescription.data(), kSchemaDescription.size());
+  h ^= kTimelineFormatVersion;
+  return h;
+}
+
+// ------------------------------------------------------------- writing
+// Explicit little-endian byte emission: the file has one byte order on
+// every host, and the loader's BOM check distinguishes "foreign-endian
+// writer" from garbage.
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void pad_to_8(std::string& out) {
+  while (out.size() % 8 != 0) out.push_back('\0');
+}
+
+void put_u64_array(std::string& out, std::span<const std::uint64_t> a) {
+  for (const std::uint64_t v : a) put_u64(out, v);
+}
+
+void put_u32_array(std::string& out, std::span<const std::uint32_t> a) {
+  for (const std::uint32_t v : a) put_u32(out, v);
+  pad_to_8(out);
+}
+
+// ------------------------------------------------------------- reading
+
+/// Bounds-checked cursor over the image. All u64 reads happen at
+/// 8-aligned offsets by format construction (the writer pads), so the
+/// array views handed to snapshots are alignment-safe.
+struct Cursor {
+  const unsigned char* base = nullptr;
+  std::size_t size = 0;
+  std::size_t pos = 0;
+
+  bool take(std::size_t n) {
+    if (n > size - pos) return false;
+    pos += n;
+    return true;
+  }
+  bool get_u64(std::uint64_t* out) {
+    if (size - pos < 8) return false;
+    std::uint64_t v = 0;
+    std::memcpy(&v, base + pos, 8);  // host is little-endian (checked up front)
+    pos += 8;
+    *out = v;
+    return true;
+  }
+  template <typename T>
+  bool get_array(std::size_t n, std::span<const T>* out) {
+    const std::size_t bytes = n * sizeof(T);
+    if (bytes / sizeof(T) != n || bytes > size - pos) return false;
+    *out = std::span<const T>(reinterpret_cast<const T*>(base + pos), n);
+    pos += bytes;
+    while (pos % 8 != 0 && pos < size) ++pos;  // writer pads u32 arrays
+    return true;
+  }
+};
+
+obs::Counter& load_counter() {
+  // satlint:allow(shared-state): cached reference to a thread-safe striped counter; magic-static init is synchronized
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "timeline.io.load", "timeline files loaded and installed");
+  return c;
+}
+
+obs::Counter& mmap_bytes_counter() {
+  // satlint:allow(shared-state): cached reference to a thread-safe striped counter; magic-static init is synchronized
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "timeline.io.mmap_bytes", "bytes of timeline files mapped read-only");
+  return c;
+}
+
+#if SATNET_TIMELINE_HAVE_MMAP
+/// An mmap'ed read-only file; snapshots hold this via shared_ptr so the
+/// mapping outlives every span into it.
+struct Mapping {
+  void* addr = MAP_FAILED;
+  std::size_t len = 0;
+  ~Mapping() {
+    if (addr != MAP_FAILED) ::munmap(addr, len);
+  }
+};
+#endif
+
+}  // namespace
+
+std::string serialize_timelines(
+    const std::vector<std::shared_ptr<const orbit::EpochTimeline>>& timelines,
+    const std::string& manifest) {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  out.push_back(static_cast<char>(kTimelineFormatVersion));
+  out.push_back('\0');
+  out.push_back(static_cast<char>(kByteOrderMark & 0xFF));
+  out.push_back(static_cast<char>(kByteOrderMark >> 8));
+  put_u64(out, schema_hash());
+  put_u64(out, manifest.size());
+  out += manifest;
+  pad_to_8(out);
+  put_u64(out, timelines.size());
+  for (const auto& tl : timelines) {
+    put_u64(out, tl->identity());
+    put_u64(out, std::bit_cast<std::uint64_t>(tl->interval_sec()));
+    put_u64(out, tl->static_boundaries().size());
+    for (const double b : tl->static_boundaries()) {
+      put_u64(out, std::bit_cast<std::uint64_t>(b));
+    }
+    put_u64(out, tl->boundaries().size());
+    for (const double b : tl->boundaries()) put_u64(out, std::bit_cast<std::uint64_t>(b));
+    put_u64_array(out, tl->era_keys());  // boundaries + 1 entries
+    const auto& v = tl->view();
+    put_u64(out, v.s_lat.size());
+    put_u64_array(out, v.s_lat);
+    put_u64_array(out, v.s_lon);
+    put_u64_array(out, v.s_epoch);
+    put_u32_array(out, v.s_sat);
+    put_u64(out, v.m_lat.size());
+    put_u64_array(out, v.m_lat);
+    put_u64_array(out, v.m_lon);
+    put_u64_array(out, v.m_epoch);
+    put_u32_array(out, v.m_era);
+    put_u32_array(out, v.m_sat);
+    put_u32_array(out, v.m_popgw);
+    put_u64_array(out, v.m_up);
+    put_u64_array(out, v.m_down);
+    put_u64_array(out, v.m_backhaul);
+    put_u64_array(out, v.m_sched);
+    put_u64_array(out, v.m_oneway);
+  }
+  put_u64(out, fnv1a(out.data(), out.size()));
+  return out;
+}
+
+std::string parse_timelines(std::string_view bytes, std::shared_ptr<const void> backing,
+                            std::vector<std::shared_ptr<const orbit::EpochTimeline>>* out,
+                            TimelineFileInfo* info) {
+  out->clear();
+  const auto reject = [&](const std::string& why) {
+    out->clear();
+    return "timeline file rejected: " + why;
+  };
+  if constexpr (std::endian::native != std::endian::little) {
+    return reject("big-endian hosts cannot map little-endian timelines");
+  }
+  if (bytes.size() < 32) return reject("truncated header");
+  Cursor c{reinterpret_cast<const unsigned char*>(bytes.data()), bytes.size(), 0};
+  if (std::memcmp(c.base, kMagic, sizeof(kMagic)) != 0) {
+    return reject("bad magic (not a timeline file)");
+  }
+  const unsigned char version = c.base[4];
+  const std::uint16_t bom =
+      static_cast<std::uint16_t>(c.base[6] | (static_cast<std::uint16_t>(c.base[7]) << 8));
+  if (bom != kByteOrderMark) {
+    if (bom == 0xFFFE) return reject("wrong endianness (byte-swapped file)");
+    return reject("corrupt header (bad byte-order mark)");
+  }
+  if (version != kTimelineFormatVersion) {
+    return reject("unsupported format version " + std::to_string(version));
+  }
+  c.pos = 8;
+  std::uint64_t schema = 0, manifest_len = 0;
+  if (!c.get_u64(&schema) || schema != schema_hash()) {
+    return reject("stale schema stamp (rebuilt layout; regenerate the file)");
+  }
+  if (!c.get_u64(&manifest_len) || manifest_len > c.size - c.pos) {
+    return reject("truncated manifest");
+  }
+  const std::string manifest(bytes.substr(c.pos, manifest_len));
+  if (!c.take(manifest_len)) return reject("truncated manifest");
+  while (c.pos % 8 != 0 && c.pos < c.size) ++c.pos;
+
+  // Whole-payload checksum before touching any array: bit flips and
+  // truncation both land here with one message.
+  if (bytes.size() < c.pos + 16) return reject("truncated payload");
+  std::uint64_t stored_sum = 0;
+  std::memcpy(&stored_sum, bytes.data() + bytes.size() - 8, 8);
+  if (fnv1a(bytes.data(), bytes.size() - 8) != stored_sum) {
+    return reject("checksum mismatch (corrupt or truncated payload)");
+  }
+  const std::size_t payload_end = bytes.size() - 8;
+
+  std::uint64_t n_networks = 0;
+  if (!c.get_u64(&n_networks)) return reject("truncated network count");
+  for (std::uint64_t n = 0; n < n_networks; ++n) {
+    std::uint64_t identity = 0, interval_bits = 0, count = 0;
+    if (!c.get_u64(&identity) || !c.get_u64(&interval_bits)) {
+      return reject("truncated network header");
+    }
+    const auto read_doubles = [&](std::vector<double>* dst) {
+      if (!c.get_u64(&count) || count > (payload_end - c.pos) / 8) return false;
+      dst->reserve(count);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        std::uint64_t b = 0;
+        if (!c.get_u64(&b)) return false;
+        dst->push_back(std::bit_cast<double>(b));
+      }
+      return true;
+    };
+    std::vector<double> static_boundaries, boundaries;
+    if (!read_doubles(&static_boundaries)) return reject("truncated static boundaries");
+    if (!read_doubles(&boundaries)) return reject("truncated era boundaries");
+    std::vector<std::uint64_t> era_keys(boundaries.size() + 1);
+    for (auto& k : era_keys) {
+      if (!c.get_u64(&k)) return reject("truncated era keys");
+    }
+    orbit::EpochTimeline::View view;
+    std::uint64_t n_serving = 0;
+    if (!c.get_u64(&n_serving) || !c.get_array(n_serving, &view.s_lat) ||
+        !c.get_array(n_serving, &view.s_lon) || !c.get_array(n_serving, &view.s_epoch) ||
+        !c.get_array(n_serving, &view.s_sat)) {
+      return reject("truncated serving layer");
+    }
+    std::uint64_t n_sample = 0;
+    if (!c.get_u64(&n_sample) || !c.get_array(n_sample, &view.m_lat) ||
+        !c.get_array(n_sample, &view.m_lon) || !c.get_array(n_sample, &view.m_epoch) ||
+        !c.get_array(n_sample, &view.m_era) || !c.get_array(n_sample, &view.m_sat) ||
+        !c.get_array(n_sample, &view.m_popgw) || !c.get_array(n_sample, &view.m_up) ||
+        !c.get_array(n_sample, &view.m_down) || !c.get_array(n_sample, &view.m_backhaul) ||
+        !c.get_array(n_sample, &view.m_sched) || !c.get_array(n_sample, &view.m_oneway)) {
+      return reject("truncated sample layer");
+    }
+    out->push_back(std::make_shared<orbit::EpochTimeline>(
+        identity, std::bit_cast<double>(interval_bits), std::move(static_boundaries),
+        std::move(boundaries), std::move(era_keys), view, backing));
+  }
+  if (c.pos != payload_end) return reject("trailing bytes after last network");
+  if (info) {
+    info->networks = out->size();
+    info->bytes = bytes.size();
+    info->manifest = manifest;
+  }
+  return "";
+}
+
+std::string save_timelines(const std::string& path, const std::string& manifest) {
+  const std::string image = serialize_timelines(orbit::EpochTimeline::installed(), manifest);
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return "timeline save failed: cannot open " + path;
+  file.write(image.data(), static_cast<std::streamsize>(image.size()));
+  file.flush();
+  if (!file.good()) return "timeline save failed: short write to " + path;
+  return "";
+}
+
+std::string load_timelines(const std::string& path, TimelineFileInfo* info) {
+  std::string_view bytes;
+  std::shared_ptr<const void> backing;
+  std::size_t mapped = 0;
+#if SATNET_TIMELINE_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return "timeline load failed: cannot open " + path;
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return "timeline load failed: cannot stat " + path;
+  }
+  const auto len = static_cast<std::size_t>(st.st_size);
+  auto mapping = std::make_shared<Mapping>();
+  // satlint:allow(persist-nondet): mmap failure falls back to an identical heap read below — the parsed bytes are the same either way
+  if (len > 0) mapping->addr = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+  mapping->len = len;
+  ::close(fd);
+  if (len > 0 && mapping->addr != MAP_FAILED) {
+    bytes = std::string_view(static_cast<const char*>(mapping->addr), len);
+    backing = std::move(mapping);
+    mapped = len;
+  }
+#endif
+  if (!backing) {
+    // Heap fallback (mmap unavailable or failed): same bytes, same
+    // parse, just without the lazy paging.
+    std::ifstream file(path, std::ios::binary);
+    if (!file) return "timeline load failed: cannot open " + path;
+    auto buffer = std::make_shared<std::string>();
+    buffer->assign(std::istreambuf_iterator<char>(file), std::istreambuf_iterator<char>());
+    if (!file.good() && !file.eof()) return "timeline load failed: cannot read " + path;
+    bytes = *buffer;
+    backing = std::move(buffer);
+  }
+
+  std::vector<std::shared_ptr<const orbit::EpochTimeline>> loaded;
+  TimelineFileInfo local;
+  const std::string error = parse_timelines(bytes, backing, &loaded, &local);
+  if (!error.empty()) return error;  // nothing installed: deterministic fallback
+  for (auto& tl : loaded) orbit::EpochTimeline::install(std::move(tl));
+  load_counter().add(1);
+  if (mapped > 0) mmap_bytes_counter().add(mapped);
+  if (info) *info = local;
+  return "";
+}
+
+}  // namespace satnet::io

@@ -1,0 +1,65 @@
+// Timeline persistence: the warm-start half of the epoch timeline.
+//
+// A timeline file is the installed EpochTimeline snapshots, verbatim:
+// the same sorted SoA arrays the in-memory replay binary-searches,
+// written little-endian at 8-byte-aligned offsets so a loaded file can
+// be mmap'ed and consumed in place — load is O(header) plus page faults
+// on the keys a campaign actually touches. The header carries a format
+// version byte, a byte-order mark, a schema hash, and a free-form run
+// manifest stamp; the trailer is an FNV-1a checksum over everything
+// before it. Era keys and boundaries travel with each network, so a
+// loaded snapshot honours fault-plan changes exactly like a built one
+// (stale eras fall back per lookup — see orbit/timeline.hpp).
+//
+// The load path is deliberately paranoid: a corrupt, truncated,
+// wrong-endian, or stale-schema file is rejected with a single
+// diagnostic line and *nothing* is installed — the caller's campaigns
+// simply build in memory, producing byte-identical output (the
+// deterministic-fallback contract the golden suite pins).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "orbit/timeline.hpp"
+
+namespace satnet::io {
+
+/// Format version written into (and required from) timeline files.
+inline constexpr unsigned char kTimelineFormatVersion = 1;
+
+struct TimelineFileInfo {
+  std::size_t networks = 0;  ///< snapshots in the file
+  std::size_t bytes = 0;     ///< total file size
+  std::string manifest;      ///< stamp recorded at save time
+};
+
+/// Serializes the given snapshots to an in-memory image (tests use this
+/// to corrupt controlled bytes; save_timelines writes the same image).
+std::string serialize_timelines(
+    const std::vector<std::shared_ptr<const orbit::EpochTimeline>>& timelines,
+    const std::string& manifest);
+
+/// Validates and decodes an image produced by serialize_timelines into
+/// snapshots viewing `backing` (which must keep `bytes` alive and is
+/// retained by every returned snapshot). Returns "" on success, else a
+/// one-line diagnostic; on failure *out is left empty.
+std::string parse_timelines(std::string_view bytes, std::shared_ptr<const void> backing,
+                            std::vector<std::shared_ptr<const orbit::EpochTimeline>>* out,
+                            TimelineFileInfo* info = nullptr);
+
+/// Writes every installed timeline snapshot to `path`, stamped with
+/// `manifest` (tool + command line). Returns "" on success, else a
+/// one-line diagnostic.
+std::string save_timelines(const std::string& path, const std::string& manifest);
+
+/// Loads `path` (mmap when possible, heap read otherwise — identical
+/// bytes either way) and installs every snapshot it holds. Returns ""
+/// on success, else the single rejection diagnostic; on failure nothing
+/// is installed and campaigns fall back to in-memory builds.
+std::string load_timelines(const std::string& path, TimelineFileInfo* info = nullptr);
+
+}  // namespace satnet::io

@@ -6,6 +6,8 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "orbit/access.hpp"
+#include "orbit/timeline.hpp"
 #include "runtime/sharded.hpp"
 #include "sim/event_queue.hpp"
 
@@ -20,7 +22,66 @@ struct CampaignShard {
   std::size_t k_end = 0;
 };
 
+/// The per-test schedule draw: which subscriber runs test k of an
+/// operator, and when. Shared by the shard bodies and the timeline
+/// pre-pass below — both replay the identical fork_stable stream, so
+/// the pre-pass can enumerate every access query the campaign will make
+/// without perturbing a single draw.
+struct TestDraw {
+  const synth::Subscriber* sub = nullptr;
+  double t_sec = 0;
+  stats::Rng rng;  ///< the test's stream, positioned after the draws
+};
+
+TestDraw draw_test(const stats::Rng& spec_rng, std::size_t k,
+                   const std::vector<const synth::Subscriber*>& subs,
+                   double horizon_sec) {
+  stats::Rng test_rng = spec_rng.fork_stable(k);
+  // Users run speed tests at arbitrary times across the window; a
+  // heavy-tailed share of tests comes from a few repeat testers, which
+  // is what makes per-prefix filtering meaningful.
+  const auto* sub = subs[static_cast<std::size_t>(std::floor(
+      std::pow(test_rng.uniform(), 1.6) * static_cast<double>(subs.size())))];
+  const double t = test_rng.uniform(0.0, horizon_sec);
+  return TestDraw{sub, t, std::move(test_rng)};
+}
+
 }  // namespace
+
+std::vector<std::pair<const orbit::AccessNetwork*, std::vector<orbit::TimelineQuery>>>
+planned_access_queries(const synth::World& world, const CampaignConfig& config) {
+  const double horizon_sec = config.duration_days * 86400.0;
+  std::map<std::size_t, std::vector<const synth::Subscriber*>> by_spec;
+  for (const auto& sub : world.subscribers()) by_spec[sub.spec_index].push_back(&sub);
+  const stats::Rng master(config.seed);
+  // Grouped by network identity so query order inside one network is
+  // the canonical (spec, k) schedule order — deterministic regardless
+  // of which networks share snapshots.
+  std::map<std::uint64_t,
+           std::pair<const orbit::AccessNetwork*, std::vector<orbit::TimelineQuery>>>
+      plan;
+  for (const auto& [spec_index, subs] : by_spec) {
+    const synth::SnoSpec& spec = world.specs()[spec_index];
+    const std::size_t n_tests = scheduled_tests(spec, config);
+    if (n_tests == 0 || subs.empty()) continue;
+    const stats::Rng spec_rng = master.fork_stable(spec.name);
+    for (std::size_t k = 0; k < n_tests; ++k) {
+      const TestDraw draw = draw_test(spec_rng, k, subs, horizon_sec);
+      if (!world.truly_satellite(*draw.sub, draw.t_sec)) continue;
+      const orbit::AccessNetwork& net =
+          world.access_for(draw.sub->spec_index, draw.sub->orbit);
+      if (net.config().orbit == orbit::OrbitClass::geo) continue;
+      auto& slot = plan[net.identity_hash()];
+      slot.first = &net;
+      slot.second.push_back({draw.sub->location, draw.t_sec});
+    }
+  }
+  std::vector<std::pair<const orbit::AccessNetwork*, std::vector<orbit::TimelineQuery>>>
+      out;
+  out.reserve(plan.size());
+  for (auto& [identity, entry] : plan) out.push_back(std::move(entry));
+  return out;
+}
 
 std::size_t scheduled_tests(const synth::SnoSpec& spec, const CampaignConfig& config) {
   if (!spec.in_mlab || spec.kind != synth::EntityKind::sno) return 0;
@@ -70,6 +131,14 @@ NdtDataset run_campaign(const synth::World& world, const CampaignConfig& config,
       "mlab.tests_with_retrans", "records with a nonzero retransmit fraction");
 
   const stats::Rng master(config.seed);
+  // Timeline pre-pass: enumerate the exact access queries the shards
+  // will make and precompute them; the shards' sample() calls replay
+  // from the snapshot instead of deriving geometry on demand.
+  if (orbit::timeline_enabled()) {
+    for (auto& [net, queries] : planned_access_queries(world, config)) {
+      orbit::EpochTimeline::ensure(*net, std::move(queries), config.threads);
+    }
+  }
   runtime::ShardedCampaign<NdtDataset> campaign(
       shards.size(),
       [&](std::size_t shard_index) {
@@ -86,19 +155,14 @@ NdtDataset run_campaign(const synth::World& world, const CampaignConfig& config,
         local.reserve(shard.k_end - shard.k_begin);
         sim::EventQueue queue;
         for (std::size_t k = shard.k_begin; k < shard.k_end; ++k) {
-          stats::Rng test_rng = spec_rng.fork_stable(k);
-          // Users run speed tests at arbitrary times across the window; a
-          // heavy-tailed share of tests comes from a few repeat testers,
-          // which is what makes per-prefix filtering meaningful.
-          const auto* sub = subs[static_cast<std::size_t>(std::floor(
-              std::pow(test_rng.uniform(), 1.6) * static_cast<double>(subs.size())))];
-          const double t = test_rng.uniform(0.0, horizon_sec);
-          queue.schedule_at(t, [&local, &world, sub, test_rng,
-                                &config](sim::Time now) mutable {
-            if (auto rec = run_ndt(world, *sub, now, test_rng, config.ndt)) {
-              local.add(std::move(*rec));
-            }
-          });
+          TestDraw draw = draw_test(spec_rng, k, subs, horizon_sec);
+          queue.schedule_at(draw.t_sec,
+                            [&local, &world, sub = draw.sub, test_rng = std::move(draw.rng),
+                             &config](sim::Time now) mutable {
+                              if (auto rec = run_ndt(world, *sub, now, test_rng, config.ndt)) {
+                                local.add(std::move(*rec));
+                              }
+                            });
         }
         queue.run();
         const std::size_t scheduled = shard.k_end - shard.k_begin;

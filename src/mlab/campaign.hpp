@@ -6,7 +6,11 @@
 // represented (Kacific contributed only 34 tests in 26 months).
 #pragma once
 
+#include <utility>
+#include <vector>
+
 #include "mlab/dataset.hpp"
+#include "orbit/timeline.hpp"
 #include "runtime/sharded.hpp"
 #include "sim/event_queue.hpp"
 #include "synth/world.hpp"
@@ -32,6 +36,16 @@ struct CampaignConfig {
 
 /// Number of tests the campaign schedules for one operator.
 std::size_t scheduled_tests(const synth::SnoSpec& spec, const CampaignConfig& config);
+
+/// The satellite access queries the campaign will make, grouped per
+/// access network in deterministic (network identity, schedule) order.
+/// Replays the same fork_stable draw streams the shards use, so the
+/// enumeration is exact without perturbing a single campaign draw. This
+/// is what run_campaign hands to EpochTimeline::ensure before sharding;
+/// exposed so benches and timeline-serving tools can enumerate (and
+/// precompute) a campaign's access workload without running it.
+std::vector<std::pair<const orbit::AccessNetwork*, std::vector<orbit::TimelineQuery>>>
+planned_access_queries(const synth::World& world, const CampaignConfig& config);
 
 /// Runs the whole campaign sharded across the runtime thread pool and
 /// returns the accumulated dataset. Each shard (one chunk of one

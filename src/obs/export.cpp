@@ -392,6 +392,32 @@ std::string summary_text(const Snapshot& snapshot, const RunManifest& manifest) 
                   inval ? inval->value : 0.0);
     out += line;
   }
+  // Derived: epoch-timeline replay effectiveness (PR 6's precompute
+  // claim). Hit ratio only when a lookup actually happened — a build
+  // with zero replays must not report a vacuous 0%.
+  const MetricValue* tl_hit = snapshot.find("timeline.replay.hit");
+  const MetricValue* tl_fallback = snapshot.find("timeline.replay.fallback");
+  const MetricValue* tl_epochs = snapshot.find("timeline.build.epochs");
+  const double tl_lookups =
+      (tl_hit ? tl_hit->value : 0.0) + (tl_fallback ? tl_fallback->value : 0.0);
+  if (tl_lookups > 0 || (tl_epochs && tl_epochs->value > 0)) {
+    const MetricValue* tl_ms = snapshot.find("timeline.build.ms");
+    if (tl_lookups > 0) {
+      std::snprintf(line, sizeof(line),
+                    "  timeline: %.0f replay hits / %.0f fallbacks (%.1f%% hit "
+                    "ratio, %.0f epochs built in %.0f ms)\n",
+                    tl_hit ? tl_hit->value : 0.0,
+                    tl_fallback ? tl_fallback->value : 0.0,
+                    100.0 * (tl_hit ? tl_hit->value : 0.0) / tl_lookups,
+                    tl_epochs ? tl_epochs->value : 0.0,
+                    tl_ms ? tl_ms->value : 0.0);
+    } else {
+      std::snprintf(line, sizeof(line),
+                    "  timeline: no replays, %.0f epochs built in %.0f ms\n",
+                    tl_epochs->value, tl_ms ? tl_ms->value : 0.0);
+    }
+    out += line;
+  }
   // Derived: fault-injection roll-up when any fault.hit.* counter fired.
   double fault_hits = 0;
   for (const auto& m : snapshot.metrics) {

@@ -7,6 +7,7 @@
 #include "fault/hook.hpp"
 #include "geo/places.hpp"
 #include "orbit/access_index.hpp"
+#include "orbit/timeline.hpp"
 
 namespace satnet::orbit {
 
@@ -21,6 +22,7 @@ AccessNetwork::AccessNetwork(AccessConfig config,
     throw std::invalid_argument("access network needs PoPs and gateways");
   }
   index_ = std::make_shared<const AccessIndex>(config_, constellation_);
+  identity_hash_ = access_identity_hash(config_, constellation_.get());
 }
 
 AccessNetwork::AccessNetwork(AccessConfig config, GeoFleet fleet)
@@ -32,6 +34,7 @@ AccessNetwork::AccessNetwork(AccessConfig config, GeoFleet fleet)
     throw std::invalid_argument("access network needs PoPs and gateways");
   }
   if (fleet_.slots().empty()) throw std::invalid_argument("empty GEO fleet");
+  identity_hash_ = access_identity_hash(config_, nullptr);
 }
 
 std::size_t AccessNetwork::assigned_pop(const geo::GeoPoint& user, double t_sec) const {
@@ -57,6 +60,27 @@ std::optional<VisibleSat> AccessNetwork::serving_sat_at_epoch(const geo::GeoPoin
                                                               double epoch_sec) const {
   if (config_.orbit == OrbitClass::geo) {
     return fleet_.best_visible(user, config_.min_elevation_deg);
+  }
+  if (timeline_enabled()) {
+    if (const EpochTimeline* tl = EpochTimeline::find(identity_hash_)) {
+      SatId id{};
+      switch (tl->replay_serving(user, epoch_sec, &id)) {
+        case EpochTimeline::ServingReplay::outage:
+          return std::nullopt;
+        case EpochTimeline::ServingReplay::serving: {
+          // Reconstruct exactly as the index's serving memo does: id,
+          // position, elevation, and slant range are pure functions of
+          // (id, epoch), so the VisibleSat is bit-identical to the
+          // on-demand sweep's.
+          const geo::GeoPoint pos = constellation_->position(id, epoch_sec);
+          return VisibleSat{
+              id, pos, geo::elevation_deg(user, pos),
+              geo::slant_range_km(geo::GeoPoint{user.lat_deg, user.lon_deg, 0.0}, pos)};
+        }
+        case EpochTimeline::ServingReplay::miss:
+          break;  // uncovered epoch: fall through to the index / sweep
+      }
+    }
   }
   if (index_ && access_cache_enabled()) return index_->serving(user, epoch_sec);
   return constellation_->best_visible(user, epoch_sec, config_.min_elevation_deg);
@@ -124,6 +148,14 @@ AccessSample AccessNetwork::sample(const geo::GeoPoint& user, double t_sec) cons
   const double interval = effective_reconfig_interval(t_sec);
   if (interval > 0) {
     epoch = std::floor(t_sec / interval) * interval;
+    if (timeline_enabled()) {
+      if (const EpochTimeline* tl = EpochTimeline::find(identity_hash_)) {
+        AccessSample s;
+        if (tl->replay_sample(user, t_sec, epoch, &s)) return s;
+        // Uncovered key or stale era (counted as timeline.replay.fallback):
+        // the on-demand path below answers instead, with identical bytes.
+      }
+    }
   }
   if (index_ && access_cache_enabled()) return index_->sample(*this, user, t_sec, epoch);
   return build_sample(user, t_sec, serving_sat_at_epoch(user, epoch));

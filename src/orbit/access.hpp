@@ -14,6 +14,7 @@
 // first-class scenario inputs.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -25,6 +26,7 @@
 namespace satnet::orbit {
 
 class AccessIndex;
+class EpochTimeline;
 
 /// A point of presence: where the operator hands traffic to the Internet.
 struct Pop {
@@ -113,8 +115,14 @@ class AccessNetwork {
   /// can assert the candidate-superset property directly.
   const AccessIndex* access_index() const { return index_.get(); }
 
+  /// Stable identity over everything that feeds sample values (see
+  /// access_identity_hash in timeline.hpp) — the key under which an
+  /// EpochTimeline snapshot answers for this network.
+  std::uint64_t identity_hash() const { return identity_hash_; }
+
  private:
-  friend class AccessIndex;  ///< memoizes build_sample on cache misses
+  friend class AccessIndex;     ///< memoizes build_sample on cache misses
+  friend class EpochTimeline;   ///< precomputes serving/sample layers
 
   std::optional<VisibleSat> serving_sat_at_epoch(const geo::GeoPoint& user,
                                                  double epoch_sec) const;
@@ -133,6 +141,7 @@ class AccessNetwork {
   /// across copies: the index holds only immutable derived data, and its
   /// caches are value-transparent (see access_index.hpp).
   std::shared_ptr<const AccessIndex> index_;
+  std::uint64_t identity_hash_ = 0;
 };
 
 /// Builds the Starlink-like access network used across benches: PoPs and

@@ -8,6 +8,7 @@
 #include "geo/places.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "orbit/timeline.hpp"
 #include "runtime/sharded.hpp"
 #include "sim/event_queue.hpp"
 
@@ -25,6 +26,29 @@ net::Ipv4 root_server_ip(char root) {
 }
 
 double lte_rtt_ms(stats::Rng& rng) { return rng.uniform(28.0, 60.0); }
+
+/// One scheduled measurement round of a probe: when it fires and the
+/// stream it draws from. A probe's whole schedule is a pure function of
+/// (seed, probe id) — fork_stable for the probe stream, fork(t) per
+/// round — so the timeline pre-pass below can enumerate it without
+/// advancing anything the shard bodies will draw.
+struct ProbeRound {
+  double jittered = 0;
+  stats::Rng round_rng;
+};
+
+std::vector<ProbeRound> probe_schedule(const stats::Rng& master, const Probe& probe,
+                                       double horizon_sec, double interval_sec) {
+  std::vector<ProbeRound> rounds;
+  stats::Rng probe_rng = master.fork_stable(static_cast<std::uint64_t>(probe.id));
+  for (double t = probe.start_day * 86400.0; t < horizon_sec; t += interval_sec) {
+    // Stagger rounds so probes do not fire in lockstep.
+    const double jittered = t + probe_rng.uniform(0.0, interval_sec * 0.5);
+    if (jittered >= horizon_sec) break;
+    rounds.push_back({jittered, probe_rng.fork(static_cast<std::uint64_t>(t))});
+  }
+  return rounds;
+}
 
 }  // namespace
 
@@ -110,6 +134,23 @@ AtlasDataset run_atlas_campaign(const AtlasConfig& config) {
   obs::Counter& sslcerts_total =
       reg.counter("ripe.sslcerts", "SSLCert built-in runs recorded");
 
+  // Timeline pre-pass: replay every probe's round schedule (peeking the
+  // off-Starlink decision on a *copy* of the round stream, so the shard
+  // draws are untouched) and precompute the access state those rounds
+  // will query. The shards' sample_with_handoff calls then replay.
+  if (orbit::timeline_enabled()) {
+    std::vector<orbit::TimelineQuery> queries;
+    for (const Probe& probe : dataset.probes) {
+      for (const ProbeRound& round : probe_schedule(master, probe, horizon, interval)) {
+        stats::Rng peek = round.round_rng;
+        const bool off_starlink =
+            probe.stale_asn || (probe.lte_failover && peek.chance(0.35));
+        if (!off_starlink) queries.push_back({probe.location, round.jittered});
+      }
+    }
+    orbit::EpochTimeline::ensure(starlink, std::move(queries), config.threads);
+  }
+
   runtime::ShardedCampaign<ProbeRecords> campaign(
       dataset.probes.size(),
       [&](std::size_t probe_index) {
@@ -118,13 +159,9 @@ AtlasDataset run_atlas_campaign(const AtlasConfig& config) {
                          static_cast<std::uint64_t>(probe_index));
     ProbeRecords local;
     sim::EventQueue queue;
-    stats::Rng probe_rng = master.fork_stable(static_cast<std::uint64_t>(probe.id));
-    for (double t = probe.start_day * 86400.0; t < horizon; t += interval) {
-      // Stagger rounds so probes do not fire in lockstep.
-      const double jittered = t + probe_rng.uniform(0.0, interval * 0.5);
-      if (jittered >= horizon) break;
-      stats::Rng round_rng = probe_rng.fork(static_cast<std::uint64_t>(t));
-      queue.schedule_at(jittered, [&, probe, round_rng](sim::Time now) mutable {
+    for (ProbeRound& round : probe_schedule(master, probe, horizon, interval)) {
+      queue.schedule_at(round.jittered, [&, probe,
+                                         round_rng = round.round_rng](sim::Time now) mutable {
         // Decoys: stale-ASN probes are not on Starlink at all; the LTE
         // failover probe bypasses Starlink on a fraction of rounds.
         const bool off_starlink =

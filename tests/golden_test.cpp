@@ -15,6 +15,13 @@
 // full cone-prefilter sweep). The snapshots must still match byte-for-
 // byte — that run is the equivalence oracle for the cache
 // (scripts/verify.sh --golden exercises it).
+//
+// The epoch timeline gets the same treatment: --no-timeline disables
+// replay entirely, --timeline-in FILE warm-starts the suite from a
+// persisted snapshot, --timeline-out FILE saves the snapshots built by
+// this run. All three must leave every snapshot byte-identical — the
+// verify.sh golden gate runs cold, warm-from-file, and no-timeline
+// rounds against the same tests/golden/ corpus.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -26,7 +33,9 @@
 #include "fault/hook.hpp"
 #include "fault/plan.hpp"
 #include "io/golden.hpp"
+#include "io/timeline_io.hpp"
 #include "orbit/access_index.hpp"
+#include "orbit/timeline.hpp"
 #include "synth/world.hpp"
 
 namespace {
@@ -119,6 +128,27 @@ TEST(Golden, AblationWeather) {
   expect_golden("bench_ablation_weather.txt", io::ablation_weather_report());
 }
 
+// Same contract for the epoch timeline: snapshots built without a plan
+// must never leak stale samples into a fault-plan run — the era keys
+// travel with the snapshot, so affected lookups fall back per era while
+// everything else keeps replaying. Compares the identify_snos
+// walkthrough timeline-on vs timeline-off under the shipped example
+// plan at every snapshot thread count.
+TEST(Golden, TimelineAblationUnderFaultPlan) {
+  const bool timeline_was_enabled = orbit::timeline_enabled();
+  fault::ScopedHook scoped(fault::FaultPlan::load_file(FAULTPLAN_PATH));
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    orbit::set_timeline_enabled(true);
+    const std::string replayed = io::identify_snos_report(threads);
+    orbit::set_timeline_enabled(false);
+    const std::string on_demand = io::identify_snos_report(threads);
+    EXPECT_EQ(replayed, on_demand)
+        << "identify_snos diverges timeline-on vs timeline-off at " << threads
+        << " threads under " << FAULTPLAN_PATH;
+  }
+  orbit::set_timeline_enabled(timeline_was_enabled);
+}
+
 // The access index must stay invisible in report text even while a
 // fault plan rewrites gateway availability and reconfig cadence
 // mid-campaign: outage/storm windows partition the memo key space into
@@ -144,10 +174,25 @@ TEST(Golden, AccessCacheAblationUnderFaultPlan) {
 
 int main(int argc, char** argv) {
   ::testing::InitGoogleTest(&argc, argv);
+  std::string timeline_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--update-golden") update_mode() = true;
     if (arg == "--no-access-cache") satnet::orbit::set_access_cache_enabled(false);
+    if (arg == "--no-timeline") satnet::orbit::set_timeline_enabled(false);
+    if (arg == "--timeline-in" && i + 1 < argc) {
+      satnet::io::TimelineFileInfo info;
+      const std::string diag = satnet::io::load_timelines(argv[i + 1], &info);
+      if (diag.empty()) {
+        std::printf("golden_test: timeline %s: %zu networks, %zu bytes\n",
+                    argv[i + 1], info.networks, info.bytes);
+      } else {
+        // Non-fatal by design: the suite must produce identical snapshots
+        // from an in-memory build, so a bad file only costs the warm start.
+        std::fprintf(stderr, "golden_test: %s\n", diag.c_str());
+      }
+    }
+    if (arg == "--timeline-out" && i + 1 < argc) timeline_out = argv[i + 1];
     if (arg == "--threads" && i + 1 < argc) {
       extra_threads() = static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10));
     }
@@ -155,5 +200,15 @@ int main(int argc, char** argv) {
   if (const char* env = std::getenv("SATNET_UPDATE_GOLDEN")) {
     if (env[0] != '\0' && env[0] != '0') update_mode() = true;
   }
-  return RUN_ALL_TESTS();
+  const int rc = RUN_ALL_TESTS();
+  if (rc == 0 && !timeline_out.empty()) {
+    const std::string diag =
+        satnet::io::save_timelines(timeline_out, "golden_test suite run");
+    if (diag.empty()) {
+      std::printf("golden_test: saved timeline to %s\n", timeline_out.c_str());
+    } else {
+      std::fprintf(stderr, "golden_test: %s\n", diag.c_str());
+    }
+  }
+  return rc;
 }

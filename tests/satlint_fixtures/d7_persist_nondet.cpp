@@ -1,0 +1,52 @@
+// Fixture: persistence nondeterminism. Linted under a virtual src/io/
+// path so the persist-nondet rule applies; the same content under
+// src/mlab/ or tests/ must stay silent. This file deliberately has no
+// k...Version constant, so its binary writes are unstamped hits — the
+// stamped variant is exercised by prepending a version line in the test.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace fixture {
+
+std::string scan(const std::string& dir) {
+  std::string names;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {  // hit
+    names += e.path().string();
+  }
+  return names;
+}
+
+void* map_file(int fd, std::size_t len);
+
+void* load(int fd, std::size_t len) {
+  void* addr = mmap(nullptr, len, 0, 0, fd, 0);  // hit: result-dependent path
+  return addr != nullptr ? addr : map_file(fd, len);
+}
+
+void save(const std::string& path, const char* data, std::size_t n) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);  // hit: unstamped
+  out.write(data, static_cast<std::streamsize>(n));
+}
+
+void save_c(std::FILE* f, const char* data, std::size_t n) {
+  std::fwrite(data, 1, n, f);  // hit: unstamped
+}
+
+// Clean: text-mode writes carry no binary layout to version.
+void save_text(const std::string& path, const std::string& body) {
+  std::ofstream out(path);
+  out << body;
+}
+
+// Clean: reading is not writing; an ifstream in binary mode is fine.
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+// satlint:allow(persist-nondet): fallback read produces byte-identical results
+void* load_annotated(int fd, std::size_t len) { return mmap(nullptr, len, 0, 0, fd, 0); }
+
+}  // namespace fixture

@@ -146,6 +146,39 @@ TEST(SatlintD6, SilentInFaultModuleAndOutsideSrc) {
   EXPECT_EQ(count_rule(in_bench.violations, "adhoc-inject"), 0u);
 }
 
+// ------------------------------------------------------------ rule D7
+
+TEST(SatlintD7, FlagsPersistenceHazardsInSrcIo) {
+  const FileReport r = satlint::lint_source("src/io/d7_persist_nondet.cpp",
+                                            fixture("d7_persist_nondet.cpp"));
+  // Directory iteration, the unannotated mmap branch, and both unstamped
+  // binary writes fire; the text-mode write and the binary *read* are
+  // clean, and the annotated mmap is recorded as a suppression.
+  EXPECT_EQ(count_rule(r.violations, "persist-nondet"), 4u);
+  EXPECT_EQ(count_rule(r.suppressed, "persist-nondet"), 1u);
+  ASSERT_FALSE(r.violations.empty());
+  EXPECT_NE(r.violations[0].message.find("filesystem-dependent"), std::string::npos);
+}
+
+TEST(SatlintD7, VersionStampExemptsBinaryWrites) {
+  // Any k...Version mention stamps the file's format; the writes become
+  // legitimate, while iteration order and the mmap branch still fire.
+  const std::string stamped =
+      "inline constexpr unsigned char kFixtureFormatVersion = 1;\n" +
+      fixture("d7_persist_nondet.cpp");
+  const FileReport r = satlint::lint_source("src/io/d7_persist_nondet.cpp", stamped);
+  EXPECT_EQ(count_rule(r.violations, "persist-nondet"), 2u);
+}
+
+TEST(SatlintD7, SilentOutsideThePersistenceLayer) {
+  for (const char* vpath :
+       {"src/mlab/d7_persist_nondet.cpp", "tests/d7_persist_nondet.cpp"}) {
+    const FileReport r =
+        satlint::lint_source(vpath, fixture("d7_persist_nondet.cpp"));
+    EXPECT_EQ(count_rule(r.violations, "persist-nondet"), 0u) << vpath;
+  }
+}
+
 // ------------------------------------------- allow annotations & meta
 
 TEST(SatlintAllow, JustifiedAllowsSuppressAndAreReported) {
@@ -181,6 +214,8 @@ TEST(SatlintClassify, ModulesDriveRuleApplicability) {
   const satlint::FileClass io = satlint::classify("src/io/report.cpp");
   EXPECT_TRUE(io.report_path);
   EXPECT_FALSE(io.sharded);
+  EXPECT_TRUE(io.persist_scope);
+  EXPECT_FALSE(satlint::classify("src/mlab/campaign.cpp").persist_scope);
 
   const satlint::FileClass runtime = satlint::classify("src/runtime/sharded.hpp");
   EXPECT_TRUE(runtime.sharded);
@@ -283,7 +318,7 @@ TEST(SatlintTree, LintTreeIsDeterministicAndWhitelistsFixtures) {
 
 TEST(SatlintRules, EveryRuleIsDocumented) {
   const auto& rules = satlint::rules();
-  ASSERT_EQ(rules.size(), 7u);
+  ASSERT_EQ(rules.size(), 8u);
   for (const satlint::RuleInfo& r : rules) {
     EXPECT_FALSE(r.id.empty());
     EXPECT_FALSE(r.summary.empty());

@@ -1,0 +1,228 @@
+// Epoch-timeline unit tests: replay equivalence against the on-demand
+// oracle, handoff prev-epoch coverage, era-keyed invalidation under a
+// fault plan, sat-id packing, and the serialize -> load -> replay
+// round trip. The golden and determinism suites pin the campaign-level
+// byte-identity contract; these tests pin the mechanism.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fault/hook.hpp"
+#include "fault/plan.hpp"
+#include "io/timeline_io.hpp"
+#include "obs/metrics.hpp"
+#include "orbit/access.hpp"
+#include "orbit/shell.hpp"
+#include "orbit/timeline.hpp"
+
+namespace satnet {
+namespace {
+
+orbit::AccessNetwork make_net() {
+  static const auto constellation =
+      std::make_shared<const orbit::Constellation>(orbit::starlink_shells());
+  return orbit::make_starlink_access(constellation);
+}
+
+const geo::GeoPoint kUsers[] = {
+    {47.61, -122.33, 0}, {40.71, -74.01, 0}, {-33.87, 151.21, 0}, {61.22, -149.90, 0}};
+
+std::vector<orbit::TimelineQuery> grid_queries(int epochs) {
+  std::vector<orbit::TimelineQuery> queries;
+  for (const auto& u : kUsers) {
+    for (int e = 1; e <= epochs; ++e) queries.push_back({u, 15.0 * e});
+  }
+  return queries;
+}
+
+std::uint64_t counter(const char* name) {
+  return obs::MetricsRegistry::global().counter(name).value();
+}
+
+bool sample_equal(const orbit::AccessSample& a, const orbit::AccessSample& b) {
+  return a.reachable == b.reachable &&
+         std::bit_cast<std::uint64_t>(a.one_way_ms) ==
+             std::bit_cast<std::uint64_t>(b.one_way_ms) &&
+         std::bit_cast<std::uint64_t>(a.up_ms) == std::bit_cast<std::uint64_t>(b.up_ms) &&
+         std::bit_cast<std::uint64_t>(a.down_ms) ==
+             std::bit_cast<std::uint64_t>(b.down_ms) &&
+         std::bit_cast<std::uint64_t>(a.backhaul_ms) ==
+             std::bit_cast<std::uint64_t>(b.backhaul_ms) &&
+         std::bit_cast<std::uint64_t>(a.scheduling_ms) ==
+             std::bit_cast<std::uint64_t>(b.scheduling_ms) &&
+         a.serving_sat == b.serving_sat && a.pop_index == b.pop_index &&
+         a.gateway_index == b.gateway_index && a.handoff == b.handoff;
+}
+
+class TimelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    orbit::EpochTimeline::clear_installed();
+    orbit::set_timeline_enabled(true);
+  }
+  void TearDown() override {
+    orbit::EpochTimeline::clear_installed();
+    orbit::set_timeline_enabled(true);
+    fault::Hook::clear();
+  }
+};
+
+TEST_F(TimelineTest, PackUnpackRoundTrip) {
+  for (const orbit::SatId id : {orbit::SatId{0, 0, 0}, orbit::SatId{3, 71, 21},
+                                orbit::SatId{1023, 1023, 1023}}) {
+    const std::uint32_t packed = orbit::EpochTimeline::pack_sat(id);
+    const orbit::SatId back = orbit::EpochTimeline::unpack_sat(packed);
+    EXPECT_EQ(id.shell, back.shell);
+    EXPECT_EQ(id.plane, back.plane);
+    EXPECT_EQ(id.index, back.index);
+  }
+  EXPECT_NE(orbit::EpochTimeline::pack_sat({1023, 1023, 1023}),
+            orbit::EpochTimeline::kNoSat);
+}
+
+TEST_F(TimelineTest, ReplayMatchesOnDemandOracle) {
+  const orbit::AccessNetwork net = make_net();
+  orbit::set_timeline_enabled(false);
+  std::vector<orbit::AccessSample> oracle;
+  for (const auto& q : grid_queries(60)) {
+    oracle.push_back(net.sample(q.terminal, q.t_sec));
+  }
+
+  orbit::set_timeline_enabled(true);
+  orbit::EpochTimeline::ensure(net, grid_queries(60), 2);
+  ASSERT_NE(orbit::EpochTimeline::find(net.identity_hash()), nullptr);
+  const std::uint64_t hits0 = counter("timeline.replay.hit");
+  std::size_t i = 0;
+  for (const auto& q : grid_queries(60)) {
+    const orbit::AccessSample replayed = net.sample(q.terminal, q.t_sec);
+    EXPECT_TRUE(sample_equal(oracle[i], replayed)) << "query " << i;
+    ++i;
+  }
+  EXPECT_GT(counter("timeline.replay.hit"), hits0);
+}
+
+TEST_F(TimelineTest, HandoffPrevEpochCovered) {
+  // sample_with_handoff needs the previous epoch's serving satellite;
+  // ensure() must precompute it so the handoff path replays without a
+  // single fallback.
+  const orbit::AccessNetwork net = make_net();
+  orbit::set_timeline_enabled(false);
+  std::vector<orbit::AccessSample> oracle;
+  for (const auto& q : grid_queries(40)) {
+    oracle.push_back(net.sample_with_handoff(q.terminal, q.t_sec));
+  }
+
+  orbit::set_timeline_enabled(true);
+  orbit::EpochTimeline::ensure(net, grid_queries(40), 1);
+  const std::uint64_t fallback0 = counter("timeline.replay.fallback");
+  std::size_t i = 0;
+  for (const auto& q : grid_queries(40)) {
+    const orbit::AccessSample replayed = net.sample_with_handoff(q.terminal, q.t_sec);
+    EXPECT_TRUE(sample_equal(oracle[i], replayed)) << "query " << i;
+    ++i;
+  }
+  EXPECT_EQ(counter("timeline.replay.fallback"), fallback0);
+}
+
+TEST_F(TimelineTest, ThreadCountDoesNotChangeSnapshot) {
+  const orbit::AccessNetwork net = make_net();
+  orbit::EpochTimeline::ensure(net, grid_queries(50), 1);
+  const auto serial = orbit::EpochTimeline::installed();
+  ASSERT_EQ(serial.size(), 1u);
+  const std::string serial_bytes = io::serialize_timelines(serial, "t");
+
+  orbit::EpochTimeline::clear_installed();
+  orbit::EpochTimeline::ensure(net, grid_queries(50), 8);
+  const std::string parallel_bytes =
+      io::serialize_timelines(orbit::EpochTimeline::installed(), "t");
+  EXPECT_EQ(serial_bytes, parallel_bytes);
+}
+
+TEST_F(TimelineTest, FaultPlanInvalidatesStaleEras) {
+  // A snapshot built without a plan must fall back (not replay stale
+  // values) inside windows a later-installed plan affects — and the
+  // values the campaign sees must equal the on-demand oracle's.
+  const orbit::AccessNetwork net = make_net();
+  orbit::EpochTimeline::ensure(net, grid_queries(60), 1);
+
+  fault::FaultEvent outage;
+  outage.kind = fault::EventKind::gateway_outage;
+  outage.target = "*";
+  outage.t_start_sec = 300.0;
+  outage.t_end_sec = 450.0;
+  fault::Hook::install(fault::FaultPlan({outage}));
+
+  orbit::set_timeline_enabled(false);
+  std::vector<orbit::AccessSample> oracle;
+  for (const auto& q : grid_queries(60)) {
+    oracle.push_back(net.sample(q.terminal, q.t_sec));
+  }
+
+  orbit::set_timeline_enabled(true);
+  const std::uint64_t fallback0 = counter("timeline.replay.fallback");
+  std::size_t i = 0;
+  for (const auto& q : grid_queries(60)) {
+    const orbit::AccessSample replayed = net.sample(q.terminal, q.t_sec);
+    EXPECT_TRUE(sample_equal(oracle[i], replayed)) << "query " << i;
+    ++i;
+  }
+  // Queries inside the outage window hit stale eras and fell back.
+  EXPECT_GT(counter("timeline.replay.fallback"), fallback0);
+
+  // Rebuilding under the active plan restores full replay coverage.
+  orbit::EpochTimeline::ensure(net, grid_queries(60), 1);
+  const std::uint64_t fallback1 = counter("timeline.replay.fallback");
+  i = 0;
+  for (const auto& q : grid_queries(60)) {
+    const orbit::AccessSample replayed = net.sample(q.terminal, q.t_sec);
+    EXPECT_TRUE(sample_equal(oracle[i], replayed)) << "query " << i;
+    ++i;
+  }
+  EXPECT_EQ(counter("timeline.replay.fallback"), fallback1);
+}
+
+TEST_F(TimelineTest, SerializeLoadReplayRoundTrip) {
+  const orbit::AccessNetwork net = make_net();
+  orbit::EpochTimeline::ensure(net, grid_queries(30), 1);
+  std::vector<orbit::AccessSample> built;
+  for (const auto& q : grid_queries(30)) {
+    built.push_back(net.sample(q.terminal, q.t_sec));
+  }
+
+  const std::string image =
+      io::serialize_timelines(orbit::EpochTimeline::installed(), "round-trip");
+  orbit::EpochTimeline::clear_installed();
+
+  auto backing = std::make_shared<std::string>(image);
+  std::vector<std::shared_ptr<const orbit::EpochTimeline>> loaded;
+  io::TimelineFileInfo info;
+  ASSERT_EQ(io::parse_timelines(*backing, backing, &loaded, &info), "");
+  EXPECT_EQ(info.manifest, "round-trip");
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded.front()->identity(), net.identity_hash());
+  for (auto& tl : loaded) orbit::EpochTimeline::install(std::move(tl));
+
+  const std::uint64_t hits0 = counter("timeline.replay.hit");
+  std::size_t i = 0;
+  for (const auto& q : grid_queries(30)) {
+    const orbit::AccessSample replayed = net.sample(q.terminal, q.t_sec);
+    EXPECT_TRUE(sample_equal(built[i], replayed)) << "query " << i;
+    ++i;
+  }
+  EXPECT_GT(counter("timeline.replay.hit"), hits0);
+}
+
+TEST_F(TimelineTest, DisabledTimelineIsNeverConsulted) {
+  const orbit::AccessNetwork net = make_net();
+  orbit::EpochTimeline::ensure(net, grid_queries(10), 1);
+  orbit::set_timeline_enabled(false);
+  const std::uint64_t hits0 = counter("timeline.replay.hit");
+  for (const auto& q : grid_queries(10)) net.sample(q.terminal, q.t_sec);
+  EXPECT_EQ(counter("timeline.replay.hit"), hits0);
+}
+
+}  // namespace
+}  // namespace satnet

@@ -37,6 +37,10 @@ const std::vector<RuleInfo> kRules = {
      "ad-hoc fault toggle (inject_* identifier) in a src/ module; every "
      "injection point must go through fault::Hook so fault plans stay "
      "replayable and hits are counted"},
+    {"persist-nondet",
+     "persistence hazard in src/io: directory-iteration order, branching "
+     "on mmap availability, or a binary write in a file with no format-"
+     "version stamp (k...Version constant)"},
     {"bad-allow",
      "satlint:allow()/deterministic-merge annotation without a one-line "
      "justification"},
@@ -422,6 +426,9 @@ FileClass classify(std::string_view path) {
   fc.injection_scope =
       !fc.module.empty() && fc.module != "fault" &&
       !is({"bench", "examples", "tests"});
+  // D7: the persistence layer — the only place binary artifacts are
+  // written and mapped, so the only place their hazards can originate.
+  fc.persist_scope = is({"io"});
   return fc;
 }
 
@@ -489,6 +496,23 @@ FileReport lint_source(std::string_view path, std::string_view content,
       R"(^\s*static\s+(const\b|constexpr\b|thread_local\b)|static_assert|std::atomic)");
   static const std::regex kCompoundAdd(R"((\w+)\s*[+-]=[^=])");
   static const std::regex kAdhocInject(R"((^|[^\w])(inject_\w+))");
+  static const std::regex kDirIter(R"(\b(recursive_)?directory_iterator\b)");
+  static const std::regex kMmapCall(R"((^|[^\w])mmap\s*\()");
+  static const std::regex kBinaryWrite(R"(\bofstream\b[^;]*\bbinary\b|\bfwrite\s*\()");
+  static const std::regex kVersionStamp(R"(\bk\w*Version\b)");
+
+  // D7's binary-write check is file-scoped: any mention of a version
+  // constant means the format is stamped and loads can reject stale
+  // files, so every write in the file inherits the exemption.
+  bool version_stamped = false;
+  if (fc.persist_scope) {
+    for (const std::string& cl : s.code) {
+      if (std::regex_search(cl, kVersionStamp)) {
+        version_stamped = true;
+        break;
+      }
+    }
+  }
 
   for (std::size_t i = 0; i < s.code.size(); ++i) {
     const std::string& cl = s.code[i];
@@ -578,6 +602,29 @@ FileReport lint_source(std::string_view path, std::string_view content,
                  "'; injection points must query fault::Hook (gateway_down, "
                  "extra_space_loss, fail_shard, ...) so the active FaultPlan "
                  "stays the single replayable source of faults");
+      }
+    }
+
+    // D7 — persist-nondet (src/io persistence code).
+    if (fc.persist_scope) {
+      if (std::regex_search(cl, kDirIter)) {
+        emit(i, "persist-nondet",
+             "directory iteration order is filesystem-dependent; collect "
+             "the entries and sort them before they influence any artifact "
+             "or output");
+      }
+      if (std::regex_search(cl, kMmapCall)) {
+        emit(i, "persist-nondet",
+             "branching on mmap availability in persistence code; the "
+             "non-mmap fallback must yield byte-identical results — "
+             "annotate with satlint:allow(persist-nondet) asserting the "
+             "equivalence");
+      }
+      if (!version_stamped && std::regex_search(cl, kBinaryWrite)) {
+        emit(i, "persist-nondet",
+             "binary artifact written in a file with no format-version "
+             "stamp; stamp the format (a k...Version constant checked on "
+             "load) so stale files are rejected instead of misparsed");
       }
     }
 

@@ -49,6 +49,13 @@ namespace satlint {
 ///                      src/ modules outside src/fault; every injection
 ///                      point must query fault::Hook so plans stay
 ///                      replayable and hits are counted.
+///   D7 persist-nondet: persistence hazards in src/io — directory
+///                      iteration feeding results (order is filesystem-
+///                      dependent), branching on mmap availability
+///                      (the heap fallback must be byte-identical), and
+///                      binary writes in files that never mention a
+///                      format-version constant (k...Version), so stale
+///                      artifacts would be misparsed instead of rejected.
 /// Plus the meta-rule:
 ///   bad-allow        : a satlint:allow() with no justification text.
 struct RuleInfo {
@@ -101,6 +108,7 @@ struct FileClass {
   bool worker = false;       ///< D4 applies
   bool merge_path = false;   ///< D5 applies
   bool injection_scope = false;  ///< D6 applies (src/ modules except fault)
+  bool persist_scope = false;    ///< D7 applies (src/io persistence code)
 };
 
 FileClass classify(std::string_view path);
