@@ -25,6 +25,8 @@
 #include "mlab/campaign.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 #include "orbit/access_index.hpp"
 #include "orbit/timeline.hpp"
@@ -118,6 +120,7 @@ struct ObsSession {
   std::string command;
   std::string metrics_out;
   std::string trace_out;
+  std::string recorder_out;
   std::string fault_plan_path;
   std::string fault_plan_summary;
   std::string timeline_out;
@@ -153,6 +156,46 @@ inline void parse_obs_flags(int* argc, char** argv) {
     std::exit(2);
   }
   if (!s.trace_out.empty()) obs::Tracer::global().set_enabled(true);
+}
+
+/// Strips the flight-recorder and watchdog flags:
+///   --recorder-out PATH   enable the recorder; drain events to PATH as
+///                         JSONL at exit ("-" = stdout). Crash dumps go
+///                         to PATH.postmortem.
+///   --recorder-ring N     per-shard ring capacity (default 512)
+///   --watchdog-ms N       pool watchdog poll interval (0 = off)
+///   --watchdog-threshold-ms X  flag tasks running longer than X ms
+inline void parse_recorder_flags(int* argc, char** argv) {
+  ObsSession& s = obs_session();
+  std::string ring, poll, threshold;
+  if (strip_flag(argc, argv, "--recorder-out", &s.recorder_out) < 0 ||
+      strip_flag(argc, argv, "--recorder-ring", &ring) < 0 ||
+      strip_flag(argc, argv, "--watchdog-ms", &poll) < 0 ||
+      strip_flag(argc, argv, "--watchdog-threshold-ms", &threshold) < 0) {
+    std::fprintf(stderr,
+                 "%s: --recorder-out/--recorder-ring/--watchdog-ms/"
+                 "--watchdog-threshold-ms expect a value\n",
+                 argv[0]);
+    std::exit(2);
+  }
+  if (!s.recorder_out.empty()) {
+    obs::FlightRecorder& rec = obs::FlightRecorder::global();
+    rec.set_enabled(true);
+    if (s.recorder_out != "-") {
+      rec.set_postmortem_path(s.recorder_out + ".postmortem");
+    }
+  }
+  if (!ring.empty()) {
+    obs::FlightRecorder::global().set_ring_capacity(
+        static_cast<std::size_t>(std::strtoul(ring.c_str(), nullptr, 10)));
+  }
+  if (!poll.empty() || !threshold.empty()) {
+    runtime::set_pool_watchdog(
+        poll.empty() ? 0u
+                     : static_cast<unsigned>(
+                           std::strtoul(poll.c_str(), nullptr, 10)),
+        threshold.empty() ? 0.0 : std::strtod(threshold.c_str(), nullptr));
+  }
 }
 
 /// Strips --fault-plan PATH and installs the plan for the whole run.
@@ -219,7 +262,7 @@ inline void obs_finish() {
   }
   const std::string tl = orbit::timeline_summary_line();
   if (!tl.empty()) std::printf("%s\n", tl.c_str());
-  if (s.metrics_out.empty() && s.trace_out.empty()) return;
+  if (s.metrics_out.empty() && s.trace_out.empty() && s.recorder_out.empty()) return;
   obs::RunManifest manifest;
   manifest.tool = s.tool;
   manifest.command = s.command;
@@ -234,8 +277,27 @@ inline void obs_finish() {
                          .count();
   const obs::Snapshot snap = obs::MetricsRegistry::global().scrape();
   if (!s.metrics_out.empty()) obs::write_metrics_file(s.metrics_out, snap, manifest);
+  // Drain once: the event stream goes to --recorder-out when given and
+  // also rides --trace-out so one file can hold the whole story.
+  std::vector<obs::ResolvedEvent> events;
+  if (obs::FlightRecorder::global().enabled()) {
+    events = obs::FlightRecorder::global().drain();
+  }
   if (!s.trace_out.empty()) {
-    obs::write_trace_file(s.trace_out, snap, obs::Tracer::global().drain(), manifest);
+    obs::write_trace_file(s.trace_out, snap, obs::Tracer::global().drain(),
+                          events, manifest);
+  }
+  if (!s.recorder_out.empty()) {
+    std::FILE* f = s.recorder_out == "-" ? stdout
+                                         : std::fopen(s.recorder_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "%s: cannot open %s\n", s.tool.c_str(),
+                   s.recorder_out.c_str());
+    } else {
+      std::fprintf(f, "%s\n", obs::manifest_json(manifest).c_str());
+      std::fputs(obs::events_jsonl(events).c_str(), f);
+      if (f != stdout) std::fclose(f);
+    }
   }
   std::fputs(obs::summary_text(snap, manifest).c_str(), stdout);
 }
@@ -301,6 +363,7 @@ inline void note(const char* text) { std::printf("  %s\n", text); }
     ::satnet::bench::obs_init(argc, argv);               \
     ::satnet::bench::parse_threads_flag(&argc, argv);    \
     ::satnet::bench::parse_obs_flags(&argc, argv);       \
+    ::satnet::bench::parse_recorder_flags(&argc, argv);  \
     ::satnet::bench::parse_fault_flag(&argc, argv);      \
     ::satnet::bench::parse_access_cache_flag(&argc, argv); \
     ::satnet::bench::parse_timeline_flags(&argc, argv);  \

@@ -19,6 +19,17 @@
 // the end of the run. Exports are wall-clock telemetry only; simulation
 // output stays byte-identical with or without them.
 //
+// Flight recorder: every command accepts
+//   --recorder-out PATH        drain the flight recorder to JSONL
+//                              ("-" = stdout); postmortems on abort-mode
+//                              failure land at PATH.postmortem
+//   --recorder-ring N          per-shard ring capacity (default 512)
+//   --watchdog-ms N            ThreadPool watchdog poll interval
+//                              (default 0 = off)
+//   --watchdog-threshold-ms X  stall threshold for the pool watchdog
+// Recorder and watchdog are observation-only: output stays
+// byte-identical with or without them.
+//
 // Fault injection: every campaign-running command accepts
 //   --fault-plan PATH    install a fault plan (see src/fault) for the run
 //   --retries N          attempts per shard before quarantine (default 1)
@@ -251,6 +262,10 @@ int main(int argc, char** argv) {
                  "  report   [--scale S] [--out FILE] [--threads N]\n"
                  "every command also accepts --metrics-out PATH (Prometheus\n"
                  "text) and --trace-out PATH (JSON lines); '-' = stdout,\n"
+                 "--recorder-out PATH [--recorder-ring N] to drain the\n"
+                 "flight recorder to JSONL (postmortems at PATH.postmortem),\n"
+                 "--watchdog-ms N [--watchdog-threshold-ms X] to poll for\n"
+                 "stalled pool workers,\n"
                  "and --fault-plan PATH [--retries N] [--degrade] to inject\n"
                  "a deterministic fault schedule (see README, src/fault)\n"
                  "--no-access-cache ablates the access-interval index\n"
@@ -286,6 +301,27 @@ int main(int argc, char** argv) {
   }
   const std::string metrics_out = flag_value(argc, argv, "--metrics-out", "");
   const std::string trace_out = flag_value(argc, argv, "--trace-out", "");
+  const std::string recorder_out = flag_value(argc, argv, "--recorder-out", "");
+  if (!recorder_out.empty()) {
+    obs::FlightRecorder& rec = obs::FlightRecorder::global();
+    rec.set_enabled(true);
+    const char* ring = flag_value(argc, argv, "--recorder-ring", "");
+    if (*ring != '\0') {
+      rec.set_ring_capacity(static_cast<std::size_t>(std::strtoul(ring, nullptr, 10)));
+    }
+    if (recorder_out != "-") rec.set_postmortem_path(recorder_out + ".postmortem");
+  }
+  {
+    const char* poll = flag_value(argc, argv, "--watchdog-ms", "");
+    const char* thresh = flag_value(argc, argv, "--watchdog-threshold-ms", "");
+    if (*poll != '\0' || *thresh != '\0') {
+      runtime::set_pool_watchdog(
+          *poll != '\0' ? static_cast<unsigned>(std::strtoul(poll, nullptr, 10))
+                        : runtime::pool_watchdog_poll_ms(),
+          *thresh != '\0' ? std::strtod(thresh, nullptr)
+                          : runtime::pool_watchdog_threshold_ms());
+    }
+  }
   const std::string fault_plan_path = flag_value(argc, argv, "--fault-plan", "");
   std::string fault_plan_summary;
   if (!fault_plan_path.empty()) {
@@ -324,7 +360,8 @@ int main(int argc, char** argv) {
     if (!tl.empty()) std::printf("%s\n", tl.c_str());
   }
 
-  if (rc == 0 && (!metrics_out.empty() || !trace_out.empty())) {
+  if (rc == 0 && (!metrics_out.empty() || !trace_out.empty() ||
+                  !recorder_out.empty())) {
     obs::RunManifest manifest;
     manifest.tool = "satnetctl " + cmd;
     for (int i = 0; i < argc; ++i) {
@@ -341,10 +378,26 @@ int main(int argc, char** argv) {
                            std::chrono::steady_clock::now() - start)
                            .count();
     const obs::Snapshot snap = obs::MetricsRegistry::global().scrape();
+    // Drain the recorder once; events ride --trace-out and --recorder-out.
+    std::vector<obs::ResolvedEvent> events;
+    if (obs::FlightRecorder::global().enabled()) {
+      events = obs::FlightRecorder::global().drain();
+    }
     if (!metrics_out.empty()) obs::write_metrics_file(metrics_out, snap, manifest);
     if (!trace_out.empty()) {
       obs::write_trace_file(trace_out, snap, obs::Tracer::global().drain(),
-                            manifest);
+                            events, manifest);
+    }
+    if (!recorder_out.empty()) {
+      std::FILE* f = recorder_out == "-" ? stdout
+                                         : std::fopen(recorder_out.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "satnetctl: cannot open %s\n", recorder_out.c_str());
+      } else {
+        std::fprintf(f, "%s\n", obs::manifest_json(manifest).c_str());
+        std::fputs(obs::events_jsonl(events).c_str(), f);
+        if (f != stdout) std::fclose(f);
+      }
     }
     std::printf("%s", obs::summary_text(snap, manifest).c_str());
   }

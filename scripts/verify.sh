@@ -57,7 +57,7 @@ if [[ "$run_golden" == 1 ]]; then
   echo "== golden: snapshot suite + determinism/fault repeat at varying threads =="
   cmake -B build -S .
   cmake --build build -j "${jobs}" --target golden_test determinism_test fault_test \
-    bench_ablation_access_cache bench_timeline
+    bench_ablation_access_cache bench_timeline benchreport
   # The flake gate: the determinism-sensitive suites run 3x, golden_test
   # additionally asserting one more thread count each round. Snapshots
   # regenerate only via `golden_test --update-golden`, never here. The
@@ -81,6 +81,12 @@ if [[ "$run_golden" == 1 ]]; then
   ./build/tests/golden_test --no-access-cache
   echo "-- ablation round: golden_test --no-timeline --"
   ./build/tests/golden_test --no-timeline
+  # Recorder round: the snapshot suite must be byte-identical with the
+  # flight recorder enabled (observation-only oracle); the drained event
+  # JSONL lands in build/ for inspection / CI artifact upload.
+  echo "-- recorder round: golden_test --recorder-out --"
+  ./build/tests/golden_test --recorder-out build/golden-recorder.jsonl
+  test -s build/golden-recorder.jsonl
   # Cache speedup + byte-identity report (exits 1 on divergence); the
   # JSON lands in the repo root for CI artifact upload / trend tracking.
   echo "-- ablation bench: bench_ablation_access_cache --"
@@ -91,6 +97,18 @@ if [[ "$run_golden" == 1 ]]; then
   echo "-- timeline bench: bench_timeline --"
   ./build/bench/bench_timeline --benchmark_filter='sample_replay'
   test -s BENCH_timeline.json
+  # Perf-regression ledger: append this run to the committed history,
+  # then gate on the machine-independent ratio metrics (speedups, hit
+  # ratios) against the committed baseline. Absolute times are checked
+  # only by CI's advisory step — they vary too much across machines for
+  # a local hard gate.
+  echo "-- bench ledger: benchreport append + ratio gate --"
+  ./build/tools/benchreport/benchreport --append \
+    BENCH_access_cache.json BENCH_timeline.json \
+    --ledger bench/ledger --run-id "verify-$(git rev-parse --short HEAD 2>/dev/null || echo local)"
+  ./build/tools/benchreport/benchreport --check \
+    BENCH_access_cache.json BENCH_timeline.json \
+    --ledger bench/ledger --ratios-only --tolerance 0.5
 fi
 
 if [[ "$run_tsan" == 1 ]]; then

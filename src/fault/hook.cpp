@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "stats/rng.hpp"
 
 namespace satnet::fault {
@@ -40,6 +41,16 @@ obs::Counter& hit_counter(EventKind kind) {
   return reg.counter("fault.hit.unknown", "unreachable");
 }
 
+/// Counter bump + flight-recorder event for one applied fault. The
+/// record lands in the calling shard's scope (det — the hit derives
+/// from the shard's deterministic execution) or, outside any scope, in
+/// the thread's telemetry ring.
+void record_hit(EventKind kind) {
+  hit_counter(kind).add(1);
+  obs::FlightRecorder::global().record(obs::EventKind::fault_hit,
+                                       static_cast<std::uint64_t>(kind));
+}
+
 }  // namespace
 
 Hook::Hook(FaultPlan plan) : plan_(std::move(plan)) { plan_.validate(); }
@@ -48,7 +59,7 @@ bool Hook::gateway_down(std::string_view gateway, double t_sec) const {
   for (const FaultEvent& ev : plan_.events()) {
     if (ev.kind == EventKind::gateway_outage && ev.matches(gateway) &&
         ev.active_at(t_sec)) {
-      hit_counter(ev.kind).add(1);
+      record_hit(ev.kind);
       return true;
     }
   }
@@ -63,7 +74,7 @@ double Hook::reconfig_interval_scale(std::string_view network, double t_sec) con
       scale = std::max(scale, ev.magnitude);
     }
   }
-  if (scale > 1.0) hit_counter(EventKind::handoff_storm).add(1);
+  if (scale > 1.0) record_hit(EventKind::handoff_storm);
   return scale;
 }
 
@@ -75,7 +86,7 @@ int Hook::weather_severity_floor(const geo::GeoPoint& where, double t_sec) const
       floor = std::max(floor, static_cast<int>(ev.magnitude));
     }
   }
-  if (floor > 0) hit_counter(EventKind::weather_escalation).add(1);
+  if (floor > 0) record_hit(EventKind::weather_escalation);
   return floor;
 }
 
@@ -87,7 +98,7 @@ double Hook::extra_space_loss(std::string_view operator_name, double t_sec) cons
       extra += ev.magnitude;
     }
   }
-  if (extra > 0) hit_counter(EventKind::burst_loss).add(1);
+  if (extra > 0) record_hit(EventKind::burst_loss);
   return std::min(extra, 1.0);
 }
 
@@ -102,7 +113,7 @@ bool Hook::fail_shard(std::string_view phase, std::size_t shard,
                               std::to_string(attempt));
     const double u = static_cast<double>(h % 1000003ull) / 1000003.0;
     if (u < ev.magnitude) {
-      hit_counter(ev.kind).add(1);
+      record_hit(ev.kind);
       return true;
     }
   }

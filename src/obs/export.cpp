@@ -23,21 +23,6 @@ std::string wire_name(const std::string& name) {
   return out;
 }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default: out += c;
-    }
-  }
-  return out;
-}
-
 std::string fmt_double(double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.17g", v);
@@ -56,7 +41,15 @@ bool json_string(const std::string& line, const char* key, std::string* out) {
     const char c = line[i];
     if (c == '\\' && i + 1 < line.size()) {
       const char n = line[++i];
-      value += n == 'n' ? '\n' : n == 't' ? '\t' : n;
+      if (n == 'u' && i + 4 < line.size()) {
+        // \u00XX — only the control-char range json_escape emits.
+        const unsigned code = static_cast<unsigned>(
+            std::strtoul(line.substr(i + 1, 4).c_str(), nullptr, 16));
+        value += static_cast<char>(code);
+        i += 4;
+      } else {
+        value += n == 'n' ? '\n' : n == 't' ? '\t' : n == 'r' ? '\r' : n;
+      }
     } else if (c == '"') {
       *out = std::move(value);
       return true;
@@ -94,6 +87,21 @@ bool json_array(const std::string& line, const char* key, std::vector<double>* o
     while (*p == ',' || *p == ' ') ++p;
   }
   return true;
+}
+
+/// Inverse of prom_escape_text for NAME/HELP comment payloads.
+std::string prom_unescape_text(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      const char n = s[++i];
+      out += n == 'n' ? '\n' : n;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
 }
 
 std::string metric_jsonl_line(const MetricValue& m) {
@@ -152,6 +160,57 @@ bool open_out(const std::string& path, std::ofstream* file, std::ostream** out) 
 
 }  // namespace
 
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string prom_escape_label(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string prom_escape_text(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 std::string manifest_json(const RunManifest& manifest) {
   std::string line = "{\"type\":\"manifest\",\"tool\":\"" +
                      json_escape(manifest.tool) + "\",\"command\":\"" +
@@ -171,16 +230,23 @@ std::string to_prometheus(const Snapshot& snapshot, const RunManifest& manifest)
     const std::string wire = wire_name(m.name);
     // "# NAME" maps the wire name back to the registry name so our
     // parser (and humans) can round-trip without guessing at '_' vs '.'.
-    out += "# NAME " + wire + " " + m.name + "\n";
+    // Comment payloads use exposition-format text escaping (\\, \n):
+    // a raw newline in a name or help string would otherwise split the
+    // comment and inject a bogus sample line.
+    out += "# NAME " + wire + " " + prom_escape_text(m.name) + "\n";
     out += "# TYPE " + wire + " " + to_string(m.kind) + "\n";
-    if (!m.help.empty()) out += "# HELP " + wire + " " + m.help + "\n";
+    if (!m.help.empty())
+      out += "# HELP " + wire + " " + prom_escape_text(m.help) + "\n";
     if (m.kind == MetricKind::histogram) {
       std::uint64_t cum = 0;
       for (std::size_t i = 0; i < m.counts.size(); ++i) {
         cum += m.counts[i];
         const std::string le =
             i < m.bounds.size() ? fmt_double(m.bounds[i]) : "+Inf";
-        out += wire + "_bucket{le=\"" + le + "\"} " + std::to_string(cum) + "\n";
+        // fmt_double never emits characters needing escapes, but label
+        // values follow the exposition escaping rules regardless.
+        out += wire + "_bucket{le=\"" + prom_escape_label(le) + "\"} " +
+               std::to_string(cum) + "\n";
       }
       out += wire + "_sum " + fmt_double(m.sum) + "\n";
       out += wire + "_count " + std::to_string(m.count) + "\n";
@@ -210,6 +276,65 @@ std::string spans_jsonl(const std::vector<SpanRecord>& spans) {
   return out;
 }
 
+std::string event_jsonl_line(const ResolvedEvent& event) {
+  const auto& r = event.rec;
+  std::string line = "{\"type\":\"event\",\"phase\":\"" +
+                     json_escape(event.phase) + "\",\"kind\":\"" +
+                     std::string(to_string(static_cast<EventKind>(r.kind))) +
+                     "\",\"det\":" + std::to_string(r.det) +
+                     ",\"shard\":" + std::to_string(r.shard) +
+                     ",\"attempt\":" + std::to_string(r.attempt) +
+                     ",\"seq\":" + std::to_string(r.seq) +
+                     ",\"a\":" + std::to_string(r.a) +
+                     ",\"b\":" + std::to_string(r.b) +
+                     // wall_us last: the non-deterministic field, so
+                     // golden/stability comparisons can strip a suffix.
+                     ",\"wall_us\":" + std::to_string(r.wall_us) + "}";
+  return line;
+}
+
+std::string events_jsonl(const std::vector<ResolvedEvent>& events) {
+  std::string out;
+  for (const auto& ev : events) out += event_jsonl_line(ev) + "\n";
+  return out;
+}
+
+std::vector<ResolvedEvent> parse_events_jsonl(const std::string& text) {
+  static const EventKind kKinds[] = {
+      EventKind::phase_enter,  EventKind::phase_exit,
+      EventKind::fault_hit,    EventKind::retry,
+      EventKind::degrade,      EventKind::timeline_hit,
+      EventKind::timeline_fallback, EventKind::queue_depth,
+      EventKind::stall_flag};
+  std::vector<ResolvedEvent> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string type;
+    if (!json_string(line, "type", &type) || type != "event") continue;
+    ResolvedEvent ev;
+    json_string(line, "phase", &ev.phase);
+    std::string kind;
+    json_string(line, "kind", &kind);
+    for (const EventKind k : kKinds) {
+      if (kind == to_string(k)) {
+        ev.rec.kind = static_cast<std::uint16_t>(k);
+        break;
+      }
+    }
+    double v = 0;
+    if (json_number(line, "det", &v)) ev.rec.det = static_cast<std::uint16_t>(v);
+    if (json_number(line, "shard", &v)) ev.rec.shard = static_cast<std::uint32_t>(v);
+    if (json_number(line, "attempt", &v)) ev.rec.attempt = static_cast<std::uint32_t>(v);
+    if (json_number(line, "seq", &v)) ev.rec.seq = static_cast<std::uint32_t>(v);
+    if (json_number(line, "a", &v)) ev.rec.a = static_cast<std::uint64_t>(v);
+    if (json_number(line, "b", &v)) ev.rec.b = static_cast<std::uint64_t>(v);
+    if (json_number(line, "wall_us", &v)) ev.rec.wall_us = static_cast<std::uint64_t>(v);
+    out.push_back(std::move(ev));
+  }
+  return out;
+}
+
 Snapshot parse_prometheus(const std::string& text) {
   Snapshot snap;
   std::map<std::string, std::string> wire_to_name;
@@ -223,7 +348,11 @@ Snapshot parse_prometheus(const std::string& text) {
       std::string hash, kind, wire, rest;
       ls >> hash >> kind >> wire >> rest;
       if (kind == "NAME") {
-        wire_to_name[wire] = rest;
+        // Everything after "<wire> " is the (escaped) registry name —
+        // token extraction would truncate names containing spaces.
+        const auto pos = line.find(wire);
+        wire_to_name[wire] =
+            prom_unescape_text(line.substr(pos + wire.size() + 1));
       } else if (kind == "TYPE") {
         MetricValue m;
         const auto it = wire_to_name.find(wire);
@@ -235,7 +364,8 @@ Snapshot parse_prometheus(const std::string& text) {
       } else if (kind == "HELP") {
         const auto pos = line.find(wire);
         if (auto it = metrics.find(wire); it != metrics.end()) {
-          it->second.help = line.substr(pos + wire.size() + 1);
+          it->second.help =
+              prom_unescape_text(line.substr(pos + wire.size() + 1));
         } else {
           // HELP precedes TYPE in the wild; ours doesn't, but tolerate.
           wire_to_name.emplace(wire, wire);
@@ -418,6 +548,51 @@ std::string summary_text(const Snapshot& snapshot, const RunManifest& manifest) 
     }
     out += line;
   }
+  // Derived: per-phase profiler table (PR 7). profile.<phase>.<field>
+  // counters aggregate shard wall/queue-wait/task counts; the table
+  // groups them back by phase. snapshot.metrics is name-sorted, so the
+  // four fields of one phase are adjacent and phases emerge in order.
+  struct PhaseRow {
+    std::string phase;
+    double wall_us = 0, queue_wait_us = 0, tasks = 0, stalled = 0;
+  };
+  std::vector<PhaseRow> rows;
+  for (const auto& m : snapshot.metrics) {
+    if (m.kind != MetricKind::counter || m.name.rfind("profile.", 0) != 0)
+      continue;
+    const auto dot = m.name.rfind('.');
+    const std::string phase = m.name.substr(8, dot - 8);
+    const std::string field = m.name.substr(dot + 1);
+    if (phase == "watchdog") continue;  // the global roll-up, not a phase
+    if (rows.empty() || rows.back().phase != phase)
+      rows.push_back(PhaseRow{phase, 0, 0, 0, 0});
+    PhaseRow& row = rows.back();
+    if (field == "wall_us") row.wall_us = m.value;
+    else if (field == "queue_wait_us") row.queue_wait_us = m.value;
+    else if (field == "tasks") row.tasks = m.value;
+    else if (field == "stalled") row.stalled = m.value;
+  }
+  if (!rows.empty()) {
+    out += "  phase profile:\n";
+    for (const PhaseRow& row : rows) {
+      std::snprintf(line, sizeof(line),
+                    "    %-28s tasks=%-6.0f wall=%-9.1fms queue-wait=%-9.1fms "
+                    "stalled=%.0f\n",
+                    row.phase.c_str(), row.tasks, row.wall_us / 1000.0,
+                    row.queue_wait_us / 1000.0, row.stalled);
+      out += line;
+    }
+  }
+  // Derived: flight-recorder roll-up when the recorder was enabled.
+  const MetricValue* rec_events = snapshot.find("recorder.events");
+  const MetricValue* rec_dropped = snapshot.find("recorder.dropped");
+  if (rec_events && rec_events->value > 0) {
+    std::snprintf(line, sizeof(line),
+                  "  flight recorder: %.0f events flushed, %.0f dropped to "
+                  "ring overflow\n",
+                  rec_events->value, rec_dropped ? rec_dropped->value : 0.0);
+    out += line;
+  }
   // Derived: fault-injection roll-up when any fault.hit.* counter fired.
   double fault_hits = 0;
   for (const auto& m : snapshot.metrics) {
@@ -455,6 +630,18 @@ bool write_trace_file(const std::string& path, const Snapshot& snapshot,
   std::ostream* out = nullptr;
   if (!open_out(path, &file, &out)) return false;
   *out << to_jsonl(snapshot, manifest) << spans_jsonl(spans);
+  return true;
+}
+
+bool write_trace_file(const std::string& path, const Snapshot& snapshot,
+                      const std::vector<SpanRecord>& spans,
+                      const std::vector<ResolvedEvent>& events,
+                      const RunManifest& manifest) {
+  std::ofstream file;
+  std::ostream* out = nullptr;
+  if (!open_out(path, &file, &out)) return false;
+  *out << to_jsonl(snapshot, manifest) << spans_jsonl(spans)
+       << events_jsonl(events);
   return true;
 }
 

@@ -22,9 +22,22 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 
 namespace satnet::obs {
+
+/// JSON string escaping shared by every JSONL writer: `"` `\`,
+/// whitespace escapes, and \u00XX for remaining control characters.
+std::string json_escape(const std::string& s);
+
+/// Prometheus exposition-format escaping for label *values*: `\\`,
+/// `\"`, `\n` (the only escapes the format defines for labels).
+std::string prom_escape_label(const std::string& s);
+
+/// Prometheus escaping for HELP/comment text: `\\` and `\n` (a raw
+/// newline would otherwise split the comment into a bogus sample line).
+std::string prom_escape_text(const std::string& s);
 
 /// What produced an export: the tool, its full command line, and the
 /// knobs that matter for reproducing the run. Wall-clock only — the
@@ -51,6 +64,18 @@ std::string to_jsonl(const Snapshot& snapshot, const RunManifest& manifest);
 /// write_trace_file which adds its own manifest line).
 std::string spans_jsonl(const std::vector<SpanRecord>& spans);
 
+/// One flight-recorder event as a JSONL line (no trailing \n). The
+/// deterministic fields come first; `wall_us` is last so goldens can
+/// strip it with a suffix cut.
+std::string event_jsonl_line(const ResolvedEvent& event);
+
+/// JSONL event lines for a drained/snapshotted recorder stream.
+std::string events_jsonl(const std::vector<ResolvedEvent>& events);
+
+/// Parses event lines out of a JSONL document (manifest/metric/span
+/// lines are ignored).
+std::vector<ResolvedEvent> parse_events_jsonl(const std::string& text);
+
 /// Parses Prometheus text produced by to_prometheus back into a
 /// Snapshot (metrics sorted by name; manifest comments ignored).
 Snapshot parse_prometheus(const std::string& text);
@@ -75,6 +100,12 @@ bool write_metrics_file(const std::string& path, const Snapshot& snapshot,
 /// Writes JSONL (manifest + metrics + spans) to `path` ("-" = stdout).
 bool write_trace_file(const std::string& path, const Snapshot& snapshot,
                       const std::vector<SpanRecord>& spans,
+                      const RunManifest& manifest);
+
+/// Writes JSONL (manifest + metrics + spans + flight-recorder events).
+bool write_trace_file(const std::string& path, const Snapshot& snapshot,
+                      const std::vector<SpanRecord>& spans,
+                      const std::vector<ResolvedEvent>& events,
                       const RunManifest& manifest);
 
 }  // namespace satnet::obs

@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace satnet::obs {
@@ -37,6 +38,17 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
 }
 
 void Histogram::observe(double v) {
+  if (!std::isfinite(v)) {
+    // A NaN would land in a bucket anyway (lower_bound's comparisons
+    // are all false -> overflow bucket) and then poison `sum` for every
+    // later export. Drop the observation and count the drop instead.
+    // satlint:allow(shared-state): cached registry handle; the counter itself is thread-striped
+    static Counter& nonfinite = MetricsRegistry::global().counter(
+        "obs.histogram.nonfinite",
+        "histogram observations dropped for being NaN or infinite");
+    nonfinite.add(1);
+    return;
+  }
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
   const std::size_t bucket = static_cast<std::size_t>(it - bounds_.begin());
   Stripe& s = stripes_[this_thread_stripe()];

@@ -1,0 +1,111 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+
+namespace satnet::obs {
+
+namespace {
+
+Counter& phase_counter(std::string_view phase, const char* suffix,
+                       const char* help) {
+  std::string name = "profile.";
+  name += phase;
+  name += suffix;
+  return MetricsRegistry::global().counter(name, help);
+}
+
+}  // namespace
+
+PhaseProfiler& PhaseProfiler::global() {
+  // satlint:allow(shared-state): process-wide profiler singleton; aggregation is mutex-guarded and observation-only
+  static PhaseProfiler p;
+  return p;
+}
+
+void PhaseProfiler::set_stall_multiple(double multiple) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stall_multiple_ = multiple >= 1.0 ? multiple : 1.0;
+}
+
+void PhaseProfiler::set_stall_min_ms(double min_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stall_min_ms_ = min_ms >= 0.0 ? min_ms : 0.0;
+}
+
+double PhaseProfiler::stall_multiple() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stall_multiple_;
+}
+
+double PhaseProfiler::stall_min_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stall_min_ms_;
+}
+
+void PhaseProfiler::attempt_done(std::string_view phase, std::size_t shard,
+                                 double wall_ms, double queue_wait_ms) {
+  phase_counter(phase, ".wall_us", "total shard wall time for the phase")
+      .add(static_cast<std::uint64_t>(wall_ms * 1000.0));
+  phase_counter(phase, ".queue_wait_us", "total submit-to-start queue wait")
+      .add(static_cast<std::uint64_t>(queue_wait_ms * 1000.0));
+  phase_counter(phase, ".tasks", "shard attempts profiled").add(1);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = open_.find(phase);
+  if (it == open_.end()) it = open_.emplace(std::string(phase), std::vector<Attempt>{}).first;
+  it->second.push_back(Attempt{shard, wall_ms});
+}
+
+std::size_t PhaseProfiler::phase_done(std::string_view phase) {
+  std::vector<Attempt> attempts;
+  double multiple = 0;
+  double min_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = open_.find(phase);
+    if (it == open_.end()) return 0;
+    attempts.swap(it->second);
+    open_.erase(it);
+    multiple = stall_multiple_;
+    min_ms = stall_min_ms_;
+  }
+  if (attempts.empty()) return 0;
+  // Median of the phase's attempt wall times (upper median for even n —
+  // the conservative choice: a higher median flags fewer shards).
+  std::vector<double> walls;
+  walls.reserve(attempts.size());
+  for (const Attempt& a : attempts) walls.push_back(a.wall_ms);
+  const std::size_t mid = walls.size() / 2;
+  std::nth_element(walls.begin(), walls.begin() + static_cast<std::ptrdiff_t>(mid),
+                   walls.end());
+  const double median = walls[mid];
+  const double threshold = std::max(median * multiple, min_ms);
+  std::size_t flagged = 0;
+  for (const Attempt& a : attempts) {
+    if (a.wall_ms <= threshold) continue;
+    ++flagged;
+    phase_counter(phase, ".stalled", "shards flagged by the stall watchdog")
+        .add(1);
+    MetricsRegistry::global()
+        .counter("profile.watchdog.flagged",
+                 "shards flagged as stragglers across all phases")
+        .add(1);
+    // Telemetry-only by construction: stall verdicts depend on
+    // wall-clock, so the record carries det=0 and stays out of goldens.
+    FlightRecorder::global().record_for_shard(
+        phase, a.shard, 0, EventKind::stall_flag,
+        static_cast<std::uint64_t>(a.wall_ms),
+        static_cast<std::uint64_t>(threshold), /*det=*/false);
+    std::fprintf(stderr,
+                 "profile: stall watchdog: phase %.*s shard %zu took %.1f ms "
+                 "(threshold %.1f ms, median %.1f ms)\n",
+                 static_cast<int>(phase.size()), phase.data(), a.shard,
+                 a.wall_ms, threshold, median);
+  }
+  return flagged;
+}
+
+}  // namespace satnet::obs

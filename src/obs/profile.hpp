@@ -1,0 +1,74 @@
+// Always-on phase profiler: aggregates wall time, task count, and
+// queue wait per (phase, shard) into the MetricsRegistry, and flags
+// straggler shards whose wall time exceeds a configurable multiple of
+// the phase's median shard time (the stall watchdog's passive half —
+// the active half lives in runtime::ThreadPool).
+//
+// Unlike the tracer and flight recorder, the profiler has no off
+// switch of its own: its cost is one mutex-guarded append per shard
+// attempt, it rides the registry kill switch for export, and — like
+// every obs component — it is observation-only, so the determinism
+// suite covers it for free.
+//
+// All times here are wall-clock telemetry (callers measure them behind
+// their own satlint-annotated reads); nothing deterministic derives
+// from them. Exported metric names:
+//   profile.<phase>.wall_us        total shard wall time for the phase
+//   profile.<phase>.queue_wait_us  total submit-to-start wait
+//   profile.<phase>.tasks          shard attempts profiled
+//   profile.<phase>.stalled        shards flagged by the watchdog
+//   profile.watchdog.flagged       global stall count across phases
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace satnet::obs {
+
+class PhaseProfiler {
+ public:
+  PhaseProfiler() = default;
+  PhaseProfiler(const PhaseProfiler&) = delete;
+  PhaseProfiler& operator=(const PhaseProfiler&) = delete;
+
+  /// The process-wide profiler the runtime reports into.
+  static PhaseProfiler& global();
+
+  /// A shard wall time must exceed `multiple` x the phase median AND
+  /// `min_ms` before the watchdog flags it; the floor keeps trivial
+  /// phases (median near zero) from flagging noise.
+  void set_stall_multiple(double multiple);
+  void set_stall_min_ms(double min_ms);
+  double stall_multiple() const;
+  double stall_min_ms() const;
+
+  /// Records one finished shard attempt. `wall_ms` is the attempt's
+  /// wall time, `queue_wait_ms` the submit-to-start wait (0 when the
+  /// caller ran inline). Aggregates into profile.<phase>.* counters.
+  void attempt_done(std::string_view phase, std::size_t shard, double wall_ms,
+                    double queue_wait_ms);
+
+  /// Closes out a phase: computes the median shard wall time from the
+  /// attempts recorded since the phase last closed, flags shards over
+  /// the stall threshold (metrics + det=0 recorder events), and clears
+  /// the phase's attempt buffer. Returns the number flagged.
+  std::size_t phase_done(std::string_view phase);
+
+ private:
+  struct Attempt {
+    std::size_t shard = 0;
+    double wall_ms = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<Attempt>, std::less<>> open_;
+  double stall_multiple_ = 8.0;
+  double stall_min_ms_ = 50.0;
+};
+
+}  // namespace satnet::obs

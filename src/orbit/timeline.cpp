@@ -14,6 +14,7 @@
 #include "fault/hook.hpp"
 #include "fault/plan.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "orbit/access.hpp"
 #include "orbit/access_index.hpp"
 #include "runtime/thread_pool.hpp"
@@ -72,6 +73,27 @@ std::atomic<bool> g_timeline_enabled{true};
 /// networks (its serving/sample computations route back through the
 /// access layer, which consults any previously installed snapshot).
 thread_local bool g_in_build = false;
+
+/// Timeline layer tags for flight-recorder replay events (the `a`
+/// payload word): which lookup table answered or missed.
+constexpr std::uint64_t kServingLayer = 0;
+constexpr std::uint64_t kSampleLayer = 1;
+
+/// Counter bump + flight-recorder record for one replay outcome. Build
+/// probes stay silent (same suppression as the counters). The record is
+/// det inside a shard scope: for a fixed thread count the shard's
+/// replay sequence is deterministic.
+void record_replay_hit(std::uint64_t layer) {
+  if (g_in_build) return;
+  counters().replay_hit.add(1);
+  obs::FlightRecorder::global().record(obs::EventKind::timeline_hit, layer);
+}
+
+void record_replay_fallback(std::uint64_t layer) {
+  if (g_in_build) return;
+  counters().replay_fallback.add(1);
+  obs::FlightRecorder::global().record(obs::EventKind::timeline_fallback, layer);
+}
 
 /// Hash of the fault events (outages, storms) active at time t — the
 /// stored era key. Two times with equal keys and no plan edge between
@@ -356,10 +378,10 @@ EpochTimeline::ServingReplay EpochTimeline::replay_serving(const geo::GeoPoint& 
   });
   if (i >= v.s_lat.size() || v.s_lat[i] != klat || v.s_lon[i] != klon ||
       v.s_epoch[i] != kepoch) {
-    if (!g_in_build) counters().replay_fallback.add(1);
+    record_replay_fallback(kServingLayer);
     return ServingReplay::miss;
   }
-  if (!g_in_build) counters().replay_hit.add(1);
+  record_replay_hit(kServingLayer);
   if (v.s_sat[i] == kNoSat) return ServingReplay::outage;
   *out = unpack_sat(v.s_sat[i]);
   return ServingReplay::serving;
@@ -371,7 +393,7 @@ bool EpochTimeline::replay_sample(const geo::GeoPoint& user, double t_sec,
   const Validity& valid = validity_for_thread();
   const std::uint32_t era = era_of(t_sec);
   if (!valid.valid[era]) {
-    if (!g_in_build) counters().replay_fallback.add(1);
+    record_replay_fallback(kSampleLayer);
     return false;
   }
   const std::uint64_t klat = bits(user.lat_deg);
@@ -386,10 +408,10 @@ bool EpochTimeline::replay_sample(const geo::GeoPoint& user, double t_sec,
   });
   if (i >= v.m_lat.size() || v.m_lat[i] != klat || v.m_lon[i] != klon ||
       v.m_epoch[i] != kepoch || v.m_era[i] != era) {
-    if (!g_in_build) counters().replay_fallback.add(1);
+    record_replay_fallback(kSampleLayer);
     return false;
   }
-  if (!g_in_build) counters().replay_hit.add(1);
+  record_replay_hit(kSampleLayer);
   AccessSample s;
   if (v.m_sat[i] != kNoSat) {
     s.reachable = true;

@@ -50,6 +50,8 @@
 
 #include "fault/hook.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -145,9 +147,17 @@ class ShardedCampaign {
     // attempt schedule is deterministic per shard.
     std::atomic<std::size_t> run_retries{0};
 
-    const auto timed_attempt = [&](std::size_t i, std::size_t attempt) {
+    const auto timed_attempt = [&](std::size_t i, std::size_t attempt,
+                                   double queue_wait_ms) {
       obs::ScopedSpan span(phase_, attempt == 0 ? "shard" : "retry",
                            static_cast<std::uint64_t>(i));
+      // Flight-recorder scope: the shard's event stream (phase enter/
+      // exit, fault hits, retries) lands in a per-shard ring whose
+      // content is deterministic — only wall_us varies run to run.
+      obs::ShardScope rec_scope(phase_, i, attempt);
+      if (attempt > 0) {
+        obs::FlightRecorder::global().record(obs::EventKind::retry, attempt);
+      }
       // satlint:allow(nondet-source): shard latency telemetry; shard results never read the clock
       const auto t0 = std::chrono::steady_clock::now();
       if (const fault::Hook* hook = fault::Hook::active()) {
@@ -156,10 +166,14 @@ class ShardedCampaign {
         }
       }
       Result r = fn_(i);
-      latency.observe(std::chrono::duration<double, std::milli>(
-                          // satlint:allow(nondet-source): shard latency telemetry; shard results never read the clock
-                          std::chrono::steady_clock::now() - t0)
-                          .count());
+      const double wall_ms =
+          std::chrono::duration<double, std::milli>(
+              // satlint:allow(nondet-source): shard latency telemetry; shard results never read the clock
+              std::chrono::steady_clock::now() - t0)
+              .count();
+      latency.observe(wall_ms);
+      obs::PhaseProfiler::global().attempt_done(
+          phase_, i, wall_ms, attempt == 0 ? queue_wait_ms : 0.0);
       shards_run.add(1);
       return r;
     };
@@ -168,7 +182,7 @@ class ShardedCampaign {
     // the worker boundary, so every shard runs to a verdict regardless
     // of what other shards did — the inline and pooled paths share
     // exactly this code and therefore exactly these semantics.
-    const auto guarded_shard = [&](std::size_t i) {
+    const auto guarded_shard = [&](std::size_t i, double queue_wait_ms) {
       for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
         if (attempt > 0) {
           retries_total.add(1);
@@ -181,7 +195,7 @@ class ShardedCampaign {
           }
         }
         try {
-          slots[i].emplace(timed_attempt(i, attempt));
+          slots[i].emplace(timed_attempt(i, attempt, queue_wait_ms));
           errors[i] = nullptr;
           return;
         } catch (...) {
@@ -191,14 +205,26 @@ class ShardedCampaign {
     };
 
     if (n_threads <= 1 || n_shards_ <= 1) {
-      for (std::size_t i = 0; i < n_shards_; ++i) guarded_shard(i);
+      for (std::size_t i = 0; i < n_shards_; ++i) guarded_shard(i, 0.0);
     } else {
       ThreadPool pool(n_threads);
       for (std::size_t i = 0; i < n_shards_; ++i) {
-        pool.submit([i, &guarded_shard] { guarded_shard(i); });
+        // satlint:allow(nondet-source): queue-wait telemetry for the profiler; shard results never read the clock
+        const auto submit_t = std::chrono::steady_clock::now();
+        pool.submit([i, submit_t, &guarded_shard] {
+          const double wait_ms =
+              std::chrono::duration<double, std::milli>(
+                  // satlint:allow(nondet-source): queue-wait telemetry for the profiler; shard results never read the clock
+                  std::chrono::steady_clock::now() - submit_t)
+                  .count();
+          guarded_shard(i, wait_ms);
+        });
       }
       pool.wait_idle();
     }
+    // Close out the phase: the watchdog's passive half computes the
+    // median shard wall time and flags stragglers (telemetry-only).
+    obs::PhaseProfiler::global().phase_done(phase_);
 
     if (report) {
       report->phase = phase_;
@@ -208,7 +234,8 @@ class ShardedCampaign {
       report->degraded_shards.clear();
       report->degraded_errors.clear();
     }
-    return collect(std::move(slots), errors, policy, report, merge_us);
+    return collect(std::move(slots), errors, policy, report, merge_us, phase_,
+                   max_attempts);
   }
 
   std::size_t shards() const { return n_shards_; }
@@ -218,10 +245,26 @@ class ShardedCampaign {
   static std::vector<Result> collect(std::vector<std::optional<Result>> slots,
                                      const std::vector<std::exception_ptr>& errors,
                                      const RetryPolicy& policy, CampaignReport* report,
-                                     obs::Counter& merge_us) {
+                                     obs::Counter& merge_us, const std::string& phase,
+                                     std::size_t max_attempts) {
     if (!policy.degrade) {
-      for (const auto& err : errors) {
-        if (err) std::rethrow_exception(err);
+      for (std::size_t i = 0; i < errors.size(); ++i) {
+        if (!errors[i]) continue;
+        // Abort-mode failure: the run is about to unwind, so dump the
+        // flight-recorder snapshot first — this is the black box the
+        // postmortem exists for. (No-op when the recorder is off.)
+        std::string reason = "abort-mode failure in phase " + phase +
+                             ": shard " + std::to_string(i) + " failed after " +
+                             std::to_string(max_attempts) + " attempt(s)";
+        try {
+          std::rethrow_exception(errors[i]);
+        } catch (const std::exception& e) {
+          reason += ": ";
+          reason += e.what();
+        } catch (...) {
+        }
+        obs::FlightRecorder::global().dump_postmortem(reason);
+        std::rethrow_exception(errors[i]);
       }
     }
     obs::Counter& degraded_total = obs::MetricsRegistry::global().counter(
@@ -236,6 +279,11 @@ class ShardedCampaign {
         // and the accounting explicit.
         out.emplace_back();
         degraded_total.add(1);
+        // The quarantine verdict is deterministic (same shard fails at
+        // any thread count), so the degrade event is a det record; it
+        // lands after the shard's scoped stream in the sort order.
+        obs::FlightRecorder::global().record_for_shard(
+            phase, i, max_attempts - 1, obs::EventKind::degrade, max_attempts);
         if (report) {
           ++report->degraded;
           report->degraded_shards.push_back(i);

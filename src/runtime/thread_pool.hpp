@@ -11,8 +11,11 @@
 // scheduling.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -26,6 +29,18 @@ namespace satnet::runtime {
 /// Resolves a thread-count knob: 0 means "one per hardware thread"
 /// (never less than 1).
 unsigned resolve_threads(unsigned requested);
+
+/// Process-wide watchdog knobs for pools constructed afterwards.
+/// `poll_ms` = 0 (the default) disables the watchdog entirely — no
+/// extra thread is spawned. When enabled, a pool-owned watchdog thread
+/// wakes every `poll_ms` and flags any worker whose current task has
+/// been running longer than `threshold_ms` (once per task): increments
+/// runtime.pool.stall, emits a det=0 stall_flag flight-recorder event,
+/// and prints one stderr line. Purely observational — the task keeps
+/// running.
+void set_pool_watchdog(unsigned poll_ms, double threshold_ms);
+unsigned pool_watchdog_poll_ms();
+double pool_watchdog_threshold_ms();
 
 class ThreadPool {
  public:
@@ -53,7 +68,9 @@ class ThreadPool {
   void shutdown();
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t worker);
+  void watchdog_loop(unsigned poll_ms, double threshold_ms);
+  std::uint64_t now_us() const;
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> tasks_;
@@ -63,6 +80,16 @@ class ThreadPool {
   std::size_t active_ = 0;
   bool stop_ = false;
   bool joined_ = false;
+
+  // Watchdog state. inflight_start_us_[w] is 1 + the start time of the
+  // task worker w is running (0 = idle); the +1 keeps "started at the
+  // pool epoch" distinct from "idle".
+  std::vector<std::atomic<std::uint64_t>> inflight_start_us_;
+  std::thread watchdog_;
+  std::mutex watch_mu_;
+  std::condition_variable watch_cv_;
+  bool watch_stop_ = false;
+  std::chrono::steady_clock::time_point epoch_;
 
   // Cached metric handles (registration is find-or-create; handles are
   // stable for the registry's lifetime).

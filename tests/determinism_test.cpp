@@ -10,6 +10,7 @@
 
 #include "mlab/campaign.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 #include "orbit/access_index.hpp"
 #include "orbit/timeline.hpp"
@@ -166,6 +167,38 @@ TEST(DeterminismTest, ObservabilityNeverPerturbsResults) {
   // Instrumentation did observe the runs (sanity: spans were recorded).
   EXPECT_FALSE(tracer.drain().empty());
   tracer.set_enabled(false);  // restore defaults for other tests
+}
+
+TEST(DeterminismTest, RecorderNeverPerturbsResults) {
+  // The flight recorder and phase profiler are observation-only: events
+  // land in rings, aggregates in the registry, nothing is ever read
+  // back by the simulation. Campaign output must be byte-identical with
+  // the recorder fully on (tight ring, to exercise overflow) and fully
+  // off, at every thread count.
+  obs::FlightRecorder& rec = obs::FlightRecorder::global();
+  rec.set_enabled(false);
+  const auto baseline = mlab::run_campaign(world(), campaign_config(1));
+  ripe::AtlasConfig acfg;
+  acfg.duration_days = 30.0;
+  acfg.round_interval_hours = 24.0;
+  acfg.threads = 1;
+  const std::uint64_t atlas_baseline = atlas_hash(ripe::run_atlas_campaign(acfg));
+  ASSERT_GT(baseline.size(), 0u);
+
+  const std::size_t old_capacity = rec.ring_capacity();
+  rec.set_enabled(true);
+  rec.set_ring_capacity(8);  // force drop-oldest on busy shards
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    const auto ds = mlab::run_campaign(world(), campaign_config(threads));
+    EXPECT_EQ(baseline.hash(), ds.hash()) << threads << " threads (recorder on)";
+    acfg.threads = threads;
+    EXPECT_EQ(atlas_baseline, atlas_hash(ripe::run_atlas_campaign(acfg)))
+        << threads << " threads (recorder on)";
+  }
+  // The recorder did observe the runs (sanity: events were recorded).
+  EXPECT_FALSE(rec.drain().empty());
+  rec.set_ring_capacity(old_capacity);
+  rec.set_enabled(false);  // restore defaults for other tests
 }
 
 TEST(DeterminismTest, AccessCacheNeverPerturbsResults) {

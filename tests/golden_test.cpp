@@ -22,6 +22,11 @@
 // this run. All three must leave every snapshot byte-identical — the
 // verify.sh golden gate runs cold, warm-from-file, and no-timeline
 // rounds against the same tests/golden/ corpus.
+//
+// --recorder-out FILE runs the whole suite with the flight recorder
+// enabled and drains the event stream to FILE afterwards; the snapshots
+// must still match byte-for-byte (the recorder's observation-only
+// oracle — scripts/verify.sh --golden exercises it).
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -34,6 +39,7 @@
 #include "fault/plan.hpp"
 #include "io/golden.hpp"
 #include "io/timeline_io.hpp"
+#include "obs/export.hpp"
 #include "orbit/access_index.hpp"
 #include "orbit/timeline.hpp"
 #include "synth/world.hpp"
@@ -175,9 +181,20 @@ TEST(Golden, AccessCacheAblationUnderFaultPlan) {
 int main(int argc, char** argv) {
   ::testing::InitGoogleTest(&argc, argv);
   std::string timeline_out;
+  std::string recorder_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--update-golden") update_mode() = true;
+    if (arg == "--recorder-out" && i + 1 < argc) {
+      // The snapshot comparisons above run with the recorder live — the
+      // golden gate doubles as the recorder's observation-only oracle.
+      recorder_out = argv[i + 1];
+      satnet::obs::FlightRecorder::global().set_enabled(true);
+      if (recorder_out != "-") {
+        satnet::obs::FlightRecorder::global().set_postmortem_path(
+            recorder_out + ".postmortem");
+      }
+    }
     if (arg == "--no-access-cache") satnet::orbit::set_access_cache_enabled(false);
     if (arg == "--no-timeline") satnet::orbit::set_timeline_enabled(false);
     if (arg == "--timeline-in" && i + 1 < argc) {
@@ -201,6 +218,19 @@ int main(int argc, char** argv) {
     if (env[0] != '\0' && env[0] != '0') update_mode() = true;
   }
   const int rc = RUN_ALL_TESTS();
+  if (rc == 0 && !recorder_out.empty()) {
+    const auto events = satnet::obs::FlightRecorder::global().drain();
+    std::FILE* f = recorder_out == "-" ? stdout
+                                       : std::fopen(recorder_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "golden_test: cannot open %s\n", recorder_out.c_str());
+    } else {
+      std::fputs(satnet::obs::events_jsonl(events).c_str(), f);
+      if (f != stdout) std::fclose(f);
+      std::printf("golden_test: drained %zu flight-recorder events to %s\n",
+                  events.size(), recorder_out.c_str());
+    }
+  }
   if (rc == 0 && !timeline_out.empty()) {
     const std::string diag =
         satnet::io::save_timelines(timeline_out, "golden_test suite run");

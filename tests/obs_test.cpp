@@ -5,7 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
+#include <limits>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -188,6 +191,113 @@ TEST(ExportTest, SummaryTextDerivesConeRatio) {
   reg.counter("orbit.best_visible.exact_evals").add(1000);
   const std::string text = summary_text(reg.scrape(), test_manifest());
   EXPECT_NE(text.find("8.0x reduction"), std::string::npos);
+}
+
+TEST(ExportTest, PrometheusEscapesHostileStrings) {
+  // Names, help text, and label payloads with exposition-rule specials
+  // (backslash, quote, newline) must neither split comment lines nor
+  // inject bogus sample lines — and must round-trip intact.
+  MetricsRegistry reg;
+  reg.counter("evil\nname with \\slashes\\ and \"quotes\"",
+              "help line one\nline \"two\" with \\backslash")
+      .add(11);
+  const Snapshot snap = reg.scrape();
+  const std::string text = to_prometheus(snap, test_manifest());
+  // Every line is a comment or a sample: a raw newline in the name would
+  // produce a line starting with neither '#' nor "satnet_".
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    ASSERT_TRUE(line.empty() || line[0] == '#' ||
+                line.compare(0, 7, "satnet_") == 0)
+        << "unescaped payload leaked into the exposition: " << line;
+  }
+  const Snapshot parsed = parse_prometheus(text);
+  ASSERT_EQ(parsed.metrics.size(), 1u);
+  EXPECT_EQ(parsed.metrics[0].name,
+            "evil\nname with \\slashes\\ and \"quotes\"");
+  EXPECT_EQ(parsed.metrics[0].help,
+            "help line one\nline \"two\" with \\backslash");
+  EXPECT_DOUBLE_EQ(parsed.metrics[0].value, 11.0);
+}
+
+TEST(ExportTest, PrometheusBucketLabelsAreEscaped) {
+  // le= values come from fmt_double today, but the exposition escaping
+  // must hold for any payload prom_escape_label is handed.
+  EXPECT_EQ(prom_escape_label("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+  EXPECT_EQ(prom_escape_text("a\\b\"c\nd"), "a\\\\b\"c\\nd");
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat_ms", {0.5, 2.5});
+  h.observe(1.0);
+  const std::string text = to_prometheus(reg.scrape(), test_manifest());
+  EXPECT_NE(text.find("_bucket{le=\"0.5\"} 0"), std::string::npos);
+  EXPECT_NE(text.find("_bucket{le=\"2.5\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("_bucket{le=\"+Inf\"} 1"), std::string::npos);
+}
+
+TEST(MetricsTest, NonfiniteObservationsDroppedAndCounted) {
+  const double before =
+      MetricsRegistry::global().counter("obs.histogram.nonfinite").value();
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat", {1.0, 10.0});
+  h.observe(5.0);
+  h.observe(std::nan(""));
+  h.observe(std::numeric_limits<double>::infinity());
+  h.observe(-std::numeric_limits<double>::infinity());
+  // Only the finite observation lands; sum stays finite.
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5.0);
+  const double after =
+      MetricsRegistry::global().counter("obs.histogram.nonfinite").value();
+  EXPECT_DOUBLE_EQ(after - before, 3.0);
+}
+
+TEST(ExportTest, EmptyRegistryRoundTripsThroughBothExporters) {
+  MetricsRegistry reg;
+  const Snapshot snap = reg.scrape();
+  EXPECT_TRUE(parse_prometheus(to_prometheus(snap, test_manifest())).metrics.empty());
+  EXPECT_TRUE(parse_jsonl(to_jsonl(snap, test_manifest())).metrics.empty());
+  // The human summary must not crash on a run that recorded nothing.
+  EXPECT_FALSE(summary_text(snap, test_manifest()).empty());
+}
+
+TEST(ExportTest, ZeroObservationHistogramRoundTrips) {
+  MetricsRegistry reg;
+  reg.histogram("never.observed_ms", {1.0, 10.0}, "registered but idle");
+  const Snapshot snap = reg.scrape();
+  expect_snapshots_equal(snap, parse_prometheus(to_prometheus(snap, test_manifest())));
+  expect_snapshots_equal(snap, parse_jsonl(to_jsonl(snap, test_manifest())));
+  const MetricValue* m = snap.find("never.observed_ms");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->count, 0u);
+}
+
+TEST(ExportTest, UnicodeAndControlCharsInNamesRoundTrip) {
+  MetricsRegistry reg;
+  reg.counter("λ.metric\x01with.control").add(3);
+  const Snapshot snap = reg.scrape();
+  // JSONL: control chars become \u00XX escapes and parse back.
+  const std::string jsonl = to_jsonl(snap, test_manifest());
+  EXPECT_NE(jsonl.find("\\u0001"), std::string::npos);
+  expect_snapshots_equal(snap, parse_jsonl(jsonl));
+  // Prometheus: the NAME comment carries the original (UTF-8 passes
+  // through; the wire name mangles every non-alnum byte).
+  const Snapshot parsed = parse_prometheus(to_prometheus(snap, test_manifest()));
+  ASSERT_EQ(parsed.metrics.size(), 1u);
+  EXPECT_EQ(parsed.metrics[0].name, "λ.metric\x01with.control");
+}
+
+TEST(ExportTest, ManifestWithEmptyCommandRoundTrips) {
+  RunManifest m;  // tool and command both empty
+  const std::string json = manifest_json(m);
+  EXPECT_NE(json.find("\"tool\":\"\""), std::string::npos);
+  EXPECT_NE(json.find("\"command\":\"\""), std::string::npos);
+  MetricsRegistry reg;
+  reg.counter("x").add(1);
+  const Snapshot snap = reg.scrape();
+  expect_snapshots_equal(snap, parse_jsonl(to_jsonl(snap, m)));
+  expect_snapshots_equal(snap, parse_prometheus(to_prometheus(snap, m)));
+  EXPECT_FALSE(summary_text(snap, m).empty());
 }
 
 TEST(TracerTest, SpansMergeInPhaseShardSeqOrder) {

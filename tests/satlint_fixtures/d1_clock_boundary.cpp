@@ -1,0 +1,26 @@
+// D1 clock-boundary fixture. The flight recorder's timestamp field is
+// the canonical allowed pattern: a steady-clock epoch captured once
+// behind an explicit allow, feeding a wall-clock-only field (wall_us)
+// that goldens exclude. The raw read in wall_now_us() is the boundary
+// case — auto-suppressed when this file is classified under src/obs or
+// src/runtime, a violation anywhere else.
+#include <chrono>
+
+struct EventRecord {
+  unsigned long long wall_us = 0;  // telemetry-only, excluded from goldens
+};
+
+struct Recorder {
+  Recorder()
+      // satlint:allow(nondet-source): recorder timestamp epoch; wall_us is telemetry-only and excluded from goldens
+      : epoch_(std::chrono::steady_clock::now()) {}
+
+  unsigned long long wall_now_us() const {
+    const auto now = std::chrono::steady_clock::now();
+    return static_cast<unsigned long long>(
+        std::chrono::duration_cast<std::chrono::microseconds>(now - epoch_)
+            .count());
+  }
+
+  std::chrono::steady_clock::time_point epoch_;
+};

@@ -61,6 +61,28 @@ TEST(SatlintD1, AppliesToBenchAndExamplesToo) {
   EXPECT_EQ(count_rule(r.violations, "nondet-source"), 6u);
 }
 
+TEST(SatlintD1, ClockReadsAutoAllowedInsideTelemetryBoundary) {
+  // src/obs and src/runtime own the monotonic clock — the raw read in
+  // the fixture is recorded as a suppression, not a violation; the
+  // annotated epoch capture is suppressed via its explicit allow.
+  for (const char* vpath :
+       {"src/obs/recorder.cpp", "src/runtime/thread_pool.cpp"}) {
+    const FileReport r =
+        satlint::lint_source(vpath, fixture("d1_clock_boundary.cpp"));
+    EXPECT_EQ(count_rule(r.violations, "nondet-source"), 0u) << vpath;
+    EXPECT_EQ(count_rule(r.suppressed, "nondet-source"), 2u) << vpath;
+  }
+}
+
+TEST(SatlintD1, RawClockReadsOutsideTheBoundaryStillFire) {
+  const FileReport r = satlint::lint_source("src/mlab/d1_clock_boundary.cpp",
+                                            fixture("d1_clock_boundary.cpp"));
+  // The raw wall_now_us read fires; the annotated epoch capture (the
+  // recorder timestamp pattern) stays a suppression.
+  EXPECT_EQ(count_rule(r.violations, "nondet-source"), 1u);
+  EXPECT_EQ(count_rule(r.suppressed, "nondet-source"), 1u);
+}
+
 // ------------------------------------------------------------ rule D2
 
 TEST(SatlintD2, FlagsUnorderedIterationInReportPaths) {
@@ -179,6 +201,18 @@ TEST(SatlintD7, SilentOutsideThePersistenceLayer) {
   }
 }
 
+TEST(SatlintD7, ClockReadsArePersistenceHazardsInSrcIo) {
+  // Both clock reads fire persist-nondet under src/io (a nondet-source
+  // allow does not cover the persistence hazard); outside src/io the
+  // rule stays silent.
+  const FileReport io = satlint::lint_source("src/io/d1_clock_boundary.cpp",
+                                             fixture("d1_clock_boundary.cpp"));
+  EXPECT_EQ(count_rule(io.violations, "persist-nondet"), 2u);
+  const FileReport mlab = satlint::lint_source(
+      "src/mlab/d1_clock_boundary.cpp", fixture("d1_clock_boundary.cpp"));
+  EXPECT_EQ(count_rule(mlab.violations, "persist-nondet"), 0u);
+}
+
 // ------------------------------------------- allow annotations & meta
 
 TEST(SatlintAllow, JustifiedAllowsSuppressAndAreReported) {
@@ -238,6 +272,11 @@ TEST(SatlintClassify, ModulesDriveRuleApplicability) {
 
   const satlint::FileClass bench = satlint::classify("bench/bench_fig9_speedtest.cpp");
   EXPECT_FALSE(bench.injection_scope);
+
+  EXPECT_TRUE(satlint::classify("src/obs/recorder.cpp").clock_boundary);
+  EXPECT_TRUE(runtime.clock_boundary);
+  EXPECT_FALSE(io.clock_boundary);
+  EXPECT_FALSE(campaign.clock_boundary);
 }
 
 // ----------------------------------------------------- whitelisted file

@@ -20,7 +20,9 @@ namespace {
 const std::vector<RuleInfo> kRules = {
     {"nondet-source",
      "banned nondeterminism source (rand/srand, std::random_device, "
-     "*_clock::now, time(nullptr) seeds, __DATE__/__TIME__)"},
+     "*_clock::now, time(nullptr) seeds, __DATE__/__TIME__); clock reads "
+     "are auto-allowed inside the telemetry boundary (src/obs, "
+     "src/runtime)"},
     {"unordered-iter",
      "iteration over std::unordered_{map,set} in a report/export path; "
      "bucket order is implementation-defined and leaks into output"},
@@ -39,8 +41,9 @@ const std::vector<RuleInfo> kRules = {
      "replayable and hits are counted"},
     {"persist-nondet",
      "persistence hazard in src/io: directory-iteration order, branching "
-     "on mmap availability, or a binary write in a file with no format-"
-     "version stamp (k...Version constant)"},
+     "on mmap availability, a binary write in a file with no format-"
+     "version stamp (k...Version constant), or a wall-clock read that "
+     "could stamp nondeterministic bytes into an artifact"},
     {"bad-allow",
      "satlint:allow()/deterministic-merge annotation without a one-line "
      "justification"},
@@ -429,6 +432,11 @@ FileClass classify(std::string_view path) {
   // D7: the persistence layer — the only place binary artifacts are
   // written and mapped, so the only place their hazards can originate.
   fc.persist_scope = is({"io"});
+  // D1: the telemetry boundary. src/obs (flight recorder wall_us,
+  // span timing) and src/runtime (queue-wait, watchdog) own the
+  // monotonic clock; reads there are recorded as suppressions instead
+  // of demanding a per-line allow.
+  fc.clock_boundary = is({"obs", "runtime"});
   return fc;
 }
 
@@ -531,9 +539,23 @@ FileReport lint_source(std::string_view path, std::string_view content,
            "be a pure function of their seed");
     }
     if (std::regex_search(cl, kClockNow)) {
-      emit(i, "nondet-source",
-           "clock reads differ across runs; results must never depend on "
-           "wall-clock (telemetry-only reads need an allow)");
+      bool explicitly_allowed = false;
+      for (const Allow& a : allows[i]) {
+        if (a.rule == "nondet-source" && !a.justification.empty()) {
+          explicitly_allowed = true;
+        }
+      }
+      if (fc.clock_boundary && !explicitly_allowed) {
+        report.suppressed.push_back(
+            {report.path, static_cast<int>(i + 1), "nondet-source",
+             "clock read inside the telemetry boundary [allowed: src/obs "
+             "and src/runtime own the monotonic clock; wall-clock fields "
+             "are excluded from goldens]"});
+      } else {
+        emit(i, "nondet-source",
+             "clock reads differ across runs; results must never depend on "
+             "wall-clock (telemetry-only reads need an allow)");
+      }
     }
     if (std::regex_search(cl, kTimeSeed)) {
       emit(i, "nondet-source",
@@ -625,6 +647,12 @@ FileReport lint_source(std::string_view path, std::string_view content,
              "binary artifact written in a file with no format-version "
              "stamp; stamp the format (a k...Version constant checked on "
              "load) so stale files are rejected instead of misparsed");
+      }
+      if (std::regex_search(cl, kClockNow)) {
+        emit(i, "persist-nondet",
+             "wall-clock read in the persistence layer; a timestamp "
+             "written into an artifact would break byte-identical "
+             "replays — take stamps from the caller instead");
       }
     }
 

@@ -36,6 +36,12 @@ namespace satlint {
 /// Rule identifiers, used in diagnostics, allow() annotations, and JSON.
 ///   D1 nondet-source : rand()/srand(), std::random_device, *_clock::now,
 ///                      time(nullptr)-style seeds, __DATE__/__TIME__.
+///                      Clock reads are auto-allowed (recorded as
+///                      suppressions) inside the telemetry boundary —
+///                      src/obs and src/runtime own the monotonic clock
+///                      (the flight recorder's wall_us field is the
+///                      canonical pattern); everywhere else a raw
+///                      *_clock::now needs an explicit allow.
 ///   D2 unordered-iter: iteration over std::unordered_{map,set} in report
 ///                      or export paths (io/, obs/, campaign results).
 ///   D3 raw-rng       : Rng constructed from a seed inside sharded code
@@ -55,7 +61,10 @@ namespace satlint {
 ///                      (the heap fallback must be byte-identical), and
 ///                      binary writes in files that never mention a
 ///                      format-version constant (k...Version), so stale
-///                      artifacts would be misparsed instead of rejected.
+///                      artifacts would be misparsed instead of rejected,
+///                      and wall-clock reads (a timestamp written into an
+///                      artifact breaks byte-identical replays — stamps
+///                      must be caller-provided).
 /// Plus the meta-rule:
 ///   bad-allow        : a satlint:allow() with no justification text.
 struct RuleInfo {
@@ -109,6 +118,7 @@ struct FileClass {
   bool merge_path = false;   ///< D5 applies
   bool injection_scope = false;  ///< D6 applies (src/ modules except fault)
   bool persist_scope = false;    ///< D7 applies (src/io persistence code)
+  bool clock_boundary = false;   ///< D1 clock reads auto-allowed (obs/runtime)
 };
 
 FileClass classify(std::string_view path);
