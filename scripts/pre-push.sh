@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Fast pre-push lint: satlint over only the files that changed since the
+# base ref, while the cross-TU rules (layering, nondet-taint,
+# worker-reach) still see the whole program — `--changed` focuses the
+# *reporting*, not the graph. Wire it up as a git hook with
+#
+#   ln -sf ../../scripts/pre-push.sh .git/hooks/pre-push
+#
+# or run it by hand before pushing:
+#
+#   scripts/pre-push.sh [base-ref]      # default base: origin/main, then main
+#
+# The suppression baseline is a full-tree property, so it is NOT gated
+# here — that stays in `scripts/verify.sh --lint` and CI.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+base="${1:-}"
+if [[ -z "$base" ]]; then
+  if git rev-parse --verify --quiet origin/main >/dev/null; then
+    base="origin/main"
+  else
+    base="main"
+  fi
+fi
+
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+cmake -B build -S . >/dev/null
+cmake --build build -j "${jobs}" --target satlint >/dev/null
+
+echo "pre-push: satlint --changed ${base}"
+./build/tools/satlint/satlint --root . --changed "$base" \
+  --graph-cache build/satlint-graph.cache
+echo "pre-push: OK"

@@ -42,7 +42,22 @@ if [[ "$run_lint" == 1 ]]; then
   echo "== lint: satlint determinism/concurrency gate + format check =="
   cmake -B build -S .
   cmake --build build -j "${jobs}" --target satlint
-  ./build/tools/satlint/satlint --root . --json build/satlint-report.json
+  # Full-tree sweep with every cross-TU gate CI runs: the suppression
+  # baseline (drift in either direction fails — see
+  # tools/satlint/suppressions.baseline), the layering DOT export
+  # (compared against the committed docs/layering.dot so the diagram
+  # can't go stale), and the content-keyed graph cache (kept under
+  # build/ so repeat runs skip the whole-program rebuild).
+  ./build/tools/satlint/satlint --root . \
+    --json build/satlint-report.json \
+    --baseline tools/satlint/suppressions.baseline \
+    --graph build/layering.dot \
+    --graph-cache build/satlint-graph.cache
+  if ! cmp -s build/layering.dot docs/layering.dot; then
+    echo "lint: docs/layering.dot is stale — regenerate with" >&2
+    echo "      ./build/tools/satlint/satlint --root . --graph docs/layering.dot" >&2
+    exit 1
+  fi
   scripts/format.sh --check
 fi
 

@@ -20,6 +20,7 @@ namespace {
 std::atomic<const Hook*> g_active{nullptr};
 std::mutex g_retired_mu;
 std::vector<std::unique_ptr<const Hook>>& retired_hooks() {
+  // satlint:allow(worker-reach): every access holds g_retired_mu; the list grows only at install time, never inside a shard body
   static std::vector<std::unique_ptr<const Hook>> list;
   return list;
 }

@@ -106,14 +106,12 @@ struct Cursor {
 };
 
 obs::Counter& load_counter() {
-  // satlint:allow(shared-state): cached reference to a thread-safe striped counter; magic-static init is synchronized
   static obs::Counter& c = obs::MetricsRegistry::global().counter(
       "timeline.io.load", "timeline files loaded and installed");
   return c;
 }
 
 obs::Counter& mmap_bytes_counter() {
-  // satlint:allow(shared-state): cached reference to a thread-safe striped counter; magic-static init is synchronized
   static obs::Counter& c = obs::MetricsRegistry::global().counter(
       "timeline.io.mmap_bytes", "bytes of timeline files mapped read-only");
   return c;
@@ -306,6 +304,7 @@ std::string load_timelines(const std::string& path, TimelineFileInfo* info) {
   const auto len = static_cast<std::size_t>(st.st_size);
   auto mapping = std::make_shared<Mapping>();
   // satlint:allow(persist-nondet): mmap failure falls back to an identical heap read below — the parsed bytes are the same either way
+  // satlint:allow(nondet-taint): mmap availability picks the read strategy, not the contents; both branches parse identical bytes
   if (len > 0) mapping->addr = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
   mapping->len = len;
   ::close(fd);

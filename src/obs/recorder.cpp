@@ -94,6 +94,7 @@ void FlightRecorder::Ring::collect(std::vector<EventRecord>* out) const {
 
 FlightRecorder::FlightRecorder()
     // satlint:allow(nondet-source): the recorder epoch feeds only the wall_us telemetry field, which is excluded from goldens
+    // satlint:allow(nondet-taint): callers inherit only the wall_us telemetry field; goldens and stability hashes exclude it
     : recorder_id_(next_recorder_id()), epoch_(std::chrono::steady_clock::now()) {
   // Phase id 0 is reserved for records emitted outside any ShardScope.
   phases_.push_back("unscoped");
@@ -140,6 +141,7 @@ std::uint64_t FlightRecorder::wall_now_us() const {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           // satlint:allow(nondet-source): fills only the wall_us telemetry field, excluded from goldens and stability checks
+          // satlint:allow(nondet-taint): callers inherit only the wall_us telemetry field, never a simulated quantity
           std::chrono::steady_clock::now() - epoch_)
           .count());
 }

@@ -28,6 +28,7 @@ thread_local TlsSlot tls_slot;
 
 Tracer::Tracer()
     // satlint:allow(nondet-source): span timestamps are telemetry; exports order by (phase,shard,seq), never by time
+    // satlint:allow(nondet-taint): the epoch taints only span wall-clock fields, which no export orders or hashes by
     : tracer_id_(next_tracer_id()), epoch_(std::chrono::steady_clock::now()) {}
 
 Tracer& Tracer::global() {
@@ -39,6 +40,7 @@ Tracer& Tracer::global() {
 double Tracer::now_ms() const {
   return std::chrono::duration<double, std::milli>(
              // satlint:allow(nondet-source): span timestamps are telemetry; exports order by (phase,shard,seq), never by time
+             // satlint:allow(nondet-taint): callers inherit only span duration telemetry; exports order by (phase,shard,seq)
              std::chrono::steady_clock::now() - epoch_)
       .count();
 }

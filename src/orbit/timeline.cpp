@@ -17,6 +17,7 @@
 #include "obs/recorder.hpp"
 #include "orbit/access.hpp"
 #include "orbit/access_index.hpp"
+// satlint:allow(layering): deliberate inversion — timeline construction fans out on the shared pool; DESIGN.md §14 records the debt
 #include "runtime/thread_pool.hpp"
 
 namespace satnet::orbit {
@@ -542,6 +543,7 @@ void EpochTimeline::ensure(const AccessNetwork& net, std::vector<TimelineQuery> 
     if (shell.planes > 0x400 || shell.sats_per_plane > 0x400) return;
   }
   // satlint:allow(nondet-source): build-cost telemetry; results never read it
+  // satlint:allow(nondet-taint): t0 feeds only the build_ms counter; timeline epochs are a pure function of the constellation
   const auto t0 = std::chrono::steady_clock::now();
 
   const fault::Hook* hook = fault::Hook::active();
@@ -763,6 +765,7 @@ void EpochTimeline::ensure(const AccessNetwork& net, std::vector<TimelineQuery> 
   install(std::move(snapshot));
 
   // satlint:allow(nondet-source): build-cost telemetry; results never read it
+  // satlint:allow(nondet-taint): elapsed feeds only the build_ms counter; the installed snapshot is already immutable
   const auto elapsed = std::chrono::steady_clock::now() - t0;
   counters().build_ms.add(static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count()));

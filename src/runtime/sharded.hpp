@@ -159,6 +159,7 @@ class ShardedCampaign {
         obs::FlightRecorder::global().record(obs::EventKind::retry, attempt);
       }
       // satlint:allow(nondet-source): shard latency telemetry; shard results never read the clock
+      // satlint:allow(nondet-taint): t0 feeds only the shard_ms report field; merged results are clock-free
       const auto t0 = std::chrono::steady_clock::now();
       if (const fault::Hook* hook = fault::Hook::active()) {
         if (hook->fail_shard(phase_, i, attempt)) {
@@ -169,6 +170,7 @@ class ShardedCampaign {
       const double wall_ms =
           std::chrono::duration<double, std::milli>(
               // satlint:allow(nondet-source): shard latency telemetry; shard results never read the clock
+              // satlint:allow(nondet-taint): wall_ms lands in latency histograms only; the shard Result is untouched
               std::chrono::steady_clock::now() - t0)
               .count();
       latency.observe(wall_ms);
@@ -210,11 +212,13 @@ class ShardedCampaign {
       ThreadPool pool(n_threads);
       for (std::size_t i = 0; i < n_shards_; ++i) {
         // satlint:allow(nondet-source): queue-wait telemetry for the profiler; shard results never read the clock
+        // satlint:allow(nondet-taint): submit_t feeds only the profiler's wait_ms; guarded_shard ignores it for results
         const auto submit_t = std::chrono::steady_clock::now();
         pool.submit([i, submit_t, &guarded_shard] {
           const double wait_ms =
               std::chrono::duration<double, std::milli>(
                   // satlint:allow(nondet-source): queue-wait telemetry for the profiler; shard results never read the clock
+                  // satlint:allow(nondet-taint): wait_ms is profiler telemetry; shard results are computed from (i, seed) alone
                   std::chrono::steady_clock::now() - submit_t)
                   .count();
           guarded_shard(i, wait_ms);
@@ -270,6 +274,7 @@ class ShardedCampaign {
     obs::Counter& degraded_total = obs::MetricsRegistry::global().counter(
         "runtime.shard.degraded", "shards quarantined with default results");
     // satlint:allow(nondet-source): fan-in timing telemetry; merged values never read the clock
+    // satlint:allow(nondet-taint): t0 feeds only collect-latency telemetry; the merged vector is a pure function of shard results
     const auto t0 = std::chrono::steady_clock::now();
     std::vector<Result> out;
     out.reserve(slots.size());
@@ -302,6 +307,7 @@ class ShardedCampaign {
     merge_us.add(static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(
             // satlint:allow(nondet-source): fan-in timing telemetry; merged values never read the clock
+            // satlint:allow(nondet-taint): merge_us is a counter read by dashboards, never by the merged results
             std::chrono::steady_clock::now() - t0)
             .count()));
     return out;

@@ -337,7 +337,6 @@ TEST(HandoffStatsTest, GeoNeverHandsOff) {
 std::size_t old_accumulation_loop_epochs(double t_start, double duration,
                                          double interval) {
   std::size_t n = 0;
-  // satlint:allow(float-accum): deliberately reproduces the pre-fix buggy accumulation for the regression test
   for (double t = t_start; t < t_start + duration; t += interval) ++n;
   return n;
 }

@@ -1,0 +1,13 @@
+// Leaf module: geo may not include anything above it.
+#pragma once
+
+namespace satnet::geo {
+
+struct Point {
+  double lat = 0.0;
+  double lon = 0.0;
+};
+
+double haversine_km(const Point& a, const Point& b);
+
+}  // namespace satnet::geo

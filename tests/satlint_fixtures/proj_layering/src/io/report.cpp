@@ -1,0 +1,8 @@
+// io is the presentation top: including stats is inside the matrix.
+#include "stats/acc.hpp"
+
+namespace satnet::io {
+
+double report_total(const stats::Accumulator& acc) { return acc.total; }
+
+}  // namespace satnet::io

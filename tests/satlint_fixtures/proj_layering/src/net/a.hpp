@@ -1,0 +1,13 @@
+// Half of an intra-module include cycle (a -> b -> a). Same module, so
+// the DAG matrix is silent — the cycle check has to catch it.
+#pragma once
+
+#include "net/b.hpp"
+
+namespace satnet::net {
+
+struct LinkA {
+  int peer_of_b = 0;
+};
+
+}  // namespace satnet::net

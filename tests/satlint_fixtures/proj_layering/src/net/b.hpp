@@ -1,0 +1,12 @@
+// Other half of the include cycle.
+#pragma once
+
+#include "net/a.hpp"
+
+namespace satnet::net {
+
+struct LinkB {
+  int peer_of_a = 0;
+};
+
+}  // namespace satnet::net

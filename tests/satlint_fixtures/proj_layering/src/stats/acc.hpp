@@ -1,0 +1,13 @@
+// stats is a leaf module — this include inverts the DAG (hit).
+#pragma once
+
+#include "geo/geom.hpp"
+
+namespace satnet::stats {
+
+struct Accumulator {
+  double total = 0.0;
+  void add(const geo::Point& p) { total += p.lat; }
+};
+
+}  // namespace satnet::stats

@@ -1,0 +1,10 @@
+// weather -> stats is outside the matrix, but this edge carries a
+// justified allow — the suppression case for the layering rule.
+// satlint:allow(layering): fixture — documents the sanctioned-inversion path
+#include "stats/acc.hpp"
+
+namespace satnet::weather {
+
+double attenuation_total(const stats::Accumulator& acc) { return acc.total; }
+
+}  // namespace satnet::weather

@@ -1,0 +1,9 @@
+// Not a report path: the same tainted call is fine here — injection
+// timing is diagnostics, not artifact content.
+#include "obs/clock.hpp"
+
+namespace satnet::fault {
+
+double probe_elapsed() { return obs::wall_ms(); }
+
+}  // namespace satnet::fault

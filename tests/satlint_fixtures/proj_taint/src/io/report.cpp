@@ -1,0 +1,15 @@
+// Report path calling into the obs clock facade: the laundered-clock
+// case the per-file rules cannot see.
+#include "obs/clock.hpp"
+
+namespace satnet::io {
+
+double report_elapsed() {
+  return obs::wall_ms();  // hit: tainted callee on a report path
+}
+
+unsigned long long report_stamp() {
+  return obs::stamp_ms();  // clean: the root is sanctioned
+}
+
+}  // namespace satnet::io

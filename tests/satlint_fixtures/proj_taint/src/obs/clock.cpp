@@ -1,0 +1,22 @@
+#include "obs/clock.hpp"
+
+#include <chrono>
+
+namespace satnet::obs {
+
+double wall_ms() {
+  // Unsanctioned taint root: the clock-boundary auto-allow quiets the
+  // per-file rule here, but callers on report paths must still fire.
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::uint64_t stamp_ms() {
+  // satlint:allow(nondet-taint): fixture — telemetry-only stamp, callers inherit the sanction
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(now).count());
+}
+
+}  // namespace satnet::obs

@@ -1,0 +1,17 @@
+// Telemetry clock facade. obs owns the monotonic clock (the per-file
+// clock-boundary suppression), but the taint rule still tracks what
+// flows out of here into report paths.
+#pragma once
+
+#include <cstdint>
+
+namespace satnet::obs {
+
+/// Milliseconds since the process epoch — tainted by steady_clock.
+double wall_ms();
+
+/// Same read, but the root carries an allow(nondet-taint): callers are
+/// sanctioned wholesale.
+std::uint64_t stamp_ms();
+
+}  // namespace satnet::obs

@@ -1,0 +1,10 @@
+// Carries an allow that suppresses nothing: the stale-allow meta-rule
+// must flag it in a tree scan (and only in a tree scan).
+namespace satnet::synth {
+
+int tuned_depth() {
+  // satlint:allow(unordered-iter): fixture — nothing on this line iterates anything
+  return 3;
+}
+
+}  // namespace satnet::synth

@@ -1,0 +1,19 @@
+// Worker entry: the lambda handed to submit() reaches the synth
+// helpers, so their statics/Rng become shard-visible state.
+#include "synth/helper.hpp"
+
+namespace satnet::mlab {
+
+void run_all() {
+  runtime::ThreadPool pool(4);
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&] {
+      synth::helper_tick();
+      synth::helper_jitter(7);
+      synth::helper_cached();
+    });
+  }
+  synth::helper_idle();  // called on the coordinator, not a worker
+}
+
+}  // namespace satnet::mlab

@@ -1,0 +1,28 @@
+#include "synth/helper.hpp"
+
+namespace satnet::synth {
+
+using satnet::stats::Rng;
+
+void helper_tick() {
+  static int calls = 0;  // hit: mutable static, worker-reachable
+  ++calls;
+}
+
+double helper_jitter(unsigned long long seed) {
+  Rng rng(seed);  // hit: raw seeded Rng, worker-reachable
+  return rng.uniform();
+}
+
+void helper_cached() {
+  // satlint:allow(worker-reach): fixture — guarded by the caller's shard-exclusive phase
+  static int cache = 0;
+  ++cache;
+}
+
+void helper_idle() {
+  static int naps = 0;  // clean: never called from a worker entry
+  ++naps;
+}
+
+}  // namespace satnet::synth

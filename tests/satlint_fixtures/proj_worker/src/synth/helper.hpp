@@ -1,0 +1,12 @@
+// Helpers living outside every worker-classified directory — only true
+// reachability from a worker entry can tie rules to them.
+#pragma once
+
+namespace satnet::synth {
+
+void helper_tick();
+double helper_jitter(unsigned long long seed);
+void helper_cached();
+void helper_idle();
+
+}  // namespace satnet::synth

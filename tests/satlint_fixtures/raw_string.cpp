@@ -1,0 +1,35 @@
+// Fixture: raw string literals must neither mask real violations nor
+// fabricate phantom ones. Linted under a virtual src/sim/ path.
+//
+// Two failure directions for a sanitizer:
+//   * mask      — violation-looking text INSIDE a raw string fires a
+//                 rule (the string contents were not blanked);
+//   * fabricate — a mis-scanned terminator leaves the lexer inside (or
+//                 outside) the literal, so real code after the string
+//                 is swallowed (hiding the one genuine violation below)
+//                 or string text leaks into the code channel.
+#include <cstdlib>
+#include <string>
+
+// Plain raw string: contents look like D1 hits but must stay inert.
+const char* kPlain = R"(rand(); srand(7); std::random_device rd;)";
+
+// Encoding-prefixed raw strings (u8R / uR / UR / LR) — the prefix must
+// be recognized or the 'R' is read as an identifier tail and the quote
+// opens an ordinary string with very different escape rules.
+const char* kU8 = u8R"(std::chrono::steady_clock::now())";
+const char16_t* kU16 = uR"(time(nullptr))";
+const char32_t* kU32 = UR"(__DATE__ __TIME__)";
+const wchar_t* kWide = LR"(mmap(nullptr, 0, 0, 0, -1, 0))";
+
+// Delimited raw string containing `)"` — the naive terminator. If the
+// scanner ends the literal there, everything up to the real terminator
+// (including the rand() below) is treated as code or swallowed.
+const char* kDelimited = R"tag(a quote: )" and more rand() text)tag";
+
+// An ordinary string right after, to catch off-by-one resynchronization.
+const std::string kAfter = "srand inside a plain string";
+
+int genuinely_bad() {
+  return rand();  // hit: the single real violation in this file
+}

@@ -1,0 +1,786 @@
+#include "lex.hpp"
+
+#include <cctype>
+#include <cstddef>
+#include <regex>
+
+namespace satlint::lex {
+
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::string_view rstrip(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Source sanitizer
+// ---------------------------------------------------------------------------
+
+Sanitized sanitize(std::string_view src) {
+  enum class St { code, line_comment, block_comment, str, chr, raw_str };
+  St st = St::code;
+  std::string raw_delim;  // for raw strings: the ")delim" terminator
+  std::string code_line, comment_line;
+  Sanitized out;
+
+  const auto flush = [&] {
+    out.code.push_back(code_line);
+    out.comment.push_back(comment_line);
+    code_line.clear();
+    comment_line.clear();
+  };
+
+  // Is the '"' at src[i] the quote of a raw-string opener (R", uR", UR",
+  // LR", u8R"), with the prefix not glued onto a longer identifier?
+  const auto raw_opener = [&](std::size_t i) {
+    if (i == 0 || src[i - 1] != 'R') return false;
+    std::size_t start = i - 1;  // index of 'R'
+    if (start >= 2 && src[start - 2] == 'u' && src[start - 1] == '8') {
+      start -= 2;
+    } else if (start >= 1 &&
+               (src[start - 1] == 'u' || src[start - 1] == 'U' ||
+                src[start - 1] == 'L')) {
+      start -= 1;
+    }
+    if (start > 0 && is_ident_char(src[start - 1])) return false;
+    // The raw delimiter must reach a '(' without hitting a character the
+    // grammar forbids (whitespace, ')', '\\', '"') within 16 chars;
+    // otherwise this is not a raw string and the quote is ordinary.
+    std::size_t p = i + 1;
+    while (p < src.size() && src[p] != '(') {
+      const char d = src[p];
+      if (p - i > 16 || d == ')' || d == '\\' || d == '"' ||
+          std::isspace(static_cast<unsigned char>(d))) {
+        return false;
+      }
+      ++p;
+    }
+    if (p >= src.size()) return false;
+    return true;
+  };
+
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    if (c == '\n') {
+      if (st == St::line_comment) st = St::code;
+      flush();
+      continue;
+    }
+    switch (st) {
+      case St::code:
+        if (c == '/' && next == '/') {
+          st = St::line_comment;
+          code_line += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          st = St::block_comment;
+          code_line += "  ";
+          ++i;
+        } else if (c == '"') {
+          if (raw_opener(i)) {
+            // Raw string literal: find the delimiter up to '('.
+            std::size_t p = i + 1;
+            std::string delim;
+            while (p < src.size() && src[p] != '(') delim += src[p++];
+            raw_delim = ")" + delim + "\"";
+            st = St::raw_str;
+            code_line += "\"\"";
+            i = p;  // at '('
+          } else {
+            st = St::str;
+            code_line += '"';
+          }
+        } else if (c == '\'') {
+          // Digit separator (1'000) is not a char literal.
+          const bool sep = !code_line.empty() &&
+                           std::isdigit(static_cast<unsigned char>(code_line.back())) &&
+                           std::isalnum(static_cast<unsigned char>(next));
+          if (sep) {
+            code_line += ' ';
+          } else {
+            st = St::chr;
+            code_line += '\'';
+          }
+        } else {
+          code_line += c;
+        }
+        comment_line += ' ';
+        break;
+      case St::line_comment:
+        comment_line += c;
+        code_line += ' ';
+        break;
+      case St::block_comment:
+        if (c == '*' && next == '/') {
+          st = St::code;
+          comment_line += ' ';
+          code_line += "  ";
+          ++i;
+        } else {
+          comment_line += c;
+          code_line += ' ';
+        }
+        break;
+      case St::str:
+        if (c == '\\') {
+          code_line += "  ";
+          if (next != '\0' && next != '\n') ++i;
+        } else if (c == '"') {
+          st = St::code;
+          code_line += '"';
+        } else {
+          code_line += ' ';
+        }
+        comment_line += ' ';
+        break;
+      case St::chr:
+        if (c == '\\') {
+          code_line += "  ";
+          if (next != '\0' && next != '\n') ++i;
+        } else if (c == '\'') {
+          st = St::code;
+          code_line += '\'';
+        } else {
+          code_line += ' ';
+        }
+        comment_line += ' ';
+        break;
+      case St::raw_str:
+        if (src.compare(i, raw_delim.size(), raw_delim) == 0) {
+          st = St::code;
+          i += raw_delim.size() - 1;
+        }
+        code_line += ' ';
+        comment_line += ' ';
+        break;
+    }
+  }
+  flush();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Scope tracking
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool ends_with_token(std::string_view s, std::string_view tok) {
+  s = rstrip(s);
+  if (s.size() < tok.size() || s.substr(s.size() - tok.size()) != tok) return false;
+  if (s.size() == tok.size()) return true;
+  const char before = s[s.size() - tok.size() - 1];
+  return !(std::isalnum(static_cast<unsigned char>(before)) || before == '_');
+}
+
+}  // namespace
+
+Scope classify_brace(std::string_view ctx, bool in_function) {
+  std::string t(rstrip(ctx));
+
+  // Trailing return type / qualifiers between ')' and '{'.
+  static const std::regex kQualifiers(
+      R"((\)\s*)((const|noexcept|override|final|mutable)\b\s*)*(->\s*[\w:<>,\s&*]+)?$)");
+  std::smatch m;
+  if (std::regex_search(t, m, kQualifiers)) {
+    t = t.substr(0, static_cast<std::size_t>(m.position(0)) + 1);
+  }
+
+  if (t.empty()) return in_function ? Scope::block : Scope::init;
+  const char last = t.back();
+  if (last == '=' || last == ',' || last == '(' || last == '{') return Scope::init;
+  if (ends_with_token(t, "return")) return Scope::init;
+  if (ends_with_token(t, "else") || ends_with_token(t, "do") ||
+      ends_with_token(t, "try")) {
+    return Scope::block;
+  }
+  static const std::regex kNamespace(R"(namespace(\s+[\w:]+)?$)");
+  if (std::regex_search(t, kNamespace)) return Scope::ns;
+
+  if (last == ')') {
+    // Find the matching '(' and look at the token before it.
+    int depth = 0;
+    std::size_t p = t.size();
+    while (p > 0) {
+      --p;
+      if (t[p] == ')') ++depth;
+      if (t[p] == '(') {
+        if (--depth == 0) break;
+      }
+    }
+    std::string_view before = rstrip(std::string_view(t).substr(0, p));
+    if (!before.empty() && before.back() == ']') return Scope::fn;  // lambda
+    for (std::string_view kw : {"if", "for", "while", "switch", "catch"}) {
+      if (ends_with_token(before, kw)) return Scope::block;
+    }
+    return Scope::fn;
+  }
+
+  if (last == ']') {
+    // A lambda introducer handed straight to '{' — "[&] {", "submit([=] {"
+    // — has no parameter list, so the ')' path above never sees it. An
+    // array subscript or declarator also ends in ']' but follows an
+    // identifier (or another postfix expression); a capture list cannot.
+    int depth = 0;
+    std::size_t p = t.size();
+    while (p > 0) {
+      --p;
+      if (t[p] == ']') ++depth;
+      if (t[p] == '[') {
+        if (--depth == 0) break;
+      }
+    }
+    std::string_view before = rstrip(std::string_view(t).substr(0, p));
+    const char tail = before.empty() ? '\0' : before.back();
+    if (tail == '\0' ||
+        !(std::isalnum(static_cast<unsigned char>(tail)) || tail == '_' ||
+          tail == ']' || tail == ')')) {
+      return Scope::fn;
+    }
+  }
+
+  // "class X : public Y", "struct Foo", "enum class E" — only look past
+  // the last statement boundary so earlier code can't bleed in.
+  const std::size_t bound = t.find_last_of(";}{");
+  const std::string tail = bound == std::string::npos ? t : t.substr(bound + 1);
+  static const std::regex kType(R"(\b(class|struct|union|enum)\b)");
+  if (std::regex_search(tail, kType)) return Scope::type;
+
+  return in_function ? Scope::block : Scope::init;
+}
+
+namespace {
+
+bool stack_in_function(const std::vector<Scope>& stack) {
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    if (*it == Scope::fn) return true;
+    if (*it == Scope::ns || *it == Scope::type) return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<bool> function_lines(const std::vector<std::string>& code) {
+  std::vector<bool> in_fn(code.size(), false);
+  std::vector<Scope> stack;
+  std::string recent;  // trailing significant code before the next '{'
+  int parens = 0;      // ';' inside a for-header is not a statement end
+  for (std::size_t li = 0; li < code.size(); ++li) {
+    in_fn[li] = stack_in_function(stack);
+    for (const char c : code[li]) {
+      if (c == '(') ++parens;
+      if (c == ')' && parens > 0) --parens;
+      if (c == '{') {
+        stack.push_back(classify_brace(recent, stack_in_function(stack)));
+        recent.clear();
+        parens = 0;
+      } else if (c == '}') {
+        if (!stack.empty()) stack.pop_back();
+        recent.clear();
+        parens = 0;
+      } else if (c == ';' && parens == 0) {
+        recent.clear();
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        if (!recent.empty() && recent.back() != ' ') recent += ' ';
+      } else {
+        recent += c;
+      }
+      if (recent.size() > 240) recent.erase(0, recent.size() - 240);
+    }
+    if (!recent.empty() && recent.back() != ' ') recent += ' ';
+  }
+  return in_fn;
+}
+
+// ---------------------------------------------------------------------------
+// Allow annotations
+// ---------------------------------------------------------------------------
+
+std::vector<Allow> parse_allows(const std::string& comment) {
+  std::vector<Allow> out;
+  static const std::string kTag = "satlint:allow(";
+
+  // An annotation comment *starts* with "satlint:" (after whitespace).
+  // Prose that merely mentions the syntax — rule docs, diagnostics
+  // quoted in comments, examples indented behind an extra "//" — must
+  // never parse as a live suppression, or stale-allow would flag it.
+  std::size_t lead = 0;
+  while (lead < comment.size() &&
+         std::isspace(static_cast<unsigned char>(comment[lead]))) {
+    ++lead;
+  }
+  if (comment.compare(lead, 8, "satlint:") != 0) return out;
+
+  std::vector<std::size_t> starts;
+  for (std::size_t p = comment.find(kTag); p != std::string::npos;
+       p = comment.find(kTag, p + 1)) {
+    starts.push_back(p);
+  }
+  for (std::size_t k = 0; k < starts.size(); ++k) {
+    std::size_t p = starts[k] + kTag.size();
+    std::string rule;
+    while (p < comment.size() &&
+           (is_ident_char(comment[p]) || comment[p] == '-')) {
+      rule += comment[p++];
+    }
+    if (p >= comment.size() || comment[p] != ')' || rule.empty()) continue;
+    ++p;
+    while (p < comment.size() &&
+           std::isspace(static_cast<unsigned char>(comment[p]))) {
+      ++p;
+    }
+    if (p < comment.size() && comment[p] == ':') ++p;
+    // The justification runs to the next annotation on the same line (so
+    // allows stack: // satlint:allow(a): x satlint:allow(b): y).
+    const std::size_t end =
+        k + 1 < starts.size() ? starts[k + 1] : comment.size();
+    const std::string just(
+        rstrip(comment.substr(p, end > p ? end - p : 0)));
+    out.push_back({rule, just});
+  }
+
+  // Domain-specific alias for float-accum:
+  //   // satlint: deterministic-merge: <why the order is fixed>
+  static const std::regex kMerge(R"(deterministic-merge\s*[-:]*\s*([^/]*))");
+  std::smatch m;
+  if (std::regex_search(comment, m, kMerge)) {
+    // Not when it appears inside an allow() justification parsed above.
+    const auto pos = static_cast<std::size_t>(m.position(0));
+    bool inside_allow = false;
+    for (std::size_t k = 0; k < starts.size(); ++k) {
+      const std::size_t end =
+          k + 1 < starts.size() ? starts[k + 1] : comment.size();
+      if (pos > starts[k] + kTag.size() && pos < end) inside_allow = true;
+    }
+    if (!inside_allow) {
+      out.push_back({"float-accum", std::string(rstrip(m[1].str()))});
+    }
+  }
+  return out;
+}
+
+AllowMap build_allow_map(const Sanitized& s) {
+  AllowMap out;
+  out.line_sites.resize(s.code.size());
+  std::vector<int> carry;  // sites from a run of comment-only lines
+  for (std::size_t i = 0; i < s.code.size(); ++i) {
+    const bool code_blank = rstrip(s.code[i]).empty();
+    std::vector<int> here;
+    for (Allow& a : parse_allows(s.comment[i])) {
+      here.push_back(static_cast<int>(out.sites.size()));
+      out.sites.push_back({std::move(a), static_cast<int>(i + 1)});
+    }
+    if (code_blank) {
+      // Comment-only line: its allows cover this line and carry forward
+      // to the next code line. A fully blank line breaks the run.
+      out.line_sites[i] = here;
+      if (here.empty() && rstrip(s.comment[i]).empty()) {
+        carry.clear();
+      } else {
+        carry.insert(carry.end(), here.begin(), here.end());
+      }
+    } else {
+      out.line_sites[i] = carry;
+      out.line_sites[i].insert(out.line_sites[i].end(), here.begin(), here.end());
+      carry.clear();
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Function & call-site extraction
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool is_call_keyword(std::string_view id) {
+  static const char* kKeywords[] = {
+      "if",       "for",      "while",   "switch",        "catch",
+      "return",   "sizeof",   "alignof", "decltype",      "new",
+      "delete",   "throw",    "assert",  "static_assert", "noexcept",
+      "alignas",  "typeid",   "defined", "co_await",      "co_return",
+      "co_yield", "requires", "struct",  "class",         "union",
+      "enum",     "using",    "typedef", "namespace",     "template",
+      "operator", "case",     "do",      "else",          "goto"};
+  for (const char* kw : kKeywords) {
+    if (id == kw) return true;
+  }
+  return false;
+}
+
+/// Truncates a brace context at a constructor member-init list: the
+/// first depth-0 "): " colon (not '::') after a ')' cuts the context
+/// back to the parameter list, so the ctor name — not the last member
+/// initializer — is extracted.
+std::string strip_member_init_list(const std::string& ctx) {
+  int depth = 0;
+  for (std::size_t p = 0; p < ctx.size(); ++p) {
+    const char c = ctx[p];
+    if (c == '(' || c == '<') ++depth;
+    if (c == ')' || c == '>') --depth;
+    if (c != ':' || depth != 0) continue;
+    if (p + 1 < ctx.size() && ctx[p + 1] == ':') {
+      ++p;  // '::' — skip both
+      continue;
+    }
+    if (p > 0 && ctx[p - 1] == ':') continue;
+    // Colon at depth 0: member-init list if the significant char before
+    // it is ')'.
+    std::string_view before = rstrip(std::string_view(ctx).substr(0, p));
+    if (!before.empty() && before.back() == ')') {
+      return std::string(before);
+    }
+  }
+  return ctx;
+}
+
+struct NameParse {
+  std::string name;       // simple name
+  std::string qualifier;  // "ThreadPool" for ThreadPool::now_us
+  bool is_lambda = false;
+};
+
+/// Extracts the function name from the brace context of a Scope::fn '{'.
+NameParse parse_fn_name(const std::string& raw_ctx) {
+  NameParse out;
+  std::string ctx = strip_member_init_list(raw_ctx);
+
+  // Strip trailing qualifiers / return type after the parameter list.
+  static const std::regex kQualifiers(
+      R"((\)\s*)((const|noexcept|override|final|mutable)\b\s*)*(->\s*[\w:<>,\s&*]+)?$)");
+  std::smatch m;
+  if (std::regex_search(ctx, m, kQualifiers)) {
+    ctx = ctx.substr(0, static_cast<std::size_t>(m.position(0)) + 1);
+  }
+  std::string t(rstrip(ctx));
+  if (t.empty()) return out;
+  if (t.back() == ']') {
+    // Parameterless lambda ("[&] {"); keep a bound name when present
+    // ("auto tick = [&] {").
+    out.is_lambda = true;
+    int bd = 0;
+    std::size_t b = t.size();
+    while (b > 0) {
+      --b;
+      if (t[b] == ']') ++bd;
+      if (t[b] == '[') {
+        if (--bd == 0) break;
+      }
+    }
+    static const std::regex kBound(R"((\w+)\s*[:=]?=\s*$)");
+    std::smatch bm;
+    const std::string head(rstrip(std::string_view(t).substr(0, b)));
+    if (std::regex_search(head, bm, kBound)) out.name = bm[1].str();
+    return out;
+  }
+  if (t.back() != ')') return out;
+
+  // Find the matching '(' of the trailing parameter list.
+  int depth = 0;
+  std::size_t p = t.size();
+  while (p > 0) {
+    --p;
+    if (t[p] == ')') ++depth;
+    if (t[p] == '(') {
+      if (--depth == 0) break;
+    }
+  }
+  std::string_view before = rstrip(std::string_view(t).substr(0, p));
+  if (!before.empty() && before.back() == ']') {
+    out.is_lambda = true;
+    // A lambda bound to a name keeps it: "auto tick = [..](..) {".
+    // Find the '[' matching the trailing ']' and look for "name =".
+    int bd = 0;
+    std::size_t b = before.size();
+    while (b > 0) {
+      --b;
+      if (before[b] == ']') ++bd;
+      if (before[b] == '[') {
+        if (--bd == 0) break;
+      }
+    }
+    static const std::regex kBound(R"((\w+)\s*[:=]?=\s*$)");
+    std::smatch bm;
+    std::string head(rstrip(before.substr(0, b)));
+    if (std::regex_search(head, bm, kBound)) {
+      out.name = bm[1].str();
+    } else {
+      out.name = "<lambda>";
+    }
+    return out;
+  }
+
+  // Walk back over the name chain: identifiers, '::', '~', template ids.
+  std::size_t e = before.size();
+  std::size_t b = e;
+  int angle = 0;
+  while (b > 0) {
+    const char c = before[b - 1];
+    if (c == '>') ++angle;
+    if (c == '<') --angle;
+    if (angle > 0 || is_ident_char(c) || c == ':' || c == '~' || c == '>' ||
+        c == '<') {
+      --b;
+      continue;
+    }
+    break;
+  }
+  std::string chain(before.substr(b, e - b));
+  // Drop a template argument list from the tail ("Foo<int>" -> "Foo").
+  const std::size_t lt = chain.find('<');
+  if (lt != std::string::npos) chain = chain.substr(0, lt);
+  while (!chain.empty() && chain.front() == ':') chain.erase(0, 1);
+  if (chain.empty()) return out;
+  const std::size_t sep = chain.rfind("::");
+  if (sep == std::string::npos) {
+    out.name = chain;
+  } else {
+    out.name = chain.substr(sep + 2);
+    out.qualifier = chain.substr(0, sep);
+  }
+  if (out.name.empty() || is_call_keyword(out.name)) out.name.clear();
+  return out;
+}
+
+/// Does the text before a lambda-introducer hand the lambda to a worker
+/// runner (ThreadPool::submit, ShardedCampaign's shard fn, std::thread)?
+bool is_worker_context(std::string_view head) {
+  for (std::string_view pat :
+       {"submit(", "submit (", "ShardedCampaign", "std::thread", "thread("}) {
+    if (head.find(pat) != std::string_view::npos) return true;
+  }
+  return false;
+}
+
+struct StackEntry {
+  Scope scope;
+  std::string name;  // namespace / type name for qualification
+  int fn = -1;       // FunctionDef index for Scope::fn
+};
+
+}  // namespace
+
+FileSymbols extract_symbols(const Sanitized& s) {
+  FileSymbols out;
+  std::vector<StackEntry> stack;
+  std::string recent;
+
+  const auto innermost_fn = [&]() -> int {
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      if (it->scope == Scope::fn) return it->fn;
+      if (it->scope == Scope::ns || it->scope == Scope::type) return -1;
+    }
+    return -1;
+  };
+  const auto in_function = [&] { return innermost_fn() >= 0; };
+  const auto qual_prefix = [&] {
+    std::string q;
+    for (const StackEntry& e : stack) {
+      if ((e.scope == Scope::ns || e.scope == Scope::type) && !e.name.empty()) {
+        if (!q.empty()) q += "::";
+        q += e.name;
+      }
+    }
+    return q;
+  };
+
+  int parens = 0;  // ';' inside a for-header is not a statement end
+  for (std::size_t li = 0; li < s.code.size(); ++li) {
+    const std::string& line = s.code[li];
+    std::size_t j = 0;
+    // Identifier chain state for call detection. `chain` holds the
+    // "A::B" path already consumed; `member_base` the expression before
+    // a '.'/'->'; `decl_head` the type-looking identifier preceding the
+    // current one, so "double wall_ms();" reads as a declaration, not a
+    // call into wall_ms.
+    std::string chain;
+    std::string member_base;
+    bool after_member = false;
+    std::string last_ident;
+    std::string decl_head;
+
+    while (j < line.size()) {
+      const char c = line[j];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::size_t start = j;
+        while (j < line.size() && is_ident_char(line[j])) ++j;
+        std::string id = line.substr(start, j - start);
+        recent += id;
+        // Lookahead past whitespace (and a template argument list).
+        std::size_t k = j;
+        while (k < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[k]))) {
+          ++k;
+        }
+        bool templated = false;
+        if (k < line.size() && line[k] == '<') {
+          int d = 0;
+          std::size_t t = k;
+          while (t < line.size()) {
+            if (line[t] == '<') ++d;
+            if (line[t] == '>') {
+              if (--d == 0) {
+                ++t;
+                break;
+              }
+            }
+            // Give up on comparison-operator lookalikes.
+            if (line[t] == ';' || line[t] == '{') {
+              d = -1;
+              break;
+            }
+            ++t;
+          }
+          if (d == 0) {
+            std::size_t t2 = t;
+            while (t2 < line.size() &&
+                   std::isspace(static_cast<unsigned char>(line[t2]))) {
+              ++t2;
+            }
+            if (t2 < line.size() && line[t2] == '(') {
+              templated = true;
+              k = t2;
+            }
+          }
+        }
+        if (k + 1 < line.size() && line[k] == ':' && line[k + 1] == ':' &&
+            !templated) {
+          // Qualification continues: A::B::...
+          if (!chain.empty()) chain += "::";
+          chain += id;
+          j = k + 2;
+          recent += "::";
+          after_member = false;
+          continue;
+        }
+        if (k < line.size() && line[k] == '(') {
+          // "Type name(" is a declaration (or a constructed local), not
+          // a call — unless the preceding token is a statement keyword
+          // ("return wall_ms()").
+          const bool declaration =
+              !decl_head.empty() && !is_call_keyword(decl_head);
+          if (!is_call_keyword(id) && !declaration) {
+            CallSite cs;
+            cs.caller = innermost_fn();
+            cs.name = id;
+            cs.qualifier = after_member ? member_base : chain;
+            cs.member = after_member;
+            cs.line = static_cast<int>(li + 1);
+            out.calls.push_back(std::move(cs));
+          }
+        }
+        last_ident = id;
+        decl_head = id;
+        chain.clear();
+        after_member = false;
+        continue;
+      }
+      // Non-identifier char: update chain/member state.
+      if (c == '.' && (j + 1 >= line.size() || !std::isdigit(static_cast<unsigned char>(
+                                                  line[j + 1])))) {
+        member_base = last_ident;
+        after_member = true;
+        decl_head.clear();
+      } else if (c == '-' && j + 1 < line.size() && line[j + 1] == '>') {
+        member_base = last_ident;
+        after_member = true;
+        decl_head.clear();
+        recent += "->";
+        j += 2;
+        continue;
+      } else if (!std::isspace(static_cast<unsigned char>(c))) {
+        if (c != ':') {
+          chain.clear();
+          after_member = false;
+        }
+        if (c != '(' && c != ')') last_ident.clear();
+        decl_head.clear();
+      }
+
+      // Scope bookkeeping (mirrors function_lines).
+      if (c == '(') ++parens;
+      if (c == ')' && parens > 0) --parens;
+      if (c == '{') {
+        const Scope sc = classify_brace(recent, in_function());
+        StackEntry entry{sc, "", -1};
+        if (sc == Scope::fn) {
+          const NameParse np = parse_fn_name(recent);
+          FunctionDef def;
+          def.name = np.name.empty() ? "<lambda>" : np.name;
+          def.is_lambda = np.is_lambda;
+          def.line_begin = static_cast<int>(li + 1);
+          def.parent = innermost_fn();
+          std::string q = qual_prefix();
+          if (!np.qualifier.empty()) {
+            q = q.empty() ? np.qualifier : q + "::" + np.qualifier;
+          }
+          if (def.parent >= 0) {
+            def.qualified = out.defs[static_cast<std::size_t>(def.parent)].qualified +
+                            "::" + def.name;
+          } else {
+            def.qualified = q.empty() ? def.name : q + "::" + def.name;
+          }
+          if (np.is_lambda) {
+            def.worker_entry = is_worker_context(recent);
+          }
+          entry.fn = static_cast<int>(out.defs.size());
+          out.defs.push_back(std::move(def));
+        } else if (sc == Scope::ns) {
+          static const std::regex kNsName(R"(namespace\s+([\w:]+)\s*$)");
+          std::smatch nm;
+          if (std::regex_search(recent, nm, kNsName)) entry.name = nm[1].str();
+        } else if (sc == Scope::type) {
+          static const std::regex kTypeName(
+              R"(\b(?:class|struct|union|enum)\s+(?:class\s+|struct\s+)?(\w+))");
+          std::smatch nm;
+          const std::size_t bound = recent.find_last_of(";}{");
+          const std::string tail =
+              bound == std::string::npos ? recent : recent.substr(bound + 1);
+          if (std::regex_search(tail, nm, kTypeName)) entry.name = nm[1].str();
+        }
+        stack.push_back(std::move(entry));
+        recent.clear();
+        parens = 0;
+      } else if (c == '}') {
+        if (!stack.empty()) {
+          if (stack.back().scope == Scope::fn && stack.back().fn >= 0) {
+            out.defs[static_cast<std::size_t>(stack.back().fn)].line_end =
+                static_cast<int>(li + 1);
+          }
+          stack.pop_back();
+        }
+        recent.clear();
+        parens = 0;
+      } else if (c == ';' && parens == 0) {
+        recent.clear();
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        if (!recent.empty() && recent.back() != ' ') recent += ' ';
+      } else {
+        recent += c;
+      }
+      if (recent.size() > 240) recent.erase(0, recent.size() - 240);
+      ++j;
+    }
+    if (!recent.empty() && recent.back() != ' ') recent += ' ';
+  }
+
+  // Close any functions left open by unbalanced input.
+  for (FunctionDef& d : out.defs) {
+    if (d.line_end == 0) d.line_end = static_cast<int>(s.code.size());
+  }
+  return out;
+}
+
+}  // namespace satlint::lex

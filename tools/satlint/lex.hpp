@@ -1,0 +1,115 @@
+// satlint's lexer layer: the pragmatic source model every rule is built
+// on. One philosophy, shared by the per-file rules and the whole-program
+// graph pass:
+//
+//   * comments and string literals are blanked out of the code stream
+//     (raw strings included, with their u8/u/U/L encoding prefixes — a
+//     `)"` inside a raw literal must never desynchronize the scanner);
+//   * every '{' is classified (namespace / type / function / block /
+//     initializer) so rules know which lines live inside function
+//     bodies;
+//   * function definitions (including named and anonymous lambdas) and
+//     call sites are extracted per file, well enough to stitch a
+//     whole-program call graph — not a compiler front end, a linter.
+//
+// Allow annotations are parsed here too, because they live in the
+// comment stream the sanitizer preserves.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace satlint::lex {
+
+/// Per-line view of a source file with literals/comments blanked from
+/// the code stream and comment text preserved in a parallel stream.
+struct Sanitized {
+  std::vector<std::string> code;     ///< literals/comments blanked
+  std::vector<std::string> comment;  ///< comment text only
+};
+
+Sanitized sanitize(std::string_view src);
+
+std::string_view rstrip(std::string_view s);
+
+/// What kind of scope a '{' opens.
+enum class Scope { ns, type, fn, block, init };
+
+/// Classifies the '{' that follows `ctx` (the trailing significant
+/// code). `in_function` is whether the brace appears inside a function
+/// body already.
+Scope classify_brace(std::string_view ctx, bool in_function);
+
+/// in_function[i] == true when line i *starts* inside a function body.
+std::vector<bool> function_lines(const std::vector<std::string>& code);
+
+/// One parsed suppression annotation.
+struct Allow {
+  std::string rule;           ///< rule id, or the deterministic-merge alias
+  std::string justification;  ///< required, one line
+};
+
+/// Parses every allow annotation on one comment line. Multiple
+/// annotations may share a line; each justification runs until the next
+/// annotation (or the end of the comment).
+std::vector<Allow> parse_allows(const std::string& comment);
+
+/// One allow annotation with its source position; `line` is where the
+/// annotation is written (1-based), which is also where a stale-allow
+/// diagnostic anchors.
+struct AllowSite {
+  Allow allow;
+  int line = 0;
+};
+
+/// Per-file allow coverage: `line_sites[i]` lists the sites (indexes
+/// into `sites`) that may suppress a diagnostic on line i (0-based).
+/// A trailing annotation covers its own line; a run of comment-only
+/// lines covers each of those lines and the first code line after the
+/// run, so allows for different rules can stack above one statement.
+struct AllowMap {
+  std::vector<AllowSite> sites;
+  std::vector<std::vector<int>> line_sites;
+};
+
+AllowMap build_allow_map(const Sanitized& s);
+
+// ---------------------------------------------------------------------------
+// Function & call-site extraction (the call-graph front end)
+// ---------------------------------------------------------------------------
+
+/// One function definition found in a file. Lambdas are their own
+/// definitions, nested inside their enclosing function via `parent`;
+/// a lambda bound to a name (`auto f = [..](..){..}`) inherits it.
+struct FunctionDef {
+  std::string name;       ///< simple name ("submit", "<lambda>")
+  std::string qualified;  ///< best-effort qualification ("ThreadPool::submit")
+  int line_begin = 0;     ///< line of the opening '{' (1-based)
+  int line_end = 0;       ///< line of the closing '}' (1-based)
+  bool is_lambda = false;
+  bool worker_entry = false;  ///< lambda handed to ThreadPool::submit /
+                              ///< ShardedCampaign / std::thread
+  int parent = -1;            ///< enclosing function index, -1 at file scope
+};
+
+/// One call site. `qualifier` is whatever path preceded the name
+/// ("obs::FlightRecorder" for obs::FlightRecorder::global(), "pool" for
+/// pool.submit(...)); `member` marks . / -> calls.
+struct CallSite {
+  int caller = -1;  ///< index into defs; -1 = file scope (initializers)
+  std::string name;
+  std::string qualifier;
+  bool member = false;
+  int line = 0;  ///< 1-based
+};
+
+struct FileSymbols {
+  std::vector<FunctionDef> defs;
+  std::vector<CallSite> calls;
+};
+
+/// Extracts function definitions and call sites from sanitized code.
+FileSymbols extract_symbols(const Sanitized& s);
+
+}  // namespace satlint::lex

@@ -8,10 +8,16 @@
 #include <regex>
 #include <set>
 #include <sstream>
+#include <tuple>
+
+#include "graph.hpp"
+#include "lex.hpp"
 
 namespace satlint {
 
 namespace {
+
+using lex::rstrip;
 
 // ---------------------------------------------------------------------------
 // Rule table
@@ -44,246 +50,26 @@ const std::vector<RuleInfo> kRules = {
      "on mmap availability, a binary write in a file with no format-"
      "version stamp (k...Version constant), or a wall-clock read that "
      "could stamp nondeterministic bytes into an artifact"},
+    {"layering",
+     "include edge outside the declared module DAG (tools/satlint/"
+     "graph.cpp kAllowedDeps), or an include cycle; the module graph is "
+     "the layering contract"},
+    {"nondet-taint",
+     "a call in a src/ report/export path reaches, through the call "
+     "graph, a nondeterminism source in another file — the laundered-"
+     "clock case the per-file rules cannot see"},
+    {"worker-reach",
+     "mutable static or raw Rng in a function reachable from a worker "
+     "entry (ThreadPool::submit / ShardedCampaign / std::thread), "
+     "wherever it lives — true reachability, not directory "
+     "classification"},
     {"bad-allow",
      "satlint:allow()/deterministic-merge annotation without a one-line "
      "justification"},
+    {"stale-allow",
+     "satlint:allow() that no longer suppresses any diagnostic; dead "
+     "justifications hide drift and inflate the suppression budget"},
 };
-
-// ---------------------------------------------------------------------------
-// Source sanitizer: blank comments and literals out of the code stream,
-// keep the comment text in a parallel stream (for allow annotations).
-// ---------------------------------------------------------------------------
-
-struct Sanitized {
-  std::vector<std::string> code;     ///< per line, literals/comments blanked
-  std::vector<std::string> comment;  ///< per line, comment text only
-};
-
-Sanitized sanitize(std::string_view src) {
-  enum class St { code, line_comment, block_comment, str, chr, raw_str };
-  St st = St::code;
-  std::string raw_delim;  // for raw strings: the ")delim" terminator
-  std::string code_line, comment_line;
-  Sanitized out;
-
-  const auto flush = [&] {
-    out.code.push_back(code_line);
-    out.comment.push_back(comment_line);
-    code_line.clear();
-    comment_line.clear();
-  };
-
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    const char c = src[i];
-    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
-    if (c == '\n') {
-      if (st == St::line_comment) st = St::code;
-      flush();
-      continue;
-    }
-    switch (st) {
-      case St::code:
-        if (c == '/' && next == '/') {
-          st = St::line_comment;
-          code_line += "  ";
-          ++i;
-        } else if (c == '/' && next == '*') {
-          st = St::block_comment;
-          code_line += "  ";
-          ++i;
-        } else if (c == 'R' && next == '"' &&
-                   (code_line.empty() || (!std::isalnum(static_cast<unsigned char>(
-                                              code_line.back())) &&
-                                          code_line.back() != '_'))) {
-          // Raw string literal: find the delimiter up to '('.
-          std::size_t p = i + 2;
-          std::string delim;
-          while (p < src.size() && src[p] != '(') delim += src[p++];
-          raw_delim = ")" + delim + "\"";
-          st = St::raw_str;
-          code_line += "\"\"";
-          i = p;  // at '(' (or end)
-        } else if (c == '"') {
-          st = St::str;
-          code_line += '"';
-        } else if (c == '\'') {
-          // Digit separator (1'000) is not a char literal.
-          const bool sep = !code_line.empty() &&
-                           std::isdigit(static_cast<unsigned char>(code_line.back())) &&
-                           std::isalnum(static_cast<unsigned char>(next));
-          if (sep) {
-            code_line += ' ';
-          } else {
-            st = St::chr;
-            code_line += '\'';
-          }
-        } else {
-          code_line += c;
-        }
-        comment_line += ' ';
-        break;
-      case St::line_comment:
-        comment_line += c;
-        code_line += ' ';
-        break;
-      case St::block_comment:
-        if (c == '*' && next == '/') {
-          st = St::code;
-          comment_line += ' ';
-          code_line += "  ";
-          ++i;
-        } else {
-          comment_line += c;
-          code_line += ' ';
-        }
-        break;
-      case St::str:
-        if (c == '\\') {
-          code_line += "  ";
-          if (next != '\0' && next != '\n') ++i;
-        } else if (c == '"') {
-          st = St::code;
-          code_line += '"';
-        } else {
-          code_line += ' ';
-        }
-        comment_line += ' ';
-        break;
-      case St::chr:
-        if (c == '\\') {
-          code_line += "  ";
-          if (next != '\0' && next != '\n') ++i;
-        } else if (c == '\'') {
-          st = St::code;
-          code_line += '\'';
-        } else {
-          code_line += ' ';
-        }
-        comment_line += ' ';
-        break;
-      case St::raw_str:
-        if (src.compare(i, raw_delim.size(), raw_delim) == 0) {
-          st = St::code;
-          i += raw_delim.size() - 1;
-        }
-        code_line += ' ';
-        comment_line += ' ';
-        break;
-    }
-  }
-  flush();
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Scope tracking: classify each '{' so we know, per line, whether we are
-// inside a function body (where D4's static-local rule applies).
-// ---------------------------------------------------------------------------
-
-enum class Scope { ns, type, fn, block, init };
-
-std::string_view rstrip(std::string_view s) {
-  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
-    s.remove_suffix(1);
-  }
-  return s;
-}
-
-bool ends_with_token(std::string_view s, std::string_view tok) {
-  s = rstrip(s);
-  if (s.size() < tok.size() || s.substr(s.size() - tok.size()) != tok) return false;
-  if (s.size() == tok.size()) return true;
-  const char before = s[s.size() - tok.size() - 1];
-  return !(std::isalnum(static_cast<unsigned char>(before)) || before == '_');
-}
-
-/// Classifies the '{' that follows `ctx` (the trailing significant code).
-Scope classify_brace(std::string_view ctx, bool in_function) {
-  std::string t(rstrip(ctx));
-
-  // Trailing return type / qualifiers between ')' and '{'.
-  static const std::regex kQualifiers(
-      R"((\)\s*)((const|noexcept|override|final|mutable)\b\s*)*(->\s*[\w:<>,\s&*]+)?$)");
-  std::smatch m;
-  if (std::regex_search(t, m, kQualifiers)) {
-    t = t.substr(0, static_cast<std::size_t>(m.position(0)) + 1);
-  }
-
-  if (t.empty()) return in_function ? Scope::block : Scope::init;
-  const char last = t.back();
-  if (last == '=' || last == ',' || last == '(' || last == '{') return Scope::init;
-  if (ends_with_token(t, "return")) return Scope::init;
-  if (ends_with_token(t, "else") || ends_with_token(t, "do") ||
-      ends_with_token(t, "try")) {
-    return Scope::block;
-  }
-  static const std::regex kNamespace(R"(namespace(\s+[\w:]+)?$)");
-  if (std::regex_search(t, kNamespace)) return Scope::ns;
-
-  if (last == ')') {
-    // Find the matching '(' and look at the token before it.
-    int depth = 0;
-    std::size_t p = t.size();
-    while (p > 0) {
-      --p;
-      if (t[p] == ')') ++depth;
-      if (t[p] == '(') {
-        if (--depth == 0) break;
-      }
-    }
-    std::string_view before = rstrip(std::string_view(t).substr(0, p));
-    if (!before.empty() && before.back() == ']') return Scope::fn;  // lambda
-    for (std::string_view kw : {"if", "for", "while", "switch", "catch"}) {
-      if (ends_with_token(before, kw)) return Scope::block;
-    }
-    return Scope::fn;
-  }
-
-  // "class X : public Y", "struct Foo", "enum class E" — only look past
-  // the last statement boundary so earlier code can't bleed in.
-  const std::size_t bound = t.find_last_of(";}{");
-  const std::string tail = bound == std::string::npos ? t : t.substr(bound + 1);
-  static const std::regex kType(R"(\b(class|struct|union|enum)\b)");
-  if (std::regex_search(tail, kType)) return Scope::type;
-
-  return in_function ? Scope::block : Scope::init;
-}
-
-bool stack_in_function(const std::vector<Scope>& stack) {
-  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
-    if (*it == Scope::fn) return true;
-    if (*it == Scope::ns || *it == Scope::type) return false;
-  }
-  return false;
-}
-
-/// in_function[i] == true when line i *starts* inside a function body.
-std::vector<bool> function_lines(const std::vector<std::string>& code) {
-  std::vector<bool> in_fn(code.size(), false);
-  std::vector<Scope> stack;
-  std::string recent;  // trailing significant code before the next '{'
-  for (std::size_t li = 0; li < code.size(); ++li) {
-    in_fn[li] = stack_in_function(stack);
-    for (const char c : code[li]) {
-      if (c == '{') {
-        stack.push_back(classify_brace(recent, stack_in_function(stack)));
-        recent.clear();
-      } else if (c == '}') {
-        if (!stack.empty()) stack.pop_back();
-        recent.clear();
-      } else if (c == ';') {
-        recent.clear();
-      } else if (std::isspace(static_cast<unsigned char>(c))) {
-        if (!recent.empty() && recent.back() != ' ') recent += ' ';
-      } else {
-        recent += c;
-      }
-      if (recent.size() > 240) recent.erase(0, recent.size() - 240);
-    }
-    if (!recent.empty() && recent.back() != ' ') recent += ' ';
-  }
-  return in_fn;
-}
 
 // ---------------------------------------------------------------------------
 // Declaration tracking (pragmatic, per file)
@@ -349,31 +135,6 @@ class FloatNames {
 };
 
 // ---------------------------------------------------------------------------
-// Allow annotations
-// ---------------------------------------------------------------------------
-
-struct Allow {
-  std::string rule;           ///< rule id, or "deterministic-merge" alias
-  std::string justification;  ///< required, one line
-};
-
-/// Parses the allow annotations of one comment line.
-std::vector<Allow> parse_allows(const std::string& comment) {
-  std::vector<Allow> out;
-  static const std::regex kAllow(R"(satlint:allow\(([\w-]+)\)\s*:?\s*([^/]*))");
-  for (auto it = std::sregex_iterator(comment.begin(), comment.end(), kAllow);
-       it != std::sregex_iterator(); ++it) {
-    out.push_back({(*it)[1].str(), std::string(rstrip((*it)[2].str()))});
-  }
-  static const std::regex kMerge(R"(deterministic-merge\s*[-:]*\s*([^/]*))");
-  std::smatch m;
-  if (std::regex_search(comment, m, kMerge)) {
-    out.push_back({"float-accum", std::string(rstrip(m[1].str()))});
-  }
-  return out;
-}
-
-// ---------------------------------------------------------------------------
 // Classification
 // ---------------------------------------------------------------------------
 
@@ -382,6 +143,295 @@ bool path_has_dir(std::string_view path, std::string_view dir) {
   const std::string prefix = std::string(dir) + "/";
   return path.find(needle) != std::string_view::npos ||
          path.substr(0, prefix.size()) == prefix;
+}
+
+// ---------------------------------------------------------------------------
+// Per-file analysis: one file's sanitized view, allow map, and report.
+// The allow map tracks usage so the project-level stale-allow pass can
+// flag justifications that stopped paying for a diagnostic.
+// ---------------------------------------------------------------------------
+
+struct Analysis {
+  std::string path;
+  FileClass fc;
+  lex::Sanitized s;
+  std::vector<bool> in_fn;
+  lex::AllowMap allows;
+  std::vector<bool> allow_used;  ///< parallel to allows.sites
+  FileReport report;
+};
+
+Analysis analyze(std::string_view path, std::string_view content) {
+  Analysis a;
+  a.path = std::string(path);
+  a.fc = classify(path);
+  a.s = lex::sanitize(content);
+  a.in_fn = lex::function_lines(a.s.code);
+  a.allows = lex::build_allow_map(a.s);
+  a.allow_used.assign(a.allows.sites.size(), false);
+  a.report.path = a.path;
+  for (std::size_t i = 0; i < a.allows.sites.size(); ++i) {
+    const lex::AllowSite& site = a.allows.sites[i];
+    if (site.allow.justification.empty()) {
+      a.report.violations.push_back(
+          {a.path, site.line, "bad-allow",
+           "suppression of '" + site.allow.rule +
+               "' needs a one-line justification: // satlint:allow(" +
+               site.allow.rule + "): <why this is safe>"});
+      a.allow_used[i] = true;  // already a violation; not also stale
+    }
+  }
+  return a;
+}
+
+/// Emits a finding at 1-based `line`, downgrading it to a suppression
+/// when a justified allow for `rule` covers the line.
+void emit(Analysis& a, int line, std::string_view rule, std::string message) {
+  const std::size_t li = static_cast<std::size_t>(line - 1);
+  if (li < a.allows.line_sites.size()) {
+    for (const int idx : a.allows.line_sites[li]) {
+      const lex::AllowSite& site = a.allows.sites[static_cast<std::size_t>(idx)];
+      if (site.allow.rule == rule && !site.allow.justification.empty()) {
+        a.allow_used[static_cast<std::size_t>(idx)] = true;
+        a.report.suppressed.push_back(
+            {a.path, line, std::string(rule),
+             std::move(message) + " [allowed: " + site.allow.justification + "]"});
+        return;
+      }
+    }
+  }
+  a.report.violations.push_back({a.path, line, std::string(rule), std::move(message)});
+}
+
+bool has_explicit_allow(const Analysis& a, std::size_t li, std::string_view rule) {
+  if (li >= a.allows.line_sites.size()) return false;
+  for (const int idx : a.allows.line_sites[li]) {
+    const lex::AllowSite& site = a.allows.sites[static_cast<std::size_t>(idx)];
+    if (site.allow.rule == rule && !site.allow.justification.empty()) return true;
+  }
+  return false;
+}
+
+// Shared with the worker-reach pass, which applies the same static /
+// raw-Rng patterns to worker-reachable lines outside worker modules.
+const std::regex kRawRng(R"((^|[^:\w])Rng\s+\w+\s*[({=])");
+const std::regex kRngTemp(R"((^|[^:\w])Rng\s*\()");
+const std::regex kStaticLocal(R"(^\s*static\s+)");
+const std::regex kStaticExempt(
+    R"(^\s*static\s+(const\b|constexpr\b|thread_local\b)|static_assert|std::atomic)");
+
+void run_per_file_rules(Analysis& a) {
+  const FileClass& fc = a.fc;
+  const lex::Sanitized& s = a.s;
+  const std::set<std::string> unordered = unordered_names(s.code);
+  FloatNames floats;
+
+  static const std::regex kRand(R"(\b(rand|srand)\s*\()");
+  static const std::regex kRandomDevice(R"(\brandom_device\b)");
+  static const std::regex kClockNow(R"(\b\w*_clock::now\b)");
+  static const std::regex kTimeSeed(R"(\btime\s*\(\s*(nullptr|NULL|0)\s*\))");
+  static const std::regex kDateTime(R"(__DATE__|__TIME__|__TIMESTAMP__)");
+  static const std::regex kRangeFor(R"(\bfor\s*\(([^;)]*):([^)]+)\))");
+  static const std::regex kBeginCall(R"((\w+)\s*\.\s*c?begin\s*\(\))");
+  static const std::regex kCompoundAdd(R"((\w+)\s*[+-]=[^=])");
+  static const std::regex kAdhocInject(R"((^|[^\w])(inject_\w+))");
+  static const std::regex kDirIter(R"(\b(recursive_)?directory_iterator\b)");
+  static const std::regex kMmapCall(R"((^|[^\w])mmap\s*\()");
+  static const std::regex kBinaryWrite(R"(\bofstream\b[^;]*\bbinary\b|\bfwrite\s*\()");
+  static const std::regex kVersionStamp(R"(\bk\w*Version\b)");
+
+  // D7's binary-write check is file-scoped: any mention of a version
+  // constant means the format is stamped and loads can reject stale
+  // files, so every write in the file inherits the exemption.
+  bool version_stamped = false;
+  if (fc.persist_scope) {
+    for (const std::string& cl : s.code) {
+      if (std::regex_search(cl, kVersionStamp)) {
+        version_stamped = true;
+        break;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < s.code.size(); ++i) {
+    const std::string& cl = s.code[i];
+    const int line = static_cast<int>(i + 1);
+    floats.observe_line(cl, a.in_fn[i]);
+    if (rstrip(cl).empty()) continue;
+
+    // D1 — nondet-source (all scanned files).
+    if (std::regex_search(cl, kRand)) {
+      emit(a, line, "nondet-source",
+           "rand()/srand() draws from hidden global state; use stats::Rng "
+           "seeded from the config");
+    }
+    if (std::regex_search(cl, kRandomDevice)) {
+      emit(a, line, "nondet-source",
+           "std::random_device is nondeterministic by design; campaigns must "
+           "be a pure function of their seed");
+    }
+    if (std::regex_search(cl, kClockNow)) {
+      if (fc.clock_boundary && !has_explicit_allow(a, i, "nondet-source")) {
+        a.report.suppressed.push_back(
+            {a.path, line, "nondet-source",
+             "clock read inside the telemetry boundary [allowed: src/obs "
+             "and src/runtime own the monotonic clock; wall-clock fields "
+             "are excluded from goldens]"});
+      } else {
+        emit(a, line, "nondet-source",
+             "clock reads differ across runs; results must never depend on "
+             "wall-clock (telemetry-only reads need an allow)");
+      }
+    }
+    if (std::regex_search(cl, kTimeSeed)) {
+      emit(a, line, "nondet-source",
+           "time(...) as a seed makes every run different; seed from the "
+           "config instead");
+    }
+    if (std::regex_search(cl, kDateTime)) {
+      emit(a, line, "nondet-source",
+           "__DATE__/__TIME__ bake the build time into the binary; output "
+           "would differ across rebuilds");
+    }
+
+    // D2 — unordered-iter (report/export paths).
+    if (fc.report_path) {
+      std::smatch m;
+      if (std::regex_search(cl, m, kRangeFor)) {
+        std::string expr = m[2].str();
+        expr = std::string(rstrip(expr));
+        const std::size_t ws = expr.find_last_of(" \t");
+        const std::string ident = ws == std::string::npos ? expr : expr.substr(ws + 1);
+        if (unordered.count(ident) != 0 ||
+            expr.find("unordered_") != std::string::npos) {
+          emit(a, line, "unordered-iter",
+               "range-for over unordered container '" + ident +
+                   "' in a report path; bucket order is implementation-"
+                   "defined — copy to a sorted container first");
+        }
+      }
+      for (auto it = std::sregex_iterator(cl.begin(), cl.end(), kBeginCall);
+           it != std::sregex_iterator(); ++it) {
+        const std::string ident = (*it)[1].str();
+        if (unordered.count(ident) != 0) {
+          emit(a, line, "unordered-iter",
+               "iterator walk of unordered container '" + ident +
+                   "' in a report path; bucket order is implementation-"
+                   "defined — copy to a sorted container first");
+        }
+      }
+    }
+
+    // D3 — raw-rng (sharded code).
+    if (fc.sharded && cl.find("fork") == std::string::npos) {
+      if (std::regex_search(cl, kRawRng) || std::regex_search(cl, kRngTemp)) {
+        emit(a, line, "raw-rng",
+             "Rng constructed from a raw seed in sharded code; derive the "
+             "stream with fork_stable(stable shard key) so results don't "
+             "depend on shard scheduling");
+      }
+    }
+
+    // D4 — shared-state (worker-executed code).
+    if (fc.worker && a.in_fn[i] && std::regex_search(cl, kStaticLocal) &&
+        !std::regex_search(cl, kStaticExempt)) {
+      emit(a, line, "shared-state",
+           "function-local static in worker-executed code is mutable state "
+           "shared across threads; hoist it into shard-local state or make "
+           "it const/atomic");
+    }
+
+    // D6 — adhoc-inject (src/ modules outside fault/).
+    if (fc.injection_scope) {
+      std::smatch m;
+      if (std::regex_search(cl, m, kAdhocInject)) {
+        emit(a, line, "adhoc-inject",
+             "ad-hoc fault toggle '" + m[2].str() +
+                 "'; injection points must query fault::Hook (gateway_down, "
+                 "extra_space_loss, fail_shard, ...) so the active FaultPlan "
+                 "stays the single replayable source of faults");
+      }
+    }
+
+    // D7 — persist-nondet (src/io persistence code).
+    if (fc.persist_scope) {
+      if (std::regex_search(cl, kDirIter)) {
+        emit(a, line, "persist-nondet",
+             "directory iteration order is filesystem-dependent; collect "
+             "the entries and sort them before they influence any artifact "
+             "or output");
+      }
+      if (std::regex_search(cl, kMmapCall)) {
+        emit(a, line, "persist-nondet",
+             "branching on mmap availability in persistence code; the "
+             "non-mmap fallback must yield byte-identical results — "
+             "annotate with satlint:allow(persist-nondet) asserting the "
+             "equivalence");
+      }
+      if (!version_stamped && std::regex_search(cl, kBinaryWrite)) {
+        emit(a, line, "persist-nondet",
+             "binary artifact written in a file with no format-version "
+             "stamp; stamp the format (a k...Version constant checked on "
+             "load) so stale files are rejected instead of misparsed");
+      }
+      if (std::regex_search(cl, kClockNow)) {
+        emit(a, line, "persist-nondet",
+             "wall-clock read in the persistence layer; a timestamp "
+             "written into an artifact would break byte-identical "
+             "replays — take stamps from the caller instead");
+      }
+    }
+
+    // D5 — float-accum (merge paths).
+    if (fc.merge_path) {
+      for (auto it = std::sregex_iterator(cl.begin(), cl.end(), kCompoundAdd);
+           it != std::sregex_iterator(); ++it) {
+        const std::string ident = (*it)[1].str();
+        // A step expression in a for-header ("t += interval") is a loop
+        // counter, not a cross-item accumulation.
+        static const std::regex kForHeader(R"(\bfor\s*\()");
+        std::smatch fh;
+        if (std::regex_search(cl, fh, kForHeader)) {
+          int depth = 0;
+          for (std::size_t p = static_cast<std::size_t>(fh.position(0));
+               p < static_cast<std::size_t>(it->position(0)) && p < cl.size(); ++p) {
+            if (cl[p] == '(') ++depth;
+            if (cl[p] == ')') --depth;
+          }
+          if (depth > 0) continue;
+        }
+        if (floats.contains(ident)) {
+          emit(a, line, "float-accum",
+               "'" + ident +
+                   "' accumulates floating-point values in a merge path; "
+                   "float addition is order-sensitive — annotate the fixed "
+                   "iteration order with // satlint: deterministic-merge: "
+                   "<why>");
+        }
+      }
+    }
+  }
+}
+
+void run_stale_allow(Analysis& a) {
+  for (std::size_t i = 0; i < a.allows.sites.size(); ++i) {
+    if (a.allow_used[i]) continue;
+    const lex::AllowSite& site = a.allows.sites[i];
+    a.report.violations.push_back(
+        {a.path, site.line, "stale-allow",
+         "allow(" + site.allow.rule +
+             ") suppresses nothing; a justification that pays for no live "
+             "diagnostic hides drift — delete the annotation (or re-point "
+             "it at the rule that actually fires)"});
+  }
+}
+
+void sort_report(FileReport& report) {
+  const auto by_pos = [](const Diagnostic& x, const Diagnostic& y) {
+    return std::tie(x.line, x.rule, x.message) < std::tie(y.line, y.rule, y.message);
+  };
+  std::sort(report.violations.begin(), report.violations.end(), by_pos);
+  std::sort(report.suppressed.begin(), report.suppressed.end(), by_pos);
 }
 
 }  // namespace
@@ -442,261 +492,21 @@ FileClass classify(std::string_view path) {
 
 FileReport lint_source(std::string_view path, std::string_view content,
                        const LintOptions& options) {
-  FileReport report;
-  report.path = std::string(path);
   for (const std::string& w : options.whitelist) {
-    if (report.path.find(w) != std::string::npos) return report;
-  }
-
-  const FileClass fc = classify(path);
-  const Sanitized s = sanitize(content);
-  const std::vector<bool> in_fn = function_lines(s.code);
-  const std::set<std::string> unordered = unordered_names(s.code);
-  FloatNames floats;
-
-  // Allows per line; "own line" allows (comment-only lines) also cover
-  // the next line.
-  std::vector<std::vector<Allow>> allows(s.code.size());
-  for (std::size_t i = 0; i < s.code.size(); ++i) {
-    std::vector<Allow> line_allows = parse_allows(s.comment[i]);
-    if (line_allows.empty()) continue;
-    for (const Allow& a : line_allows) {
-      if (a.justification.empty()) {
-        report.violations.push_back(
-            {report.path, static_cast<int>(i + 1), "bad-allow",
-             "suppression of '" + a.rule +
-                 "' needs a one-line justification: // satlint:allow(" + a.rule +
-                 "): <why this is safe>"});
-      }
-    }
-    allows[i].insert(allows[i].end(), line_allows.begin(), line_allows.end());
-    const bool own_line = rstrip(s.code[i]).empty();
-    if (own_line && i + 1 < s.code.size()) {
-      allows[i + 1].insert(allows[i + 1].end(), line_allows.begin(),
-                           line_allows.end());
+    if (path.find(w) != std::string_view::npos) {
+      FileReport report;
+      report.path = std::string(path);
+      return report;
     }
   }
-
-  const auto emit = [&](std::size_t i, std::string_view rule, std::string message) {
-    for (const Allow& a : allows[i]) {
-      if (a.rule == rule && !a.justification.empty()) {
-        report.suppressed.push_back(
-            {report.path, static_cast<int>(i + 1), std::string(rule),
-             std::move(message) + " [allowed: " + a.justification + "]"});
-        return;
-      }
-    }
-    report.violations.push_back(
-        {report.path, static_cast<int>(i + 1), std::string(rule), std::move(message)});
-  };
-
-  static const std::regex kRand(R"(\b(rand|srand)\s*\()");
-  static const std::regex kRandomDevice(R"(\brandom_device\b)");
-  static const std::regex kClockNow(R"(\b\w*_clock::now\b)");
-  static const std::regex kTimeSeed(R"(\btime\s*\(\s*(nullptr|NULL|0)\s*\))");
-  static const std::regex kDateTime(R"(__DATE__|__TIME__|__TIMESTAMP__)");
-  static const std::regex kRangeFor(R"(\bfor\s*\(([^;)]*):([^)]+)\))");
-  static const std::regex kBeginCall(R"((\w+)\s*\.\s*c?begin\s*\(\))");
-  static const std::regex kRawRng(R"((^|[^:\w])Rng\s+\w+\s*[({=])");
-  static const std::regex kRngTemp(R"((^|[^:\w])Rng\s*\()");
-  static const std::regex kStaticLocal(R"(^\s*static\s+)");
-  static const std::regex kStaticExempt(
-      R"(^\s*static\s+(const\b|constexpr\b|thread_local\b)|static_assert|std::atomic)");
-  static const std::regex kCompoundAdd(R"((\w+)\s*[+-]=[^=])");
-  static const std::regex kAdhocInject(R"((^|[^\w])(inject_\w+))");
-  static const std::regex kDirIter(R"(\b(recursive_)?directory_iterator\b)");
-  static const std::regex kMmapCall(R"((^|[^\w])mmap\s*\()");
-  static const std::regex kBinaryWrite(R"(\bofstream\b[^;]*\bbinary\b|\bfwrite\s*\()");
-  static const std::regex kVersionStamp(R"(\bk\w*Version\b)");
-
-  // D7's binary-write check is file-scoped: any mention of a version
-  // constant means the format is stamped and loads can reject stale
-  // files, so every write in the file inherits the exemption.
-  bool version_stamped = false;
-  if (fc.persist_scope) {
-    for (const std::string& cl : s.code) {
-      if (std::regex_search(cl, kVersionStamp)) {
-        version_stamped = true;
-        break;
-      }
-    }
-  }
-
-  for (std::size_t i = 0; i < s.code.size(); ++i) {
-    const std::string& cl = s.code[i];
-    floats.observe_line(cl, in_fn[i]);
-    if (rstrip(cl).empty()) continue;
-
-    // D1 — nondet-source (all scanned files).
-    if (std::regex_search(cl, kRand)) {
-      emit(i, "nondet-source",
-           "rand()/srand() draws from hidden global state; use stats::Rng "
-           "seeded from the config");
-    }
-    if (std::regex_search(cl, kRandomDevice)) {
-      emit(i, "nondet-source",
-           "std::random_device is nondeterministic by design; campaigns must "
-           "be a pure function of their seed");
-    }
-    if (std::regex_search(cl, kClockNow)) {
-      bool explicitly_allowed = false;
-      for (const Allow& a : allows[i]) {
-        if (a.rule == "nondet-source" && !a.justification.empty()) {
-          explicitly_allowed = true;
-        }
-      }
-      if (fc.clock_boundary && !explicitly_allowed) {
-        report.suppressed.push_back(
-            {report.path, static_cast<int>(i + 1), "nondet-source",
-             "clock read inside the telemetry boundary [allowed: src/obs "
-             "and src/runtime own the monotonic clock; wall-clock fields "
-             "are excluded from goldens]"});
-      } else {
-        emit(i, "nondet-source",
-             "clock reads differ across runs; results must never depend on "
-             "wall-clock (telemetry-only reads need an allow)");
-      }
-    }
-    if (std::regex_search(cl, kTimeSeed)) {
-      emit(i, "nondet-source",
-           "time(...) as a seed makes every run different; seed from the "
-           "config instead");
-    }
-    if (std::regex_search(cl, kDateTime)) {
-      emit(i, "nondet-source",
-           "__DATE__/__TIME__ bake the build time into the binary; output "
-           "would differ across rebuilds");
-    }
-
-    // D2 — unordered-iter (report/export paths).
-    if (fc.report_path) {
-      std::smatch m;
-      if (std::regex_search(cl, m, kRangeFor)) {
-        std::string expr = m[2].str();
-        expr = std::string(rstrip(expr));
-        const std::size_t ws = expr.find_last_of(" \t");
-        const std::string ident = ws == std::string::npos ? expr : expr.substr(ws + 1);
-        if (unordered.count(ident) != 0 ||
-            expr.find("unordered_") != std::string::npos) {
-          emit(i, "unordered-iter",
-               "range-for over unordered container '" + ident +
-                   "' in a report path; bucket order is implementation-"
-                   "defined — copy to a sorted container first");
-        }
-      }
-      for (auto it = std::sregex_iterator(cl.begin(), cl.end(), kBeginCall);
-           it != std::sregex_iterator(); ++it) {
-        const std::string ident = (*it)[1].str();
-        if (unordered.count(ident) != 0) {
-          emit(i, "unordered-iter",
-               "iterator walk of unordered container '" + ident +
-                   "' in a report path; bucket order is implementation-"
-                   "defined — copy to a sorted container first");
-        }
-      }
-    }
-
-    // D3 — raw-rng (sharded code).
-    if (fc.sharded && cl.find("fork") == std::string::npos) {
-      if (std::regex_search(cl, kRawRng) || std::regex_search(cl, kRngTemp)) {
-        emit(i, "raw-rng",
-             "Rng constructed from a raw seed in sharded code; derive the "
-             "stream with fork_stable(stable shard key) so results don't "
-             "depend on shard scheduling");
-      }
-    }
-
-    // D4 — shared-state (worker-executed code).
-    if (fc.worker && in_fn[i] && std::regex_search(cl, kStaticLocal) &&
-        !std::regex_search(cl, kStaticExempt)) {
-      emit(i, "shared-state",
-           "function-local static in worker-executed code is mutable state "
-           "shared across threads; hoist it into shard-local state or make "
-           "it const/atomic");
-    }
-
-    // D6 — adhoc-inject (src/ modules outside fault/).
-    if (fc.injection_scope) {
-      std::smatch m;
-      if (std::regex_search(cl, m, kAdhocInject)) {
-        emit(i, "adhoc-inject",
-             "ad-hoc fault toggle '" + m[2].str() +
-                 "'; injection points must query fault::Hook (gateway_down, "
-                 "extra_space_loss, fail_shard, ...) so the active FaultPlan "
-                 "stays the single replayable source of faults");
-      }
-    }
-
-    // D7 — persist-nondet (src/io persistence code).
-    if (fc.persist_scope) {
-      if (std::regex_search(cl, kDirIter)) {
-        emit(i, "persist-nondet",
-             "directory iteration order is filesystem-dependent; collect "
-             "the entries and sort them before they influence any artifact "
-             "or output");
-      }
-      if (std::regex_search(cl, kMmapCall)) {
-        emit(i, "persist-nondet",
-             "branching on mmap availability in persistence code; the "
-             "non-mmap fallback must yield byte-identical results — "
-             "annotate with satlint:allow(persist-nondet) asserting the "
-             "equivalence");
-      }
-      if (!version_stamped && std::regex_search(cl, kBinaryWrite)) {
-        emit(i, "persist-nondet",
-             "binary artifact written in a file with no format-version "
-             "stamp; stamp the format (a k...Version constant checked on "
-             "load) so stale files are rejected instead of misparsed");
-      }
-      if (std::regex_search(cl, kClockNow)) {
-        emit(i, "persist-nondet",
-             "wall-clock read in the persistence layer; a timestamp "
-             "written into an artifact would break byte-identical "
-             "replays — take stamps from the caller instead");
-      }
-    }
-
-    // D5 — float-accum (merge paths).
-    if (fc.merge_path) {
-      for (auto it = std::sregex_iterator(cl.begin(), cl.end(), kCompoundAdd);
-           it != std::sregex_iterator(); ++it) {
-        const std::string ident = (*it)[1].str();
-        // A step expression in a for-header ("t += interval") is a loop
-        // counter, not a cross-item accumulation.
-        static const std::regex kForHeader(R"(\bfor\s*\()");
-        std::smatch fh;
-        if (std::regex_search(cl, fh, kForHeader)) {
-          int depth = 0;
-          bool in_header = false;
-          for (std::size_t p = static_cast<std::size_t>(fh.position(0));
-               p < static_cast<std::size_t>(it->position(0)) && p < cl.size(); ++p) {
-            if (cl[p] == '(') ++depth;
-            if (cl[p] == ')') --depth;
-          }
-          in_header = depth > 0;
-          if (in_header) continue;
-        }
-        if (floats.contains(ident)) {
-          emit(i, "float-accum",
-               "'" + ident +
-                   "' accumulates floating-point values in a merge path; "
-                   "float addition is order-sensitive — annotate the fixed "
-                   "iteration order with // satlint: deterministic-merge: "
-                   "<why>");
-        }
-      }
-    }
-  }
-
-  std::sort(report.violations.begin(), report.violations.end(),
-            [](const Diagnostic& a, const Diagnostic& b) {
-              return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
-            });
-  return report;
+  Analysis a = analyze(path, content);
+  run_per_file_rules(a);
+  sort_report(a.report);
+  return a.report;
 }
 
 // ---------------------------------------------------------------------------
-// Tree walking
+// Tree walking & the whole-program pass
 // ---------------------------------------------------------------------------
 
 namespace {
@@ -713,10 +523,147 @@ std::string read_file(const std::filesystem::path& p) {
   return ss.str();
 }
 
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+/// The cross-TU pass: build (or load) the project graph, run D8/D9/D10,
+/// then stale-allow. Findings are attached to the Analysis of their
+/// file, which applies allow() handling uniformly; files without an
+/// Analysis (outside the focus set) keep their findings unreported —
+/// the full-tree CI scan focuses everything, so nothing is ever lost.
+void project_pass(std::vector<Analysis*>& by_index,
+                  const std::vector<std::pair<std::string, std::string>>& loaded,
+                  const LintOptions& options) {
+  std::vector<std::pair<std::string, std::string_view>> keyed;
+  keyed.reserve(loaded.size());
+  for (const auto& [vpath, content] : loaded) keyed.emplace_back(vpath, content);
+  const std::uint64_t hash = graph::content_hash(keyed);
+
+  std::optional<graph::Project> proj;
+  if (!options.graph_cache.empty() &&
+      std::filesystem::exists(options.graph_cache)) {
+    proj = graph::deserialize(read_file(options.graph_cache), hash);
+  }
+  std::vector<lex::Sanitized> sanitized;
+  if (!proj) {
+    sanitized.resize(loaded.size());
+    std::vector<graph::FileInput> inputs;
+    inputs.reserve(loaded.size());
+    for (std::size_t i = 0; i < loaded.size(); ++i) {
+      // Reuse the focus files' existing sanitized view.
+      if (by_index[i] != nullptr) {
+        inputs.push_back({loaded[i].first, loaded[i].second, &by_index[i]->s});
+      } else {
+        sanitized[i] = lex::sanitize(loaded[i].second);
+        inputs.push_back({loaded[i].first, loaded[i].second, &sanitized[i]});
+      }
+    }
+    proj = graph::build(std::move(inputs));
+    if (!options.graph_cache.empty()) {
+      std::ofstream out(options.graph_cache, std::ios::binary);
+      out << graph::serialize(*proj, hash);
+    }
+  }
+
+  if (!options.dot_path.empty()) {
+    std::ofstream out(options.dot_path, std::ios::binary);
+    out << graph::to_dot(*proj);
+  }
+
+  // Project file index -> Analysis (project order is sorted-by-path,
+  // matching `loaded`, but map defensively by path).
+  std::map<std::string, Analysis*> by_path;
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    if (by_index[i] != nullptr) by_path[loaded[i].first] = by_index[i];
+  }
+  const auto analysis_of = [&](int file) -> Analysis* {
+    const auto it = by_path.find(proj->files[static_cast<std::size_t>(file)].path);
+    return it == by_path.end() ? nullptr : it->second;
+  };
+
+  // D8 — layering.
+  for (const graph::LayerFinding& f : check_layering(*proj)) {
+    if (Analysis* a = analysis_of(f.file)) emit(*a, f.line, "layering", f.message);
+  }
+
+  // D9 — nondet-taint. Report surface = src/ report-path files only;
+  // tests and benches read timers by design and write no artifacts.
+  std::vector<bool> report_path(proj->files.size(), false);
+  for (std::size_t i = 0; i < proj->files.size(); ++i) {
+    const std::string& path = proj->files[i].path;
+    report_path[i] = starts_with(path, "src/") && classify(path).report_path;
+  }
+  const graph::TaintResult taint = graph::check_taint(*proj, report_path);
+  for (const graph::TaintFinding& f : taint.findings) {
+    if (Analysis* a = analysis_of(f.file)) emit(*a, f.line, "nondet-taint", f.message);
+  }
+  for (const graph::TaintFinding& f : taint.root_suppressions) {
+    Analysis* a = analysis_of(f.file);
+    if (a == nullptr) continue;
+    a->report.suppressed.push_back({a->path, f.line, "nondet-taint", f.message});
+    const std::size_t li = static_cast<std::size_t>(f.line - 1);
+    if (li < a->allows.line_sites.size()) {
+      for (const int idx : a->allows.line_sites[li]) {
+        if (a->allows.sites[static_cast<std::size_t>(idx)].allow.rule ==
+            "nondet-taint") {
+          a->allow_used[static_cast<std::size_t>(idx)] = true;
+        }
+      }
+    }
+  }
+
+  // D10 — worker-reach. Scan the bodies of worker-reachable functions in
+  // src/ files the directory classification does NOT already treat as
+  // worker code (there D3/D4 fire with better messages).
+  std::set<std::pair<int, int>> flagged;  // (file, line) — bodies can nest
+  for (const int fn : graph::worker_reachable(*proj)) {
+    const int file = proj->file_of(fn);
+    const std::string& path = proj->files[static_cast<std::size_t>(file)].path;
+    if (!starts_with(path, "src/")) continue;
+    Analysis* a = analysis_of(file);
+    if (a == nullptr || a->fc.worker) continue;
+    const lex::FunctionDef& def = proj->def(fn);
+    const std::string label = def.qualified.empty() ? def.name : def.qualified;
+    for (int line = def.line_begin; line <= def.line_end; ++line) {
+      const std::size_t li = static_cast<std::size_t>(line - 1);
+      if (li >= a->s.code.size()) break;
+      const std::string& cl = a->s.code[li];
+      if (rstrip(cl).empty()) continue;
+      if (a->in_fn[li] && std::regex_search(cl, kStaticLocal) &&
+          !std::regex_search(cl, kStaticExempt) &&
+          flagged.insert({file, line}).second) {
+        emit(*a, line, "worker-reach",
+             "'" + label +
+                 "' is reachable from a worker entry (ThreadPool::submit / "
+                 "ShardedCampaign shard body); this function-local static "
+                 "would be shared across worker threads — hoist it into "
+                 "shard-local state or make it const/atomic");
+      }
+      if (cl.find("fork") == std::string::npos &&
+          (std::regex_search(cl, kRawRng) || std::regex_search(cl, kRngTemp)) &&
+          flagged.insert({file, -line}).second) {
+        emit(*a, line, "worker-reach",
+             "'" + label +
+                 "' is reachable from a worker entry; an Rng constructed "
+                 "from a raw seed here makes results depend on shard "
+                 "scheduling — derive the stream with fork_stable(stable "
+                 "key)");
+      }
+    }
+  }
+
+  // stale-allow — every justification must still pay for a diagnostic.
+  for (Analysis* a : by_index) {
+    if (a != nullptr) run_stale_allow(*a);
+  }
+}
+
 TreeReport lint_paths(const std::vector<std::pair<std::string, std::filesystem::path>>&
                           virtual_and_real,
-                      const LintOptions& options) {
+                      const LintOptions& options, bool project_scope) {
   TreeReport tree;
+  std::vector<std::pair<std::string, std::string>> loaded;  // vpath, content
   for (const auto& [vpath, rpath] : virtual_and_real) {
     bool whitelisted = false;
     for (const std::string& w : options.whitelist) {
@@ -726,10 +673,29 @@ TreeReport lint_paths(const std::vector<std::pair<std::string, std::filesystem::
       ++tree.files_whitelisted;
       continue;
     }
-    ++tree.files_scanned;
-    FileReport fr = lint_source(vpath, read_file(rpath), options);
-    if (!fr.violations.empty() || !fr.suppressed.empty()) {
-      tree.files.push_back(std::move(fr));
+    loaded.emplace_back(vpath, read_file(rpath));
+  }
+  tree.files_scanned = loaded.size();
+
+  const std::set<std::string> focus(options.focus.begin(), options.focus.end());
+  std::vector<Analysis> analyses;
+  analyses.reserve(loaded.size());
+  std::vector<Analysis*> by_index(loaded.size(), nullptr);
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    if (!focus.empty() && focus.count(loaded[i].first) == 0) continue;
+    analyses.push_back(analyze(loaded[i].first, loaded[i].second));
+    by_index[i] = &analyses.back();
+  }
+  for (Analysis& a : analyses) run_per_file_rules(a);
+
+  if (project_scope && options.cross_tu) {
+    project_pass(by_index, loaded, options);
+  }
+
+  for (Analysis& a : analyses) {
+    sort_report(a.report);
+    if (!a.report.violations.empty() || !a.report.suppressed.empty()) {
+      tree.files.push_back(std::move(a.report));
     }
   }
   return tree;
@@ -752,7 +718,7 @@ TreeReport lint_tree(const std::string& root, const std::vector<std::string>& su
     }
   }
   std::sort(files.begin(), files.end());
-  return lint_paths(files, options);
+  return lint_paths(files, options, /*project_scope=*/true);
 }
 
 TreeReport lint_files(const std::vector<std::string>& paths,
@@ -760,7 +726,7 @@ TreeReport lint_files(const std::vector<std::string>& paths,
   std::vector<std::pair<std::string, std::filesystem::path>> files;
   files.reserve(paths.size());
   for (const std::string& p : paths) files.emplace_back(p, p);
-  return lint_paths(files, options);
+  return lint_paths(files, options, /*project_scope=*/false);
 }
 
 std::size_t TreeReport::violation_count() const {
@@ -773,6 +739,80 @@ std::size_t TreeReport::suppressed_count() const {
   std::size_t n = 0;
   for (const FileReport& f : files) n += f.suppressed.size();
   return n;
+}
+
+std::map<std::string, std::size_t> suppressions_by_rule(const TreeReport& report) {
+  std::map<std::string, std::size_t> counts;
+  for (const RuleInfo& r : kRules) counts[std::string(r.id)] = 0;
+  for (const FileReport& f : report.files) {
+    for (const Diagnostic& d : f.suppressed) ++counts[d.rule];
+  }
+  return counts;
+}
+
+// ---------------------------------------------------------------------------
+// Suppression baseline
+// ---------------------------------------------------------------------------
+
+std::string format_baseline(const TreeReport& report) {
+  const std::map<std::string, std::size_t> counts = suppressions_by_rule(report);
+  std::ostringstream out;
+  out << "# satlint suppression baseline — per-rule counts of justified\n"
+      << "# allow()s (plus telemetry auto-suppressions) across the tree.\n"
+      << "# CI fails on any drift; regenerate with:\n"
+      << "#   satlint --root . --baseline tools/satlint/suppressions.baseline "
+         "--write-baseline\n";
+  for (const RuleInfo& r : kRules) {
+    out << r.id << " " << counts.at(std::string(r.id)) << "\n";
+  }
+  return out.str();
+}
+
+std::optional<std::map<std::string, std::size_t>> parse_baseline(
+    std::string_view text) {
+  std::map<std::string, std::size_t> out;
+  std::set<std::string> known;
+  for (const RuleInfo& r : kRules) known.insert(std::string(r.id));
+
+  std::istringstream in{std::string(text)};
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string_view stripped = rstrip(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    std::istringstream fields{std::string(stripped)};
+    std::string rule;
+    long count = -1;
+    fields >> rule >> count;
+    if (fields.fail() || count < 0 || known.count(rule) == 0) return std::nullopt;
+    out[rule] = static_cast<std::size_t>(count);
+  }
+  return out;
+}
+
+std::vector<std::string> check_baseline(
+    const TreeReport& report, const std::map<std::string, std::size_t>& baseline) {
+  std::vector<std::string> errors;
+  const std::map<std::string, std::size_t> counts = suppressions_by_rule(report);
+  for (const RuleInfo& r : kRules) {
+    const std::string id(r.id);
+    const std::size_t actual = counts.at(id);
+    const auto it = baseline.find(id);
+    const std::size_t expected = it == baseline.end() ? 0 : it->second;
+    if (actual > expected) {
+      errors.push_back(
+          id + ": " + std::to_string(actual) + " suppression(s), baseline " +
+          std::to_string(expected) +
+          " — a new allow() must bump tools/satlint/suppressions.baseline in "
+          "the same PR");
+    } else if (actual < expected) {
+      errors.push_back(
+          id + ": " + std::to_string(actual) + " suppression(s), baseline " +
+          std::to_string(expected) +
+          " — ratchet the baseline down so the budget cannot silently "
+          "refill");
+    }
+  }
+  return errors;
 }
 
 // ---------------------------------------------------------------------------
@@ -879,10 +919,18 @@ class JsonReader {
 }  // namespace
 
 std::string to_json(const TreeReport& report) {
+  const std::map<std::string, std::size_t> counts = suppressions_by_rule(report);
   std::ostringstream out;
-  out << "{\n  \"satlint_version\": 1,\n  \"files_scanned\": " << report.files_scanned
+  out << "{\n  \"satlint_version\": 2,\n  \"files_scanned\": " << report.files_scanned
       << ",\n  \"files_whitelisted\": " << report.files_whitelisted
-      << ",\n  \"violations\": [";
+      << ",\n  \"suppression_count\": {";
+  bool first = true;
+  for (const RuleInfo& r : kRules) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n    \"" << r.id << "\": " << counts.at(std::string(r.id));
+  }
+  out << "\n  },\n  \"violations\": [";
   emit_diags(out, report, &FileReport::violations);
   out << "],\n  \"suppressed\": [";
   emit_diags(out, report, &FileReport::suppressed);
@@ -917,6 +965,18 @@ std::optional<TreeReport> from_json(std::string_view json) {
       tree.files_scanned = static_cast<std::size_t>(r.integer());
     } else if (key == "files_whitelisted") {
       tree.files_whitelisted = static_cast<std::size_t>(r.integer());
+    } else if (key == "suppression_count") {
+      // Derived from "suppressed" on emit; validated for shape, dropped.
+      if (!r.consume('{')) return std::nullopt;
+      bool first = true;
+      while (r.ok() && !r.peek_is('}')) {
+        if (!first && !r.consume(',')) return std::nullopt;
+        first = false;
+        r.string();
+        if (!r.consume(':')) return std::nullopt;
+        r.integer();
+      }
+      if (!r.consume('}')) return std::nullopt;
     } else if (key == "violations" || key == "suppressed") {
       if (!r.consume('[')) return std::nullopt;
       bool first = true;
