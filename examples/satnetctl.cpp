@@ -7,6 +7,9 @@
 //   satnetctl pipeline [--scale S]                identification summary
 //   satnetctl atlas [--days D] [--out FILE]       RIPE campaign -> CSV
 //   satnetctl census                              Prolific census funnel
+//   satnetctl world --seed N [--check]            print a generated scenario
+//                                                 spec; --check runs the
+//                                                 invariant catalog on it
 //
 // Every campaign-running command accepts --threads N (0 = one worker per
 // hardware thread, the default). Output is identical for every value —
@@ -60,6 +63,7 @@
 #include "io/csv.hpp"
 #include "io/report.hpp"
 #include "io/timeline_io.hpp"
+#include "matrix/invariants.hpp"
 #include "mlab/campaign.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
@@ -71,6 +75,7 @@
 #include "runtime/thread_pool.hpp"
 #include "snoid/pipeline.hpp"
 #include "synth/world.hpp"
+#include "synth/worldgen.hpp"
 
 namespace {
 
@@ -225,6 +230,34 @@ int cmd_report(int argc, char** argv) {
   return 0;
 }
 
+int cmd_world(int argc, char** argv) {
+  const char* raw = flag_value(argc, argv, "--seed", "");
+  if (*raw == '\0') {
+    std::fprintf(stderr, "satnetctl world: --seed N is required\n");
+    return 2;
+  }
+  char* end = nullptr;
+  const unsigned long long seed = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0') {
+    std::fprintf(stderr, "satnetctl world: --seed expects a number, got '%s'\n", raw);
+    return 2;
+  }
+  const synth::ScenarioSpec spec = synth::generate_scenario(seed);
+  std::printf("%s", spec.to_text().c_str());
+  std::printf("# %s\n", spec.summary().c_str());
+  if (has_flag(argc, argv, "--check")) {
+    const auto violation = matrix::check_spec(spec);
+    if (violation.has_value()) {
+      std::fprintf(stderr, "invariant violation: %s: %s\n",
+                   violation->invariant.c_str(), violation->detail.c_str());
+      return 1;
+    }
+    std::printf("# invariants: thread-identity ablation-identity flow-conservation "
+                "monotone-degradation finite-metrics all ok\n");
+  }
+  return 0;
+}
+
 int cmd_census(int, char**) {
   prolific::TesterPool pool;
   stats::Rng rng(1);
@@ -245,6 +278,7 @@ int run_command(const std::string& cmd, int argc, char** argv) {
   if (cmd == "atlas") return cmd_atlas(argc, argv);
   if (cmd == "census") return cmd_census(argc, argv);
   if (cmd == "report") return cmd_report(argc, argv);
+  if (cmd == "world") return cmd_world(argc, argv);
   std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
   return 2;
 }
@@ -254,12 +288,15 @@ int run_command(const std::string& cmd, int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: satnetctl <campaign|pipeline|atlas|census|report> [flags]\n"
+                 "usage: satnetctl <campaign|pipeline|atlas|census|report|world> [flags]\n"
                  "  campaign [--scale S] [--out FILE] [--threads N]\n"
                  "  pipeline [--scale S] [--out FILE] [--threads N]\n"
                  "  atlas    [--days D]  [--out FILE] [--threads N]\n"
                  "  census\n"
                  "  report   [--scale S] [--out FILE] [--threads N]\n"
+                 "  world    --seed N [--check]   print the generated scenario\n"
+                 "           spec for a matrix seed; --check runs the full\n"
+                 "           invariant catalog on it (exit 1 on violation)\n"
                  "every command also accepts --metrics-out PATH (Prometheus\n"
                  "text) and --trace-out PATH (JSON lines); '-' = stdout,\n"
                  "--recorder-out PATH [--recorder-ring N] to drain the\n"

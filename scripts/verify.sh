@@ -3,10 +3,12 @@
 # subset and they run in gate order (lint first, like CI). Run from the
 # repo root:
 #
-#   scripts/verify.sh                  # everything: lint + tier-1 + golden + tsan + asan
+#   scripts/verify.sh                  # everything: lint + tier-1 + golden + matrix + tsan + asan
 #   scripts/verify.sh --lint           # satlint + format check (CI job 1)
 #   scripts/verify.sh --tier1          # build + full ctest (CI job 2)
 #   scripts/verify.sh --golden         # golden snapshots + determinism/fault repeat (CI job 3)
+#   scripts/verify.sh --matrix         # seeded scenario sweep + invariant catalog (CI nightly)
+#   scripts/verify.sh --matrix-worlds N  # override the matrix world budget (implies --matrix)
 #   scripts/verify.sh --tsan           # ThreadSanitizer pass (CI job 4)
 #   scripts/verify.sh --asan           # ASan+UBSan full ctest (CI job 5)
 #   scripts/verify.sh --lint --tier1   # compose any subset
@@ -15,28 +17,45 @@ cd "$(dirname "$0")/.."
 
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-run_lint=0 run_tier1=0 run_golden=0 run_tsan=0 run_asan=0
+run_lint=0 run_tier1=0 run_golden=0 run_matrix=0 run_tsan=0 run_asan=0
+matrix_worlds=25
 if [[ $# -eq 0 ]]; then
-  run_lint=1 run_tier1=1 run_golden=1 run_tsan=1 run_asan=1
+  run_lint=1 run_tier1=1 run_golden=1 run_matrix=1 run_tsan=1 run_asan=1
 fi
-for arg in "$@"; do
-  case "$arg" in
+while [[ $# -gt 0 ]]; do
+  case "$1" in
     --lint)   run_lint=1 ;;
     --tier1)  run_tier1=1 ;;
     --golden) run_golden=1 ;;
+    --matrix) run_matrix=1 ;;
+    --matrix-worlds)
+      shift
+      if [[ $# -eq 0 || ! "${1}" =~ ^[0-9]+$ || "${1}" -eq 0 ]]; then
+        echo "verify.sh: --matrix-worlds expects a positive integer, got '${1:-}'" >&2
+        echo "usage: scripts/verify.sh [--matrix] [--matrix-worlds N] [--lint] [--tier1] [--golden] [--tsan] [--asan]" >&2
+        exit 2
+      fi
+      matrix_worlds="$1" run_matrix=1 ;;
     --tsan)   run_tsan=1 ;;
     --asan)   run_asan=1 ;;
-    --all)    run_lint=1 run_tier1=1 run_golden=1 run_tsan=1 run_asan=1 ;;
+    --all)    run_lint=1 run_tier1=1 run_golden=1 run_matrix=1 run_tsan=1 run_asan=1 ;;
     -h|--help)
       grep '^#' "$0" | sed 's/^# \{0,1\}//'
       exit 0
       ;;
     *)
-      echo "verify.sh: unknown mode '$arg' (try --lint, --tier1, --golden, --tsan, --asan)" >&2
+      echo "verify.sh: unknown mode '$1' (try --lint, --tier1, --golden, --matrix, --tsan, --asan)" >&2
       exit 2
       ;;
   esac
+  shift
 done
+
+# Every run states its randomized-sweep budgets up front, so a CI log or
+# a bug report always records how much world/seed coverage was bought.
+echo "verify: budgets — matrix worlds=${matrix_worlds} (--matrix-worlds N)," \
+     "property seeds=${SATNET_PROPERTY_SEEDS:-32} (SATNET_PROPERTY_SEEDS)," \
+     "tier-1 matrix sweep worlds=${SATNET_MATRIX_WORLDS:-6} (SATNET_MATRIX_WORLDS)"
 
 if [[ "$run_lint" == 1 ]]; then
   echo "== lint: satlint determinism/concurrency gate + format check =="
@@ -123,6 +142,36 @@ if [[ "$run_golden" == 1 ]]; then
     --ledger bench/ledger --run-id "verify-$(git rev-parse --short HEAD 2>/dev/null || echo local)"
   ./build/tools/benchreport/benchreport --check \
     BENCH_access_cache.json BENCH_timeline.json \
+    --ledger bench/ledger --ratios-only --tolerance 0.5
+fi
+
+if [[ "$run_matrix" == 1 ]]; then
+  echo "== matrix: ${matrix_worlds}-world seeded sweep + invariant catalog + bench ledger =="
+  cmake -B build -S .
+  cmake --build build -j "${jobs}" --target matrix_test bench_matrix benchreport satnetctl
+  # The sweep: every generated world must pass the whole invariant
+  # catalog (thread/ablation identity, flow conservation, monotone
+  # degradation, finite metrics). A failure shrinks to a minimal spec
+  # and lands under build/matrix_failures/ — reproduce any seed with
+  #   ./build/examples/satnetctl world --seed N --check
+  rm -rf build/matrix_failures
+  if ! SATNET_MATRIX_WORLDS="${matrix_worlds}" \
+       SATNET_MATRIX_FAILURE_DIR=build/matrix_failures \
+       ./build/tests/matrix_test; then
+    echo "matrix: sweep failed — minimal failing specs in build/matrix_failures/:" >&2
+    ls build/matrix_failures >&2 2>/dev/null || true
+    exit 1
+  fi
+  # Throughput + ledger: the bench re-runs the catalog on a disjoint
+  # seed stride and gates on invariants_ok — a generated world failing
+  # its own catalog is a regression regardless of speed.
+  echo "-- matrix bench: bench_matrix (${matrix_worlds} worlds) --"
+  SATNET_BENCH_MATRIX_WORLDS="${matrix_worlds}" \
+    ./build/bench/bench_matrix --benchmark_filter='generate_scenario'
+  test -s BENCH_matrix.json
+  ./build/tools/benchreport/benchreport --append BENCH_matrix.json \
+    --ledger bench/ledger --run-id "verify-$(git rev-parse --short HEAD 2>/dev/null || echo local)"
+  ./build/tools/benchreport/benchreport --check BENCH_matrix.json \
     --ledger bench/ledger --ratios-only --tolerance 0.5
 fi
 

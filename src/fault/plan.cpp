@@ -189,6 +189,15 @@ void FaultPlan::validate() const {
 }
 
 FaultPlan FaultPlan::generate(const GenerateConfig& config, std::uint64_t seed) {
+  // Without a positive horizon every slot collapses to a zero-length
+  // window; fail up front with the actual problem instead of letting
+  // validate() report a confusing "empty window" on event #0.
+  const bool wants_windows = config.gateway_outages > 0 || config.handoff_storms > 0 ||
+                             config.weather_escalations > 0 || config.loss_bursts > 0;
+  if (wants_windows && !(config.horizon_sec > 0)) {
+    throw std::invalid_argument(
+        "FaultPlan::generate: horizon_sec must be > 0 when events are requested");
+  }
   std::vector<FaultEvent> events;
   const stats::Rng master(seed);
 

@@ -115,7 +115,9 @@ class FaultPlan {
   static FaultPlan load_file(const std::string& path);
 
   /// Deterministic synthesis via Rng::fork_stable(kind, index). Windows
-  /// for the same target never overlap (slot construction).
+  /// for the same target never overlap (slot construction). Throws
+  /// std::invalid_argument when windowed events are requested with a
+  /// non-positive horizon_sec.
   static FaultPlan generate(const GenerateConfig& config, std::uint64_t seed);
 
   /// Serializes back to the spec format; parse_spec(to_spec()) == *this.

@@ -61,4 +61,16 @@ double fiber_delay_ms(double surface_km, double stretch) {
   return surface_km * stretch / kFiberSpeedKmPerSec * 1000.0;
 }
 
+GeoPoint interpolate(const GeoPoint& a, const GeoPoint& b, double f) {
+  f = std::clamp(f, 0.0, 1.0);
+  double dlon = b.lon_deg - a.lon_deg;
+  if (dlon > 180.0) dlon -= 360.0;
+  if (dlon < -180.0) dlon += 360.0;
+  double lon = a.lon_deg + f * dlon;
+  if (lon > 180.0) lon -= 360.0;
+  if (lon < -180.0) lon += 360.0;
+  return {a.lat_deg + f * (b.lat_deg - a.lat_deg), lon,
+          a.alt_km + f * (b.alt_km - a.alt_km)};
+}
+
 }  // namespace satnet::geo

@@ -54,4 +54,10 @@ double radio_delay_ms(double slant_km);
 /// Applies a route-stretch factor (cables do not follow great circles).
 double fiber_delay_ms(double surface_km, double stretch = 1.3);
 
+/// Linear interpolation between two surface points at fraction f in
+/// [0, 1], taking the short way around the antimeridian in longitude.
+/// Good enough for waypoint tracks (ships, aircraft) at the scales the
+/// scenario generator uses; altitude interpolates linearly too.
+GeoPoint interpolate(const GeoPoint& a, const GeoPoint& b, double f);
+
 }  // namespace satnet::geo

@@ -1,0 +1,132 @@
+#include "matrix/shrink.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace satnet::matrix {
+
+namespace {
+
+using synth::ScenarioSpec;
+
+/// One structure-reducing transform. Returns false when it cannot make
+/// the spec any smaller (fixpoint for this op).
+using ShrinkOp = bool (*)(ScenarioSpec&);
+
+bool drop_fault_half(ScenarioSpec& spec) {
+  const std::vector<fault::FaultEvent>& events = spec.faults.events();
+  if (events.empty()) return false;
+  std::vector<fault::FaultEvent> kept(events.begin(),
+                                      events.begin() + static_cast<std::ptrdiff_t>(
+                                                           events.size() / 2));
+  spec.faults = fault::FaultPlan(std::move(kept));
+  return true;
+}
+
+bool drop_fault_one(ScenarioSpec& spec) {
+  std::vector<fault::FaultEvent> events = spec.faults.events();
+  if (events.empty()) return false;
+  events.pop_back();
+  spec.faults = fault::FaultPlan(std::move(events));
+  return true;
+}
+
+bool halve_terminals(ScenarioSpec& spec) {
+  if (spec.terminals.size() <= 1) return false;
+  spec.terminals.resize(std::max<std::size_t>(1, spec.terminals.size() / 2));
+  return true;
+}
+
+bool halve_satellites(ScenarioSpec& spec) {
+  bool changed = false;
+  for (synth::NetworkSpec& net : spec.networks) {
+    for (orbit::Shell& shell : net.shells) {
+      if (shell.planes > 1) {
+        shell.planes = std::max<std::size_t>(1, shell.planes / 2);
+        changed = true;
+      }
+      if (shell.sats_per_plane > 2) {
+        shell.sats_per_plane = std::max<std::size_t>(2, shell.sats_per_plane / 2);
+        changed = true;
+      }
+      shell.phase_factor =
+          std::min<unsigned>(shell.phase_factor, static_cast<unsigned>(shell.planes - 1));
+    }
+  }
+  return changed;
+}
+
+bool drop_last_network(ScenarioSpec& spec) {
+  if (spec.networks.size() <= 1) return false;
+  spec.networks.pop_back();
+  // Terminals of the dropped network fold into network 0 so every
+  // terminal keeps a sky to ask about.
+  for (synth::TerminalSpec& t : spec.terminals) {
+    if (t.network >= spec.networks.size()) t.network = 0;
+  }
+  return true;
+}
+
+bool strip_weather(ScenarioSpec& spec) {
+  if (spec.weather.fronts.empty() && spec.weather.rain_prob == 0.0 &&
+      spec.weather.heavy_rain_prob == 0.0 && spec.weather.cloudy_prob == 0.0) {
+    return false;
+  }
+  spec.weather.fronts.clear();
+  spec.weather.rain_prob = 0.0;
+  spec.weather.heavy_rain_prob = 0.0;
+  spec.weather.cloudy_prob = 0.0;
+  return true;
+}
+
+bool strip_mobility(ScenarioSpec& spec) {
+  bool changed = false;
+  for (synth::TerminalSpec& t : spec.terminals) {
+    if (t.mobility == synth::Mobility::fixed && t.waypoints.size() <= 1) continue;
+    t.mobility = synth::Mobility::fixed;
+    t.speed_kmh = 0;
+    t.waypoints.resize(1);
+    changed = true;
+  }
+  return changed;
+}
+
+bool halve_horizon(ScenarioSpec& spec) {
+  const double floor_sec = std::max(2.0 * spec.step_sec, 120.0);
+  if (spec.horizon_sec <= floor_sec) return false;
+  spec.horizon_sec = std::max(floor_sec, spec.horizon_sec / 2.0);
+  return true;
+}
+
+constexpr ShrinkOp kOps[] = {
+    drop_fault_half, drop_fault_one,   halve_terminals, halve_satellites,
+    drop_last_network, strip_weather,  strip_mobility,  halve_horizon,
+};
+
+}  // namespace
+
+ShrinkResult shrink_spec(const synth::ScenarioSpec& start,
+                         const std::function<bool(const synth::ScenarioSpec&)>& still_fails,
+                         std::size_t max_steps) {
+  ShrinkResult result;
+  result.spec = start;
+  bool progressed = true;
+  while (progressed && result.steps_tried < max_steps) {
+    progressed = false;
+    for (const ShrinkOp op : kOps) {
+      if (result.steps_tried >= max_steps) break;
+      ScenarioSpec candidate = result.spec;
+      if (!op(candidate)) continue;
+      ++result.steps_tried;
+      if (still_fails(candidate)) {
+        result.spec = std::move(candidate);
+        ++result.steps_accepted;
+        progressed = true;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace satnet::matrix

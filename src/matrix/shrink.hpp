@@ -1,0 +1,35 @@
+// Spec shrinking: minimal failing worlds for one-line repros.
+//
+// When an invariant trips on a generated world, re-running the whole
+// spec is a poor debugging artifact — worlds carry hundreds of
+// satellites and dozens of fault windows. shrink_spec() greedily applies
+// structure-reducing transforms (drop fault events, halve terminals and
+// satellites, drop networks, strip weather and mobility, halve the
+// horizon) and keeps each reduction iff the failure predicate still
+// fires, looping to a fixpoint. The result is the smallest spec this
+// procedure can reach that still reproduces the failure; the matrix test
+// prints it to stderr and writes it under build/matrix_failures/.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "synth/worldgen.hpp"
+
+namespace satnet::matrix {
+
+struct ShrinkResult {
+  synth::ScenarioSpec spec;        ///< minimal spec still failing
+  std::size_t steps_tried = 0;     ///< predicate evaluations spent
+  std::size_t steps_accepted = 0;  ///< reductions that kept the failure
+};
+
+/// Greedy fixpoint shrink. `still_fails` must return true when the
+/// candidate spec still reproduces the failure; it is called at most
+/// `max_steps` times (shrinking is bounded, not exhaustive).
+ShrinkResult shrink_spec(const synth::ScenarioSpec& start,
+                         const std::function<bool(const synth::ScenarioSpec&)>& still_fails,
+                         std::size_t max_steps = 80);
+
+}  // namespace satnet::matrix

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -610,6 +611,16 @@ std::string summary_text(const Snapshot& snapshot, const RunManifest& manifest) 
                   fault_hits, retries ? retries->value : 0.0,
                   degraded ? degraded->value : 0.0);
     out += line;
+  }
+  return out;
+}
+
+std::vector<std::string> nonfinite_metrics(const Snapshot& snapshot) {
+  std::vector<std::string> out;
+  for (const MetricValue& m : snapshot.metrics) {
+    bool bad = !std::isfinite(m.value) || !std::isfinite(m.sum);
+    for (const double b : m.bounds) bad = bad || !std::isfinite(b);
+    if (bad) out.push_back(m.name);
   }
   return out;
 }

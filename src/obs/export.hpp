@@ -92,6 +92,13 @@ std::vector<SpanRecord> parse_spans_jsonl(const std::string& text);
 /// underlying counters are present.
 std::string summary_text(const Snapshot& snapshot, const RunManifest& manifest);
 
+/// Names of metrics carrying a non-finite value (NaN/Inf in the scalar
+/// value, a histogram sum, or a bucket bound — +Inf overflow bounds are
+/// implicit and never stored, so any non-finite here is a bug). Empty
+/// means every exported number is finite; the matrix invariant harness
+/// gates on exactly this.
+std::vector<std::string> nonfinite_metrics(const Snapshot& snapshot);
+
 /// Writes Prometheus text to `path` ("-" = stdout). Returns false and
 /// prints to stderr when the file cannot be opened.
 bool write_metrics_file(const std::string& path, const Snapshot& snapshot,

@@ -58,7 +58,14 @@ TraceAnalysis analyze_trace(std::span<const transport::TcpInfoSnapshot> snapshot
   }
 
   // Pass 2: group consecutive retransmitting snapshot intervals into
-  // episodes.
+  // episodes. Counters can already be nonzero at the first poll
+  // (retransmissions before snapshotting caught up); a leading episode
+  // owns those bytes so episode bytes always sum to the trace total.
+  if (snapshots.front().bytes_retrans > 0) {
+    out.episodes.push_back(
+        {snapshots.front().t_ms, snapshots.front().t_ms, snapshots.front().bytes_retrans,
+         false});
+  }
   for (std::size_t i = 1; i < snapshots.size(); ++i) {
     const std::uint64_t d_retrans =
         snapshots[i].bytes_retrans - snapshots[i - 1].bytes_retrans;

@@ -1,0 +1,487 @@
+#include "synth/worldgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "geo/places.hpp"
+#include "stats/rng.hpp"
+
+namespace satnet::synth {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+/// Draws n distinct city names (falling back to reuse only if the
+/// gazetteer runs dry). `used` is shared across the ground segments of
+/// one spec so PoPs and gateways land in different cities.
+std::vector<std::string> draw_cities(stats::Rng& rng, std::size_t n,
+                                     std::set<std::string, std::less<>>& used) {
+  const std::span<const geo::City> all = geo::cities();
+  std::vector<std::string> out;
+  std::size_t attempts = 0;
+  while (out.size() < n && attempts++ < all.size() * 8) {
+    const geo::City& c =
+        all[static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(all.size()) - 1))];
+    std::string name(c.name);
+    if (used.insert(name).second) out.push_back(std::move(name));
+  }
+  while (out.size() < n) {
+    const geo::City& c =
+        all[static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(all.size()) - 1))];
+    out.emplace_back(c.name);
+  }
+  return out;
+}
+
+double clamp_lat(double lat, double limit = 72.0) {
+  return std::clamp(lat, -limit, limit);
+}
+
+double wrap_lon(double lon) {
+  while (lon > 180.0) lon -= 360.0;
+  while (lon < -180.0) lon += 360.0;
+  return lon;
+}
+
+transport::LinkTraits leo_traits(stats::Rng& rng) {
+  transport::LinkTraits t;
+  t.down_mbps_median = rng.uniform(80.0, 200.0);
+  t.up_mbps_median = rng.uniform(10.0, 25.0);
+  t.buffer_bdp = rng.uniform(1.0, 3.0);
+  t.sat_loss = rng.uniform(0.0005, 0.002);
+  t.jitter_ms = rng.uniform(2.0, 6.0);
+  t.handoff_rate_hz = rng.uniform(0.02, 0.08);
+  t.handoff_loss_frac = rng.uniform(0.01, 0.05);
+  t.handoff_spike_ms = rng.uniform(20.0, 60.0);
+  return t;
+}
+
+transport::LinkTraits meo_traits(stats::Rng& rng) {
+  transport::LinkTraits t;
+  t.down_mbps_median = rng.uniform(50.0, 120.0);
+  t.up_mbps_median = rng.uniform(5.0, 15.0);
+  t.buffer_bdp = rng.uniform(1.5, 3.5);
+  t.sat_loss = rng.uniform(0.0005, 0.002);
+  t.jitter_ms = rng.uniform(3.0, 8.0);
+  t.handoff_rate_hz = rng.uniform(0.002, 0.01);
+  t.handoff_loss_frac = rng.uniform(0.01, 0.04);
+  t.handoff_spike_ms = rng.uniform(30.0, 80.0);
+  return t;
+}
+
+transport::LinkTraits geo_traits(stats::Rng& rng) {
+  transport::LinkTraits t;
+  t.down_mbps_median = rng.uniform(25.0, 80.0);
+  t.up_mbps_median = rng.uniform(3.0, 8.0);
+  t.buffer_bdp = rng.uniform(4.0, 10.0);
+  t.sat_loss = rng.uniform(0.001, 0.004);
+  t.jitter_ms = rng.uniform(6.0, 15.0);
+  t.spurious_rto_prob = rng.uniform(0.01, 0.05);
+  t.pep = rng.chance(0.6);
+  return t;
+}
+
+std::uint64_t draw_seed(stats::Rng& rng) {
+  return static_cast<std::uint64_t>(rng.uniform_int(1, (std::int64_t{1} << 62) - 1));
+}
+
+void append_traits(std::string& out, const transport::LinkTraits& t) {
+  out += "  traits down=" + fmt_double(t.down_mbps_median) + "/" +
+         fmt_double(t.down_mbps_sigma) + " up=" + fmt_double(t.up_mbps_median) + "/" +
+         fmt_double(t.up_mbps_sigma) + " buf=" + fmt_double(t.buffer_bdp) +
+         " satloss=" + fmt_double(t.sat_loss) + " gloss=" + fmt_double(t.ground_loss) +
+         " srto=" + fmt_double(t.spurious_rto_prob) + " jitter=" + fmt_double(t.jitter_ms) +
+         " ho=" + fmt_double(t.handoff_rate_hz) + "/" + fmt_double(t.handoff_loss_frac) +
+         "/" + fmt_double(t.handoff_spike_ms) + " pep=" + (t.pep ? "1" : "0") + "\n";
+}
+
+}  // namespace
+
+std::string_view to_string(Mobility m) {
+  switch (m) {
+    case Mobility::fixed: return "fixed";
+    case Mobility::maritime: return "maritime";
+    case Mobility::aviation: return "aviation";
+  }
+  return "?";
+}
+
+std::size_t ScenarioSpec::total_satellites() const {
+  std::size_t n = 0;
+  for (const NetworkSpec& net : networks) {
+    if (net.orbit == orbit::OrbitClass::geo) {
+      ++n;
+    } else {
+      for (const orbit::Shell& s : net.shells) n += s.total_sats();
+    }
+  }
+  return n;
+}
+
+std::size_t ScenarioSpec::total_gateways() const {
+  std::size_t n = 0;
+  for (const NetworkSpec& net : networks) n += net.gateway_cities.size();
+  return n;
+}
+
+std::string ScenarioSpec::to_text() const {
+  std::string out = "scenario v1\n";
+  out += "seed " + std::to_string(seed) + "\n";
+  out += "horizon_sec " + fmt_double(horizon_sec) + " step_sec " + fmt_double(step_sec) +
+         "\n";
+  out += "weather cell_deg=" + fmt_double(weather.cell_deg) +
+         " dur_h=" + fmt_double(weather.cell_duration_hours) +
+         " rain=" + fmt_double(weather.rain_prob) +
+         " heavy=" + fmt_double(weather.heavy_rain_prob) +
+         " cloudy=" + fmt_double(weather.cloudy_prob) +
+         " geo_outage=" + fmt_double(weather.geo_outage_prob) +
+         " seed=" + std::to_string(weather.seed) + "\n";
+  for (const weather::MovingFront& f : weather.fronts) {
+    out += "front lat=" + fmt_double(f.start.lat_deg) +
+           " lon=" + fmt_double(f.start.lon_deg) + " ve=" + fmt_double(f.velocity_east_kmh) +
+           " vn=" + fmt_double(f.velocity_north_kmh) + " radius=" + fmt_double(f.radius_km) +
+           " sev=" + std::to_string(f.severity) + " t0=" + fmt_double(f.t_start_sec) +
+           " t1=" + fmt_double(f.t_end_sec) + "\n";
+  }
+  for (const NetworkSpec& net : networks) {
+    out += "network " + net.name + " orbit=" + orbit::to_string(net.orbit) +
+           " min_elev=" + fmt_double(net.min_elevation_deg) +
+           " overhead_ms=" + fmt_double(net.scheduling_overhead_ms) +
+           " reconfig_sec=" + fmt_double(net.reconfig_interval_sec) + "\n";
+    for (const orbit::Shell& s : net.shells) {
+      out += "  shell " + s.name + " alt=" + fmt_double(s.altitude_km) +
+             " inc=" + fmt_double(s.inclination_deg) + " planes=" + std::to_string(s.planes) +
+             " spp=" + std::to_string(s.sats_per_plane) +
+             " phase=" + std::to_string(s.phase_factor) + "\n";
+    }
+    if (net.orbit == orbit::OrbitClass::geo) {
+      out += "  slot lon=" + fmt_double(net.slot_lon_deg) + "\n";
+    }
+    out += "  pops ";
+    for (std::size_t i = 0; i < net.pop_cities.size(); ++i) {
+      if (i) out += ",";
+      out += net.pop_cities[i];
+    }
+    out += "\n  gateways ";
+    for (std::size_t i = 0; i < net.gateway_cities.size(); ++i) {
+      if (i) out += ",";
+      out += net.gateway_cities[i];
+    }
+    out += "\n";
+    append_traits(out, net.traits);
+  }
+  for (const TerminalSpec& t : terminals) {
+    out += "terminal " + t.name + " net=" + std::to_string(t.network) + " " +
+           std::string(to_string(t.mobility));
+    if (t.mobility != Mobility::fixed) out += " speed=" + fmt_double(t.speed_kmh);
+    out += " wp=";
+    for (std::size_t i = 0; i < t.waypoints.size(); ++i) {
+      if (i) out += ";";
+      out += fmt_double(t.waypoints[i].lat_deg) + ":" + fmt_double(t.waypoints[i].lon_deg);
+    }
+    out += "\n";
+  }
+  out += "faults\n";
+  out += faults.to_spec();
+  return out;
+}
+
+std::string ScenarioSpec::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "seed=%llu networks=%zu sats=%zu terminals=%zu faults=%zu horizon=%gs",
+                static_cast<unsigned long long>(seed), networks.size(), total_satellites(),
+                terminals.size(), faults.size(), horizon_sec);
+  return buf;
+}
+
+ScenarioSpec generate_scenario(std::uint64_t seed, const WorldGenConfig& config) {
+  ScenarioSpec spec;
+  spec.seed = seed;
+  const stats::Rng master(seed);
+
+  {
+    stats::Rng rng = master.fork_stable("horizon");
+    spec.horizon_sec =
+        std::floor(rng.uniform(config.min_horizon_sec, config.max_horizon_sec));
+    spec.step_sec = std::floor(rng.uniform(45.0, 120.0));
+  }
+
+  std::set<std::string, std::less<>> used_cities;
+
+  // Constellation mix: always one inclined LEO Walker network and one
+  // GEO slot (so some terminal always has a sky), plus an optional
+  // second LEO shell and an optional equatorial MEO network.
+  {
+    stats::Rng rng = master.fork_stable("net-leo0");
+    NetworkSpec net;
+    net.name = "leo0";
+    net.orbit = orbit::OrbitClass::leo;
+    orbit::Shell shell;
+    shell.name = "leo0-s0";
+    shell.altitude_km = rng.uniform(500.0, 1200.0);
+    shell.inclination_deg = rng.uniform(45.0, 98.0);
+    shell.planes = static_cast<std::size_t>(rng.uniform_int(10, 24));
+    shell.sats_per_plane = static_cast<std::size_t>(rng.uniform_int(8, 18));
+    shell.phase_factor =
+        static_cast<unsigned>(rng.uniform_int(0, static_cast<std::int64_t>(shell.planes) - 1));
+    net.shells.push_back(shell);
+    if (rng.chance(0.4)) {
+      orbit::Shell polar;
+      polar.name = "leo0-s1";
+      polar.altitude_km = rng.uniform(540.0, 1250.0);
+      polar.inclination_deg = rng.uniform(85.0, 98.0);
+      polar.planes = static_cast<std::size_t>(rng.uniform_int(4, 8));
+      polar.sats_per_plane = static_cast<std::size_t>(rng.uniform_int(8, 16));
+      polar.phase_factor =
+          static_cast<unsigned>(rng.uniform_int(0, static_cast<std::int64_t>(polar.planes) - 1));
+      net.shells.push_back(polar);
+    }
+    net.min_elevation_deg = rng.uniform(10.0, 20.0);
+    net.scheduling_overhead_ms = rng.uniform(5.0, 15.0);
+    net.reconfig_interval_sec = std::floor(rng.uniform(10.0, 20.0));
+    net.pop_cities = draw_cities(rng, static_cast<std::size_t>(rng.uniform_int(3, 6)),
+                                 used_cities);
+    net.gateway_cities = draw_cities(
+        rng, static_cast<std::size_t>(rng.uniform_int(4, 9)), used_cities);
+    net.traits = leo_traits(rng);
+    spec.networks.push_back(std::move(net));
+  }
+  {
+    stats::Rng rng = master.fork_stable("net-meo0");
+    if (rng.chance(0.5)) {
+      NetworkSpec net;
+      net.name = "meo0";
+      net.orbit = orbit::OrbitClass::meo;
+      orbit::Shell shell;
+      shell.name = "meo0-s0";
+      shell.altitude_km = rng.uniform(7000.0, 10000.0);
+      shell.inclination_deg = rng.uniform(0.0, 8.0);
+      shell.planes = 1;
+      shell.sats_per_plane = static_cast<std::size_t>(rng.uniform_int(10, 20));
+      shell.phase_factor = 0;
+      net.shells.push_back(shell);
+      net.min_elevation_deg = rng.uniform(8.0, 15.0);
+      net.scheduling_overhead_ms = rng.uniform(40.0, 90.0);
+      net.reconfig_interval_sec = std::floor(rng.uniform(60.0, 180.0));
+      net.pop_cities = draw_cities(rng, static_cast<std::size_t>(rng.uniform_int(2, 4)),
+                                   used_cities);
+      net.gateway_cities = draw_cities(
+          rng, static_cast<std::size_t>(rng.uniform_int(2, 5)), used_cities);
+      net.traits = meo_traits(rng);
+      spec.networks.push_back(std::move(net));
+    }
+  }
+  {
+    stats::Rng rng = master.fork_stable("net-geo0");
+    NetworkSpec net;
+    net.name = "geo0";
+    net.orbit = orbit::OrbitClass::geo;
+    net.min_elevation_deg = rng.uniform(10.0, 20.0);
+    net.scheduling_overhead_ms = rng.uniform(40.0, 90.0);
+    net.reconfig_interval_sec = 0.0;
+    net.pop_cities = draw_cities(rng, 1, used_cities);
+    net.gateway_cities = net.pop_cities;  // the teleport doubles as gateway
+    net.slot_lon_deg =
+        wrap_lon(geo::city_point(net.pop_cities.front()).lon_deg + rng.uniform(-25.0, 25.0));
+    net.traits = geo_traits(rng);
+    spec.networks.push_back(std::move(net));
+  }
+
+  // Population skew: a few anchor cities with Pareto weights; fixed
+  // terminals cluster around the heavy anchors.
+  std::vector<geo::GeoPoint> anchors;
+  std::vector<double> anchor_weights;
+  {
+    stats::Rng rng = master.fork_stable("anchors");
+    std::set<std::string, std::less<>> anchor_used;
+    for (const std::string& name :
+         draw_cities(rng, static_cast<std::size_t>(rng.uniform_int(3, 5)), anchor_used)) {
+      anchors.push_back(geo::city_point(name));
+      anchor_weights.push_back(rng.pareto(1.0, 1.2));
+    }
+  }
+
+  {
+    stats::Rng terms = master.fork_stable("terminals");
+    const auto n = static_cast<std::size_t>(
+        terms.uniform_int(static_cast<std::int64_t>(config.min_terminals),
+                          static_cast<std::int64_t>(config.max_terminals)));
+    for (std::size_t i = 0; i < n; ++i) {
+      stats::Rng rng = terms.fork_stable(static_cast<std::uint64_t>(i));
+      TerminalSpec t;
+      t.name = "term" + std::to_string(i);
+      t.network = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(spec.networks.size()) - 1));
+      const double roll = rng.uniform();
+      const geo::GeoPoint anchor = anchors[rng.weighted_index(anchor_weights)];
+      if (roll < 0.70) {
+        t.mobility = Mobility::fixed;
+        t.waypoints.push_back({clamp_lat(anchor.lat_deg + rng.normal(0.0, 1.5)),
+                               wrap_lon(anchor.lon_deg + rng.normal(0.0, 1.5)), 0.0});
+      } else if (roll < 0.85) {
+        t.mobility = Mobility::maritime;
+        t.speed_kmh = rng.uniform(30.0, 70.0);
+        const auto hops = static_cast<std::size_t>(rng.uniform_int(3, 5));
+        geo::GeoPoint p{clamp_lat(anchor.lat_deg + rng.uniform(-3.0, 3.0), 68.0),
+                        wrap_lon(anchor.lon_deg + rng.uniform(-3.0, 3.0)), 0.0};
+        t.waypoints.push_back(p);
+        for (std::size_t k = 1; k < hops; ++k) {
+          p = {clamp_lat(p.lat_deg + rng.uniform(-8.0, 8.0), 68.0),
+               wrap_lon(p.lon_deg + rng.uniform(-12.0, 12.0)), 0.0};
+          t.waypoints.push_back(p);
+        }
+      } else {
+        t.mobility = Mobility::aviation;
+        t.speed_kmh = rng.uniform(700.0, 900.0);
+        const auto hops = static_cast<std::size_t>(rng.uniform_int(2, 3));
+        geo::GeoPoint p{clamp_lat(anchor.lat_deg, 68.0), anchor.lon_deg, 0.0};
+        t.waypoints.push_back(p);
+        for (std::size_t k = 1; k < hops; ++k) {
+          p = {clamp_lat(p.lat_deg + rng.uniform(-25.0, 25.0), 68.0),
+               wrap_lon(p.lon_deg + rng.uniform(-40.0, 40.0)), 0.0};
+          t.waypoints.push_back(p);
+        }
+      }
+      spec.terminals.push_back(std::move(t));
+    }
+  }
+
+  {
+    stats::Rng rng = master.fork_stable("weather");
+    spec.weather.cell_deg = rng.uniform(2.0, 5.0);
+    spec.weather.cell_duration_hours = rng.uniform(3.0, 12.0);
+    spec.weather.rain_prob = rng.uniform(0.08, 0.20);
+    spec.weather.heavy_rain_prob = rng.uniform(0.02, 0.06);
+    spec.weather.cloudy_prob = rng.uniform(0.20, 0.35);
+    spec.weather.geo_outage_prob = rng.uniform(0.15, 0.35);
+    spec.weather.seed = draw_seed(rng);
+    const auto fronts = static_cast<std::size_t>(rng.uniform_int(0, 2));
+    for (std::size_t i = 0; i < fronts; ++i) {
+      stats::Rng frng = rng.fork_stable(static_cast<std::uint64_t>(i));
+      weather::MovingFront f;
+      const geo::GeoPoint anchor = anchors[frng.weighted_index(anchor_weights)];
+      f.start = {clamp_lat(anchor.lat_deg + frng.uniform(-5.0, 5.0), 68.0),
+                 wrap_lon(anchor.lon_deg + frng.uniform(-5.0, 5.0)), 0.0};
+      f.velocity_east_kmh = frng.uniform(-60.0, 60.0);
+      f.velocity_north_kmh = frng.uniform(-30.0, 30.0);
+      f.radius_km = frng.uniform(300.0, 900.0);
+      f.severity = static_cast<int>(frng.uniform_int(2, 3));
+      f.t_start_sec = std::floor(frng.uniform(0.0, 0.5 * spec.horizon_sec));
+      f.t_end_sec =
+          f.t_start_sec + std::floor(frng.uniform(0.2, 0.5) * spec.horizon_sec) + 1.0;
+      spec.weather.fronts.push_back(f);
+    }
+  }
+
+  {
+    stats::Rng rng = master.fork_stable("faults");
+    fault::GenerateConfig fc;
+    fc.horizon_sec = spec.horizon_sec;
+    for (const NetworkSpec& net : spec.networks) {
+      for (const std::string& city : net.gateway_cities) {
+        fc.gateway_names.push_back("gw-" + city);
+      }
+    }
+    fc.gateway_outages = static_cast<std::size_t>(rng.uniform_int(0, 3));
+    fc.handoff_storms = static_cast<std::size_t>(rng.uniform_int(0, 2));
+    fc.storm_network = spec.networks.front().name;
+    fc.weather_escalations = static_cast<std::size_t>(rng.uniform_int(0, 2));
+    for (const geo::GeoPoint& a : anchors) fc.weather_centers.push_back(a);
+    fc.loss_bursts = static_cast<std::size_t>(rng.uniform_int(0, 2));
+    fc.loss_operator = spec.networks.front().name;
+    fc.loss_fraction = rng.uniform(0.005, 0.03);
+    if (rng.chance(0.2)) {
+      fc.shard_failure_prob = 0.03;
+      fc.shard_phase = "matrix.eval";
+    }
+    spec.faults = fault::FaultPlan::generate(fc, draw_seed(rng));
+  }
+
+  return spec;
+}
+
+GeneratedWorld::GeneratedWorld(ScenarioSpec spec) : spec_(std::move(spec)), field_(spec_.weather) {
+  if (spec_.networks.empty()) {
+    throw std::invalid_argument("GeneratedWorld: spec has no networks");
+  }
+  for (const NetworkSpec& ns : spec_.networks) {
+    orbit::AccessConfig cfg;
+    cfg.name = ns.name;
+    cfg.orbit = ns.orbit;
+    cfg.min_elevation_deg = ns.min_elevation_deg;
+    cfg.scheduling_overhead_ms = ns.scheduling_overhead_ms;
+    cfg.reconfig_interval_sec = ns.reconfig_interval_sec;
+    for (const std::string& city : ns.pop_cities) {
+      const auto c = geo::find_city(city);
+      if (!c) throw std::invalid_argument("GeneratedWorld: unknown pop city " + city);
+      cfg.pops.push_back(
+          {city, city, std::string(c->country_code), geo::city_point(city)});
+    }
+    for (std::size_t i = 0; i < ns.gateway_cities.size(); ++i) {
+      const std::string& city = ns.gateway_cities[i];
+      cfg.gateways.push_back(
+          {"gw-" + city, geo::city_point(city), i % cfg.pops.size()});
+    }
+    if (ns.orbit == orbit::OrbitClass::geo) {
+      orbit::GeoFleet fleet;
+      fleet.add_slot(ns.name + "-sat", ns.slot_lon_deg);
+      networks_.push_back(
+          std::make_unique<orbit::AccessNetwork>(std::move(cfg), std::move(fleet)));
+    } else {
+      auto constellation = std::make_shared<const orbit::Constellation>(ns.shells);
+      networks_.push_back(
+          std::make_unique<orbit::AccessNetwork>(std::move(cfg), std::move(constellation)));
+    }
+  }
+
+  track_arcs_.resize(spec_.terminals.size());
+  for (std::size_t i = 0; i < spec_.terminals.size(); ++i) {
+    const TerminalSpec& t = spec_.terminals[i];
+    if (t.waypoints.empty()) {
+      throw std::invalid_argument("GeneratedWorld: terminal " + t.name + " has no waypoints");
+    }
+    if (t.mobility == Mobility::fixed || t.waypoints.size() < 2 || t.speed_kmh <= 0) {
+      continue;
+    }
+    // Cumulative arc lengths over the closed polyline (last -> first
+    // closes the loop so motion is periodic over the horizon).
+    std::vector<double>& arcs = track_arcs_[i];
+    arcs.push_back(0.0);
+    for (std::size_t k = 0; k < t.waypoints.size(); ++k) {
+      const geo::GeoPoint& a = t.waypoints[k];
+      const geo::GeoPoint& b = t.waypoints[(k + 1) % t.waypoints.size()];
+      arcs.push_back(arcs.back() + geo::surface_distance_km(a, b));
+    }
+    if (arcs.back() <= 1e-9) arcs.clear();  // degenerate track: treat as fixed
+  }
+}
+
+geo::GeoPoint GeneratedWorld::terminal_position(std::size_t i, double t_sec) const {
+  const TerminalSpec& t = spec_.terminals.at(i);
+  const std::vector<double>& arcs = track_arcs_[i];
+  if (arcs.empty()) return t.waypoints.front();
+  const double total = arcs.back();
+  double d = std::fmod(t.speed_kmh * (t_sec / 3600.0), total);
+  if (d < 0) d += total;
+  // arcs[k] <= d < arcs[k+1] locates the segment.
+  const auto it = std::upper_bound(arcs.begin(), arcs.end(), d);
+  const auto k = static_cast<std::size_t>(
+      std::max<std::ptrdiff_t>(0, (it - arcs.begin()) - 1));
+  const double seg_len = arcs[k + 1] - arcs[k];
+  const geo::GeoPoint& a = t.waypoints[k];
+  const geo::GeoPoint& b = t.waypoints[(k + 1) % t.waypoints.size()];
+  if (seg_len <= 1e-12) return a;
+  return geo::interpolate(a, b, (d - arcs[k]) / seg_len);
+}
+
+}  // namespace satnet::synth

@@ -56,6 +56,13 @@ struct FlowResult {
   std::size_t n_handoffs = 0;
   std::size_t n_rtos = 0;
   std::vector<TcpInfoSnapshot> snapshots;
+
+  /// Byte conservation law of the flow models (TCP and QUIC): every
+  /// sent byte is eventually either acknowledged or accounted as a
+  /// retransmission — lost data is re-delivered, duplicate (go-back-N,
+  /// spurious-RTO, probe) bytes count as sent and retransmitted but
+  /// never acked. The invariant harness checks this on every flow.
+  bool conserved() const { return bytes_sent == bytes_acked + bytes_retrans; }
 };
 
 /// A single long-running (bulk) flow over a fixed path.

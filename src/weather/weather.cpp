@@ -17,6 +17,23 @@ std::string_view to_string(Condition c) {
   return "?";
 }
 
+geo::GeoPoint MovingFront::center_at(double t_sec) const {
+  const double t = std::clamp(t_sec, t_start_sec, t_end_sec);
+  const double hours = (t - t_start_sec) / 3600.0;
+  const double north_km = velocity_north_kmh * hours;
+  const double east_km = velocity_east_kmh * hours;
+  // km -> degrees on the sphere; the east conversion shrinks with
+  // latitude (clamped away from the poles to keep it finite).
+  constexpr double kKmPerDegree = 111.32;
+  const double lat = start.lat_deg + north_km / kKmPerDegree;
+  const double cos_lat =
+      std::max(0.1, std::cos(geo::deg_to_rad(std::clamp(lat, -85.0, 85.0))));
+  double lon = start.lon_deg + east_km / (kKmPerDegree * cos_lat);
+  while (lon > 180.0) lon -= 360.0;
+  while (lon < -180.0) lon += 360.0;
+  return {std::clamp(lat, -90.0, 90.0), lon, 0.0};
+}
+
 double WeatherField::wetness(const geo::GeoPoint& location) const {
   // Simple climate proxy: precipitation probability peaks in the tropics
   // and decays toward the poles.
@@ -57,6 +74,16 @@ Condition WeatherField::at(const geo::GeoPoint& location, double t_sec) const {
     c = Condition::rain;
   } else if (u < heavy + rain + cloudy) {
     c = Condition::cloudy;
+  }
+  // Scheduled storm fronts floor the condition while they are overhead,
+  // same semantics as a fault escalation: worse than the cell process,
+  // never better.
+  for (const MovingFront& front : config_.fronts) {
+    if (t_sec < front.t_start_sec || t_sec >= front.t_end_sec) continue;
+    if (geo::surface_distance_km(front.center_at(t_sec), location) > front.radius_km) {
+      continue;
+    }
+    c = std::max(c, static_cast<Condition>(std::clamp(front.severity, 0, 3)));
   }
   // A fault-plan weather escalation floors the condition in its region:
   // the sky can be worse than scheduled, never better.

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string_view>
+#include <vector>
 
 #include "geo/geodesy.hpp"
 #include "orbit/shell.hpp"
@@ -28,6 +29,24 @@ struct LinkImpact {
   bool outage = false;           ///< heavy rain can take Ka links down
 };
 
+/// A storm system translating across the map: a circular region whose
+/// condition floor applies while the front is active and overhead. The
+/// center moves linearly from `start` at `velocity_east/north_kmh` —
+/// deterministic, so the field stays a pure function of (config, t).
+struct MovingFront {
+  geo::GeoPoint start;           ///< center at t_start_sec
+  double velocity_east_kmh = 0;  ///< eastward drift (negative = west)
+  double velocity_north_kmh = 0;
+  double radius_km = 500.0;
+  /// Severity floor inside the front: 1 cloudy, 2 rain, 3 heavy rain.
+  int severity = 2;
+  double t_start_sec = 0;
+  double t_end_sec = 0;
+
+  /// Center at time t (clamped into the active window).
+  geo::GeoPoint center_at(double t_sec) const;
+};
+
 struct WeatherConfig {
   /// Size of one weather cell, degrees of latitude/longitude.
   double cell_deg = 3.0;
@@ -40,6 +59,10 @@ struct WeatherConfig {
   /// Probability a heavy-rain cell outright drops a GEO Ka link.
   double geo_outage_prob = 0.25;
   std::uint64_t seed = 0x5eed;
+  /// Scheduled storm systems layered over the cell process (scenario
+  /// generator worlds). Empty — the default — leaves the field exactly
+  /// as before, so existing goldens are untouched.
+  std::vector<MovingFront> fronts;
 };
 
 /// A deterministic global weather process: the condition at any location

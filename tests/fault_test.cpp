@@ -71,6 +71,79 @@ TEST(FaultPlanTest, GeneratedWindowsNeverOverlapPerTarget) {
   }
 }
 
+TEST(FaultPlanTest, GenerateRejectsNonPositiveHorizonWhenEventsRequested) {
+  // Without a positive horizon every slot collapses to a zero-duration
+  // window; generate() must refuse up front rather than let validate()
+  // report a confusing "empty window" on event #0.
+  GenerateConfig cfg;
+  cfg.horizon_sec = 0;
+  cfg.gateway_outages = 1;
+  EXPECT_THROW(FaultPlan::generate(cfg, 1), std::invalid_argument);
+  cfg.horizon_sec = -5;
+  EXPECT_THROW(FaultPlan::generate(cfg, 1), std::invalid_argument);
+
+  // shard_failure is whole-run, not windowed: it alone needs no horizon
+  // (the window clamps to at least one second).
+  GenerateConfig only_shard;
+  only_shard.horizon_sec = 0;
+  only_shard.shard_failure_prob = 0.2;
+  const FaultPlan plan = FaultPlan::generate(only_shard, 1);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_NO_THROW(plan.validate());
+  EXPECT_GT(plan.events()[0].t_end_sec, plan.events()[0].t_start_sec);
+}
+
+TEST(FaultPlanTest, GenerateTinyHorizonNeverProducesZeroDurationWindows) {
+  // Slot lengths shrink with the horizon, but the in-slot window length
+  // draw has a strictly positive floor — even a one-second horizon with
+  // every kind requested yields only non-empty windows.
+  GenerateConfig cfg;
+  cfg.horizon_sec = 1.0;
+  cfg.gateway_outages = 4;
+  cfg.gateway_names = {"a", "b"};
+  cfg.handoff_storms = 3;
+  cfg.weather_escalations = 3;
+  cfg.loss_bursts = 3;
+  cfg.shard_failure_prob = 0.1;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const FaultPlan plan = FaultPlan::generate(cfg, seed);
+    EXPECT_NO_THROW(plan.validate()) << "seed " << seed;
+    for (const FaultEvent& ev : plan.events()) {
+      EXPECT_GT(ev.t_end_sec, ev.t_start_sec)
+          << "seed " << seed << ": " << fault::to_string(ev.kind) << " on "
+          << ev.target;
+    }
+  }
+}
+
+TEST(FaultPlanTest, GeneratedCrossTargetWindowsMayOverlapAndStillValidate) {
+  // Slots are per (kind, target): windows on *different* gateways share
+  // the horizon freely. With three gateways squeezed into a tight
+  // horizon such cross-target overlap actually happens, and validate()
+  // must accept it — only same-target overlap is illegal.
+  GenerateConfig cfg;
+  cfg.horizon_sec = 600;
+  cfg.gateway_outages = 9;
+  cfg.gateway_names = {"gw-a", "gw-b", "gw-c"};
+  bool cross_target_overlap = false;
+  for (std::uint64_t seed = 1; seed <= 10 && !cross_target_overlap; ++seed) {
+    const FaultPlan plan = FaultPlan::generate(cfg, seed);
+    EXPECT_NO_THROW(plan.validate()) << "seed " << seed;
+    const auto& evs = plan.events();
+    for (std::size_t i = 0; i < evs.size(); ++i) {
+      for (std::size_t j = i + 1; j < evs.size(); ++j) {
+        if (evs[i].target == evs[j].target) continue;
+        if (evs[i].t_start_sec < evs[j].t_end_sec &&
+            evs[j].t_start_sec < evs[i].t_end_sec) {
+          cross_target_overlap = true;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(cross_target_overlap)
+      << "nine outages over three gateways in 600s should collide across targets";
+}
+
 TEST(FaultPlanTest, SpecRoundTripIsLossless) {
   const FaultPlan plan = FaultPlan::generate(busy_config(), 11);
   const FaultPlan reparsed = FaultPlan::parse_spec(plan.to_spec());

@@ -1,0 +1,282 @@
+// Scenario-matrix harness: sweep seeded generated worlds through the
+// cross-cutting invariant catalog (thread-identity, ablation-identity,
+// flow-conservation, monotone-degradation, finite-metrics), and prove
+// the harness itself works by planting mutations that each invariant
+// must catch — shrinking the failing world to a minimal printable spec.
+//
+// Budget knobs (env):
+//   SATNET_MATRIX_WORLDS       worlds in the sweep (default 6; the
+//                              verify.sh --matrix gate raises this)
+//   SATNET_MATRIX_FAILURE_DIR  where minimal failing specs are written
+//                              (default ./matrix_failures)
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fault/hook.hpp"
+#include "matrix/eval.hpp"
+#include "matrix/invariants.hpp"
+#include "matrix/shrink.hpp"
+#include "orbit/timeline.hpp"
+#include "synth/worldgen.hpp"
+
+namespace satnet {
+namespace {
+
+using matrix::CheckOptions;
+using matrix::InvariantViolation;
+using matrix::Mutation;
+using synth::ScenarioSpec;
+
+std::size_t env_count(const char* name, std::size_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(env, &end, 10);
+  if (end == env || *end != '\0' || v == 0) return fallback;
+  return static_cast<std::size_t>(v);
+}
+
+std::filesystem::path failure_dir() {
+  const char* env = std::getenv("SATNET_MATRIX_FAILURE_DIR");
+  return (env != nullptr && *env != '\0') ? std::filesystem::path(env)
+                                          : std::filesystem::path("matrix_failures");
+}
+
+/// The sweep's seed schedule: a fixed affine sequence so failure seeds
+/// printed by one run mean the same world in the next.
+std::uint64_t sweep_seed(std::size_t i) { return 1000003ull * (i + 1) + 17ull; }
+
+/// Writes the minimal failing spec (plus the one-line repro) to stderr
+/// and to <failure_dir>/seed-<seed>.txt, returning the artifact path.
+std::filesystem::path report_failure(const ScenarioSpec& original,
+                                     const InvariantViolation& violation,
+                                     const ScenarioSpec& minimal) {
+  const std::filesystem::path dir = failure_dir();
+  std::filesystem::create_directories(dir);
+  const std::filesystem::path path =
+      dir / ("seed-" + std::to_string(original.seed) + ".txt");
+  std::string text;
+  text += "invariant: " + violation.invariant + "\n";
+  text += "detail: " + violation.detail + "\n";
+  text += "repro: ./build/examples/satnetctl world --seed " +
+          std::to_string(original.seed) + " --check\n";
+  text += "original: " + original.summary() + "\n";
+  text += "minimal: " + minimal.summary() + "\n";
+  text += "minimal spec:\n" + minimal.to_text();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+  out.close();
+  std::cerr << "[matrix] invariant violation (artifact: " << path.string() << ")\n"
+            << text;
+  return path;
+}
+
+/// Shrinks a failing spec against the same check that caught it, then
+/// reports. Kept small: the predicate re-runs the full check per
+/// candidate, so the options passed in should be the cheapest ones that
+/// still reproduce the violation.
+std::filesystem::path shrink_and_report(const ScenarioSpec& spec,
+                                        const InvariantViolation& violation,
+                                        const CheckOptions& options) {
+  const matrix::ShrinkResult shrunk = matrix::shrink_spec(
+      spec,
+      [&](const ScenarioSpec& candidate) {
+        const auto v = matrix::check_spec(candidate, options);
+        return v.has_value() && v->invariant == violation.invariant;
+      },
+      48);
+  return report_failure(spec, violation, shrunk.spec);
+}
+
+class MatrixTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    orbit::EpochTimeline::clear_installed();
+    fault::Hook::clear();
+  }
+};
+
+// ----------------------------------------------------------------- sweep
+
+// The PR-gate sweep: every generated world satisfies the whole invariant
+// catalog. verify.sh --matrix runs the same binary with a bigger budget.
+TEST_F(MatrixTest, InvariantsHoldAcrossSeededWorlds) {
+  const std::size_t n_worlds = env_count("SATNET_MATRIX_WORLDS", 6);
+  std::cerr << "[matrix] sweeping " << n_worlds << " worlds\n";
+  std::set<std::string> distinct;
+  for (std::size_t i = 0; i < n_worlds; ++i) {
+    const std::uint64_t seed = sweep_seed(i);
+    SCOPED_TRACE("world seed=" + std::to_string(seed));
+    const ScenarioSpec spec = synth::generate_scenario(seed);
+    distinct.insert(spec.to_text());
+    const auto violation = matrix::check_spec(spec);
+    if (violation.has_value()) {
+      shrink_and_report(spec, *violation, CheckOptions{});
+      ADD_FAILURE() << violation->invariant << ": " << violation->detail
+                    << " (seed " << seed << ")";
+    }
+    orbit::EpochTimeline::clear_installed();
+  }
+  EXPECT_EQ(distinct.size(), n_worlds) << "seeds must generate distinct worlds";
+}
+
+// --------------------------------------------------------- determinism
+
+TEST_F(MatrixTest, SameSeedSameSpecText) {
+  for (const std::uint64_t seed : {3ull, 71ull, 424242ull}) {
+    const ScenarioSpec a = synth::generate_scenario(seed);
+    const ScenarioSpec b = synth::generate_scenario(seed);
+    EXPECT_EQ(a.to_text(), b.to_text()) << "seed " << seed;
+    EXPECT_NE(a.to_text().find("seed " + std::to_string(seed)), std::string::npos);
+    EXPECT_GT(a.total_satellites(), 0u);
+    EXPECT_GT(a.total_gateways(), 0u);
+  }
+  EXPECT_NE(synth::generate_scenario(3).to_text(), synth::generate_scenario(4).to_text());
+}
+
+TEST_F(MatrixTest, ReportIsPureFunctionOfSpec) {
+  // Two independent materializations of the same spec, evaluated at
+  // different thread counts, must produce byte-identical reports — the
+  // run-to-run half of the "same seed, same campaign report" contract.
+  const ScenarioSpec spec = synth::generate_scenario(5);
+  const synth::GeneratedWorld first(spec);
+  const synth::GeneratedWorld second(spec);
+  matrix::EvalOptions one;
+  one.threads = 1;
+  matrix::EvalOptions three;
+  three.threads = 3;
+  const matrix::WorldEval a = matrix::evaluate_world(first, one);
+  orbit::EpochTimeline::clear_installed();
+  const matrix::WorldEval b = matrix::evaluate_world(second, three);
+  EXPECT_EQ(a.report, b.report);
+  EXPECT_EQ(a.ok_bits, b.ok_bits);
+  EXPECT_EQ(a.metrics, b.metrics);
+}
+
+// --------------------------------------------------------- widen_plan
+
+TEST_F(MatrixTest, WidenedPlansAreNestedSupersets) {
+  fault::GenerateConfig cfg;
+  cfg.horizon_sec = 3600;
+  cfg.gateway_outages = 4;
+  cfg.gateway_names = {"gw-a", "gw-b"};
+  cfg.handoff_storms = 2;
+  cfg.loss_bursts = 3;
+  cfg.weather_escalations = 2;
+  const fault::FaultPlan base = fault::FaultPlan::generate(cfg, 99);
+  const fault::FaultPlan mid = matrix::widen_plan(base, cfg.horizon_sec, 0.35);
+  const fault::FaultPlan wide = matrix::widen_plan(base, cfg.horizon_sec, 0.7);
+  ASSERT_EQ(base.size(), mid.size());
+  ASSERT_EQ(base.size(), wide.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    const fault::FaultEvent& b = base.events()[i];
+    const fault::FaultEvent& m = mid.events()[i];
+    const fault::FaultEvent& w = wide.events()[i];
+    EXPECT_EQ(b.t_start_sec, m.t_start_sec) << "widening must not move starts";
+    EXPECT_EQ(b.t_start_sec, w.t_start_sec);
+    if (b.kind == fault::EventKind::handoff_storm ||
+        b.kind == fault::EventKind::shard_failure) {
+      EXPECT_EQ(b.t_end_sec, m.t_end_sec)
+          << "epoch-shaping and whole-run events must never widen";
+      EXPECT_EQ(b.t_end_sec, w.t_end_sec);
+    } else {
+      EXPECT_LE(b.t_end_sec, m.t_end_sec);
+      EXPECT_LE(m.t_end_sec, w.t_end_sec) << "windows must nest as fraction grows";
+    }
+  }
+  EXPECT_NO_THROW(mid.validate());
+  EXPECT_NO_THROW(wide.validate());
+}
+
+// ----------------------------------------------------------- mutations
+
+// Each planted mutation must be caught by exactly the invariant that
+// owns it, and the shrinker must reduce the failing world to the
+// smallest spec that still trips it — the harness checking itself.
+
+TEST_F(MatrixTest, ThreadStampMutantCaughtByThreadIdentity) {
+  const ScenarioSpec spec = synth::generate_scenario(11);
+  CheckOptions options;
+  options.mutation = Mutation::thread_stamp;
+  options.thread_counts = {1, 2};  // cheapest pair that still diverges
+  options.widen_fractions.clear();
+  const auto violation = matrix::check_spec(spec, options);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->invariant, "thread-identity");
+  EXPECT_NE(violation->detail.find("threads=2"), std::string::npos) << violation->detail;
+
+  // The stamp fails independently of world content, so the shrinker
+  // should grind the spec down to the floor on every axis.
+  const std::filesystem::path artifact = shrink_and_report(spec, *violation, options);
+  ASSERT_TRUE(std::filesystem::exists(artifact));
+  std::ifstream in(artifact, std::ios::binary);
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("invariant: thread-identity"), std::string::npos);
+  EXPECT_NE(text.find("satnetctl world --seed 11"), std::string::npos);
+
+  const matrix::ShrinkResult shrunk = matrix::shrink_spec(
+      spec,
+      [&](const ScenarioSpec& candidate) {
+        const auto v = matrix::check_spec(candidate, options);
+        return v.has_value() && v->invariant == "thread-identity";
+      },
+      48);
+  EXPECT_GT(shrunk.steps_accepted, 0u);
+  EXPECT_EQ(shrunk.spec.terminals.size(), 1u);
+  EXPECT_EQ(shrunk.spec.networks.size(), 1u);
+  EXPECT_TRUE(shrunk.spec.faults.empty());
+  EXPECT_LT(shrunk.spec.total_satellites(), spec.total_satellites());
+}
+
+TEST_F(MatrixTest, NanMetricMutantCaughtByFiniteMetrics) {
+  const ScenarioSpec spec = synth::generate_scenario(12);
+  CheckOptions options;
+  options.mutation = Mutation::nan_metric;
+  options.thread_counts = {1};  // NaN hides in metrics, not the report
+  options.widen_fractions.clear();
+  const auto violation = matrix::check_spec(spec, options);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->invariant, "finite-metrics");
+  EXPECT_NE(violation->detail.find("matrix.zz_mutant"), std::string::npos)
+      << violation->detail;
+  // Same spec, mutation off: clean.
+  CheckOptions clean = options;
+  clean.mutation = Mutation::none;
+  EXPECT_FALSE(matrix::check_spec(spec, clean).has_value());
+}
+
+TEST_F(MatrixTest, FlowBytesMutantCaughtByFlowConservation) {
+  // The mutation skews terminal 0's TCP byte ledger, which only bites on
+  // worlds where terminal 0 actually runs a flow — scan the sweep seeds
+  // for one (deterministic: the same seed trips every run).
+  CheckOptions options;
+  options.mutation = Mutation::flow_bytes;
+  options.thread_counts = {1};
+  options.widen_fractions.clear();
+  bool caught = false;
+  for (std::uint64_t seed = 1; seed <= 30 && !caught; ++seed) {
+    const ScenarioSpec spec = synth::generate_scenario(seed);
+    const auto violation = matrix::check_spec(spec, options);
+    orbit::EpochTimeline::clear_installed();
+    if (!violation.has_value()) continue;
+    ASSERT_EQ(violation->invariant, "flow-conservation") << "seed " << seed;
+    EXPECT_NE(violation->detail.find("bytes_sent == bytes_acked + bytes_retrans"),
+              std::string::npos);
+    CheckOptions clean = options;
+    clean.mutation = Mutation::none;
+    EXPECT_FALSE(matrix::check_spec(spec, clean).has_value()) << "seed " << seed;
+    caught = true;
+  }
+  EXPECT_TRUE(caught) << "no seed in 1..30 exercised terminal 0's flow path";
+}
+
+}  // namespace
+}  // namespace satnet

@@ -3,7 +3,9 @@
 // calibrated numbers.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <set>
+#include <vector>
 
 #include "mlab/campaign.hpp"
 #include "snoid/pipeline.hpp"
@@ -18,9 +20,32 @@ namespace {
 
 // ---------------------------------------------------------------- seeds
 
+// The sweep draws its generator seeds from a fixed meta-stream, so run
+// N and run N+1 agree on what "seed #k" means. SATNET_PROPERTY_SEEDS
+// overrides the count (nightly jobs raise it, quick local runs lower
+// it); the failing seed is printed in every assertion's trace.
+std::vector<std::uint64_t> sweep_seeds() {
+  std::size_t n = 32;
+  if (const char* env = std::getenv("SATNET_PROPERTY_SEEDS");
+      env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) n = static_cast<std::size_t>(v);
+  }
+  const stats::Rng meta(0x5eed);
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    seeds.push_back(
+        static_cast<std::uint64_t>(meta.fork_stable(i).uniform_int(1, 1ll << 62)));
+  }
+  return seeds;
+}
+
 class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(SeedSweep, TcpByteConservationForAnySeedAndPath) {
+  SCOPED_TRACE(::testing::Message() << "generator seed " << GetParam());
   stats::Rng meta(GetParam());
   for (int variant = 0; variant < 6; ++variant) {
     transport::PathProfile p;
@@ -45,6 +70,7 @@ TEST_P(SeedSweep, TcpByteConservationForAnySeedAndPath) {
 }
 
 TEST_P(SeedSweep, QuicByteConservationForAnySeedAndPath) {
+  SCOPED_TRACE(::testing::Message() << "generator seed " << GetParam());
   stats::Rng meta(GetParam() ^ 0xbeef);
   for (int variant = 0; variant < 6; ++variant) {
     transport::PathProfile p;
@@ -59,6 +85,7 @@ TEST_P(SeedSweep, QuicByteConservationForAnySeedAndPath) {
 }
 
 TEST_P(SeedSweep, TraceEpisodesSumToSnapshotTotal) {
+  SCOPED_TRACE(::testing::Message() << "generator seed " << GetParam());
   stats::Rng meta(GetParam() ^ 0xfeed);
   transport::PathProfile p;
   p.base_rtt_ms = meta.uniform(40, 700);
@@ -74,7 +101,7 @@ TEST_P(SeedSweep, TraceEpisodesSumToSnapshotTotal) {
   EXPECT_EQ(sum, result.snapshots.back().bytes_retrans);
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Values(1u, 17u, 4242u, 99991u));
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::ValuesIn(sweep_seeds()));
 
 // -------------------------------------------------------------- pipeline
 

@@ -5,6 +5,7 @@
 // byte-identity contract; these tests pin the mechanism.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <bit>
 #include <cstdint>
 #include <memory>
@@ -182,6 +183,80 @@ TEST_F(TimelineTest, FaultPlanInvalidatesStaleEras) {
     ++i;
   }
   EXPECT_EQ(counter("timeline.replay.fallback"), fallback1);
+}
+
+TEST_F(TimelineTest, GeneratedPlanEraKeysPartitionTheTimeline) {
+  // An auto-generated plan spanning the query horizon: every outage and
+  // storm edge must become an era boundary, the key list must cover
+  // exactly boundaries+1 disjoint intervals, and keys must change across
+  // each fault edge (the active set differs by that event).
+  const orbit::AccessNetwork net = make_net();
+  fault::GenerateConfig cfg;
+  cfg.horizon_sec = 900;  // grid_queries(60) spans [15, 900]
+  cfg.gateway_outages = 3;
+  cfg.gateway_names = {"seattle", "newyork"};
+  cfg.handoff_storms = 2;
+  cfg.storm_network = "starlink";
+  const fault::FaultPlan plan = fault::FaultPlan::generate(cfg, 2026);
+  fault::Hook::install(plan);
+  orbit::EpochTimeline::ensure(net, grid_queries(60), 1);
+  const orbit::EpochTimeline* tl = orbit::EpochTimeline::find(net.identity_hash());
+  ASSERT_NE(tl, nullptr);
+
+  const std::vector<double>& b = tl->boundaries();
+  for (std::size_t i = 1; i < b.size(); ++i) {
+    EXPECT_LT(b[i - 1], b[i]) << "boundaries must strictly increase";
+  }
+  ASSERT_EQ(tl->era_keys().size(), b.size() + 1)
+      << "one key per era: the keys partition the whole time axis";
+
+  for (const fault::FaultEvent& ev : plan.events()) {
+    if (ev.kind != fault::EventKind::gateway_outage &&
+        ev.kind != fault::EventKind::handoff_storm) {
+      continue;
+    }
+    for (const double edge : {ev.t_start_sec, ev.t_end_sec}) {
+      const auto it = std::find(b.begin(), b.end(), edge);
+      ASSERT_NE(it, b.end()) << fault::to_string(ev.kind) << " edge " << edge
+                             << " missing from era boundaries";
+      // Boundary b[k] separates era k from era k+1; the event toggles
+      // exactly there, so the fault keys on both sides must differ.
+      const std::size_t k = static_cast<std::size_t>(it - b.begin());
+      EXPECT_NE(tl->era_keys()[k], tl->era_keys()[k + 1])
+          << "era key unchanged across fault edge " << edge;
+    }
+  }
+
+  // Extending the plan invalidates exactly the eras intersecting the new
+  // window: those fall back, every other era keeps replaying. The added
+  // target matches no real gateway, so only era bookkeeping changes.
+  std::vector<fault::FaultEvent> extended = plan.events();
+  fault::FaultEvent extra;
+  extra.kind = fault::EventKind::gateway_outage;
+  extra.target = "no-such-gateway";
+  extra.t_start_sec = 333.25;
+  extra.t_end_sec = 444.75;
+  extended.push_back(extra);
+  fault::Hook::install(fault::FaultPlan(std::move(extended)));
+
+  for (const auto& q : grid_queries(60)) {
+    const std::uint64_t hit0 = counter("timeline.replay.hit");
+    const std::uint64_t fallback0 = counter("timeline.replay.fallback");
+    net.sample(q.terminal, q.t_sec);
+    const std::size_t era = static_cast<std::size_t>(
+        std::upper_bound(b.begin(), b.end(), q.t_sec) - b.begin());
+    const double lo = era == 0 ? -1e18 : b[era - 1];
+    const double hi = era == b.size() ? 1e18 : b[era];
+    const bool invalidated = lo < extra.t_end_sec && extra.t_start_sec < hi;
+    if (invalidated) {
+      EXPECT_GT(counter("timeline.replay.fallback"), fallback0)
+          << "t=" << q.t_sec << " sits in an invalidated era and must fall back";
+    } else {
+      EXPECT_EQ(counter("timeline.replay.fallback"), fallback0)
+          << "t=" << q.t_sec << " is outside the new window and must replay";
+      EXPECT_GT(counter("timeline.replay.hit"), hit0);
+    }
+  }
 }
 
 TEST_F(TimelineTest, SerializeLoadReplayRoundTrip) {

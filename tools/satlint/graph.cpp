@@ -63,9 +63,17 @@ const std::map<std::string, std::vector<std::string>> kAllowedDeps = {
      {"src:stats", "src:fault", "src:obs", "src:orbit", "src:weather"}},
     {"src:http", {"src:stats", "src:transport"}},
     {"src:video", {"src:stats", "src:transport"}},
+    // synth emits fault::FaultPlans (the scenario generator's fault
+    // axis); fault is a lower layer (geo/stats/obs only), so no cycle.
     {"src:synth",
      {"src:geo", "src:stats", "src:net", "src:bgp", "src:orbit",
-      "src:transport", "src:weather"}},
+      "src:transport", "src:weather", "src:fault"}},
+    // matrix is the invariant-harness layer over generated worlds: it
+    // drives synth worlds through the campaign runtime, so it sits with
+    // the campaign layers (above synth/runtime, below io).
+    {"src:matrix",
+     {"src:geo", "src:stats", "src:obs", "src:fault", "src:orbit",
+      "src:weather", "src:transport", "src:runtime", "src:synth"}},
     {"src:mlab",
      {"src:stats", "src:sim", "src:obs", "src:orbit", "src:runtime",
       "src:synth", "src:transport"}},
