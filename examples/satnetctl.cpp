@@ -10,6 +10,11 @@
 //   satnetctl world --seed N [--check]            print a generated scenario
 //                                                 spec; --check runs the
 //                                                 invariant catalog on it
+//   satnetctl tle FILE [--t SEC]                  load a TLE catalog and print
+//                                                 SGP4 positions at sim time t
+//
+// `world` accepts --orbit-model walker|sgp4 (also --orbit-model=...) to
+// force the LEO network's ephemeris backend instead of the seeded draw.
 //
 // Every campaign-running command accepts --threads N (0 = one worker per
 // hardware thread, the default). Output is identical for every value —
@@ -57,6 +62,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <string>
 
 #include "fault/hook.hpp"
@@ -69,6 +75,9 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "orbit/access_index.hpp"
+#include "orbit/constellation.hpp"
+#include "orbit/propagator.hpp"
+#include "orbit/sgp4.hpp"
 #include "orbit/timeline.hpp"
 #include "prolific/census.hpp"
 #include "ripe/atlas.hpp"
@@ -82,8 +91,13 @@ namespace {
 using namespace satnet;
 
 const char* flag_value(int argc, char** argv, const char* name, const char* fallback) {
-  for (int i = 2; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  const std::size_t len = std::strlen(name);
+  for (int i = 2; i < argc; ++i) {
+    // Both "--flag value" and "--flag=value" spellings.
+    if (std::strcmp(argv[i], name) == 0 && i + 1 < argc) return argv[i + 1];
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+      return argv[i] + len + 1;
+    }
   }
   return fallback;
 }
@@ -242,7 +256,19 @@ int cmd_world(int argc, char** argv) {
     std::fprintf(stderr, "satnetctl world: --seed expects a number, got '%s'\n", raw);
     return 2;
   }
-  const synth::ScenarioSpec spec = synth::generate_scenario(seed);
+  synth::ScenarioSpec spec = synth::generate_scenario(seed);
+  const std::string model_raw = flag_value(argc, argv, "--orbit-model", "");
+  if (!model_raw.empty()) {
+    const auto model = orbit::parse_orbit_model(model_raw);
+    if (!model) {
+      std::fprintf(stderr, "satnetctl world: --orbit-model expects walker|sgp4, got '%s'\n",
+                   model_raw.c_str());
+      return 2;
+    }
+    for (auto& net : spec.networks) {
+      if (net.orbit != orbit::OrbitClass::geo) net.model = *model;
+    }
+  }
   std::printf("%s", spec.to_text().c_str());
   std::printf("# %s\n", spec.summary().c_str());
   if (has_flag(argc, argv, "--check")) {
@@ -254,6 +280,44 @@ int cmd_world(int argc, char** argv) {
     }
     std::printf("# invariants: thread-identity ablation-identity flow-conservation "
                 "monotone-degradation finite-metrics all ok\n");
+  }
+  return 0;
+}
+
+int cmd_tle(int argc, char** argv) {
+  if (argc < 3 || argv[2][0] == '-') {
+    std::fprintf(stderr, "satnetctl tle: usage: satnetctl tle FILE [--t SEC]\n");
+    return 2;
+  }
+  std::ifstream in(argv[2]);
+  if (!in) {
+    std::fprintf(stderr, "satnetctl tle: cannot open %s\n", argv[2]);
+    return 2;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  std::string err;
+  auto catalog = orbit::parse_tle_catalog(text, &err);
+  if (!catalog) {
+    std::fprintf(stderr, "satnetctl tle: %s: %s\n", argv[2], err.c_str());
+    return 2;
+  }
+  const double t = std::stod(flag_value(argc, argv, "--t", "0"));
+  const orbit::Constellation c = orbit::Constellation::from_tles(std::move(*catalog));
+  const auto& prop = static_cast<const orbit::Sgp4Propagator&>(c.propagator());
+  std::printf("catalog %s: %zu satellites, epoch jd %.8f, t=%gs\n", argv[2],
+              c.total_sats(), prop.epoch_jd(), t);
+  for (std::size_t i = 0; i < c.total_sats(); ++i) {
+    const orbit::Tle& tle = prop.tles()[i];
+    const geo::GeoPoint pos = c.position(orbit::SatId{0, 0, i}, t);
+    if (pos.alt_km < 0.0) {
+      std::printf("%5u %-14s decayed\n", tle.satnum,
+                  tle.name.empty() ? "-" : tle.name.c_str());
+    } else {
+      std::printf("%5u %-14s lat=%9.4f lon=%9.4f alt=%9.2f km\n", tle.satnum,
+                  tle.name.empty() ? "-" : tle.name.c_str(), pos.lat_deg, pos.lon_deg,
+                  pos.alt_km);
+    }
   }
   return 0;
 }
@@ -279,6 +343,7 @@ int run_command(const std::string& cmd, int argc, char** argv) {
   if (cmd == "census") return cmd_census(argc, argv);
   if (cmd == "report") return cmd_report(argc, argv);
   if (cmd == "world") return cmd_world(argc, argv);
+  if (cmd == "tle") return cmd_tle(argc, argv);
   std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
   return 2;
 }
@@ -288,15 +353,19 @@ int run_command(const std::string& cmd, int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: satnetctl <campaign|pipeline|atlas|census|report|world> [flags]\n"
+                 "usage: satnetctl <campaign|pipeline|atlas|census|report|world|tle> [flags]\n"
                  "  campaign [--scale S] [--out FILE] [--threads N]\n"
                  "  pipeline [--scale S] [--out FILE] [--threads N]\n"
                  "  atlas    [--days D]  [--out FILE] [--threads N]\n"
                  "  census\n"
                  "  report   [--scale S] [--out FILE] [--threads N]\n"
-                 "  world    --seed N [--check]   print the generated scenario\n"
-                 "           spec for a matrix seed; --check runs the full\n"
-                 "           invariant catalog on it (exit 1 on violation)\n"
+                 "  world    --seed N [--check] [--orbit-model walker|sgp4]\n"
+                 "           print the generated scenario spec for a matrix\n"
+                 "           seed; --check runs the full invariant catalog on\n"
+                 "           it (exit 1 on violation); --orbit-model forces\n"
+                 "           the ephemeris backend instead of the seeded draw\n"
+                 "  tle      FILE [--t SEC]       load a TLE catalog fleet and\n"
+                 "           print SGP4-propagated positions at sim time t\n"
                  "every command also accepts --metrics-out PATH (Prometheus\n"
                  "text) and --trace-out PATH (JSON lines); '-' = stdout,\n"
                  "--recorder-out PATH [--recorder-ring N] to drain the\n"

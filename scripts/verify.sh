@@ -91,7 +91,7 @@ if [[ "$run_golden" == 1 ]]; then
   echo "== golden: snapshot suite + determinism/fault repeat at varying threads =="
   cmake -B build -S .
   cmake --build build -j "${jobs}" --target golden_test determinism_test fault_test \
-    bench_ablation_access_cache bench_timeline benchreport
+    bench_ablation_access_cache bench_timeline bench_propagate benchreport
   # The flake gate: the determinism-sensitive suites run 3x, golden_test
   # additionally asserting one more thread count each round. Snapshots
   # regenerate only via `golden_test --update-golden`, never here. The
@@ -131,6 +131,11 @@ if [[ "$run_golden" == 1 ]]; then
   echo "-- timeline bench: bench_timeline --"
   ./build/bench/bench_timeline --benchmark_filter='sample_replay'
   test -s BENCH_timeline.json
+  # Batched propagation vs per-sat scalar (exits 1 if the batch kernel
+  # loses its hoisting) + the walker/sgp4 cost comparison record.
+  echo "-- propagation bench: bench_propagate --"
+  ./build/bench/bench_propagate --benchmark_filter='walker_batch_epoch'
+  test -s BENCH_propagate.json
   # Perf-regression ledger: append this run to the committed history,
   # then gate on the machine-independent ratio metrics (speedups, hit
   # ratios) against the committed baseline. Absolute times are checked
@@ -138,10 +143,10 @@ if [[ "$run_golden" == 1 ]]; then
   # a local hard gate.
   echo "-- bench ledger: benchreport append + ratio gate --"
   ./build/tools/benchreport/benchreport --append \
-    BENCH_access_cache.json BENCH_timeline.json \
+    BENCH_access_cache.json BENCH_timeline.json BENCH_propagate.json \
     --ledger bench/ledger --run-id "verify-$(git rev-parse --short HEAD 2>/dev/null || echo local)"
   ./build/tools/benchreport/benchreport --check \
-    BENCH_access_cache.json BENCH_timeline.json \
+    BENCH_access_cache.json BENCH_timeline.json BENCH_propagate.json \
     --ledger bench/ledger --ratios-only --tolerance 0.5
 fi
 

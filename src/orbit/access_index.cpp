@@ -15,7 +15,6 @@ namespace satnet::orbit {
 namespace {
 
 constexpr double kPi = 3.14159265358979323846;
-constexpr double kTwoPi = 2.0 * kPi;
 
 /// Ground cells are 1 degree on a side; the half-diagonal bounds the
 /// central angle between any terminal in the cell and the cell center
@@ -162,6 +161,10 @@ struct AccessIndex::Impl {
   /// Per-shell cone gate at slab granularity: cos(theta_max + cell
   /// half-diagonal + motion slack + rounding slack).
   std::vector<double> cos_gate;
+  /// Single slab-granularity gate for the SGP4 backend, from the
+  /// propagator's conservative altitude/rate bounds (altitude varies per
+  /// satellite there, so one worst-case gate covers the catalog).
+  double sgp4_cos_gate = 2.0;
 
   void refresh_eras(ThreadCache& tc, const fault::Hook* hook) const;
   const std::vector<SatId>& slab_candidates(ThreadCache& tc, const SlabKey& key) const;
@@ -219,37 +222,20 @@ const std::vector<SatId>& AccessIndex::Impl::slab_candidates(ThreadCache& tc,
   const double gz = std::sin(clat);
 
   std::vector<SatId> cands;
-  const auto& shells = constellation->shells();
-  for (std::size_t s = 0; s < shells.size(); ++s) {
-    const Shell& shell = shells[s];
-    const double gate = cos_gate[s];
-    const double inc = geo::deg_to_rad(shell.inclination_deg);
-    const double sin_i = std::sin(inc);
-    const double cos_i = std::cos(inc);
-    const double du = kTwoPi / static_cast<double>(shell.sats_per_plane);
-    const double cos_du = std::cos(du);
-    const double sin_du = std::sin(du);
-    const double motion = shell.mean_motion_rad_per_sec() * t_mid;
-    const double phase_step = kTwoPi * static_cast<double>(shell.phase_factor) /
-                              static_cast<double>(shell.total_sats());
-    for (std::size_t p = 0; p < shell.planes; ++p) {
-      const double phi =
-          kTwoPi * static_cast<double>(p) / static_cast<double>(shell.planes) -
-          kEarthRotationRadPerSec * t_mid;
-      const double cos_phi = std::cos(phi);
-      const double sin_phi = std::sin(phi);
-      const double u0 = phase_step * static_cast<double>(p) + motion;
-      double cu = std::cos(u0);
-      double su = std::sin(u0);
-      for (std::size_t i = 0; i < shell.sats_per_plane; ++i) {
-        const double w = cos_i * su;
-        const double x = cu * cos_phi - w * sin_phi;
-        const double y = cu * sin_phi + w * cos_phi;
-        const double z = sin_i * su;
-        if (gx * x + gy * y + gz * z >= gate) cands.push_back(SatId{s, p, i});
-        const double cu_next = cu * cos_du - su * sin_du;
-        su = su * cos_du + cu * sin_du;
-        cu = cu_next;
+  if (constellation->model() == OrbitModel::walker) {
+    walker_cone_sweep(
+        constellation->shells(), gx, gy, gz, t_mid,
+        [&](std::size_t s) { return cos_gate[s]; },
+        [&](std::size_t s, std::size_t p, std::size_t i) {
+          cands.push_back(SatId{s, p, i});
+        });
+  } else {
+    const auto& prop =
+        static_cast<const Sgp4Propagator&>(constellation->propagator());
+    const BatchFrame& frame = prop.frame_at(t_mid);
+    for (std::size_t f = 0; f < frame.size(); ++f) {
+      if (gx * frame.ux[f] + gy * frame.uy[f] + gz * frame.uz[f] >= sgp4_cos_gate) {
+        cands.push_back(constellation->sat_id_from_flat(f));
       }
     }
   }
@@ -345,6 +331,19 @@ AccessIndex::AccessIndex(const AccessConfig& config,
     impl->cos_gate.push_back(
         std::cos(std::min(kPi, theta_max + kCellHalfDiagRad + motion_slack +
                                    kRoundingSlackRad)));
+  }
+  if (impl->constellation->model() == OrbitModel::sgp4) {
+    const Propagator& prop = impl->constellation->propagator();
+    const double ratio =
+        geo::kEarthRadiusKm / (geo::kEarthRadiusKm + prop.max_gate_altitude_km());
+    const double theta_max =
+        std::acos(std::clamp(ratio * std::cos(e_min), -1.0, 1.0)) - e_min;
+    const double motion_slack =
+        (prop.max_angular_rate_rad_per_sec() + kEarthRotationRadPerSec) *
+        impl->slab_sec / 2.0;
+    impl->sgp4_cos_gate =
+        std::cos(std::min(kPi, theta_max + kCellHalfDiagRad + motion_slack +
+                                   kRoundingSlackRad));
   }
 
   impl_ = std::move(impl);

@@ -2,73 +2,154 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "obs/metrics.hpp"
 
 namespace satnet::orbit {
 
 namespace {
-constexpr double kPi = 3.14159265358979323846;
-constexpr double kTwoPi = 2.0 * kPi;
 
-double wrap_angle(double a) {
-  a = std::fmod(a, kTwoPi);
-  if (a < 0) a += kTwoPi;
-  return a;
+void validate_shells(const std::vector<Shell>& shells) {
+  for (const auto& s : shells) {
+    if (s.planes == 0 || s.sats_per_plane == 0) {
+      throw std::invalid_argument(
+          "orbit: shell \"" + s.name +
+          "\" needs planes >= 1 and sats_per_plane >= 1 (got planes=" +
+          std::to_string(s.planes) +
+          ", sats_per_plane=" + std::to_string(s.sats_per_plane) + ")");
+    }
+  }
 }
+
+std::vector<std::size_t> build_shell_begin(const std::vector<Shell>& shells) {
+  std::vector<std::size_t> begin;
+  begin.reserve(shells.size() + 1);
+  std::size_t off = 0;
+  for (const auto& s : shells) {
+    begin.push_back(off);
+    off += s.total_sats();
+  }
+  begin.push_back(off);
+  return begin;
+}
+
+/// Per-shell visibility cone gate: on a spherical Earth, elevation >=
+/// E_min is exactly central angle theta <= theta_max with
+///   cos(E_min + theta_max) = (R / (R + h)) * cos(E_min).
+/// The 1e-6 rad slack absorbs rotation-recurrence rounding so the cone
+/// never rejects a satellite the exact test would accept.
+double cone_cos_gate(double altitude_km, double e_min_rad) {
+  const double ratio = geo::kEarthRadiusKm / (geo::kEarthRadiusKm + altitude_km);
+  const double theta_max =
+      std::acos(std::clamp(ratio * std::cos(e_min_rad), -1.0, 1.0)) - e_min_rad;
+  return std::cos(theta_max + 1e-6);
+}
+
+void ground_unit(const geo::GeoPoint& ground, double& gx, double& gy, double& gz) {
+  const double glat = geo::deg_to_rad(ground.lat_deg);
+  const double glon = geo::deg_to_rad(ground.lon_deg);
+  gx = std::cos(glat) * std::cos(glon);
+  gy = std::cos(glat) * std::sin(glon);
+  gz = std::sin(glat);
+}
+
 }  // namespace
 
-std::size_t Constellation::total_sats() const {
-  std::size_t n = 0;
-  for (const auto& s : shells_) n += s.total_sats();
-  return n;
+Constellation::Constellation(std::vector<Shell> shells)
+    : Constellation(std::move(shells), OrbitModel::walker) {}
+
+Constellation::Constellation(std::vector<Shell> shells, OrbitModel model)
+    : shells_(std::move(shells)) {
+  validate_shells(shells_);
+  shell_begin_ = build_shell_begin(shells_);
+  if (model == OrbitModel::walker) {
+    propagator_ = std::make_shared<const WalkerPropagator>(shells_);
+  } else {
+    propagator_ = std::make_shared<const Sgp4Propagator>(shells_);
+  }
+}
+
+Constellation::Constellation(std::vector<Shell> shells,
+                             std::shared_ptr<const Propagator> prop)
+    : shells_(std::move(shells)), propagator_(std::move(prop)) {
+  shell_begin_ = build_shell_begin(shells_);
+}
+
+Constellation Constellation::from_tles(std::vector<Tle> tles) {
+  auto prop = std::make_shared<const Sgp4Propagator>(std::move(tles));
+  return Constellation(std::vector<Shell>{}, std::move(prop));
+}
+
+std::size_t Constellation::total_sats() const { return propagator_->size(); }
+
+std::size_t Constellation::flat_index(const SatId& id) const {
+  if (shells_.empty()) return id.index;  // TLE catalogs: one synthetic shell
+  return shell_begin_.at(id.shell) + id.plane * shells_[id.shell].sats_per_plane +
+         id.index;
 }
 
 geo::GeoPoint Constellation::position(const SatId& id, double t_sec) const {
-  const Shell& shell = shells_.at(id.shell);
-  const double inc = geo::deg_to_rad(shell.inclination_deg);
-  const double raan =
-      kTwoPi * static_cast<double>(id.plane) / static_cast<double>(shell.planes);
-  // Walker phasing: satellites in adjacent planes are offset by
-  // F * 2*pi / T where T is the shell's total satellite count.
-  const double phase0 =
-      kTwoPi * static_cast<double>(id.index) / static_cast<double>(shell.sats_per_plane) +
-      kTwoPi * static_cast<double>(shell.phase_factor) * static_cast<double>(id.plane) /
-          static_cast<double>(shell.total_sats());
-  const double u = wrap_angle(phase0 + shell.mean_motion_rad_per_sec() * t_sec);
-
-  // Latitude / inertial longitude of a circular inclined orbit.
-  const double sin_lat = std::sin(inc) * std::sin(u);
-  const double lat = std::asin(std::clamp(sin_lat, -1.0, 1.0));
-  const double lon_inertial = std::atan2(std::cos(inc) * std::sin(u), std::cos(u)) + raan;
-  // Earth-fixed longitude: subtract Earth's rotation since epoch.
-  const double lon = wrap_angle(lon_inertial - kEarthRotationRadPerSec * t_sec);
-
-  double lon_deg = geo::rad_to_deg(lon);
-  if (lon_deg > 180.0) lon_deg -= 360.0;
-  return {geo::rad_to_deg(lat), lon_deg, shell.altitude_km};
+  if (propagator_->model() == OrbitModel::walker) {
+    const Shell& shell = shells_.at(id.shell);
+    return walker_position(shell, id.plane, id.index, t_sec);
+  }
+  return propagator_->position(flat_index(id), t_sec);
 }
 
 std::vector<VisibleSat> Constellation::visible(const geo::GeoPoint& ground, double t_sec,
                                                double min_elevation_deg) const {
+  // Cone pre-filter (same gate math as best_visible, via the shared
+  // sweep): only candidates inside the per-shell central-angle cone run
+  // the exact ephemeris + elevation test. The gate admits every
+  // satellite the exact test would accept, and the sweep visits slots in
+  // canonical order, so results match the historical full-trig scan
+  // bit for bit — it is purely a pre-filter.
   std::vector<VisibleSat> out;
-  for (std::size_t s = 0; s < shells_.size(); ++s) {
-    const Shell& shell = shells_[s];
-    for (std::size_t p = 0; p < shell.planes; ++p) {
-      for (std::size_t i = 0; i < shell.sats_per_plane; ++i) {
-        const SatId id{s, p, i};
-        const geo::GeoPoint pos = position(id, t_sec);
-        // Cheap pre-filter: a satellite more than ~40 deg of arc away can
-        // never be above the horizon for LEO/MEO altitudes we use.
-        const double elev = geo::elevation_deg(ground, pos);
-        if (elev >= min_elevation_deg) {
-          out.push_back({id, pos, elev, geo::slant_range_km(
-                                             {ground.lat_deg, ground.lon_deg, 0.0}, pos)});
-        }
-      }
+  double gx, gy, gz;
+  ground_unit(ground, gx, gy, gz);
+  const double e_min = geo::deg_to_rad(min_elevation_deg);
+
+  if (propagator_->model() == OrbitModel::walker) {
+    walker_cone_sweep(
+        shells_, gx, gy, gz, t_sec,
+        [&](std::size_t s) { return cone_cos_gate(shells_[s].altitude_km, e_min); },
+        [&](std::size_t s, std::size_t p, std::size_t i) {
+          const SatId id{s, p, i};
+          const geo::GeoPoint pos = position(id, t_sec);
+          const double elev = geo::elevation_deg(ground, pos);
+          if (elev >= min_elevation_deg) {
+            out.push_back({id, pos, elev,
+                           geo::slant_range_km({ground.lat_deg, ground.lon_deg, 0.0},
+                                               pos)});
+          }
+        });
+    return out;
+  }
+
+  const auto& sgp4 = static_cast<const Sgp4Propagator&>(*propagator_);
+  const BatchFrame& frame = sgp4.frame_at(t_sec);
+  const double gate = cone_cos_gate(sgp4.max_gate_altitude_km(), e_min);
+  for (std::size_t f = 0; f < frame.size(); ++f) {
+    if (gx * frame.ux[f] + gy * frame.uy[f] + gz * frame.uz[f] < gate) continue;
+    const geo::GeoPoint pos{frame.lat_deg[f], frame.lon_deg[f], frame.alt_km[f]};
+    const double elev = geo::elevation_deg(ground, pos);
+    if (elev >= min_elevation_deg) {
+      out.push_back({sat_id_from_flat(f), pos, elev,
+                     geo::slant_range_km({ground.lat_deg, ground.lon_deg, 0.0}, pos)});
     }
   }
   return out;
+}
+
+SatId Constellation::sat_id_from_flat(std::size_t flat) const {
+  if (shells_.empty()) return SatId{0, 0, flat};
+  std::size_t s = 0;
+  while (s + 1 < shells_.size() && flat >= shell_begin_[s + 1]) ++s;
+  const std::size_t within = flat - shell_begin_[s];
+  return SatId{s, within / shells_[s].sats_per_plane, within % shells_[s].sats_per_plane};
 }
 
 std::optional<VisibleSat> Constellation::best_visible(const geo::GeoPoint& ground,
@@ -76,19 +157,14 @@ std::optional<VisibleSat> Constellation::best_visible(const geo::GeoPoint& groun
                                                       double min_elevation_deg) const {
   // Hot path for campaign simulation: a full-trig sweep of every satellite
   // costs ~1 ms per query for a Starlink-sized constellation. Instead,
-  // prefilter with a central-angle cone test on ECEF unit vectors. On a
-  // spherical Earth, elevation >= E_min is exactly theta <= theta_max with
-  //   cos(E_min + theta_max) = (R / (R + h)) * cos(E_min),
-  // so dot(n_ground, n_sat) >= cos(theta_max) admits every visible
-  // satellite. Unit vectors come from incremental plane rotations (no
-  // per-satellite trig); the exact position/elevation path runs only for
-  // the few candidates inside the cone, preserving the sweep's selection
-  // order and values bit-for-bit.
-  const double glat = geo::deg_to_rad(ground.lat_deg);
-  const double glon = geo::deg_to_rad(ground.lon_deg);
-  const double gx = std::cos(glat) * std::cos(glon);
-  const double gy = std::cos(glat) * std::sin(glon);
-  const double gz = std::sin(glat);
+  // prefilter with a central-angle cone test on ECEF unit vectors (see
+  // cone_cos_gate); unit vectors come from incremental plane rotations in
+  // walker_cone_sweep (no per-satellite trig) or a memoized SGP4 batch
+  // frame. The exact position/elevation path runs only for the few
+  // candidates inside the cone, preserving the sweep's selection order
+  // and values bit-for-bit.
+  double gx, gy, gz;
+  ground_unit(ground, gx, gy, gz);
   const double e_min = geo::deg_to_rad(min_elevation_deg);
 
   // Cone-prefilter accounting: counted locally in the sweep and flushed
@@ -104,63 +180,42 @@ std::optional<VisibleSat> Constellation::best_visible(const geo::GeoPoint& groun
   static obs::Counter& exact_evals = obs::MetricsRegistry::global().counter(
       "orbit.best_visible.exact_evals",
       "satellites inside the cone that ran the exact ephemeris");
-  std::uint64_t swept = 0, evals = 0;
+  std::uint64_t evals = 0;
 
   std::optional<VisibleSat> best;
-  for (std::size_t s = 0; s < shells_.size(); ++s) {
-    const Shell& shell = shells_[s];
-    const double ratio = geo::kEarthRadiusKm / (geo::kEarthRadiusKm + shell.altitude_km);
-    const double theta_max =
-        std::acos(std::clamp(ratio * std::cos(e_min), -1.0, 1.0)) - e_min;
-    // Small slack absorbs rotation-recurrence rounding so the cone never
-    // rejects a satellite the exact test would accept.
-    const double cos_gate = std::cos(theta_max + 1e-6);
-
-    const double inc = geo::deg_to_rad(shell.inclination_deg);
-    const double sin_i = std::sin(inc);
-    const double cos_i = std::cos(inc);
-    const double du = kTwoPi / static_cast<double>(shell.sats_per_plane);
-    const double cos_du = std::cos(du);
-    const double sin_du = std::sin(du);
-    const double motion = shell.mean_motion_rad_per_sec() * t_sec;
-    const double phase_step = kTwoPi * static_cast<double>(shell.phase_factor) /
-                              static_cast<double>(shell.total_sats());
-
-    for (std::size_t p = 0; p < shell.planes; ++p) {
-      const double phi = kTwoPi * static_cast<double>(p) /
-                             static_cast<double>(shell.planes) -
-                         kEarthRotationRadPerSec * t_sec;
-      const double cos_phi = std::cos(phi);
-      const double sin_phi = std::sin(phi);
-      const double u0 = phase_step * static_cast<double>(p) + motion;
-      double cu = std::cos(u0);
-      double su = std::sin(u0);
-      for (std::size_t i = 0; i < shell.sats_per_plane; ++i) {
-        const double w = cos_i * su;
-        const double x = cu * cos_phi - w * sin_phi;
-        const double y = cu * sin_phi + w * cos_phi;
-        const double z = sin_i * su;
-        ++swept;
-        if (gx * x + gy * y + gz * z >= cos_gate) {
+  if (propagator_->model() == OrbitModel::walker) {
+    walker_cone_sweep(
+        shells_, gx, gy, gz, t_sec,
+        [&](std::size_t s) { return cone_cos_gate(shells_[s].altitude_km, e_min); },
+        [&](std::size_t s, std::size_t p, std::size_t i) {
           ++evals;
           const SatId id{s, p, i};
           const geo::GeoPoint pos = position(id, t_sec);
           const double elev = geo::elevation_deg(ground, pos);
-          if (elev >= min_elevation_deg &&
-              (!best || elev > best->elevation_deg)) {
+          if (elev >= min_elevation_deg && (!best || elev > best->elevation_deg)) {
             best = VisibleSat{id, pos, elev,
                               geo::slant_range_km(
                                   {ground.lat_deg, ground.lon_deg, 0.0}, pos)};
           }
-        }
-        const double cu_next = cu * cos_du - su * sin_du;
-        su = su * cos_du + cu * sin_du;
-        cu = cu_next;
+        });
+  } else {
+    const auto& sgp4 = static_cast<const Sgp4Propagator&>(*propagator_);
+    const BatchFrame& frame = sgp4.frame_at(t_sec);
+    const double gate = cone_cos_gate(sgp4.max_gate_altitude_km(), e_min);
+    for (std::size_t f = 0; f < frame.size(); ++f) {
+      if (gx * frame.ux[f] + gy * frame.uy[f] + gz * frame.uz[f] < gate) continue;
+      ++evals;
+      const geo::GeoPoint pos{frame.lat_deg[f], frame.lon_deg[f], frame.alt_km[f]};
+      const double elev = geo::elevation_deg(ground, pos);
+      if (elev >= min_elevation_deg && (!best || elev > best->elevation_deg)) {
+        best = VisibleSat{sat_id_from_flat(f), pos, elev,
+                          geo::slant_range_km({ground.lat_deg, ground.lon_deg, 0.0},
+                                              pos)};
       }
     }
   }
   queries.add(1);
-  sats_swept.add(swept);
+  sats_swept.add(propagator_->size());
   exact_evals.add(evals);
   return best;
 }
@@ -181,7 +236,9 @@ std::optional<VisibleSat> GeoFleet::best_visible(const geo::GeoPoint& ground,
     const double elev = geo::elevation_deg(ground, pos);
     if (elev < min_elevation_deg) continue;
     if (!best || elev > best->elevation_deg) {
-      best = VisibleSat{SatId{0, 0, i}, pos, elev,
+      // The sentinel shell keeps GEO ids disjoint from Walker shell 0
+      // (consumers mixing fleets used to see colliding {0, 0, i} ids).
+      best = VisibleSat{SatId{kGeoShellIndex, 0, i}, pos, elev,
                         geo::slant_range_km({ground.lat_deg, ground.lon_deg, 0.0}, pos)};
     }
   }

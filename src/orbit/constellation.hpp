@@ -1,19 +1,30 @@
 // Satellite ephemeris for Walker constellations and GEO slots.
 //
-// Positions are propagated analytically (circular orbits + Earth
-// rotation), so a position query at an arbitrary simulation time is O(1)
-// per satellite and the whole constellation can be swept per query.
+// Positions come from a pluggable Propagator backend (propagator.hpp):
+// the closed-form Walker-circular mode (O(1) per query, the fast exact
+// default — bit-identical to the historical arithmetic) or SGP4/SDP4
+// perturbed propagation (synthetic elements from Walker geometry, or a
+// real TLE catalog). Visibility queries prefilter with a central-angle
+// cone either way, so the whole constellation can be swept per query.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "geo/geodesy.hpp"
+#include "orbit/propagator.hpp"
 #include "orbit/shell.hpp"
 
 namespace satnet::orbit {
+
+/// Sentinel shell index marking a GEO fleet satellite. GEO slots are not
+/// Walker shells, so their ids must never collide with shell 0 of a
+/// Walker constellation in consumers that mix fleets.
+inline constexpr std::size_t kGeoShellIndex = static_cast<std::size_t>(-1);
 
 /// Identifies one satellite within a constellation.
 struct SatId {
@@ -22,6 +33,9 @@ struct SatId {
   std::size_t index = 0;
 
   bool operator==(const SatId&) const = default;
+
+  /// True for ids minted by GeoFleet (sentinel shell index).
+  constexpr bool is_geo() const { return shell == kGeoShellIndex; }
 };
 
 /// A satellite visible from a ground point.
@@ -32,14 +46,34 @@ struct VisibleSat {
   double slant_km = 0;
 };
 
-/// A constellation is a set of Walker shells. GEO fleets are modelled
-/// separately (GeoFleet) since their satellites are fixed in ECEF.
+/// A constellation is a set of Walker shells propagated by one of the
+/// ephemeris backends. GEO fleets are modelled separately (GeoFleet)
+/// since their satellites are fixed in ECEF.
 class Constellation {
  public:
-  explicit Constellation(std::vector<Shell> shells) : shells_(std::move(shells)) {}
+  /// Walker-circular backend (the historical default).
+  explicit Constellation(std::vector<Shell> shells);
+  /// Same shells on the chosen backend: OrbitModel::sgp4 derives
+  /// near-circular SGP4 elements from the Walker geometry.
+  Constellation(std::vector<Shell> shells, OrbitModel model);
+  /// SGP4 backend over a real TLE catalog. SatIds live in one synthetic
+  /// shell {0, 0, i} in catalog order.
+  static Constellation from_tles(std::vector<Tle> tles);
 
   const std::vector<Shell>& shells() const { return shells_; }
   std::size_t total_sats() const;
+
+  OrbitModel model() const { return propagator_->model(); }
+  const Propagator& propagator() const { return *propagator_; }
+  /// 0 for Walker (positions are a pure function of the shells, which
+  /// identity hashes already cover); the element hash for SGP4.
+  std::uint64_t ephemeris_hash() const { return propagator_->ephemeris_hash(); }
+
+  /// Flat canonical index of a satellite (shell-major, then plane, then
+  /// in-plane index) — the order batch frames are laid out in.
+  std::size_t flat_index(const SatId& id) const;
+  /// Inverse of flat_index.
+  SatId sat_id_from_flat(std::size_t flat) const;
 
   /// Geodetic position of a satellite at simulation time t (seconds).
   geo::GeoPoint position(const SatId& id, double t_sec) const;
@@ -53,7 +87,13 @@ class Constellation {
                                          double min_elevation_deg) const;
 
  private:
+  Constellation(std::vector<Shell> shells, std::shared_ptr<const Propagator> prop);
+
   std::vector<Shell> shells_;
+  std::vector<std::size_t> shell_begin_;  ///< flat-index offsets per shell
+  /// Shared, immutable backend: copies of a Constellation share the
+  /// (potentially large) precomputed SGP4 state.
+  std::shared_ptr<const Propagator> propagator_;
 };
 
 /// A fleet of geostationary satellites parked at fixed longitudes.
@@ -71,7 +111,8 @@ class GeoFleet {
 
   /// Best slot (max elevation) for a ground point; GEO satellites do not
   /// move, so no time parameter. Returns nullopt when none is above
-  /// `min_elevation_deg`.
+  /// `min_elevation_deg`. Result ids carry the kGeoShellIndex sentinel
+  /// shell (id.is_geo()), with `index` the slot number.
   std::optional<VisibleSat> best_visible(const geo::GeoPoint& ground,
                                          double min_elevation_deg) const;
 

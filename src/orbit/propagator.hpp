@@ -1,0 +1,238 @@
+// Propagator interface: Walker-circular and SGP4 ephemeris backends,
+// plus the structure-of-arrays batch kernel.
+//
+// The closed-form Walker mode is the fast exact default and stays
+// bit-identical to the historical Constellation::position arithmetic
+// (walker_position below IS that arithmetic, shared so the scalar and
+// batch paths cannot drift). The SGP4 mode runs the perturbed
+// propagation from sgp4.hpp per satellite, either from a real TLE
+// catalog or from synthetic elements derived from Walker shell
+// geometry.
+//
+// BatchPropagator advances the whole constellation per epoch in one
+// pass over contiguous per-satellite arrays (precomputed constants,
+// vectorizable inner loop). Its geodetic outputs are bit-identical to
+// the scalar position() path per satellite — the batch is a throughput
+// optimization, never a value change — so best_visible/access_index/
+// timeline can consume frames through the same cone-prefilter path.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "geo/geodesy.hpp"
+#include "orbit/sgp4.hpp"
+#include "orbit/shell.hpp"
+
+namespace satnet::orbit {
+
+/// Which ephemeris backend a constellation runs on.
+enum class OrbitModel { walker, sgp4 };
+
+std::string_view to_string(OrbitModel m);
+std::optional<OrbitModel> parse_orbit_model(std::string_view s);
+
+/// Closed-form circular Walker ephemeris for one satellite slot. This is
+/// the exact arithmetic (op for op) the repo has always used for
+/// Constellation::position; every Walker-mode consumer — scalar, batch,
+/// timeline replay — funnels through it so positions agree bit for bit.
+geo::GeoPoint walker_position(const Shell& shell, std::size_t plane, std::size_t index,
+                              double t_sec);
+
+/// One batch-propagated epoch: geodetic position per satellite in
+/// canonical (shell, plane, index) order, plus optional ECEF unit
+/// vectors for cone gating. Reused across advance() calls so the
+/// steady-state epoch loop does no allocation.
+struct BatchFrame {
+  double t_sec = 0;
+  bool has_unit_vectors = false;
+  std::vector<double> lat_deg, lon_deg, alt_km;
+  std::vector<double> ux, uy, uz;
+
+  std::size_t size() const { return lat_deg.size(); }
+};
+
+class Sgp4Propagator;
+
+/// The SoA batch kernel. Construction precomputes every per-satellite
+/// constant the scalar path re-derives per call (plane RAAN, phase
+/// angle, inclination trig, mean motion — or the full sgp4init state);
+/// advance() then runs one contiguous pass per epoch.
+class BatchPropagator {
+ public:
+  /// Walker-circular batch over the given shells.
+  explicit BatchPropagator(const std::vector<Shell>& shells);
+  /// SGP4 batch over an initialized catalog (non-owning; the
+  /// Sgp4Propagator that owns the states also owns this kernel).
+  explicit BatchPropagator(const Sgp4Propagator* sgp4);
+
+  std::size_t size() const { return n_; }
+
+  /// Fills `out` with every satellite's position at t. Geodetic values
+  /// are bit-identical to the scalar position() path. Unit vectors are
+  /// derived from the geodetic angles when requested.
+  void advance(double t_sec, bool unit_vectors, BatchFrame& out) const;
+
+ private:
+  void advance_walker(double t_sec, BatchFrame& out) const;
+
+  std::size_t n_ = 0;
+  const Sgp4Propagator* sgp4_ = nullptr;  ///< null in Walker mode
+  // Walker per-satellite constants (canonical order, contiguous).
+  std::vector<double> phase0_, raan_, sin_inc_, cos_inc_, alt_km_;
+  // Walker per-shell constants + [start, end) satellite ranges.
+  std::vector<double> shell_mean_motion_;
+  std::vector<std::size_t> shell_begin_;
+};
+
+/// Abstract ephemeris backend: scalar per-satellite queries plus the
+/// batch kernel, with the conservative bounds the visibility cone
+/// prefilter needs. Satellites are addressed by flat canonical index.
+class Propagator {
+ public:
+  virtual ~Propagator() = default;
+
+  virtual OrbitModel model() const = 0;
+  virtual std::size_t size() const = 0;
+
+  /// Geodetic position of satellite `sat` at simulation time t.
+  virtual geo::GeoPoint position(std::size_t sat, double t_sec) const = 0;
+
+  /// The batch kernel over this backend's satellites.
+  virtual const BatchPropagator& batch() const = 0;
+
+  /// Stable hash of everything that determines positions (elements,
+  /// epochs, model) — mixed into access identity hashes so persisted
+  /// timelines can never answer for a different ephemeris.
+  virtual std::uint64_t ephemeris_hash() const = 0;
+
+  /// Upper bound on any satellite's geodetic altitude (km), for the
+  /// visibility cone half-angle: higher altitude means a wider, i.e.
+  /// more permissive, gate.
+  virtual double max_gate_altitude_km() const = 0;
+
+  /// Upper bound on any satellite's ECEF angular rate (rad/s, Earth
+  /// rotation excluded), for slab-level gate widening.
+  virtual double max_angular_rate_rad_per_sec() const = 0;
+};
+
+/// The closed-form Walker backend.
+class WalkerPropagator final : public Propagator {
+ public:
+  explicit WalkerPropagator(std::vector<Shell> shells);
+
+  OrbitModel model() const override { return OrbitModel::walker; }
+  std::size_t size() const override { return batch_.size(); }
+  geo::GeoPoint position(std::size_t sat, double t_sec) const override;
+  const BatchPropagator& batch() const override { return batch_; }
+  std::uint64_t ephemeris_hash() const override { return 0; }
+  double max_gate_altitude_km() const override;
+  double max_angular_rate_rad_per_sec() const override;
+
+ private:
+  std::vector<Shell> shells_;
+  /// Flat index -> (shell, plane, index) decomposition helpers.
+  std::vector<std::size_t> shell_begin_;
+  BatchPropagator batch_;
+};
+
+/// The SGP4/SDP4 backend: one initialized Sgp4 state per satellite.
+class Sgp4Propagator final : public Propagator {
+ public:
+  /// Synthetic elements from Walker shell geometry: each slot becomes a
+  /// near-circular SGP4 satellite with the slot's inclination, RAAN and
+  /// phase, at a fixed canonical epoch (no wall-clock anywhere).
+  explicit Sgp4Propagator(const std::vector<Shell>& shells);
+  /// A real TLE catalog. Simulation t=0 is the newest element epoch, so
+  /// every satellite propagates forward from its own epoch.
+  explicit Sgp4Propagator(std::vector<Tle> tles);
+
+  OrbitModel model() const override { return OrbitModel::sgp4; }
+  std::size_t size() const override { return sats_.size(); }
+  geo::GeoPoint position(std::size_t sat, double t_sec) const override;
+  const BatchPropagator& batch() const override { return *batch_; }
+  std::uint64_t ephemeris_hash() const override { return ephemeris_hash_; }
+  double max_gate_altitude_km() const override { return max_gate_alt_km_; }
+  double max_angular_rate_rad_per_sec() const override { return max_rate_rad_s_; }
+
+  /// The catalog (empty for synthetic-element constellations).
+  const std::vector<Tle>& tles() const { return tles_; }
+  /// Julian date mapped to simulation t=0.
+  double epoch_jd() const { return epoch_jd_; }
+
+  /// Batch frame at t with unit vectors, memoized per thread for the
+  /// common many-terminals-one-epoch query pattern. The memo is a pure
+  /// cache: values always equal a fresh advance() at t.
+  const BatchFrame& frame_at(double t_sec) const;
+
+  /// position() with the GMST precomputed by the caller — the batch
+  /// kernel hoists it per epoch; gst must equal
+  /// gstime(epoch_jd() + t_sec / 86400) for identical output.
+  geo::GeoPoint position_at_gst(std::size_t sat, double t_sec, double gst) const;
+
+ private:
+  friend class BatchPropagator;
+  void finalize();
+
+  std::uint64_t id_ = 0;  ///< process-unique, keys the thread-local memo
+  std::vector<Tle> tles_;
+  std::vector<Sgp4> sats_;
+  std::vector<double> epoch_offset_min_;  ///< sat epoch -> t=0 offset
+  double epoch_jd_ = 0;
+  std::uint64_t ephemeris_hash_ = 0;
+  double max_gate_alt_km_ = 0;
+  double max_rate_rad_s_ = 0;
+  std::unique_ptr<BatchPropagator> batch_;
+};
+
+/// Shared cone-prefilter sweep over Walker shells: visits every slot in
+/// canonical (shell, plane, index) order via incremental plane rotations
+/// (no per-satellite trig) and invokes `on_candidate(SatId)` for each
+/// satellite whose ECEF direction clears the per-shell cos gate. The
+/// arithmetic (op order included) is the historical best_visible sweep,
+/// shared by best_visible, visible and the access index so their
+/// prefilters cannot diverge.
+template <typename GateFn, typename CandidateFn>
+void walker_cone_sweep(const std::vector<Shell>& shells, double gx, double gy, double gz,
+                       double t_sec, GateFn&& gate_for_shell, CandidateFn&& on_candidate) {
+  constexpr double kTwoPi = 2.0 * 3.14159265358979323846;
+  for (std::size_t s = 0; s < shells.size(); ++s) {
+    const Shell& shell = shells[s];
+    const double gate = gate_for_shell(s);
+    const double inc = geo::deg_to_rad(shell.inclination_deg);
+    const double sin_i = std::sin(inc);
+    const double cos_i = std::cos(inc);
+    const double du = kTwoPi / static_cast<double>(shell.sats_per_plane);
+    const double cos_du = std::cos(du);
+    const double sin_du = std::sin(du);
+    const double motion = shell.mean_motion_rad_per_sec() * t_sec;
+    const double phase_step = kTwoPi * static_cast<double>(shell.phase_factor) /
+                              static_cast<double>(shell.total_sats());
+    for (std::size_t p = 0; p < shell.planes; ++p) {
+      const double phi =
+          kTwoPi * static_cast<double>(p) / static_cast<double>(shell.planes) -
+          kEarthRotationRadPerSec * t_sec;
+      const double cos_phi = std::cos(phi);
+      const double sin_phi = std::sin(phi);
+      const double u0 = phase_step * static_cast<double>(p) + motion;
+      double cu = std::cos(u0);
+      double su = std::sin(u0);
+      for (std::size_t i = 0; i < shell.sats_per_plane; ++i) {
+        const double w = cos_i * su;
+        const double x = cu * cos_phi - w * sin_phi;
+        const double y = cu * sin_phi + w * cos_phi;
+        const double z = sin_i * su;
+        if (gx * x + gy * y + gz * z >= gate) on_candidate(s, p, i);
+        const double cu_next = cu * cos_du - su * sin_du;
+        su = su * cos_du + cu * sin_du;
+        cu = cu_next;
+      }
+    }
+  }
+}
+
+}  // namespace satnet::orbit

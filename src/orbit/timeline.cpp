@@ -234,6 +234,15 @@ std::uint64_t access_identity_hash(const AccessConfig& config,
       hash_mix(h, static_cast<std::uint64_t>(shell.sats_per_plane));
       hash_mix(h, static_cast<std::uint64_t>(shell.phase_factor));
     }
+    // Non-default orbit models fold in the model tag and element hash so
+    // a persisted Walker timeline can never answer for an SGP4 world (or
+    // vice versa). Walker hashes are untouched — the shells above fully
+    // determine its ephemeris — keeping every pre-existing persisted
+    // timeline valid.
+    if (constellation->model() != OrbitModel::walker) {
+      hash_mix(h, fnv1a(to_string(constellation->model())));
+      hash_mix(h, constellation->ephemeris_hash());
+    }
   }
   return h;
 }
@@ -541,6 +550,10 @@ void EpochTimeline::ensure(const AccessNetwork& net, std::vector<TimelineQuery> 
   if (net.constellation_->shells().size() > 0x400) return;
   for (const auto& shell : net.constellation_->shells()) {
     if (shell.planes > 0x400 || shell.sats_per_plane > 0x400) return;
+  }
+  // TLE catalogs put every satellite in one synthetic shell at {0, 0, i}.
+  if (net.constellation_->shells().empty() && net.constellation_->total_sats() > 0x400) {
+    return;
   }
   // satlint:allow(nondet-source): build-cost telemetry; results never read it
   // satlint:allow(nondet-taint): t0 feeds only the build_ms counter; timeline epochs are a pure function of the constellation

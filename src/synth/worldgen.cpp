@@ -153,8 +153,13 @@ std::string ScenarioSpec::to_text() const {
            " t1=" + fmt_double(f.t_end_sec) + "\n";
   }
   for (const NetworkSpec& net : networks) {
-    out += "network " + net.name + " orbit=" + orbit::to_string(net.orbit) +
-           " min_elev=" + fmt_double(net.min_elevation_deg) +
+    out += "network " + net.name + " orbit=" + orbit::to_string(net.orbit);
+    // Default-model worlds keep their historical text form, so persisted
+    // walker artifacts (goldens, shrunk repros) stay byte-identical.
+    if (net.model != orbit::OrbitModel::walker) {
+      out += " model=" + std::string(orbit::to_string(net.model));
+    }
+    out += " min_elev=" + fmt_double(net.min_elevation_deg) +
            " overhead_ms=" + fmt_double(net.scheduling_overhead_ms) +
            " reconfig_sec=" + fmt_double(net.reconfig_interval_sec) + "\n";
     for (const orbit::Shell& s : net.shells) {
@@ -295,6 +300,15 @@ ScenarioSpec generate_scenario(std::uint64_t seed, const WorldGenConfig& config)
         wrap_lon(geo::city_point(net.pop_cities.front()).lon_deg + rng.uniform(-25.0, 25.0));
     net.traits = geo_traits(rng);
     spec.networks.push_back(std::move(net));
+  }
+
+  // Orbit-model axis: some LEO worlds run SGP4 perturbed propagation
+  // instead of closed-form Walker, so the matrix fuzzes both ephemeris
+  // backends. A fresh fork key keeps every pre-existing axis draw
+  // byte-stable for old seeds.
+  {
+    stats::Rng rng = master.fork_stable("orbit-model");
+    if (rng.chance(0.25)) spec.networks.front().model = orbit::OrbitModel::sgp4;
   }
 
   // Population skew: a few anchor cities with Pareto weights; fixed
@@ -438,7 +452,8 @@ GeneratedWorld::GeneratedWorld(ScenarioSpec spec) : spec_(std::move(spec)), fiel
       networks_.push_back(
           std::make_unique<orbit::AccessNetwork>(std::move(cfg), std::move(fleet)));
     } else {
-      auto constellation = std::make_shared<const orbit::Constellation>(ns.shells);
+      auto constellation =
+          std::make_shared<const orbit::Constellation>(ns.shells, ns.model);
       networks_.push_back(
           std::make_unique<orbit::AccessNetwork>(std::move(cfg), std::move(constellation)));
     }

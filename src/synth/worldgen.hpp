@@ -25,6 +25,7 @@
 #include "fault/plan.hpp"
 #include "geo/geodesy.hpp"
 #include "orbit/access.hpp"
+#include "orbit/propagator.hpp"
 #include "orbit/shell.hpp"
 #include "transport/linkmodel.hpp"
 #include "weather/weather.hpp"
@@ -53,6 +54,9 @@ struct TerminalSpec {
 struct NetworkSpec {
   std::string name;                      ///< fault-plan target + Rng key
   orbit::OrbitClass orbit = orbit::OrbitClass::leo;
+  /// Ephemeris backend for the shells (LEO/MEO only): closed-form Walker
+  /// or SGP4 perturbed propagation, so the matrix fuzzes both.
+  orbit::OrbitModel model = orbit::OrbitModel::walker;
   std::vector<orbit::Shell> shells;      ///< LEO/MEO only
   double slot_lon_deg = 0;               ///< GEO only
   double min_elevation_deg = 25.0;

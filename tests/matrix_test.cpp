@@ -127,6 +127,51 @@ TEST_F(MatrixTest, InvariantsHoldAcrossSeededWorlds) {
   EXPECT_EQ(distinct.size(), n_worlds) << "seeds must generate distinct worlds";
 }
 
+// The orbit-model axis must actually reach the PR-gate sweep: at least
+// one of the default six worlds runs the SGP4 backend, so every sweep
+// exercises perturbed propagation end to end (generation, evaluation,
+// the finite-metrics invariant) and not just closed-form Walker. Pinned
+// against the default budget — raising SATNET_MATRIX_WORLDS only adds
+// coverage, it can't remove this world.
+TEST_F(MatrixTest, DefaultSweepCoversSgp4World) {
+  std::size_t sgp4_worlds = 0;
+  for (std::size_t i = 0; i < 6; ++i) {
+    const std::uint64_t seed = sweep_seed(i);
+    const ScenarioSpec spec = synth::generate_scenario(seed);
+    if (spec.networks.empty() ||
+        spec.networks.front().model != orbit::OrbitModel::sgp4) {
+      continue;
+    }
+    ++sgp4_worlds;
+    SCOPED_TRACE("sgp4 world seed=" + std::to_string(seed));
+    EXPECT_NE(spec.to_text().find("model=sgp4"), std::string::npos)
+        << "spec text must record the ephemeris backend";
+    const auto violation = matrix::check_spec(spec);
+    EXPECT_FALSE(violation.has_value())
+        << (violation ? violation->invariant + ": " + violation->detail : "");
+    orbit::EpochTimeline::clear_installed();
+  }
+  EXPECT_GE(sgp4_worlds, 1u)
+      << "the default sweep no longer draws an SGP4-mode world; adjust the "
+         "seed schedule or the orbit-model axis so both backends stay covered";
+}
+
+// A degenerate shell (zero planes / zero sats-per-plane) used to divide
+// by zero inside Constellation::position and leak NaN into campaign
+// reports, where only the finite-metrics invariant would (maybe) notice.
+// The guard now refuses to materialize the world at all: the matrix can
+// never evaluate a spec whose ephemeris is undefined.
+TEST_F(MatrixTest, DegenerateShellRefusesToMaterialize) {
+  ScenarioSpec spec = synth::generate_scenario(sweep_seed(0));
+  ASSERT_FALSE(spec.networks.empty());
+  ASSERT_FALSE(spec.networks.front().shells.empty());
+  spec.networks.front().shells.front().planes = 0;
+  EXPECT_THROW(synth::GeneratedWorld{spec}, std::invalid_argument);
+  spec = synth::generate_scenario(sweep_seed(0));
+  spec.networks.front().shells.front().sats_per_plane = 0;
+  EXPECT_THROW(synth::GeneratedWorld{spec}, std::invalid_argument);
+}
+
 // --------------------------------------------------------- determinism
 
 TEST_F(MatrixTest, SameSeedSameSpecText) {
